@@ -1,0 +1,57 @@
+// Ablation — PCP design choices (Section 5.1's parameters).
+//
+// Sweeps the stochastic planner's body percentile (how aggressively the
+// always-provisioned share is sized) and the peak-cluster similarity
+// threshold (how eagerly workloads are assumed to co-peak), reporting
+// footprint and realized contention. The paper's configuration is body=90,
+// tail=max.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common.h"
+#include "core/emulator.h"
+#include "core/planners.h"
+
+using namespace vmcw;
+
+int main(int argc, char** argv) {
+  bench::print_header("Ablation — stochastic (PCP) parameters",
+                      "body percentile x cluster threshold, Banking");
+  const int servers = argc > 1 ? std::atoi(argv[1]) : 400;
+  const auto spec = scaled_down(banking_spec(), servers, kHoursPerMonth);
+  const Datacenter dc = generate_datacenter(spec, kStudySeed);
+  const auto vms = to_vm_workloads(dc);
+  std::printf("workload: %s (%zu servers)\n\n", dc.industry.c_str(),
+              dc.servers.size());
+
+  TextTable table({"body pctile", "cluster sim", "hosts", "contention time",
+                   "peak util p99"});
+  for (double body : {75.0, 85.0, 90.0, 95.0, 100.0}) {
+    for (double similarity : {0.3, 0.6, 0.9}) {
+      StudySettings settings = bench::baseline_settings();
+      settings.body_percentile = body;
+      settings.cluster_similarity = similarity;
+      const auto plan = plan_stochastic(vms, settings);
+      if (!plan) continue;
+      const Placement schedule[] = {plan->placement};
+      const auto report = emulate(vms, schedule, settings, false);
+      std::vector<double> peaks = report.host_peak_cpu_util;
+      std::sort(peaks.begin(), peaks.end());
+      const double p99 =
+          peaks.empty() ? 0.0 : peaks[peaks.size() * 99 / 100];
+      table.add_row({fmt(body, 0), fmt(similarity, 1),
+                     std::to_string(plan->hosts_used),
+                     fmt_pct(report.contention_time_fraction()),
+                     fmt(p99, 2)});
+    }
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf(
+      "\nlower body percentiles buy a smaller footprint but push realized\n"
+      "peaks toward (and past) capacity; looser clustering (low threshold)\n"
+      "merges peak groups and over-provisions, stricter clustering\n"
+      "multiplies clusters until tails stop sharing. The paper's body=90\n"
+      "sits at the contention-free end of the aggressive range.\n");
+  return 0;
+}

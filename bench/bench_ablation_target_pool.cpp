@@ -1,0 +1,86 @@
+// Ablation — heterogeneous consolidation targets (an engagement question
+// the paper's uniform-HS23 study abstracts away: should an estate reuse
+// its existing previous-generation blades, or standardize on new ones?).
+//
+// Packs the Banking estate semi-statically onto three target pools and
+// replays the traces:
+//   (a) uniform HS23 Elite (the paper's setting),
+//   (b) uniform HS22 (previous generation only),
+//   (c) a reused rack of 14 HS22s + as many HS23s as needed.
+
+#include <cstdio>
+
+#include "common.h"
+#include "core/planners.h"
+#include "hardware/cost_model.h"
+
+using namespace vmcw;
+
+namespace {
+
+struct PoolCase {
+  const char* name;
+  HostPool pool;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_header("Ablation — heterogeneous target pools",
+                      "reuse old blades vs standardize, Banking");
+  const int servers = argc > 1 ? std::atoi(argv[1]) : 400;
+  const auto spec = scaled_down(banking_spec(), servers, kHoursPerMonth);
+  const Datacenter dc = generate_datacenter(spec, kStudySeed);
+  const auto vms = to_vm_workloads(dc);
+  const auto settings = bench::baseline_settings();
+  const CostModel costs;
+  std::printf("workload: %s (%zu servers)\n\n", dc.industry.c_str(),
+              dc.servers.size());
+
+  // Peak sizing over the planning history, as in semi-static planning.
+  std::vector<ResourceVector> sizes(vms.size());
+  for (std::size_t i = 0; i < vms.size(); ++i)
+    sizes[i] = vms[i].size_over(0, settings.history_hours, WindowReducer::kMax);
+
+  std::vector<PoolCase> cases;
+  cases.push_back({"HS23 only (paper)", HostPool::uniform(hs23_elite_blade())});
+  cases.push_back({"HS22 only", HostPool::uniform(hs22_blade())});
+  cases.push_back(
+      {"14x HS22 reused + HS23",
+       HostPool({{hs22_blade(), 14},
+                 {hs23_elite_blade(), HostClass::kUnlimited}})});
+
+  TextTable table({"target pool", "hosts", "new HS23s", "energy (kWh)",
+                   "hardware+space cost", "contention time"});
+  for (const auto& c : cases) {
+    const auto packed = ffd_pack(sizes, c.pool, 1.0);
+    if (!packed) {
+      table.add_row({c.name, "infeasible", "-", "-", "-", "-"});
+      continue;
+    }
+    const Placement schedule[] = {packed->placement};
+    const auto report = emulate(vms, schedule, settings, false, c.pool);
+
+    // Cost of the hosts actually used (reused HS22s carry no hardware cost).
+    double cost = 0;
+    std::size_t new_blades = 0;
+    const auto by_host = packed->placement.vms_by_host();
+    for (std::size_t h = 0; h < by_host.size(); ++h) {
+      if (by_host[h].empty()) continue;
+      const auto& host_spec = c.pool.spec_of(h);
+      cost += costs.space_hardware_cost(host_spec, 1,
+                                        settings.eval_hours / 24.0);
+      if (host_spec.model == "IBM HS23 Elite") ++new_blades;
+    }
+    table.add_row({c.name, std::to_string(packed->hosts_used),
+                   std::to_string(new_blades),
+                   fmt(report.energy_wh / 1000.0, 0), fmt(cost, 0),
+                   fmt_pct(report.contention_time_fraction())});
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf(
+      "\nreusing the old rack trades a few extra hosts and watts for the\n"
+      "avoided acquisition cost — the HostPool API makes the comparison a\n"
+      "three-line configuration change.\n");
+  return 0;
+}

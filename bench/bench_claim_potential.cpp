@@ -1,0 +1,62 @@
+// Sections 1.1 / 1.3 — "the case for dynamic VM consolidation", revisited.
+//
+// The naive argument (Fig 1): servers average <5% CPU but peak >50%, so
+// sizing at the average instead of the peak should cut infrastructure by
+// ~10x. The paper's correction: memory — the resource that actually fills
+// consolidated hosts — is nearly flat, and dynamic consolidation must
+// reserve ~20% for live migration, shrinking the realizable gain to ~1.5x.
+// This bench computes all three numbers per data center.
+
+#include <cstdio>
+
+#include "common.h"
+#include "core/planners.h"
+#include "core/dynamic.h"
+#include "util/stats.h"
+
+using namespace vmcw;
+
+int main(int argc, char** argv) {
+  bench::print_header("Sections 1.1/1.3",
+                      "the 10x promise vs the ~1.5x reality");
+  const auto fleets = bench::make_fleets(argc, argv);
+  const auto settings = bench::baseline_settings();
+
+  TextTable table({"workload", "CPU peak/avg (naive promise)",
+                   "memory peak/avg", "static/dynamic hosts (U=0.8)",
+                   "static/dynamic hosts (U=1.0)"});
+  for (const auto& dc : fleets) {
+    double cpu_peak = 0, cpu_avg = 0, mem_peak = 0, mem_avg = 0;
+    for (const auto& s : dc.servers) {
+      cpu_peak += s.cpu_util.peak() * s.spec.cpu_rpe2;
+      cpu_avg += s.cpu_util.mean() * s.spec.cpu_rpe2;
+      mem_peak += s.mem_mb.peak();
+      mem_avg += s.mem_mb.mean();
+    }
+
+    const auto vms = to_vm_workloads(dc);
+    const auto semi = plan_semi_static(vms, settings);
+    StudySettings open = settings;
+    open.dynamic_utilization_bound = 1.0;
+    const auto dyn_08 = plan_dynamic(vms, settings);
+    const auto dyn_10 = plan_dynamic(vms, open);
+    if (!semi || !dyn_08 || !dyn_10) continue;
+
+    table.add_row(
+        {dc.industry, fmt(cpu_peak / cpu_avg, 1) + "x",
+         fmt(mem_peak / mem_avg, 2) + "x",
+         fmt(static_cast<double>(semi->hosts_used) /
+                 static_cast<double>(dyn_08->max_active_hosts),
+             2) + "x",
+         fmt(static_cast<double>(semi->hosts_used) /
+                 static_cast<double>(dyn_10->max_active_hosts),
+             2) + "x"});
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf(
+      "\npaper (Section 1.3): the two observations — memory is an order of\n"
+      "magnitude less bursty than CPU, and memory is the binding resource —\n"
+      "reduce dynamic consolidation's potential from the naive 10x to a\n"
+      "modest ~1.5x, before the 20%% migration reservation takes its cut.\n");
+  return 0;
+}

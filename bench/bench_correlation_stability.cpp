@@ -1,0 +1,47 @@
+// Observation 5's mechanism — "correlation between workloads is stable
+// over time [27]".
+//
+// Stochastic semi-static consolidation holds its placement for two weeks;
+// it keeps working only because which workloads co-peak does not change
+// under it. This bench splits every server's CPU series into two
+// half-month windows, computes both pairwise correlation matrices, and
+// reports how far the entries drift — per data center.
+
+#include <cstdio>
+
+#include "analysis/correlation.h"
+#include "common.h"
+
+using namespace vmcw;
+
+int main(int argc, char** argv) {
+  bench::print_header("Observation 5 mechanism",
+                      "stability of pairwise workload correlation");
+  // Correlation matrices are O(n^2 x T); a 250-server sample per estate is
+  // plenty to estimate the drift distribution.
+  const int servers = argc > 1 ? std::atoi(argv[1]) : 250;
+  TextTable table({"workload", "pairs", "mean |drift|", "p95 |drift|",
+                   "sign flips"});
+  for (const auto& preset : all_workload_specs()) {
+    const auto spec = scaled_down(preset, servers, preset.hours);
+    const auto dc = generate_datacenter(spec, kStudySeed);
+    std::vector<std::vector<double>> series;
+    series.reserve(dc.servers.size());
+    for (const auto& s : dc.servers) {
+      const auto daily = s.cpu_util.window_reduce(2, WindowReducer::kMean);
+      series.push_back(daily);
+    }
+    const auto stability = correlation_stability(series);
+    table.add_row({dc.industry, std::to_string(stability.pairs),
+                   fmt(stability.mean_abs_drift, 3),
+                   fmt(stability.p95_abs_drift, 3),
+                   fmt_pct(stability.sign_flip_fraction)});
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf(
+      "\nsmall drift and few sign flips mean a peak-clustered placement\n"
+      "computed from history stays valid through the evaluation window —\n"
+      "which is why intelligent semi-static consolidation matches dynamic\n"
+      "consolidation without a single live migration (Observation 5).\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Section 5.2 — emulator accuracy validation.
+//
+// Reproduces the paper's verification methodology: drive a RUBiS-like and
+// a daxpy-like workload (plus the top-up micro-benchmark) to consume
+// exactly what a controlled trace prescribes, and measure how far achieved
+// consumption deviates from the emulator's prediction. The paper's bars:
+// 99th percentile error of 5% (RUBiS) and 2% (daxpy).
+
+#include <cstdio>
+
+#include "common.h"
+#include "validation/replay.h"
+
+using namespace vmcw;
+
+int main() {
+  bench::print_header("Emulator validation (Section 5.2)",
+                      "99th percentile replay error per workload");
+  const auto trace = make_validation_trace(336, 20140501);
+
+  const RubisLikeApp rubis;
+  const DaxpyLikeApp daxpy;
+  const auto rubis_report = validate_emulator(rubis, trace, 0, 336, 1);
+  const auto daxpy_report = validate_emulator(daxpy, trace, 0, 336, 2);
+
+  TextTable table({"workload", "replayed hours", "CPU p99 error",
+                   "memory p99 error", "worst error", "paper bound"});
+  table.add_row({"RUBiS-like", std::to_string(rubis_report.points),
+                 fmt_pct(rubis_report.cpu_p99_error),
+                 fmt_pct(rubis_report.mem_p99_error),
+                 fmt_pct(rubis_report.worst_error), "5%"});
+  table.add_row({"daxpy-like", std::to_string(daxpy_report.points),
+                 fmt_pct(daxpy_report.cpu_p99_error),
+                 fmt_pct(daxpy_report.mem_p99_error),
+                 fmt_pct(daxpy_report.worst_error), "2%"});
+  std::printf("%s", table.str().c_str());
+
+  std::printf(
+      "\nmethodology (as in the paper): the application is driven at the\n"
+      "intensity that consumes one resource of the trace row; the\n"
+      "micro-benchmark consumes the remainder of the other; achieved vs\n"
+      "emulated consumption is compared per hour. The interactive web\n"
+      "workload validates looser than the dense kernel, as observed.\n");
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 2 — CDF of peak-to-average ratio for CPU, per data center, at
+// consolidation windows of 1, 2 and 4 hours.
+
+#include <cstdio>
+
+#include "common.h"
+
+using namespace vmcw;
+
+int main(int argc, char** argv) {
+  bench::print_header("Figure 2",
+                      "CDF of Peak-to-Average Ratio for CPU (windows 1/2/4h)");
+  const auto fleets = bench::make_fleets(argc, argv);
+  const double thresholds[] = {2.0, 5.0, 10.0};
+  bench::print_burstiness_figure(fleets, Resource::kCpu, /*plot_cov=*/false,
+                                 thresholds);
+  std::printf(
+      "\npaper: Banking — >50%% of servers exceed ratio 5 at 1-2h windows;\n"
+      "ratio >10 for 30%%/15%%/5%% of servers at 1/2/4h. Airlines and\n"
+      "Natural Resources — >50%% exceed ratio 2. Beverage resembles Banking\n"
+      "with a weaker window effect. (Observation 1.)\n");
+  return 0;
+}

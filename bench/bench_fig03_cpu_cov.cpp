@@ -1,0 +1,27 @@
+// Figure 3 — CDF of coefficient of variation for CPU demand.
+
+#include <cstdio>
+
+#include "common.h"
+
+using namespace vmcw;
+
+int main(int argc, char** argv) {
+  bench::print_header("Figure 3",
+                      "CDF of Coefficient of Variability for CPU");
+  const auto fleets = bench::make_fleets(argc, argv);
+  const double thresholds[] = {0.5, 1.0, 2.0};
+  bench::print_burstiness_figure(fleets, Resource::kCpu, /*plot_cov=*/true,
+                                 thresholds);
+
+  std::printf("\nheavy-tailed servers (CoV >= 1, 1h windows):\n");
+  TextTable table({"workload", "measured", "paper"});
+  const char* paper[] = {">50%", "~30%", "~15%", "~Banking-like"};
+  for (std::size_t i = 0; i < fleets.size(); ++i) {
+    const auto result = burstiness(fleets[i], Resource::kCpu, 1);
+    table.add_row({fleets[i].industry, fmt_pct(heavy_tailed_fraction(result)),
+                   paper[i]});
+  }
+  std::printf("%s", table.str().c_str());
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 4 — CDF of peak-to-average ratio for memory demand.
+
+#include <cstdio>
+
+#include "common.h"
+
+using namespace vmcw;
+
+int main(int argc, char** argv) {
+  bench::print_header("Figure 4",
+                      "CDF of Peak-to-Average Ratio for Memory");
+  const auto fleets = bench::make_fleets(argc, argv);
+  const double thresholds[] = {1.5, 2.0, 10.0};
+  bench::print_burstiness_figure(fleets, Resource::kMemory, /*plot_cov=*/false,
+                                 thresholds);
+
+  std::printf("\nservers with memory P2A <= 1.5 (1h windows):\n");
+  TextTable table({"workload", "measured", "paper"});
+  const char* paper[] = {">50%", "~90%", "~60%", "(majority)"};
+  for (std::size_t i = 0; i < fleets.size(); ++i) {
+    const auto cdf = p2a_cdf(burstiness(fleets[i], Resource::kMemory, 1));
+    table.add_row({fleets[i].industry, fmt_pct(cdf.at(1.5)), paper[i]});
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf(
+      "\npaper: memory ratios are far smaller than CPU's — hardly any\n"
+      "Banking server exceeds 10, and most servers sit at or below 1.5\n"
+      "(Observation 2: dynamic consolidation can save only ~50%% memory\n"
+      "versus ~500%% CPU).\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 5 — CDF of coefficient of variation for memory demand.
+
+#include <cstdio>
+
+#include "common.h"
+
+using namespace vmcw;
+
+int main(int argc, char** argv) {
+  bench::print_header("Figure 5",
+                      "CDF of Coefficient of Variability (CoV) for Memory");
+  const auto fleets = bench::make_fleets(argc, argv);
+  const double thresholds[] = {0.5, 1.0};
+  bench::print_burstiness_figure(fleets, Resource::kMemory, /*plot_cov=*/true,
+                                 thresholds);
+
+  std::printf("\nheavy-tailed memory servers (CoV >= 1, 1h windows):\n");
+  TextTable table({"workload", "measured", "paper"});
+  const char* paper[] = {"~20%", "0%", "0%", "<10%"};
+  for (std::size_t i = 0; i < fleets.size(); ++i) {
+    const auto result = burstiness(fleets[i], Resource::kMemory, 1);
+    table.add_row({fleets[i].industry, fmt_pct(heavy_tailed_fraction(result)),
+                   paper[i]});
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf(
+      "\npaper: memory CoV is an order of magnitude below CPU CoV — more\n"
+      "than 80%% of servers have memory P2A ~1.5 and CoV <= 0.5\n"
+      "(Observation 2).\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 6 — ratio of aggregate CPU demand (RPE2) to aggregate memory
+// demand (GB), per 2-hour consolidation interval over the last two weeks,
+// compared against the HS23 Elite blade's ratio of 160.
+
+#include <cstdio>
+
+#include "analysis/resource_ratio.h"
+#include "common.h"
+
+using namespace vmcw;
+
+int main(int argc, char** argv) {
+  bench::print_header("Figure 6",
+                      "Ratio of CPU to Memory usage vs HS23 blade (160)");
+  const auto fleets = bench::make_fleets(argc, argv);
+  const auto settings = bench::baseline_settings();
+
+  for (std::size_t i = 0; i < fleets.size(); ++i) {
+    const auto& dc = fleets[i];
+    std::printf("\n%s\n", bench::subfig_label(dc, i).c_str());
+    const auto cdf = resource_ratio_cdf(dc, settings.interval_hours,
+                                        settings.eval_hours);
+    const std::vector<std::string> names{"RPE2/GB"};
+    const std::vector<EmpiricalCdf> cdfs{cdf};
+    const std::vector<double> quantiles{0.05, 0.10, 0.25, 0.50,
+                                        0.75, 0.90, 0.95, 1.00};
+    std::printf("%s", format_cdf_table(names, cdfs, quantiles).c_str());
+  }
+
+  std::printf("\nmemory-constrained intervals (ratio < %.0f):\n",
+              kHs23Rpe2PerGb);
+  TextTable table({"workload", "measured", "paper"});
+  const char* paper[] = {"~30% memory-intensive", "100% (entire duration)",
+                         "100% (>90% quoted)", ">90%"};
+  for (const auto& dc : fleets) {
+    table.add_row({dc.industry,
+                   fmt_pct(memory_constrained_fraction(
+                       dc, settings.interval_hours, settings.eval_hours)),
+                   paper[&dc - fleets.data()]});
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf(
+      "\npaper (Observation 3): consolidated data centers are constrained\n"
+      "by memory more often than CPU, even on extended-memory blades;\n"
+      "Banking is the only CPU-intensive estate, Airlines the most\n"
+      "memory-intensive (ratio below 50 throughout).\n");
+  return 0;
+}

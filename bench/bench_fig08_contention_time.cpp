@@ -1,0 +1,36 @@
+// Figure 8 — fraction of the 336 evaluation hours in which some host
+// experienced resource contention, per workload and algorithm.
+
+#include <cstdio>
+
+#include "common.h"
+
+using namespace vmcw;
+
+int main(int argc, char** argv) {
+  bench::print_header("Figure 8", "Fraction of time with contention "
+                                  "(absence of value = zero contention)");
+  const auto fleets = bench::make_fleets(argc, argv);
+  const auto studies = bench::run_all_studies(fleets);
+
+  TextTable table({"workload", "Semi-Static", "Stochastic", "Dynamic",
+                   "Dynamic contended host-hours (cpu/mem)"});
+  for (const auto& study : studies) {
+    auto cell = [&](Algorithm a) {
+      const double f = study.get(a).emulation.contention_time_fraction();
+      return f > 0 ? fmt_pct(f) : std::string("-");
+    };
+    const auto& dyn = study.get(Algorithm::kDynamic).emulation;
+    table.add_row({study.workload, cell(Algorithm::kSemiStatic),
+                   cell(Algorithm::kStochastic), cell(Algorithm::kDynamic),
+                   std::to_string(dyn.cpu_contention_samples.size()) + "/" +
+                       std::to_string(dyn.mem_contention_samples.size())});
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf(
+      "\npaper: contention hours are small everywhere except Banking under\n"
+      "Dynamic consolidation; Beverage sees some Dynamic contention; the\n"
+      "one static outlier is an isolated Semi-Static case on Natural\n"
+      "Resources; Airlines shows none at all.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 11 — CDF of peak host CPU utilization (uncapped: values above 1
+// are overload, correlated with the contention of Figs 8-9).
+
+#include <cstdio>
+
+#include "common.h"
+
+using namespace vmcw;
+
+int main(int argc, char** argv) {
+  bench::print_header("Figure 11", "CDF of Peak host CPU Utilization");
+  const auto fleets = bench::make_fleets(argc, argv);
+  const auto studies = bench::run_all_studies(fleets);
+
+  const Algorithm algos[] = {Algorithm::kSemiStatic, Algorithm::kStochastic,
+                             Algorithm::kDynamic};
+  for (std::size_t i = 0; i < studies.size(); ++i) {
+    std::printf("\n%s\n", bench::subfig_label(fleets[i], i).c_str());
+    std::vector<std::string> names;
+    std::vector<EmpiricalCdf> cdfs;
+    for (Algorithm a : algos) {
+      names.push_back(to_string(a));
+      cdfs.emplace_back(studies[i].get(a).emulation.host_peak_cpu_util);
+    }
+    const std::vector<double> quantiles{0.25, 0.50, 0.75, 0.90, 1.00};
+    std::printf("%s", format_cdf_table(names, cdfs, quantiles).c_str());
+    std::printf("hosts crossing 100%% CPU:");
+    for (std::size_t a = 0; a < cdfs.size(); ++a)
+      std::printf("  %s %s", names[a].c_str(),
+                  fmt_pct(cdfs[a].fraction_above(1.0)).c_str());
+    std::printf("\n");
+  }
+  std::printf(
+      "\npaper: the workload/scheme with the highest contention —\n"
+      "Banking under Dynamic — also has the highest peak utilization, with\n"
+      "~15%% of hosts crossing 100%%; all other variants stay well below.\n");
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 14 — sensitivity of Dynamic consolidation to the utilization
+// bound, Airlines workload.
+
+#include "sensitivity_common.h"
+
+int main(int argc, char** argv) {
+  return vmcw::bench::run_sensitivity_bench(
+      "Figure 14", "Airlines",
+      "Dynamic only reaches Stochastic's footprint at U=1.00 (no migration\n"
+      "reservation at all): the memory-bound estate leaves nothing for\n"
+      "fine-grained sizing to reclaim.",
+      argc, argv);
+}

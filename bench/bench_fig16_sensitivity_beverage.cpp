@@ -1,0 +1,12 @@
+// Figure 16 — sensitivity of Dynamic consolidation to the utilization
+// bound, Beverage workload.
+
+#include "sensitivity_common.h"
+
+int main(int argc, char** argv) {
+  return vmcw::bench::run_sensitivity_bench(
+      "Figure 16", "Beverage",
+      "same trend as Banking: the crossover against Stochastic sits in the\n"
+      "0.80-0.90 range and the reservation dominates the outcome.",
+      argc, argv);
+}

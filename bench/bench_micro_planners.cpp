@@ -1,0 +1,136 @@
+// Micro-benchmarks (google-benchmark) for the planning/emulation kernels:
+// trace generation, FFD packing, PCP packing, dynamic planning, replay.
+//
+// These quantify the cost of consolidation planning itself — the tooling
+// the paper's team ran inside engagements — and keep regressions visible.
+
+#include <benchmark/benchmark.h>
+
+#include "core/dynamic.h"
+#include "core/emulator.h"
+#include "core/hybrid.h"
+#include "core/migration_scheduler.h"
+#include "core/pcp.h"
+#include "core/planners.h"
+#include "trace/generator.h"
+#include "trace/presets.h"
+
+namespace vmcw {
+namespace {
+
+StudySettings bench_settings() {
+  StudySettings s;
+  s.history_hours = 384;
+  s.eval_hours = 336;
+  return s;
+}
+
+const std::vector<VmWorkload>& fleet(int servers) {
+  static std::map<int, std::vector<VmWorkload>> cache;
+  auto it = cache.find(servers);
+  if (it == cache.end()) {
+    const auto spec = scaled_down(banking_spec(), servers, kHoursPerMonth);
+    it = cache.emplace(servers,
+                       to_vm_workloads(generate_datacenter(spec, kStudySeed)))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_GenerateDatacenter(benchmark::State& state) {
+  const auto spec = scaled_down(banking_spec(),
+                                static_cast<int>(state.range(0)),
+                                kHoursPerMonth);
+  for (auto _ : state) {
+    auto dc = generate_datacenter(spec, kStudySeed);
+    benchmark::DoNotOptimize(dc.servers.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GenerateDatacenter)->Arg(100)->Arg(400)->Arg(816);
+
+void BM_SemiStaticPlan(benchmark::State& state) {
+  const auto& vms = fleet(static_cast<int>(state.range(0)));
+  const auto settings = bench_settings();
+  for (auto _ : state) {
+    auto plan = plan_semi_static(vms, settings);
+    benchmark::DoNotOptimize(plan->hosts_used);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SemiStaticPlan)->Arg(100)->Arg(400)->Arg(816);
+
+void BM_StochasticPlan(benchmark::State& state) {
+  const auto& vms = fleet(static_cast<int>(state.range(0)));
+  const auto settings = bench_settings();
+  for (auto _ : state) {
+    auto plan = plan_stochastic(vms, settings);
+    benchmark::DoNotOptimize(plan->hosts_used);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StochasticPlan)->Arg(100)->Arg(400)->Arg(816);
+
+void BM_DynamicPlan(benchmark::State& state) {
+  const auto& vms = fleet(static_cast<int>(state.range(0)));
+  const auto settings = bench_settings();
+  for (auto _ : state) {
+    auto plan = plan_dynamic(vms, settings);
+    benchmark::DoNotOptimize(plan->total_migrations);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DynamicPlan)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+
+void BM_Emulate(benchmark::State& state) {
+  const auto& vms = fleet(static_cast<int>(state.range(0)));
+  const auto settings = bench_settings();
+  const auto plan = plan_dynamic(vms, settings);
+  for (auto _ : state) {
+    auto report = emulate(vms, plan->per_interval, settings, true);
+    benchmark::DoNotOptimize(report.energy_wh);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Emulate)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+
+void BM_HybridPlan(benchmark::State& state) {
+  const auto& vms = fleet(static_cast<int>(state.range(0)));
+  const auto settings = bench_settings();
+  for (auto _ : state) {
+    auto plan = plan_hybrid(vms, settings, 0.25);
+    benchmark::DoNotOptimize(plan->provisioned_hosts());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HybridPlan)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+
+void BM_MigrationScheduling(benchmark::State& state) {
+  const auto& vms = fleet(static_cast<int>(state.range(0)));
+  const auto settings = bench_settings();
+  const auto plan = plan_dynamic(vms, settings);
+  for (auto _ : state) {
+    const auto feasibility = execution_feasibility(
+        plan->per_interval, vms, settings.eval_begin(),
+        settings.interval_hours, MigrationConfig{});
+    benchmark::DoNotOptimize(feasibility.worst_makespan_s);
+  }
+}
+BENCHMARK(BM_MigrationScheduling)
+    ->Arg(100)
+    ->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MakeStochasticItems(benchmark::State& state) {
+  const auto& vms = fleet(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto items = make_stochastic_items(vms, 0, 384);
+    benchmark::DoNotOptimize(items.size());
+  }
+}
+BENCHMARK(BM_MakeStochasticItems)->Arg(100)->Arg(400);
+
+}  // namespace
+}  // namespace vmcw
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Shared helpers for the figure/table benches.
+//
+// Every bench regenerates the four synthetic estates from the same seed
+// (kStudySeed), so all figures describe the same fleets — exactly as the
+// paper's figures all describe the same four data centers.
+#pragma once
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/burstiness.h"
+#include "core/study.h"
+#include "trace/generator.h"
+#include "trace/presets.h"
+#include "util/cdf.h"
+#include "util/table.h"
+
+namespace vmcw::bench {
+
+/// Generate all four data centers at full Table 2 scale (or a scale
+/// override from the command line: argv[1] = servers per DC).
+inline std::vector<Datacenter> make_fleets(int argc, char** argv) {
+  const int servers = argc > 1 ? std::atoi(argv[1]) : 0;
+  std::vector<Datacenter> fleets;
+  for (const auto& preset : all_workload_specs()) {
+    const WorkloadSpec spec =
+        servers > 0 ? scaled_down(preset, servers, preset.hours) : preset;
+    fleets.push_back(generate_datacenter(spec, kStudySeed));
+  }
+  return fleets;
+}
+
+/// Baseline Table 3 settings.
+inline StudySettings baseline_settings() { return StudySettings{}; }
+
+/// Run the three-way study for every fleet with baseline settings.
+inline std::vector<StudyResult> run_all_studies(
+    const std::vector<Datacenter>& fleets) {
+  std::vector<StudyResult> studies;
+  studies.reserve(fleets.size());
+  for (const auto& dc : fleets)
+    studies.push_back(run_study(dc, baseline_settings()));
+  return studies;
+}
+
+inline void print_header(const char* figure, const char* caption) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, caption);
+  std::printf("==============================================================\n");
+}
+
+/// "(a) Banking"-style label as the paper's sub-figures use.
+inline std::string subfig_label(const Datacenter& dc, std::size_t index) {
+  const char letter = static_cast<char>('a' + index);
+  return std::string("(") + letter + ") " + dc.industry;
+}
+
+/// The CDF series of one burstiness figure (Figs 2-5): one sub-figure per
+/// data center, one curve per consolidation window (1/2/4 h).
+inline void print_burstiness_figure(const std::vector<Datacenter>& fleets,
+                                    Resource resource, bool plot_cov,
+                                    std::span<const double> thresholds) {
+  const std::size_t windows[] = {1, 2, 4};
+  for (std::size_t i = 0; i < fleets.size(); ++i) {
+    const auto& dc = fleets[i];
+    std::printf("\n%s\n", subfig_label(dc, i).c_str());
+
+    std::vector<std::string> names;
+    std::vector<EmpiricalCdf> cdfs;
+    for (std::size_t w : windows) {
+      const auto result = burstiness(dc, resource, w);
+      names.push_back(std::to_string(w) + "h");
+      cdfs.push_back(plot_cov ? cov_cdf(result) : p2a_cdf(result));
+    }
+    const std::vector<double> quantiles{0.10, 0.25, 0.50, 0.75,
+                                        0.90, 0.95, 0.99};
+    std::printf("%s", format_cdf_table(names, cdfs, quantiles).c_str());
+
+    TextTable fractions({"window", "metric"});
+    for (std::size_t w = 0; w < cdfs.size(); ++w) {
+      std::string cells;
+      for (double th : thresholds) {
+        cells += " P(x>" + fmt(th, plot_cov ? 1 : 0) +
+                 ")=" + fmt_pct(cdfs[w].fraction_above(th));
+      }
+      fractions.add_row({names[w], cells});
+    }
+    std::printf("%s", fractions.str().c_str());
+  }
+}
+
+}  // namespace vmcw::bench

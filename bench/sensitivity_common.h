@@ -1,0 +1,67 @@
+// Shared implementation for Figures 13-16: servers provisioned by Dynamic
+// consolidation as a function of the utilization bound U (1-U of each
+// host's CPU and memory is reserved for live migration), with the
+// U-independent Semi-Static and Stochastic requirements as reference lines.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common.h"
+
+namespace vmcw::bench {
+
+inline int run_sensitivity_bench(const char* figure,
+                                 const char* workload_name,
+                                 const char* paper_note, int argc,
+                                 char** argv) {
+  print_header(figure, "Performance vs utilization bound");
+  const int servers = argc > 1 ? std::atoi(argv[1]) : 0;
+  WorkloadSpec spec = workload_spec_by_name(workload_name);
+  if (servers > 0) spec = scaled_down(spec, servers, spec.hours);
+  const Datacenter dc = generate_datacenter(spec, kStudySeed);
+  std::printf("workload: %s (%zu servers)\n\n", dc.industry.c_str(),
+              dc.servers.size());
+
+  const std::vector<double> bounds{0.60, 0.65, 0.70, 0.75, 0.80,
+                                   0.85, 0.90, 0.95, 1.00};
+  const auto result = sensitivity_sweep(dc, baseline_settings(), bounds);
+
+  TextTable table({"utilization bound U", "Dynamic hosts",
+                   "vs Semi-Static", "vs Stochastic"});
+  for (const auto& point : result.dynamic_points) {
+    table.add_row(
+        {fmt(point.utilization_bound, 2),
+         std::to_string(point.dynamic_hosts),
+         fmt(static_cast<double>(point.dynamic_hosts) /
+                 static_cast<double>(result.semi_static_hosts),
+             3),
+         fmt(static_cast<double>(point.dynamic_hosts) /
+                 static_cast<double>(result.stochastic_hosts),
+             3)});
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf("\nreference lines: Semi-Static = %zu hosts, Stochastic = %zu "
+              "hosts (independent of U)\n",
+              result.semi_static_hosts, result.stochastic_hosts);
+
+  // Where does Dynamic cross the Stochastic line?
+  double crossover = -1.0;
+  for (const auto& point : result.dynamic_points) {
+    if (point.dynamic_hosts <= result.stochastic_hosts) {
+      crossover = point.utilization_bound;
+      break;
+    }
+  }
+  if (crossover > 0)
+    std::printf("Dynamic matches Stochastic at U >= %.2f "
+                "(reservation <= %.0f%%)\n",
+                crossover, (1.0 - crossover) * 100.0);
+  else
+    std::printf("Dynamic never reaches the Stochastic line in this sweep\n");
+
+  std::printf("\npaper: %s\n", paper_note);
+  return 0;
+}
+
+}  // namespace vmcw::bench

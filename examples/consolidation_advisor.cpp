@@ -1,0 +1,112 @@
+// Example: the consolidation advisor — the "comprehensive consolidation
+// planning analysis" the paper's conclusion calls for, as a command-line
+// tool.
+//
+// Reads an estate (from the CSV schema of trace_io.h, or generates a
+// synthetic one), pushes it through the full engine (monitoring agents ->
+// warehouse -> planners -> execution check -> trace-replay evaluation),
+// compares all five strategies, and prints an advice line based on the
+// paper's decision logic: burstiness decides whether dynamic pays,
+// predictability decides whether it is safe, memory-boundedness caps it.
+//
+// Usage:
+//   consolidation_advisor                          # synthetic Banking, 200
+//   consolidation_advisor <workload> [servers]     # synthetic preset
+//   consolidation_advisor --csv servers.csv traces.csv
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analysis/burstiness.h"
+#include "analysis/resource_ratio.h"
+#include "analysis/seasonality.h"
+#include "engine/engine.h"
+#include "trace/generator.h"
+#include "trace/presets.h"
+#include "trace/trace_io.h"
+#include "util/table.h"
+
+using namespace vmcw;
+
+int main(int argc, char** argv) {
+  Datacenter estate;
+  if (argc >= 4 && std::strcmp(argv[1], "--csv") == 0) {
+    estate = load_datacenter(argv[2], argv[3], "X", "imported estate");
+  } else {
+    const std::string which = argc > 1 ? argv[1] : "Banking";
+    const int servers = argc > 2 ? std::atoi(argv[2]) : 200;
+    estate = generate_datacenter(
+        scaled_down(workload_spec_by_name(which), servers, kHoursPerMonth),
+        kStudySeed);
+  }
+  std::printf("estate: %s, %zu servers, %zu hours of history\n\n",
+              estate.industry.c_str(), estate.servers.size(), estate.hours());
+
+  ConsolidationEngine engine;
+  engine.observe(estate);
+  const auto fidelity = engine.monitoring_fidelity();
+  std::printf("monitoring fidelity: cpu err %.1f%%, mem err %.1f%% (mean)\n\n",
+              fidelity.cpu_mean_abs_rel_error * 100.0,
+              fidelity.mem_mean_abs_rel_error * 100.0);
+
+  TextTable table({"strategy", "hosts", "energy (kWh)", "contention",
+                   "SLA VM-hours", "migrations", "worst exec makespan"});
+  double best_energy = 0, stochastic_hosts = 0, dynamic_hosts = 0;
+  for (Strategy s : {Strategy::kStatic, Strategy::kSemiStatic,
+                     Strategy::kStochastic, Strategy::kDynamic,
+                     Strategy::kHybrid}) {
+    const auto rec = engine.recommend(s);
+    if (!rec) {
+      table.add_row({to_string(s), "infeasible", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    const auto report = engine.evaluate(*rec);
+    if (s == Strategy::kStochastic) {
+      best_energy = report.energy_wh;
+      stochastic_hosts = static_cast<double>(rec->provisioned_hosts);
+    }
+    if (s == Strategy::kDynamic)
+      dynamic_hosts = static_cast<double>(rec->provisioned_hosts);
+    table.add_row(
+        {to_string(s), std::to_string(rec->provisioned_hosts),
+         fmt(report.energy_wh / 1000.0, 0),
+         fmt_pct(report.contention_time_fraction()),
+         std::to_string(report.total_vm_contention_hours),
+         std::to_string(rec->total_migrations),
+         rec->execution ? fmt(rec->execution->worst_makespan_s / 60.0, 1) +
+                              " min"
+                        : "-"});
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  // The paper's decision logic on this estate's own statistics.
+  const auto& view = engine.planner_view();
+  const auto cov = burstiness(view, Resource::kCpu, 1);
+  const double heavy = heavy_tailed_fraction(cov);
+  const double mem_bound = memory_constrained_fraction(view, 2);
+  const auto fleet = fleet_predictability(view, 384, 336, 2);
+  std::printf("estate character: %.0f%% heavy-tailed CPU, "
+              "memory-bound %.0f%% of intervals, predictor hit rate %.0f%%\n",
+              heavy * 100.0, mem_bound * 100.0, fleet.mean_hit_rate * 100.0);
+  if (mem_bound > 0.95) {
+    std::printf(
+        "advice: memory-bound estate — stochastic semi-static consolidation; "
+        "live migration buys nothing here (paper Section 8).\n");
+  } else if (heavy > 0.3 && fleet.mean_hit_rate > 0.85) {
+    std::printf(
+        "advice: bursty and predictable — hybrid/dynamic consolidation for "
+        "power, but keep the 20%% migration reservation and budget for "
+        "contention (paper Observations 6-7).\n");
+  } else {
+    std::printf(
+        "advice: moderate profile — stochastic semi-static consolidation "
+        "captures most of the gain without migration risk (paper "
+        "Observation 5).\n");
+  }
+  (void)best_energy;
+  (void)stochastic_hosts;
+  (void)dynamic_hosts;
+  return 0;
+}

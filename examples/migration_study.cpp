@@ -1,0 +1,54 @@
+// Example: live-migration planning with the pre-copy model.
+//
+// Answers the operational questions behind Observation 4 for a VM/host
+// configuration given on the command line:
+//   - how long will the migration take, and what downtime will it cause?
+//   - up to what host utilization is migration reliable?
+//   - what does that imply for the consolidation utilization bound U?
+//
+// Usage: migration_study [vm_memory_gb] [link_gbps] [dirty_mb_per_s]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "migration/precopy.h"
+#include "migration/reservation_study.h"
+#include "util/table.h"
+
+using namespace vmcw;
+
+int main(int argc, char** argv) {
+  MigrationConfig config;
+  if (argc > 1) config.vm_memory_mb = std::atof(argv[1]) * 1024.0;
+  if (argc > 2) config.link_bandwidth_mbps = std::atof(argv[2]) * 125.0;
+  if (argc > 3) config.dirty_rate_mbps = std::atof(argv[3]);
+
+  std::printf("VM: %.1f GB, link %.0f MB/s, dirty rate %.0f MB/s, downtime "
+              "target %.0f ms\n\n",
+              config.vm_memory_mb / 1024.0, config.link_bandwidth_mbps,
+              config.dirty_rate_mbps, config.downtime_target_ms);
+
+  TextTable table({"host CPU", "host mem", "duration (s)", "downtime (ms)",
+                   "rounds", "verdict"});
+  ReservationStudyConfig study;
+  study.migration = config;
+  for (double cpu : {0.2, 0.4, 0.6, 0.7, 0.75, 0.8, 0.9}) {
+    for (double mem : {0.5, 0.9}) {
+      const auto r = simulate_precopy_at_load(config, cpu, mem);
+      const bool reliable =
+          r.converged && r.duration_s <= study.max_acceptable_duration_s;
+      table.add_row({fmt_pct(cpu, 0), fmt_pct(mem, 0), fmt(r.duration_s, 1),
+                     fmt(r.downtime_ms, 0), std::to_string(r.rounds),
+                     reliable ? "ok" : (r.converged ? "prolonged" : "FAILS")});
+    }
+  }
+  std::printf("%s", table.str().c_str());
+
+  const double bound = max_reliable_cpu_utilization(study);
+  std::printf(
+      "\n=> utilization bound for this configuration: U = %.2f\n"
+      "   (reserve %.0f%% of the host for reliable live migration; the\n"
+      "   paper's thumb rule is 20%%, VMware's official guidance 30%%)\n",
+      bound, (1.0 - bound) * 100.0);
+  return 0;
+}

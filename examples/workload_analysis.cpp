@@ -1,0 +1,83 @@
+// Example: trace analysis of the four synthetic data centers.
+//
+// Reproduces the paper's Section 4 workload study end to end: Table 2
+// fleet summaries, CPU/memory burstiness (peak-to-average ratio and
+// coefficient of variation at 1/2/4-hour consolidation granularity), and
+// the aggregate CPU:memory resource ratio against the HS23 blade.
+//
+// Usage: workload_analysis [servers_per_dc] [hours]
+//   Defaults run the full Table 2 fleet sizes over 30 days; pass smaller
+//   numbers for a quick look.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/burstiness.h"
+#include "analysis/resource_ratio.h"
+#include "analysis/workload_report.h"
+#include "trace/generator.h"
+#include "trace/presets.h"
+#include "util/table.h"
+
+using namespace vmcw;
+
+namespace {
+
+void print_burstiness(const Datacenter& dc) {
+  std::printf("\n-- %s (%s): burstiness --\n", dc.name.c_str(),
+              dc.industry.c_str());
+  TextTable table({"resource", "window", "P2A p50", "P2A>2", "P2A>5",
+                   "P2A>10", "P2A<1.5", "CoV p50", "CoV>=1"});
+  for (Resource resource : {Resource::kCpu, Resource::kMemory}) {
+    for (std::size_t window : {1u, 2u, 4u}) {
+      const auto result = burstiness(dc, resource, window);
+      const auto p2a = p2a_cdf(result);
+      const auto cov = cov_cdf(result);
+      table.add_row({to_string(resource), std::to_string(window) + "h",
+                     fmt(p2a.quantile(0.5), 2), fmt_pct(p2a.fraction_above(2)),
+                     fmt_pct(p2a.fraction_above(5)),
+                     fmt_pct(p2a.fraction_above(10)), fmt_pct(p2a.at(1.5)),
+                     fmt(cov.quantile(0.5), 2),
+                     fmt_pct(cov.fraction_above(1.0) + cov.at(1.0) -
+                             cov.at(1.0 - 1e-12))});
+    }
+  }
+  std::printf("%s", table.str().c_str());
+}
+
+void print_resource_ratio(const Datacenter& dc) {
+  const auto cdf = resource_ratio_cdf(dc, 2, 336);
+  std::printf(
+      "   resource ratio (RPE2/GB, 2h windows, last 14d): "
+      "p10=%.0f p50=%.0f p90=%.0f max=%.0f  memory-constrained %.1f%% of "
+      "intervals (HS23 ratio = %.0f)\n",
+      cdf.quantile(0.10), cdf.quantile(0.50), cdf.quantile(0.90), cdf.max(),
+      memory_constrained_fraction(dc, 2, 336) * 100.0, kHs23Rpe2PerGb);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int servers = argc > 1 ? std::atoi(argv[1]) : 0;
+  const std::size_t hours =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : kHoursPerMonth;
+
+  std::vector<Datacenter> dcs;
+  std::vector<WorkloadSummary> summaries;
+  for (const auto& preset : all_workload_specs()) {
+    const WorkloadSpec spec =
+        servers > 0 ? scaled_down(preset, servers, hours) : preset;
+    dcs.push_back(generate_datacenter(spec, kStudySeed));
+    summaries.push_back(summarize_workload(dcs.back()));
+  }
+
+  std::printf("Table 2: workload summary\n%s",
+              format_table2(summaries).c_str());
+  for (const auto& dc : dcs) {
+    print_burstiness(dc);
+    print_resource_ratio(dc);
+  }
+  return 0;
+}

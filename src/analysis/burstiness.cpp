@@ -1,0 +1,49 @@
+#include "analysis/burstiness.h"
+
+#include "util/stats.h"
+
+namespace vmcw {
+
+const char* to_string(Resource r) noexcept {
+  switch (r) {
+    case Resource::kCpu:
+      return "cpu";
+    case Resource::kMemory:
+      return "memory";
+  }
+  return "?";
+}
+
+BurstinessResult burstiness(const Datacenter& dc, Resource resource,
+                            std::size_t window_hours,
+                            std::size_t analysis_hours) {
+  BurstinessResult result;
+  result.peak_to_average.reserve(dc.servers.size());
+  result.cov.reserve(dc.servers.size());
+  for (const auto& server : dc.servers) {
+    const TimeSeries& raw =
+        resource == Resource::kCpu ? server.cpu_util : server.mem_mb;
+    const TimeSeries series =
+        analysis_hours > 0 ? raw.tail(analysis_hours) : raw;
+    const auto demand = series.window_reduce(window_hours, WindowReducer::kMean);
+    result.peak_to_average.push_back(peak_to_average(demand));
+    result.cov.push_back(coefficient_of_variation(demand));
+  }
+  return result;
+}
+
+EmpiricalCdf p2a_cdf(const BurstinessResult& r) {
+  return EmpiricalCdf(r.peak_to_average);
+}
+
+EmpiricalCdf cov_cdf(const BurstinessResult& r) { return EmpiricalCdf(r.cov); }
+
+double heavy_tailed_fraction(const BurstinessResult& r) noexcept {
+  if (r.cov.empty()) return 0.0;
+  std::size_t heavy = 0;
+  for (double c : r.cov)
+    if (c >= 1.0) ++heavy;
+  return static_cast<double>(heavy) / static_cast<double>(r.cov.size());
+}
+
+}  // namespace vmcw

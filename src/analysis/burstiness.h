@@ -1,0 +1,41 @@
+// Per-server burstiness analysis (Figures 2-5, Observations 1-2).
+//
+// For a consolidation period of W hours, a server's demand series is
+// resampled to one average-demand value per period; the peak-to-average
+// ratio and coefficient of variation of that resampled series measure how
+// much a consolidator operating at that granularity could save over static
+// peak sizing. W = 1 reproduces the raw hourly series.
+#pragma once
+
+#include <vector>
+
+#include "trace/server_trace.h"
+#include "util/cdf.h"
+
+namespace vmcw {
+
+enum class Resource { kCpu, kMemory };
+
+const char* to_string(Resource r) noexcept;
+
+/// One value per server.
+struct BurstinessResult {
+  std::vector<double> peak_to_average;
+  std::vector<double> cov;
+};
+
+/// Compute per-server P2A and CoV for the given resource at consolidation
+/// granularity `window_hours`, over the last `analysis_hours` of the trace
+/// (0 = whole trace). Servers with ~zero mean demand are reported as 0.
+BurstinessResult burstiness(const Datacenter& dc, Resource resource,
+                            std::size_t window_hours,
+                            std::size_t analysis_hours = 0);
+
+/// CDFs straight from a BurstinessResult (convenience for figure benches).
+EmpiricalCdf p2a_cdf(const BurstinessResult& r);
+EmpiricalCdf cov_cdf(const BurstinessResult& r);
+
+/// Fraction of servers with CoV >= 1 — the paper's "heavy-tailed" count.
+double heavy_tailed_fraction(const BurstinessResult& r) noexcept;
+
+}  // namespace vmcw

@@ -1,0 +1,26 @@
+#include "analysis/predictor.h"
+
+#include <algorithm>
+
+#include "trace/patterns.h"
+#include "util/stats.h"
+
+namespace vmcw {
+
+double PeakPredictor::predict(const TimeSeries& series, std::size_t hour,
+                              std::size_t len,
+                              double safety_margin) const noexcept {
+  double estimate = 0.0;
+  // Same window on previous days.
+  for (int day = 1; day <= options_.lookback_days; ++day) {
+    const std::size_t back = static_cast<std::size_t>(day) * kHoursPerDay;
+    if (back > hour) break;
+    estimate = std::max(estimate, peak(series.slice(hour - back, len)));
+  }
+  // Immediately preceding window.
+  if (hour >= len)
+    estimate = std::max(estimate, peak(series.slice(hour - len, len)));
+  return estimate * safety_margin;
+}
+
+}  // namespace vmcw

@@ -1,0 +1,69 @@
+#include "analysis/resource_ratio.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace vmcw {
+
+std::vector<double> resource_ratio_series(const Datacenter& dc,
+                                          std::size_t window_hours,
+                                          std::size_t analysis_hours) {
+  if (window_hours == 0) return {};
+
+  // Aggregate hourly demand across the fleet, then reduce per interval.
+  std::vector<double> cpu_total;  // RPE2
+  std::vector<double> mem_total;  // MB
+  for (const auto& server : dc.servers) {
+    const TimeSeries cpu_series = analysis_hours > 0
+                                      ? server.cpu_rpe2().tail(analysis_hours)
+                                      : server.cpu_rpe2();
+    const TimeSeries mem_series =
+        analysis_hours > 0 ? server.mem_mb.tail(analysis_hours) : server.mem_mb;
+    if (cpu_series.size() > cpu_total.size())
+      cpu_total.resize(cpu_series.size(), 0.0);
+    if (mem_series.size() > mem_total.size())
+      mem_total.resize(mem_series.size(), 0.0);
+    for (std::size_t t = 0; t < cpu_series.size(); ++t)
+      cpu_total[t] += cpu_series[t];
+    for (std::size_t t = 0; t < mem_series.size(); ++t)
+      mem_total[t] += mem_series[t];
+  }
+
+  const auto cpu_windows =
+      TimeSeries(std::move(cpu_total)).window_reduce(window_hours,
+                                                     WindowReducer::kMean);
+  const auto mem_windows =
+      TimeSeries(std::move(mem_total)).window_reduce(window_hours,
+                                                     WindowReducer::kMean);
+
+  std::vector<double> ratio;
+  const std::size_t n = std::min(cpu_windows.size(), mem_windows.size());
+  ratio.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double mem_gb = mem_windows[i] / 1024.0;
+    ratio.push_back(mem_gb > 1e-9 ? cpu_windows[i] / mem_gb : 0.0);
+  }
+  return ratio;
+}
+
+EmpiricalCdf resource_ratio_cdf(const Datacenter& dc, std::size_t window_hours,
+                                std::size_t analysis_hours) {
+  return EmpiricalCdf(
+      resource_ratio_series(dc, window_hours, analysis_hours));
+}
+
+double memory_constrained_fraction(const Datacenter& dc,
+                                   std::size_t window_hours,
+                                   std::size_t analysis_hours,
+                                   double blade_rpe2_per_gb) {
+  const auto ratios =
+      resource_ratio_series(dc, window_hours, analysis_hours);
+  if (ratios.empty()) return 0.0;
+  std::size_t constrained = 0;
+  for (double r : ratios)
+    if (r < blade_rpe2_per_gb) ++constrained;
+  return static_cast<double>(constrained) / static_cast<double>(ratios.size());
+}
+
+}  // namespace vmcw

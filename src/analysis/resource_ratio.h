@@ -1,0 +1,39 @@
+// Aggregate CPU:memory resource ratio (Figure 6, Observation 3).
+//
+// For each consolidation interval, total CPU demand (RPE2) and total memory
+// demand (GB) are summed across every server in the data center; their
+// ratio tells which resource constrains a consolidated fleet in that
+// interval. The comparison point is the consolidation target blade's own
+// ratio — 160 RPE2/GB for the HS23 Elite. Intervals with ratio below the
+// blade's are memory-constrained: memory runs out before CPU does.
+#pragma once
+
+#include <vector>
+
+#include "trace/server_trace.h"
+#include "util/cdf.h"
+
+namespace vmcw {
+
+/// The HS23 Elite reference ratio quoted in Fig 6's caption.
+constexpr double kHs23Rpe2PerGb = 160.0;
+
+/// Ratio of aggregate CPU demand (RPE2) to aggregate memory demand (GB),
+/// one value per consolidation interval of `window_hours`, over the last
+/// `analysis_hours` of the traces (0 = whole trace). Demand per interval is
+/// the interval average, matching the burstiness analysis.
+std::vector<double> resource_ratio_series(const Datacenter& dc,
+                                          std::size_t window_hours,
+                                          std::size_t analysis_hours = 0);
+
+EmpiricalCdf resource_ratio_cdf(const Datacenter& dc, std::size_t window_hours,
+                                std::size_t analysis_hours = 0);
+
+/// Fraction of intervals in which the fleet is memory-constrained relative
+/// to a target blade with `blade_rpe2_per_gb`.
+double memory_constrained_fraction(const Datacenter& dc,
+                                   std::size_t window_hours,
+                                   std::size_t analysis_hours = 0,
+                                   double blade_rpe2_per_gb = kHs23Rpe2PerGb);
+
+}  // namespace vmcw

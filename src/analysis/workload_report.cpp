@@ -1,0 +1,38 @@
+#include "analysis/workload_report.h"
+
+#include "util/table.h"
+
+namespace vmcw {
+
+WorkloadSummary summarize_workload(const Datacenter& dc) {
+  WorkloadSummary s;
+  s.name = dc.name;
+  s.industry = dc.industry;
+  s.servers = dc.servers.size();
+  s.avg_cpu_util = dc.average_cpu_utilization();
+  s.web_fraction = dc.web_fraction();
+  double mem_gb = 0, rpe2 = 0, installed_gb = 0;
+  for (const auto& server : dc.servers) {
+    mem_gb += server.mem_mb.mean() / 1024.0;
+    rpe2 += server.spec.cpu_rpe2;
+    installed_gb += server.spec.memory_mb / 1024.0;
+  }
+  if (!dc.servers.empty())
+    s.avg_mem_committed_gb = mem_gb / static_cast<double>(dc.servers.size());
+  s.total_rpe2_capacity = rpe2;
+  s.total_memory_gb = installed_gb;
+  return s;
+}
+
+std::string format_table2(std::span<const WorkloadSummary> rows) {
+  TextTable table({"Name", "Industry", "# of Servers", "CPU Util (%)",
+                   "Web fraction", "Avg mem (GB)"});
+  for (const auto& r : rows) {
+    table.add_row({r.name, r.industry, std::to_string(r.servers),
+                   fmt(r.avg_cpu_util * 100.0, 1), fmt(r.web_fraction, 2),
+                   fmt(r.avg_mem_committed_gb, 1)});
+  }
+  return table.str();
+}
+
+}  // namespace vmcw

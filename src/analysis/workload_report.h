@@ -1,0 +1,26 @@
+// Fleet-level summaries (Table 2 and the headline Section 4 statements).
+#pragma once
+
+#include <string>
+
+#include "trace/server_trace.h"
+
+namespace vmcw {
+
+struct WorkloadSummary {
+  std::string name;
+  std::string industry;
+  std::size_t servers = 0;
+  double avg_cpu_util = 0;      ///< Table 2 "CPU Util (%)" (as a fraction)
+  double web_fraction = 0;
+  double avg_mem_committed_gb = 0;  ///< fleet-average committed memory
+  double total_rpe2_capacity = 0;
+  double total_memory_gb = 0;
+};
+
+WorkloadSummary summarize_workload(const Datacenter& dc);
+
+/// Render Table 2 for a set of data centers.
+std::string format_table2(std::span<const WorkloadSummary> rows);
+
+}  // namespace vmcw

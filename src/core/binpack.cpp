@@ -1,0 +1,140 @@
+#include "core/binpack.h"
+
+#include <algorithm>
+
+namespace vmcw {
+
+namespace {
+
+double normalized_key(const ResourceVector& size,
+                      const ResourceVector& capacity) {
+  const double cpu = capacity.cpu_rpe2 > 0 ? size.cpu_rpe2 / capacity.cpu_rpe2
+                                           : 0.0;
+  const double mem =
+      capacity.memory_mb > 0 ? size.memory_mb / capacity.memory_mb : 0.0;
+  return std::max(cpu, mem);
+}
+
+}  // namespace
+
+std::vector<std::size_t> decreasing_size_order(
+    std::span<const ResourceVector> sizes, const ResourceVector& capacity) {
+  std::vector<std::size_t> order(sizes.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return normalized_key(sizes[a], capacity) >
+                            normalized_key(sizes[b], capacity);
+                   });
+  return order;
+}
+
+std::optional<PackResult> ffd_pack(std::span<const ResourceVector> sizes,
+                                   const HostPool& pool,
+                                   double utilization_bound,
+                                   const ConstraintSet& constraints) {
+  const std::size_t n = sizes.size();
+  if (!constraints.structurally_feasible()) return std::nullopt;
+
+  // Affinity groups become super-items placed atomically.
+  const ConstraintSet& cs = constraints;
+  auto groups = cs.affinity_groups();
+  std::vector<bool> covered(n, false);
+  for (const auto& g : groups)
+    for (std::size_t vm : g)
+      if (vm < n) covered[vm] = true;
+  for (std::size_t vm = 0; vm < n; ++vm)
+    if (!covered[vm]) groups.push_back({vm});
+  // Drop group members beyond the item range (constraints on unknown VMs).
+  for (auto& g : groups)
+    g.erase(std::remove_if(g.begin(), g.end(),
+                           [n](std::size_t vm) { return vm >= n; }),
+            g.end());
+  groups.erase(std::remove_if(groups.begin(), groups.end(),
+                              [](const auto& g) { return g.empty(); }),
+               groups.end());
+
+  std::vector<ResourceVector> group_sizes(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g)
+    for (std::size_t vm : groups[g]) group_sizes[g] += sizes[vm];
+
+  const auto order = decreasing_size_order(
+      group_sizes, pool.reference_capacity(utilization_bound));
+
+  Placement placement(n);
+  std::vector<ResourceVector> host_load;
+
+  auto try_host = [&](std::size_t g, std::size_t host) {
+    if (!(group_sizes[g] + host_load[host])
+             .fits_within(pool.capacity_of(host, utilization_bound)))
+      return false;
+    if (!cs.allows_group(groups[g], static_cast<std::int32_t>(host),
+                         placement))
+      return false;
+    for (std::size_t vm : groups[g])
+      placement.assign(vm, static_cast<std::int32_t>(host));
+    host_load[host] += group_sizes[g];
+    return true;
+  };
+  auto open_next_host = [&]() {
+    const std::size_t host = host_load.size();
+    if (!pool.valid_host(host)) return false;
+    host_load.emplace_back();
+    return true;
+  };
+
+  // Pinned groups go first: their host is not negotiable, so it must be
+  // claimed before free groups can fill it.
+  std::vector<std::int32_t> group_pin(groups.size(), Placement::kUnplaced);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (std::size_t vm : groups[g]) {
+      const std::int32_t p = cs.pinned_host(vm);
+      if (p != Placement::kUnplaced) group_pin[g] = p;
+    }
+  }
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (group_pin[g] == Placement::kUnplaced) continue;
+    const auto pin = static_cast<std::size_t>(group_pin[g]);
+    if (!pool.valid_host(pin)) return std::nullopt;
+    while (host_load.size() <= pin) host_load.emplace_back();
+    if (!try_host(g, pin)) return std::nullopt;
+  }
+
+  for (std::size_t g : order) {
+    if (group_pin[g] != Placement::kUnplaced) continue;  // already placed
+    bool placed = false;
+    for (std::size_t host = 0; host < host_load.size() && !placed; ++host)
+      placed = try_host(g, host);
+    while (!placed) {
+      if (!open_next_host()) return std::nullopt;  // bounded pool exhausted
+      const std::size_t host = host_load.size() - 1;
+      placed = try_host(g, host);
+      if (!placed) {
+        // An empty host rejected the group. If the rejection was capacity
+        // (not a finite constraint) and we are already in the trailing
+        // unlimited class, every later host is identical: fail instead of
+        // looping forever. Bounded classes are simply skipped.
+        const bool fits_capacity = group_sizes[g].fits_within(
+            pool.capacity_of(host, utilization_bound));
+        if (!fits_capacity && pool.in_unlimited_class(host))
+          return std::nullopt;
+      }
+    }
+  }
+
+  PackResult result{std::move(placement), 0};
+  result.hosts_used = result.placement.active_host_count();
+  return result;
+}
+
+std::optional<PackResult> ffd_pack(std::span<const ResourceVector> sizes,
+                                   const ResourceVector& capacity,
+                                   const ConstraintSet& constraints) {
+  ServerSpec spec;
+  spec.model = "uniform";
+  spec.cpu_rpe2 = capacity.cpu_rpe2;
+  spec.memory_mb = capacity.memory_mb;
+  return ffd_pack(sizes, HostPool::uniform(std::move(spec)), 1.0, constraints);
+}
+
+}  // namespace vmcw

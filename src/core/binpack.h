@@ -1,0 +1,47 @@
+// First-Fit-Decreasing 2-D vector bin packing.
+//
+// The paper's Static and vanilla Semi-Static consolidation use FFD over
+// scalar-sized VMs. With two resources (CPU RPE2, memory MB) the standard
+// generalization sorts items by their largest capacity-normalized dimension
+// and first-fits each into the lowest-indexed host where both dimensions
+// and all deployment constraints are satisfied, opening a new host when
+// none fits. FFD is a 11/9 OPT + 1 approximation in 1-D and remains the
+// industry workhorse in 2-D.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "core/constraints.h"
+#include "core/host_pool.h"
+#include "core/placement.h"
+#include "hardware/server_spec.h"
+
+namespace vmcw {
+
+struct PackResult {
+  Placement placement;
+  std::size_t hosts_used = 0;
+};
+
+/// Pack `sizes[vm]` items into identical hosts of the given capacity.
+/// Returns std::nullopt when some item (or affinity group) cannot be placed
+/// anywhere: an item exceeding capacity, or unsatisfiable constraints.
+std::optional<PackResult> ffd_pack(std::span<const ResourceVector> sizes,
+                                   const ResourceVector& capacity,
+                                   const ConstraintSet& constraints = {});
+
+/// Heterogeneous-pool variant: hosts come from `pool` in index order, each
+/// with its own capacity scaled by `utilization_bound`. Also fails when a
+/// bounded pool runs out of hosts.
+std::optional<PackResult> ffd_pack(std::span<const ResourceVector> sizes,
+                                   const HostPool& pool,
+                                   double utilization_bound,
+                                   const ConstraintSet& constraints = {});
+
+/// Sort order used by FFD and the PCP packer: indices of `sizes` by
+/// descending max normalized dimension.
+std::vector<std::size_t> decreasing_size_order(
+    std::span<const ResourceVector> sizes, const ResourceVector& capacity);
+
+}  // namespace vmcw

@@ -1,0 +1,137 @@
+#include "core/constraints.h"
+
+#include <algorithm>
+#include <map>
+
+namespace vmcw {
+
+ConstraintSet::ConstraintSet(std::size_t vm_count) {
+  parent_.resize(vm_count);
+  for (std::size_t i = 0; i < vm_count; ++i) parent_[i] = i;
+}
+
+void ConstraintSet::ensure_size(std::size_t vm) {
+  while (parent_.size() <= vm) parent_.push_back(parent_.size());
+}
+
+std::size_t ConstraintSet::find_root(std::size_t vm) const {
+  std::size_t root = vm;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[vm] != root) {  // path compression
+    std::size_t next = parent_[vm];
+    parent_[vm] = root;
+    vm = next;
+  }
+  return root;
+}
+
+void ConstraintSet::add_affinity(std::size_t a, std::size_t b) {
+  ensure_size(std::max(a, b));
+  const std::size_t ra = find_root(a);
+  const std::size_t rb = find_root(b);
+  if (ra != rb) parent_[std::max(ra, rb)] = std::min(ra, rb);
+  has_affinity_ = true;
+}
+
+void ConstraintSet::add_anti_affinity(std::size_t a, std::size_t b) {
+  ensure_size(std::max(a, b));
+  anti_affinity_.emplace_back(a, b);
+}
+
+void ConstraintSet::pin(std::size_t vm, std::int32_t host) {
+  ensure_size(vm);
+  pins_.emplace_back(vm, host);
+}
+
+void ConstraintSet::forbid(std::size_t vm, std::int32_t host) {
+  ensure_size(vm);
+  forbidden_.emplace_back(vm, host);
+}
+
+std::vector<std::vector<std::size_t>> ConstraintSet::affinity_groups() const {
+  std::map<std::size_t, std::vector<std::size_t>> by_root;
+  for (std::size_t vm = 0; vm < parent_.size(); ++vm)
+    by_root[find_root(vm)].push_back(vm);
+  std::vector<std::vector<std::size_t>> groups;
+  groups.reserve(by_root.size());
+  for (auto& [root, members] : by_root) groups.push_back(std::move(members));
+  return groups;
+}
+
+std::int32_t ConstraintSet::pinned_host(std::size_t vm) const noexcept {
+  for (const auto& [pinned_vm, host] : pins_)
+    if (pinned_vm == vm) return host;
+  return Placement::kUnplaced;
+}
+
+bool ConstraintSet::allows(std::size_t vm, std::int32_t host,
+                           const Placement& partial) const noexcept {
+  const std::int32_t pin_host = pinned_host(vm);
+  if (pin_host != Placement::kUnplaced && pin_host != host) return false;
+  for (const auto& [fvm, fhost] : forbidden_)
+    if (fvm == vm && fhost == host) return false;
+  for (const auto& [a, b] : anti_affinity_) {
+    const std::size_t other = a == vm ? b : (b == vm ? a : vm);
+    if (other == vm) continue;
+    if (other < partial.vm_count() && partial.is_placed(other) &&
+        partial.host_of(other) == host)
+      return false;
+  }
+  return true;
+}
+
+bool ConstraintSet::allows_group(const std::vector<std::size_t>& group,
+                                 std::int32_t host,
+                                 const Placement& partial) const noexcept {
+  for (std::size_t vm : group)
+    if (!allows(vm, host, partial)) return false;
+  // Anti-affinity inside the group itself (conflicts with affinity).
+  for (const auto& [a, b] : anti_affinity_) {
+    const bool a_in = std::find(group.begin(), group.end(), a) != group.end();
+    const bool b_in = std::find(group.begin(), group.end(), b) != group.end();
+    if (a_in && b_in) return false;
+  }
+  return true;
+}
+
+bool ConstraintSet::satisfied_by(const Placement& placement) const noexcept {
+  for (std::size_t vm = 0; vm < parent_.size(); ++vm) {
+    if (vm >= placement.vm_count() || !placement.is_placed(vm)) return false;
+    const std::size_t root = find_root(vm);
+    if (root != vm && placement.host_of(vm) != placement.host_of(root))
+      return false;
+  }
+  for (const auto& [a, b] : anti_affinity_) {
+    if (a < placement.vm_count() && b < placement.vm_count() &&
+        placement.is_placed(a) && placement.is_placed(b) &&
+        placement.host_of(a) == placement.host_of(b))
+      return false;
+  }
+  for (const auto& [vm, host] : pins_) {
+    if (vm >= placement.vm_count() || placement.host_of(vm) != host)
+      return false;
+  }
+  for (const auto& [vm, host] : forbidden_) {
+    if (vm < placement.vm_count() && placement.host_of(vm) == host)
+      return false;
+  }
+  return true;
+}
+
+bool ConstraintSet::structurally_feasible() const {
+  // Two members of one affinity group pinned to different hosts.
+  for (const auto& [vm_a, host_a] : pins_) {
+    for (const auto& [vm_b, host_b] : pins_) {
+      if (find_root(vm_a) == find_root(vm_b) && host_a != host_b) return false;
+    }
+    // A pin to a host the same VM is forbidden from.
+    for (const auto& [fvm, fhost] : forbidden_)
+      if (fvm == vm_a && fhost == host_a) return false;
+  }
+  // Anti-affinity within one affinity group.
+  for (const auto& [a, b] : anti_affinity_)
+    if (find_root(a) == find_root(b)) return false;
+  return true;
+}
+
+}  // namespace vmcw

@@ -1,0 +1,75 @@
+// Deployment-constraint framework (Section 2.2.4).
+//
+// Enterprise placements are never purely resource-driven: applications pin
+// VMs to licensed hosts, cluster peers must not share a failure domain
+// (anti-affinity), and chatty tiers must share one (affinity). The paper's
+// tooling supports inclusion and exclusion constraints; every packer in
+// this repository consults a ConstraintSet.
+//
+//  - affinity(a, b):       a and b must land on the same host. Affinity is
+//                          transitive; packers treat each affinity group as
+//                          one super-item.
+//  - anti_affinity(a, b):  a and b must land on different hosts.
+//  - pin(vm, host):        vm must land on exactly this host index.
+//  - forbid(vm, host):     vm must not land on this host index.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/placement.h"
+
+namespace vmcw {
+
+class ConstraintSet {
+ public:
+  ConstraintSet() = default;
+  explicit ConstraintSet(std::size_t vm_count);
+
+  std::size_t vm_count() const noexcept { return parent_.size(); }
+  bool empty() const noexcept {
+    return anti_affinity_.empty() && pins_.empty() && forbidden_.empty() &&
+           !has_affinity_;
+  }
+
+  void add_affinity(std::size_t a, std::size_t b);
+  void add_anti_affinity(std::size_t a, std::size_t b);
+  void pin(std::size_t vm, std::int32_t host);
+  void forbid(std::size_t vm, std::int32_t host);
+
+  /// Affinity groups as disjoint VM-index lists covering all VMs
+  /// (singletons included), ordered by smallest member.
+  std::vector<std::vector<std::size_t>> affinity_groups() const;
+
+  /// Host this VM is pinned to, or Placement::kUnplaced.
+  std::int32_t pinned_host(std::size_t vm) const noexcept;
+
+  /// May `vm` go on `host` given the partial placement so far?
+  /// Checks pin, forbid, and anti-affinity against already placed VMs.
+  bool allows(std::size_t vm, std::int32_t host,
+              const Placement& partial) const noexcept;
+
+  /// May the whole affinity `group` go on `host` together?
+  bool allows_group(const std::vector<std::size_t>& group, std::int32_t host,
+                    const Placement& partial) const noexcept;
+
+  /// Validate a complete placement (used by tests and as a post-condition).
+  bool satisfied_by(const Placement& placement) const noexcept;
+
+  /// Quick structural feasibility checks (pins conflicting with affinity or
+  /// anti-affinity are unsatisfiable regardless of capacity).
+  bool structurally_feasible() const;
+
+ private:
+  std::size_t find_root(std::size_t vm) const;
+  void ensure_size(std::size_t vm);
+
+  mutable std::vector<std::size_t> parent_;  // union-find with compression
+  bool has_affinity_ = false;
+  std::vector<std::pair<std::size_t, std::size_t>> anti_affinity_;
+  std::vector<std::pair<std::size_t, std::int32_t>> pins_;
+  std::vector<std::pair<std::size_t, std::int32_t>> forbidden_;
+};
+
+}  // namespace vmcw

@@ -1,0 +1,354 @@
+#include "core/dynamic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/binpack.h"
+
+namespace vmcw {
+
+namespace {
+
+/// Planner state over affinity groups: groups are the atomic unit of
+/// placement and migration.
+class GroupModel {
+ public:
+  GroupModel(std::span<const VmWorkload> vms, const ConstraintSet& constraints)
+      : vms_(vms), constraints_(constraints) {
+    groups_ = constraints.affinity_groups();
+    std::vector<bool> covered(vms.size(), false);
+    for (const auto& g : groups_)
+      for (std::size_t vm : g)
+        if (vm < vms.size()) covered[vm] = true;
+    for (std::size_t vm = 0; vm < vms.size(); ++vm)
+      if (!covered[vm]) groups_.push_back({vm});
+    for (auto& g : groups_)
+      g.erase(std::remove_if(g.begin(), g.end(),
+                             [&](std::size_t vm) { return vm >= vms.size(); }),
+              g.end());
+    groups_.erase(std::remove_if(groups_.begin(), groups_.end(),
+                                 [](const auto& g) { return g.empty(); }),
+                  groups_.end());
+
+    pinned_.resize(groups_.size(), Placement::kUnplaced);
+    for (std::size_t g = 0; g < groups_.size(); ++g)
+      for (std::size_t vm : groups_[g]) {
+        const std::int32_t p = constraints.pinned_host(vm);
+        if (p != Placement::kUnplaced) pinned_[g] = p;
+      }
+  }
+
+  std::size_t count() const { return groups_.size(); }
+  const std::vector<std::size_t>& members(std::size_t g) const {
+    return groups_[g];
+  }
+  std::int32_t pinned_host(std::size_t g) const { return pinned_[g]; }
+
+  ResourceVector predicted_size(std::size_t g, const PeakPredictor& predictor,
+                                std::size_t hour, std::size_t len) const {
+    ResourceVector size;
+    for (std::size_t vm : groups_[g])
+      size += predict_vm_demand(predictor, vms_[vm], hour, len);
+    return size;
+  }
+
+  bool allowed_on(std::size_t g, std::int32_t host,
+                  const Placement& placement) const {
+    return constraints_.allows_group(groups_[g], host, placement);
+  }
+
+ private:
+  std::span<const VmWorkload> vms_;
+  const ConstraintSet& constraints_;
+  std::vector<std::vector<std::size_t>> groups_;
+  std::vector<std::int32_t> pinned_;
+};
+
+double normalized_load(const ResourceVector& load,
+                       const ResourceVector& capacity) {
+  const double cpu =
+      capacity.cpu_rpe2 > 0 ? load.cpu_rpe2 / capacity.cpu_rpe2 : 0.0;
+  const double mem =
+      capacity.memory_mb > 0 ? load.memory_mb / capacity.memory_mb : 0.0;
+  return std::max(cpu, mem);
+}
+
+/// One interval's incremental adaptation.
+class IntervalAdapter {
+ public:
+  IntervalAdapter(const GroupModel& model,
+                  std::span<const ResourceVector> group_sizes,
+                  const ResourceVector& capacity, Placement placement)
+      : model_(model),
+        sizes_(group_sizes),
+        capacity_(capacity),
+        placement_(std::move(placement)) {
+    // Rebuild host state from the placement (host of a group = host of its
+    // first member; all members share a host by construction).
+    host_groups_.resize(max_host_bound());
+    host_load_.resize(host_groups_.size());
+    group_host_.resize(model.count(), Placement::kUnplaced);
+    for (std::size_t g = 0; g < model.count(); ++g) {
+      const std::size_t vm0 = model.members(g).front();
+      const std::int32_t h = placement_.host_of(vm0);
+      group_host_[g] = h;
+      if (h != Placement::kUnplaced) {
+        host_groups_[static_cast<std::size_t>(h)].push_back(g);
+        host_load_[static_cast<std::size_t>(h)] += sizes_[g];
+      }
+    }
+  }
+
+  void adapt() {
+    repair_overloaded_hosts();
+    place_pending();
+    consolidate();
+  }
+
+  Placement take_placement() { return std::move(placement_); }
+
+ private:
+  std::size_t max_host_bound() const {
+    std::size_t bound = placement_.host_index_bound();
+    for (std::size_t g = 0; g < model_.count(); ++g) {
+      const std::int32_t p = model_.pinned_host(g);
+      if (p != Placement::kUnplaced)
+        bound = std::max(bound, static_cast<std::size_t>(p) + 1);
+    }
+    return bound;
+  }
+
+  bool fits(std::size_t host, const ResourceVector& extra) const {
+    return (host_load_[host] + extra).fits_within(capacity_);
+  }
+
+  void detach(std::size_t g) {
+    const std::int32_t h = group_host_[g];
+    if (h == Placement::kUnplaced) return;
+    auto& list = host_groups_[static_cast<std::size_t>(h)];
+    list.erase(std::remove(list.begin(), list.end(), g), list.end());
+    host_load_[static_cast<std::size_t>(h)] -= sizes_[g];
+    group_host_[g] = Placement::kUnplaced;
+    for (std::size_t vm : model_.members(g)) placement_.unassign(vm);
+  }
+
+  void attach(std::size_t g, std::size_t host) {
+    host_groups_[host].push_back(g);
+    host_load_[host] += sizes_[g];
+    group_host_[g] = static_cast<std::int32_t>(host);
+    for (std::size_t vm : model_.members(g))
+      placement_.assign(vm, static_cast<std::int32_t>(host));
+  }
+
+  std::size_t open_host() {
+    for (std::size_t h = 0; h < host_groups_.size(); ++h)
+      if (host_groups_[h].empty()) return h;
+    host_groups_.emplace_back();
+    host_load_.emplace_back();
+    return host_groups_.size() - 1;
+  }
+
+  /// Evict groups from hosts whose predicted load violates the bound.
+  /// Cheapest adequate action: the smallest group whose departure resolves
+  /// the overload; otherwise the largest evictable group, repeated.
+  void repair_overloaded_hosts() {
+    for (std::size_t host = 0; host < host_groups_.size(); ++host) {
+      while (!host_load_[host].fits_within(capacity_)) {
+        const ResourceVector excess = host_load_[host] - capacity_;
+        std::size_t best_single = model_.count();
+        double best_single_key = 0.0;
+        std::size_t largest = model_.count();
+        double largest_key = -1.0;
+        for (std::size_t g : host_groups_[host]) {
+          if (model_.pinned_host(g) != Placement::kUnplaced) continue;
+          const double key = normalized_load(sizes_[g], capacity_);
+          const bool resolves =
+              sizes_[g].cpu_rpe2 >= excess.cpu_rpe2 - 1e-9 &&
+              sizes_[g].memory_mb >= excess.memory_mb - 1e-9;
+          if (resolves &&
+              (best_single == model_.count() || key < best_single_key)) {
+            best_single = g;
+            best_single_key = key;
+          }
+          if (key > largest_key) {
+            largest = g;
+            largest_key = key;
+          }
+        }
+        const std::size_t victim =
+            best_single != model_.count() ? best_single : largest;
+        if (victim == model_.count()) break;  // only pinned groups remain
+        detach(victim);
+        pending_.push_back(victim);
+      }
+    }
+  }
+
+  /// First-fit pending groups onto the most-loaded feasible hosts.
+  void place_pending() {
+    std::stable_sort(pending_.begin(), pending_.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return normalized_load(sizes_[a], capacity_) >
+                              normalized_load(sizes_[b], capacity_);
+                     });
+    for (std::size_t g : pending_) {
+      std::vector<std::size_t> hosts_by_load = active_hosts_desc();
+      bool placed = false;
+      for (std::size_t host : hosts_by_load) {
+        if (fits(host, sizes_[g]) &&
+            model_.allowed_on(g, static_cast<std::int32_t>(host),
+                              placement_)) {
+          attach(g, host);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        const std::size_t host = open_host();
+        attach(g, host);  // a fresh host always fits a single group
+      }
+    }
+    pending_.clear();
+  }
+
+  std::vector<std::size_t> active_hosts_desc() const {
+    std::vector<std::size_t> hosts;
+    for (std::size_t h = 0; h < host_groups_.size(); ++h)
+      if (!host_groups_[h].empty()) hosts.push_back(h);
+    std::stable_sort(hosts.begin(), hosts.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return normalized_load(host_load_[a], capacity_) >
+                              normalized_load(host_load_[b], capacity_);
+                     });
+    return hosts;
+  }
+
+  /// Try to empty the most lightly loaded hosts entirely; commit only when
+  /// every group of the candidate host relocates.
+  void consolidate() {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      auto hosts = active_hosts_desc();
+      std::reverse(hosts.begin(), hosts.end());  // ascending load
+      for (std::size_t candidate : hosts) {
+        if (host_groups_[candidate].empty()) continue;
+        bool has_pinned = false;
+        for (std::size_t g : host_groups_[candidate])
+          if (model_.pinned_host(g) != Placement::kUnplaced) has_pinned = true;
+        if (has_pinned) continue;
+        if (try_empty_host(candidate)) {
+          progress = true;
+          break;  // host set changed; recompute order
+        }
+      }
+    }
+  }
+
+  bool try_empty_host(std::size_t candidate) {
+    // Trial relocation: groups in decreasing size, targets in decreasing
+    // load, excluding the candidate itself.
+    const std::vector<std::size_t> groups = host_groups_[candidate];
+    std::vector<std::size_t> order = groups;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return normalized_load(sizes_[a], capacity_) >
+                              normalized_load(sizes_[b], capacity_);
+                     });
+    // Snapshot state for rollback.
+    const auto saved_load = host_load_;
+    const auto saved_groups = host_groups_;
+    const auto saved_group_host = group_host_;
+    const Placement saved_placement = placement_;
+
+    for (std::size_t g : order) {
+      detach(g);
+      bool placed = false;
+      for (std::size_t host : active_hosts_desc()) {
+        if (host == candidate) continue;
+        if (fits(host, sizes_[g]) &&
+            model_.allowed_on(g, static_cast<std::int32_t>(host),
+                              placement_)) {
+          attach(g, host);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        host_load_ = saved_load;
+        host_groups_ = saved_groups;
+        group_host_ = saved_group_host;
+        placement_ = saved_placement;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const GroupModel& model_;
+  std::span<const ResourceVector> sizes_;
+  ResourceVector capacity_;
+  Placement placement_;
+  std::vector<std::vector<std::size_t>> host_groups_;
+  std::vector<ResourceVector> host_load_;
+  std::vector<std::int32_t> group_host_;
+  std::vector<std::size_t> pending_;
+};
+
+}  // namespace
+
+std::optional<DynamicPlan> plan_dynamic(std::span<const VmWorkload> vms,
+                                        const StudySettings& settings,
+                                        const ConstraintSet& constraints) {
+  if (!constraints.structurally_feasible()) return std::nullopt;
+  const GroupModel model(vms, constraints);
+  const PeakPredictor predictor(settings.predictor);
+  const ResourceVector capacity =
+      settings.capacity(settings.dynamic_utilization_bound);
+  const std::size_t intervals = settings.intervals();
+
+  DynamicPlan plan;
+  plan.per_interval.reserve(intervals);
+  plan.migrations.reserve(intervals);
+
+  Placement previous;
+  for (std::size_t k = 0; k < intervals; ++k) {
+    const std::size_t hour = settings.eval_begin() + k * settings.interval_hours;
+    std::vector<ResourceVector> group_sizes(model.count());
+    for (std::size_t g = 0; g < model.count(); ++g)
+      group_sizes[g] =
+          model.predicted_size(g, predictor, hour, settings.interval_hours);
+
+    Placement current;
+    if (k == 0) {
+      // Initial placement: plain constrained FFD on the predicted sizes.
+      std::vector<ResourceVector> vm_sizes(vms.size());
+      for (std::size_t g = 0; g < model.count(); ++g) {
+        // Spread the group size across members for ffd_pack (which
+        // re-aggregates by affinity group internally).
+        for (std::size_t vm : model.members(g))
+          vm_sizes[vm] = predict_vm_demand(predictor, vms[vm], hour,
+                                              settings.interval_hours);
+      }
+      auto packed = ffd_pack(vm_sizes, capacity, constraints);
+      if (!packed) return std::nullopt;
+      current = std::move(packed->placement);
+    } else {
+      IntervalAdapter adapter(model, group_sizes, capacity, previous);
+      adapter.adapt();
+      current = adapter.take_placement();
+    }
+
+    const std::size_t moved =
+        k == 0 ? 0 : Placement::migrations_between(previous, current);
+    plan.migrations.push_back(moved);
+    plan.total_migrations += moved;
+    plan.max_active_hosts =
+        std::max(plan.max_active_hosts, current.active_host_count());
+    previous = current;
+    plan.per_interval.push_back(std::move(current));
+  }
+  return plan;
+}
+
+}  // namespace vmcw

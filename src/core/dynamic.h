@@ -1,0 +1,44 @@
+// Dynamic consolidation planner.
+//
+// Captures the salient features of the schemes the paper uses ([26]
+// pMapper-style power-aware placement, [15] cost-sensitive adaptation): at
+// the start of every consolidation interval each VM is re-sized to its
+// predicted peak for the coming window, and the placement is *incrementally*
+// adapted from the previous interval choosing cheap actions first:
+//
+//   1. repair   — hosts whose predicted load exceeds the utilization bound
+//                 evict VMs; the planner prefers the single smallest VM
+//                 whose departure resolves the overload (cheapest adequate
+//                 action), falling back to evicting the largest.
+//   2. place    — evicted VMs first-fit onto the most-loaded feasible hosts
+//                 (tight packing keeps the footprint small).
+//   3. consolidate — lightly loaded hosts are emptied entirely onto the
+//                 remaining fleet when possible and powered off.
+//
+// Every VM that changes host is one live migration; the paper's observation
+// that >25% of VMs can migrate per interval emerges from exactly this loop.
+// Pinned VMs never move; affinity groups move atomically.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/constraints.h"
+#include "core/settings.h"
+#include "core/vm.h"
+
+namespace vmcw {
+
+struct DynamicPlan {
+  std::vector<Placement> per_interval;    ///< one per consolidation interval
+  std::vector<std::size_t> migrations;    ///< vs the previous interval
+  std::size_t max_active_hosts = 0;       ///< provisioning requirement
+  std::size_t total_migrations = 0;
+};
+
+std::optional<DynamicPlan> plan_dynamic(std::span<const VmWorkload> vms,
+                                        const StudySettings& settings,
+                                        const ConstraintSet& constraints = {});
+
+}  // namespace vmcw

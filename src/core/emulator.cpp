@@ -1,0 +1,141 @@
+#include "core/emulator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vmcw {
+
+EmulationReport emulate(std::span<const VmWorkload> vms,
+                        std::span<const Placement> schedule,
+                        const StudySettings& settings,
+                        bool power_off_empty_hosts) {
+  return emulate(vms, schedule, settings, power_off_empty_hosts,
+                 HostPool::uniform(settings.target));
+}
+
+EmulationReport emulate(std::span<const VmWorkload> vms,
+                        std::span<const Placement> schedule,
+                        const StudySettings& settings,
+                        bool power_off_empty_hosts, const HostPool& pool) {
+  EmulationReport report;
+  report.eval_hours = settings.eval_hours;
+  report.intervals = settings.intervals();
+  if (schedule.empty() || report.intervals == 0) return report;
+
+  // Host index space across the whole schedule.
+  std::size_t host_bound = 0;
+  for (const auto& p : schedule)
+    host_bound = std::max(host_bound, p.host_index_bound());
+
+  // Per-host models from the pool (host 0..host_bound-1).
+  std::vector<PowerModel> power;
+  std::vector<double> cpu_capacity(host_bound);
+  std::vector<double> mem_capacity(host_bound);
+  power.reserve(host_bound);
+  for (std::size_t h = 0; h < host_bound; ++h) {
+    const ServerSpec& spec = pool.spec_of(h);
+    power.emplace_back(spec);
+    cpu_capacity[h] = spec.cpu_rpe2;
+    mem_capacity[h] = spec.memory_mb;
+  }
+
+  std::vector<double> host_util_sum(host_bound, 0.0);
+  std::vector<std::size_t> host_active_hours(host_bound, 0);
+  std::vector<double> host_peak_util(host_bound, 0.0);
+  std::vector<bool> host_ever_used(host_bound, false);
+
+  std::vector<double> cpu_demand(host_bound);
+  std::vector<double> mem_demand(host_bound);
+  std::vector<bool> host_active(host_bound);
+  std::vector<bool> host_contended(host_bound);
+  report.vm_contention_hours.assign(vms.size(), 0);
+
+  report.active_hosts_per_interval.reserve(report.intervals);
+
+  for (std::size_t k = 0; k < report.intervals; ++k) {
+    const Placement& placement =
+        schedule.size() == 1 ? schedule[0]
+                             : schedule[std::min(k, schedule.size() - 1)];
+    // A host is active this interval iff it has at least one VM.
+    std::fill(host_active.begin(), host_active.end(), false);
+    for (std::size_t vm = 0; vm < placement.vm_count(); ++vm)
+      if (placement.is_placed(vm))
+        host_active[static_cast<std::size_t>(placement.host_of(vm))] = true;
+    std::size_t active = 0;
+    for (std::size_t h = 0; h < host_bound; ++h) {
+      if (host_active[h]) {
+        ++active;
+        host_ever_used[h] = true;
+      }
+    }
+    report.active_hosts_per_interval.push_back(active);
+    report.provisioned_hosts = std::max(report.provisioned_hosts, active);
+
+    const std::size_t interval_begin =
+        settings.eval_begin() + k * settings.interval_hours;
+    for (std::size_t dt = 0; dt < settings.interval_hours; ++dt) {
+      const std::size_t hour = interval_begin + dt;
+      std::fill(cpu_demand.begin(), cpu_demand.end(), 0.0);
+      std::fill(mem_demand.begin(), mem_demand.end(), 0.0);
+      for (std::size_t vm = 0; vm < placement.vm_count() && vm < vms.size();
+           ++vm) {
+        if (!placement.is_placed(vm)) continue;
+        const auto h = static_cast<std::size_t>(placement.host_of(vm));
+        const ResourceVector d = vms[vm].demand_at(hour);
+        cpu_demand[h] += d.cpu_rpe2;
+        mem_demand[h] += d.memory_mb;
+      }
+
+      bool any_contention = false;
+      std::fill(host_contended.begin(), host_contended.end(), false);
+      for (std::size_t h = 0; h < host_bound; ++h) {
+        if (host_active[h]) {
+          const double util = cpu_demand[h] / cpu_capacity[h];
+          const double mem_util = mem_demand[h] / mem_capacity[h];
+          host_util_sum[h] += util;
+          ++host_active_hours[h];
+          host_peak_util[h] = std::max(host_peak_util[h], util);
+          if (util > 1.0) {
+            report.cpu_contention_samples.push_back(util - 1.0);
+            any_contention = true;
+            host_contended[h] = true;
+          }
+          if (mem_util > 1.0) {
+            report.mem_contention_samples.push_back(mem_util - 1.0);
+            any_contention = true;
+            host_contended[h] = true;
+          }
+          report.energy_wh += power[h].watts(util);
+        } else if (!power_off_empty_hosts && host_ever_used[h]) {
+          // Static plans keep provisioned-but-idle hosts powered.
+          report.energy_wh += power[h].watts(0.0);
+        }
+      }
+      if (any_contention) {
+        ++report.hours_with_contention;
+        // Every VM sharing a contended host is SLA-exposed for this hour.
+        for (std::size_t vm = 0; vm < placement.vm_count() && vm < vms.size();
+             ++vm) {
+          if (!placement.is_placed(vm)) continue;
+          const auto h = static_cast<std::size_t>(placement.host_of(vm));
+          if (host_contended[h]) {
+            ++report.vm_contention_hours[vm];
+            ++report.total_vm_contention_hours;
+          }
+        }
+      }
+    }
+  }
+
+  for (std::size_t h = 0; h < host_bound; ++h) {
+    if (!host_ever_used[h]) continue;
+    report.host_avg_cpu_util.push_back(
+        host_active_hours[h] > 0
+            ? host_util_sum[h] / static_cast<double>(host_active_hours[h])
+            : 0.0);
+    report.host_peak_cpu_util.push_back(host_peak_util[h]);
+  }
+  return report;
+}
+
+}  // namespace vmcw

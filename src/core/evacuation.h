@@ -1,0 +1,50 @@
+// Host evacuation for maintenance / high availability.
+//
+// Section 1.2's field observation: production estates use live migration
+// not for dynamic consolidation but for HA and server maintenance —
+// draining a host before taking it down. This planner computes the drain:
+// every VM on the host is relocated to the remaining fleet (respecting
+// capacity headroom and deployment constraints), and the migration
+// scheduler prices how long the drain takes — the number an operator needs
+// before a maintenance window.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/constraints.h"
+#include "core/host_pool.h"
+#include "core/migration_scheduler.h"
+#include "core/placement.h"
+#include "core/vm.h"
+
+namespace vmcw {
+
+struct EvacuationPlan {
+  Placement after;                  ///< placement with the host empty
+  std::vector<MigrationJob> jobs;   ///< one per relocated VM
+  MigrationSchedule schedule;       ///< drain timing under slot limits
+};
+
+struct EvacuationOptions {
+  /// Headroom bound on destination hosts: a drain target may be filled to
+  /// this fraction of capacity (leaving room for the workload to breathe
+  /// while its host count is reduced).
+  double destination_bound = 0.9;
+  int per_host_migration_limit = 2;
+  MigrationConfig migration;  ///< pre-copy parameters for job pricing
+};
+
+/// Drain `host`: relocate all of its VMs, sized by their demand at `hour`,
+/// onto the other hosts of `current` (no new hosts are opened — maintenance
+/// must fit the surviving fleet). Returns std::nullopt if some VM cannot be
+/// placed (insufficient headroom or constraints, e.g. a VM pinned to the
+/// draining host).
+std::optional<EvacuationPlan> plan_evacuation(
+    const Placement& current, std::int32_t host,
+    std::span<const VmWorkload> vms, std::size_t hour, const HostPool& pool,
+    const EvacuationOptions& options = {},
+    const ConstraintSet& constraints = {});
+
+}  // namespace vmcw

@@ -1,0 +1,59 @@
+#include "core/host_pool.h"
+
+#include <stdexcept>
+
+namespace vmcw {
+
+HostPool HostPool::uniform(ServerSpec spec) {
+  return HostPool({HostClass{std::move(spec), HostClass::kUnlimited}});
+}
+
+HostPool::HostPool(std::vector<HostClass> classes)
+    : classes_(std::move(classes)) {
+  if (classes_.empty()) throw std::invalid_argument("empty host pool");
+  class_begin_.reserve(classes_.size());
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    const auto& c = classes_[i];
+    if (c.count == 0) throw std::invalid_argument("zero-count host class");
+    if (c.count == HostClass::kUnlimited && i + 1 != classes_.size())
+      throw std::invalid_argument("unlimited host class must be last");
+    class_begin_.push_back(next);
+    if (c.count == HostClass::kUnlimited) {
+      next = kUnbounded;
+      break;
+    }
+    next += c.count;
+  }
+  max_hosts_ = next;
+}
+
+bool HostPool::in_unlimited_class(std::size_t host) const noexcept {
+  return !is_bounded() && host >= class_begin_.back();
+}
+
+const ServerSpec& HostPool::spec_of(std::size_t host) const noexcept {
+  // Classes are few; linear scan is fine and avoids storing per-host data.
+  for (std::size_t i = classes_.size(); i-- > 0;) {
+    if (host >= class_begin_[i]) return classes_[i].spec;
+  }
+  return classes_.front().spec;
+}
+
+ResourceVector HostPool::capacity_of(std::size_t host,
+                                     double utilization_bound) const noexcept {
+  const ServerSpec& spec = spec_of(host);
+  return ResourceVector{spec.cpu_rpe2, spec.memory_mb} * utilization_bound;
+}
+
+ResourceVector HostPool::reference_capacity(
+    double utilization_bound) const noexcept {
+  ResourceVector best;
+  for (const auto& c : classes_) {
+    best.cpu_rpe2 = std::max(best.cpu_rpe2, c.spec.cpu_rpe2);
+    best.memory_mb = std::max(best.memory_mb, c.spec.memory_mb);
+  }
+  return best * utilization_bound;
+}
+
+}  // namespace vmcw

@@ -1,0 +1,79 @@
+// Heterogeneous consolidation-target pools.
+//
+// The paper's study consolidates onto a uniform fleet of HS23 Elite blades,
+// but real engagements often mix blade generations — e.g. reuse an existing
+// rack of older blades and buy new ones only for the remainder. A HostPool
+// describes the available hosts as ordered classes; host indices are dealt
+// class by class (class 0 owns indices [0, n0), class 1 the next n1, ...),
+// and only the final class may be unlimited ("buy as many as needed").
+//
+// A uniform unlimited pool reproduces the paper's setting exactly; every
+// packer/planner overload taking a HostPool degenerates to the legacy
+// behavior for it (asserted by tests).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "hardware/server_spec.h"
+
+namespace vmcw {
+
+struct HostClass {
+  ServerSpec spec;
+  /// Number of hosts of this class; kUnlimited = open-ended.
+  std::size_t count = 0;
+
+  static constexpr std::size_t kUnlimited =
+      std::numeric_limits<std::size_t>::max();
+};
+
+class HostPool {
+ public:
+  /// The paper's setting: as many identical hosts as needed.
+  static HostPool uniform(ServerSpec spec);
+
+  /// Classes are consumed in order; only the last may be unlimited.
+  /// Throws std::invalid_argument on an empty pool, a zero-count class, or
+  /// an unlimited class that is not last.
+  explicit HostPool(std::vector<HostClass> classes);
+
+  /// Total host count; kUnbounded if the last class is unlimited.
+  static constexpr std::size_t kUnbounded = HostClass::kUnlimited;
+  std::size_t max_hosts() const noexcept { return max_hosts_; }
+  bool is_bounded() const noexcept { return max_hosts_ != kUnbounded; }
+
+  /// Does this host index exist in the pool?
+  bool valid_host(std::size_t host) const noexcept {
+    return host < max_hosts_;
+  }
+
+  /// Is this host in the trailing unlimited class (every later host is
+  /// identical to it)?
+  bool in_unlimited_class(std::size_t host) const noexcept;
+
+  /// Spec of the host at an index. Precondition: valid_host(host).
+  const ServerSpec& spec_of(std::size_t host) const noexcept;
+
+  /// Usable capacity of a host under a utilization bound.
+  ResourceVector capacity_of(std::size_t host,
+                             double utilization_bound = 1.0) const noexcept;
+
+  /// The largest per-host capacity in the pool (used as the normalization
+  /// reference when ordering items).
+  ResourceVector reference_capacity(double utilization_bound = 1.0) const
+      noexcept;
+
+  std::size_t class_count() const noexcept { return classes_.size(); }
+  const HostClass& host_class(std::size_t i) const noexcept {
+    return classes_[i];
+  }
+
+ private:
+  std::vector<HostClass> classes_;
+  std::vector<std::size_t> class_begin_;  ///< first host index per class
+  std::size_t max_hosts_ = 0;
+};
+
+}  // namespace vmcw

@@ -1,0 +1,107 @@
+#include "core/hybrid.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "analysis/seasonality.h"
+#include "util/stats.h"
+
+namespace vmcw {
+
+std::vector<CandidateScore> score_dynamic_candidates(
+    std::span<const VmWorkload> vms, const StudySettings& settings) {
+  std::vector<CandidateScore> scores(vms.size());
+  const PeakPredictor predictor(settings.predictor);
+  for (std::size_t i = 0; i < vms.size(); ++i) {
+    const auto cpu = vms[i].cpu_rpe2.slice(0, settings.history_hours);
+    const double peak_demand = peak(cpu);
+    const double mean_demand = mean(cpu);
+    scores[i].burstiness_gain =
+        peak_demand > 1e-9 ? 1.0 - mean_demand / peak_demand : 0.0;
+    // Hit rate over the second half of the history (the first half seeds
+    // the predictor's lookback).
+    const std::size_t half = settings.history_hours / 2;
+    scores[i].predictability =
+        predictability(vms[i].cpu_rpe2, half, settings.history_hours - half,
+                       settings.interval_hours, predictor)
+            .hit_rate;
+    scores[i].score = scores[i].burstiness_gain * scores[i].predictability;
+  }
+  return scores;
+}
+
+std::optional<HybridPlan> plan_hybrid(std::span<const VmWorkload> vms,
+                                      const StudySettings& settings,
+                                      double candidate_fraction) {
+  HybridPlan plan;
+  plan.is_dynamic.assign(vms.size(), false);
+  candidate_fraction = std::clamp(candidate_fraction, 0.0, 1.0);
+
+  // Pick the top-scoring fraction as dynamic candidates.
+  const auto scores = score_dynamic_candidates(vms, settings);
+  std::vector<std::size_t> order(vms.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return scores[a].score > scores[b].score;
+                   });
+  const auto dynamic_count = static_cast<std::size_t>(
+      candidate_fraction * static_cast<double>(vms.size()) + 0.5);
+  for (std::size_t rank = 0; rank < dynamic_count && rank < order.size();
+       ++rank)
+    plan.is_dynamic[order[rank]] = true;
+
+  // Split the fleet.
+  std::vector<VmWorkload> stochastic_vms, dynamic_vms;
+  std::vector<std::size_t> stochastic_index, dynamic_index;
+  for (std::size_t i = 0; i < vms.size(); ++i) {
+    if (plan.is_dynamic[i]) {
+      dynamic_vms.push_back(vms[i]);
+      dynamic_index.push_back(i);
+    } else {
+      stochastic_vms.push_back(vms[i]);
+      stochastic_index.push_back(i);
+    }
+  }
+
+  // Plan each side with its own strategy.
+  const auto stochastic_plan = plan_stochastic(stochastic_vms, settings);
+  if (!stochastic_plan) return std::nullopt;
+  plan.stochastic_hosts = stochastic_plan->hosts_used;
+
+  DynamicPlan dynamic_plan;
+  if (!dynamic_vms.empty()) {
+    auto planned = plan_dynamic(dynamic_vms, settings);
+    if (!planned) return std::nullopt;
+    dynamic_plan = std::move(*planned);
+  } else {
+    dynamic_plan.per_interval.assign(settings.intervals(), Placement(0));
+    dynamic_plan.migrations.assign(settings.intervals(), 0);
+  }
+  plan.max_dynamic_hosts = dynamic_plan.max_active_hosts;
+  plan.total_migrations = dynamic_plan.total_migrations;
+
+  // Merge: stochastic hosts first, the dynamic group shifted above them.
+  const auto offset = static_cast<std::int32_t>(plan.stochastic_hosts);
+  plan.per_interval.reserve(settings.intervals());
+  const Placement no_dynamic(0);
+  for (std::size_t k = 0; k < settings.intervals(); ++k) {
+    Placement merged(vms.size());
+    for (std::size_t j = 0; j < stochastic_index.size(); ++j)
+      merged.assign(stochastic_index[j],
+                    stochastic_plan->placement.host_of(j));
+    const Placement& dyn =
+        dynamic_plan.per_interval.empty()
+            ? no_dynamic
+            : dynamic_plan.per_interval[std::min(
+                  k, dynamic_plan.per_interval.size() - 1)];
+    for (std::size_t j = 0; j < dynamic_index.size(); ++j) {
+      if (j < dyn.vm_count() && dyn.is_placed(j))
+        merged.assign(dynamic_index[j], dyn.host_of(j) + offset);
+    }
+    plan.per_interval.push_back(std::move(merged));
+  }
+  return plan;
+}
+
+}  // namespace vmcw

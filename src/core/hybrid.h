@@ -1,0 +1,64 @@
+// Hybrid consolidation: dynamic for the servers that benefit, stochastic
+// semi-static for everyone else.
+//
+// The paper's conclusion (Section 8) is a per-workload recommendation:
+// "Highly bursty and predictable workloads with high CPU contention can
+// benefit from dynamic consolidation ... we recommend semi-static
+// consolidation for [memory-contended] workloads." Bobroff et al. [4] made
+// the same call per *server*. This planner operationalizes both: each VM
+// is scored as a dynamic-placement candidate (burstiness gain x
+// predictability, per Bobroff's recipe), the top fraction is consolidated
+// dynamically on its own host group, and the remainder is packed once with
+// the stochastic (PCP) planner.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/dynamic.h"
+#include "core/planners.h"
+#include "core/settings.h"
+#include "core/vm.h"
+
+namespace vmcw {
+
+/// Dynamic-placement candidate score for one VM.
+struct CandidateScore {
+  /// Resource a dynamic consolidator could reclaim: 1 - mean/peak of the
+  /// windowed CPU demand over the planning history (0 = flat, ->1 = spiky).
+  double burstiness_gain = 0;
+  /// Seasonal-max predictor hit rate over the history (misses become
+  /// contention, so unpredictable gain is not bankable).
+  double predictability = 0;
+  /// Bankable gain: burstiness_gain x predictability.
+  double score = 0;
+};
+
+/// Score every VM over the planning history [0, settings.history_hours).
+std::vector<CandidateScore> score_dynamic_candidates(
+    std::span<const VmWorkload> vms, const StudySettings& settings);
+
+struct HybridPlan {
+  std::vector<bool> is_dynamic;       ///< per VM: consolidated dynamically?
+  std::size_t stochastic_hosts = 0;   ///< host indices [0, stochastic_hosts)
+  std::size_t max_dynamic_hosts = 0;  ///< peak extra hosts beyond that
+  std::size_t total_migrations = 0;
+  /// Merged schedule: stochastic VMs keep their host all window; dynamic
+  /// VMs move within host indices >= stochastic_hosts.
+  std::vector<Placement> per_interval;
+
+  std::size_t provisioned_hosts() const noexcept {
+    return stochastic_hosts + max_dynamic_hosts;
+  }
+};
+
+/// Plan hybrid consolidation: the `candidate_fraction` of VMs with the
+/// highest candidate scores go to the dynamic group. Deployment
+/// constraints are not supported in the hybrid splitter (the two groups
+/// plan independently); pass VMs unconstrained.
+std::optional<HybridPlan> plan_hybrid(std::span<const VmWorkload> vms,
+                                      const StudySettings& settings,
+                                      double candidate_fraction = 0.25);
+
+}  // namespace vmcw

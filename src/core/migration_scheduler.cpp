@@ -1,0 +1,124 @@
+#include "core/migration_scheduler.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+namespace vmcw {
+
+std::vector<MigrationJob> migration_jobs(const Placement& prev,
+                                         const Placement& next,
+                                         std::span<const VmWorkload> vms,
+                                         std::size_t hour,
+                                         const MigrationConfig& base) {
+  std::vector<MigrationJob> jobs;
+  const std::size_t n = std::min({prev.vm_count(), next.vm_count(),
+                                  vms.size()});
+  for (std::size_t vm = 0; vm < n; ++vm) {
+    if (!prev.is_placed(vm) || !next.is_placed(vm)) continue;
+    if (prev.host_of(vm) == next.host_of(vm)) continue;
+    MigrationJob job;
+    job.vm = vm;
+    job.from = prev.host_of(vm);
+    job.to = next.host_of(vm);
+    MigrationConfig config = base;
+    config.vm_memory_mb = std::max(vms[vm].demand_at(hour).memory_mb, 64.0);
+    // Scale the writable working set with the footprint, capped by it.
+    config.writable_working_set_mb =
+        std::min(config.writable_working_set_mb, config.vm_memory_mb);
+    job.duration_s = simulate_precopy(config).duration_s;
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+MigrationSchedule schedule_migrations(std::span<const MigrationJob> jobs,
+                                      int per_host_limit) {
+  MigrationSchedule schedule;
+  schedule.start_s.assign(jobs.size(), 0.0);
+  if (jobs.empty()) return schedule;
+  per_host_limit = std::max(per_host_limit, 1);
+
+  // Longest job first.
+  std::vector<std::size_t> order(jobs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return jobs[a].duration_s > jobs[b].duration_s;
+                   });
+
+  // Event-driven list scheduling.
+  std::map<std::int32_t, int> busy;  // concurrent migrations per host
+  struct Running {
+    double finish;
+    std::size_t job;
+  };
+  auto later = [](const Running& a, const Running& b) {
+    return a.finish > b.finish;
+  };
+  std::priority_queue<Running, std::vector<Running>, decltype(later)>
+      running(later);
+  std::vector<bool> started(jobs.size(), false);
+  double now = 0.0;
+  std::size_t remaining = jobs.size();
+  std::size_t concurrent = 0;
+
+  while (remaining > 0 || !running.empty()) {
+    // Start everything startable at `now`.
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t idx : order) {
+        if (started[idx]) continue;
+        const auto& job = jobs[idx];
+        if (busy[job.from] >= per_host_limit ||
+            busy[job.to] >= per_host_limit)
+          continue;
+        started[idx] = true;
+        --remaining;
+        ++busy[job.from];
+        ++busy[job.to];
+        schedule.start_s[idx] = now;
+        running.push({now + job.duration_s, idx});
+        ++concurrent;
+        schedule.peak_concurrency =
+            std::max(schedule.peak_concurrency, concurrent);
+        progress = true;
+      }
+    }
+    if (running.empty()) break;  // nothing running and nothing startable
+    // Advance to the next completion.
+    const Running done = running.top();
+    running.pop();
+    now = done.finish;
+    --busy[jobs[done.job].from];
+    --busy[jobs[done.job].to];
+    --concurrent;
+    schedule.makespan_s = std::max(schedule.makespan_s, done.finish);
+  }
+  return schedule;
+}
+
+ExecutionFeasibility execution_feasibility(
+    std::span<const Placement> per_interval, std::span<const VmWorkload> vms,
+    std::size_t eval_begin_hour, std::size_t interval_hours,
+    const MigrationConfig& base, int per_host_limit) {
+  ExecutionFeasibility result;
+  const double interval_s =
+      static_cast<double>(interval_hours) * 3600.0;
+  for (std::size_t k = 1; k < per_interval.size(); ++k) {
+    const std::size_t hour = eval_begin_hour + k * interval_hours;
+    const auto jobs = migration_jobs(per_interval[k - 1], per_interval[k],
+                                     vms, hour, base);
+    const auto schedule = schedule_migrations(jobs, per_host_limit);
+    result.makespan_s.push_back(schedule.makespan_s);
+    result.worst_makespan_s =
+        std::max(result.worst_makespan_s, schedule.makespan_s);
+    if (schedule.makespan_s > interval_s) ++result.infeasible_intervals;
+  }
+  if (interval_s > 0)
+    result.worst_utilization = result.worst_makespan_s / interval_s;
+  return result;
+}
+
+}  // namespace vmcw

@@ -1,0 +1,67 @@
+// Execution step of the consolidation flow (Section 2.1): scheduling the
+// live migrations that realize a placement change.
+//
+// Dynamic consolidation is only viable if each interval's migrations
+// actually complete well inside the interval — "the time taken by live
+// migration today" is exactly why the paper settles on 2-hour intervals
+// (Section 7). This module turns a placement diff into migration jobs,
+// prices each job with the pre-copy model, and list-schedules them under
+// the real constraint: a host can drive only a limited number of
+// simultaneous migrations (VMware ESX of the paper's era allowed 2 per
+// host on 1 GbE), whether as source or as target.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/placement.h"
+#include "core/vm.h"
+#include "migration/precopy.h"
+
+namespace vmcw {
+
+struct MigrationJob {
+  std::size_t vm = 0;
+  std::int32_t from = -1;
+  std::int32_t to = -1;
+  double duration_s = 0;  ///< from the pre-copy model at the VM's footprint
+};
+
+/// Jobs required to go from `prev` to `next`. Each migrating VM's memory
+/// footprint at `hour` prices its pre-copy duration via `base` (bandwidth,
+/// dirty-rate and host-load parameters).
+std::vector<MigrationJob> migration_jobs(const Placement& prev,
+                                         const Placement& next,
+                                         std::span<const VmWorkload> vms,
+                                         std::size_t hour,
+                                         const MigrationConfig& base);
+
+struct MigrationSchedule {
+  double makespan_s = 0;          ///< when the last migration finishes
+  std::size_t peak_concurrency = 0;
+  std::vector<double> start_s;    ///< per job, parallel to the input
+};
+
+/// Greedy longest-job-first list scheduling: a job may start when both its
+/// source and target host have a free migration slot (each host serves at
+/// most `per_host_limit` concurrent migrations in either role).
+MigrationSchedule schedule_migrations(std::span<const MigrationJob> jobs,
+                                      int per_host_limit = 2);
+
+/// Feasibility of a whole dynamic plan: for each interval, the ratio of
+/// migration makespan to interval length. Ratios above 1 mean the plan
+/// cannot be executed at that cadence.
+struct ExecutionFeasibility {
+  std::vector<double> makespan_s;       ///< per interval
+  double worst_makespan_s = 0;
+  double worst_utilization = 0;         ///< worst makespan / interval length
+  std::size_t infeasible_intervals = 0; ///< makespan > interval length
+};
+
+ExecutionFeasibility execution_feasibility(
+    std::span<const Placement> per_interval, std::span<const VmWorkload> vms,
+    std::size_t eval_begin_hour, std::size_t interval_hours,
+    const MigrationConfig& base, int per_host_limit = 2);
+
+}  // namespace vmcw

@@ -1,0 +1,55 @@
+// Stochastic consolidation: Peak-Clustering-based Placement (PCP variant).
+//
+// The algorithm the paper uses as its "intelligent semi-static" baseline
+// (Verma et al., USENIX ATC'09, parameters as in Section 5.1: body = 90th
+// percentile, tail = max). Each VM's demand is split into a body (sized
+// always) and a tail (sized only against peers that peak at the same time).
+// VMs are clustered by *when* they peak (peak-epoch signatures); on any
+// host, the provisioned envelope is
+//
+//   sum(bodies)  +  max over clusters( sum of tails of that cluster's VMs )
+//
+// per resource dimension. VMs from different clusters peak at different
+// epochs, so their tails never stack — that is what lets PCP size at the
+// body yet almost never experience contention, and why it recovers most of
+// dynamic consolidation's gains without live migration.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/binpack.h"
+#include "core/constraints.h"
+#include "core/vm.h"
+
+namespace vmcw {
+
+struct StochasticItem {
+  ResourceVector body;
+  ResourceVector tail;
+  std::size_t cluster = 0;
+};
+
+/// Build PCP items from VM histories over [begin, begin+len): body is the
+/// `body_percentile` of hourly demand, tail = max - body, and the cluster
+/// comes from peak-signature clustering of the CPU series.
+///
+/// Memory gets its own (higher) body percentile: reclaiming memory from a
+/// running guest means ballooning or swapping, so the stochastic sizing is
+/// less aggressive on memory than on time-multiplexable CPU.
+std::vector<StochasticItem> make_stochastic_items(
+    std::span<const VmWorkload> vms, std::size_t begin, std::size_t len,
+    double body_percentile = 90.0, double cluster_similarity = 0.60,
+    double memory_body_percentile = 95.0);
+
+/// Pack with the PCP envelope rule. Same contract as ffd_pack.
+std::optional<PackResult> pcp_pack(std::span<const StochasticItem> items,
+                                   const ResourceVector& capacity,
+                                   const ConstraintSet& constraints = {});
+
+/// The provisioned envelope of one host's item set (exposed for tests).
+ResourceVector pcp_envelope(std::span<const StochasticItem> items,
+                            std::span<const std::size_t> members);
+
+}  // namespace vmcw

@@ -1,0 +1,56 @@
+#include "core/placement.h"
+
+#include <algorithm>
+
+namespace vmcw {
+
+Placement::Placement(std::size_t vm_count)
+    : host_of_(vm_count, kUnplaced) {}
+
+std::size_t Placement::placed_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(host_of_.begin(), host_of_.end(),
+                    [](std::int32_t h) { return h != kUnplaced; }));
+}
+
+std::size_t Placement::host_index_bound() const noexcept {
+  std::int32_t top = kUnplaced;
+  for (std::int32_t h : host_of_) top = std::max(top, h);
+  return top == kUnplaced ? 0 : static_cast<std::size_t>(top) + 1;
+}
+
+std::size_t Placement::active_host_count() const noexcept {
+  std::vector<bool> seen(host_index_bound(), false);
+  std::size_t count = 0;
+  for (std::int32_t h : host_of_) {
+    if (h == kUnplaced) continue;
+    if (!seen[static_cast<std::size_t>(h)]) {
+      seen[static_cast<std::size_t>(h)] = true;
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<std::vector<std::size_t>> Placement::vms_by_host() const {
+  std::vector<std::vector<std::size_t>> by_host(host_index_bound());
+  for (std::size_t vm = 0; vm < host_of_.size(); ++vm) {
+    if (host_of_[vm] != kUnplaced)
+      by_host[static_cast<std::size_t>(host_of_[vm])].push_back(vm);
+  }
+  return by_host;
+}
+
+std::size_t Placement::migrations_between(const Placement& from,
+                                          const Placement& to) noexcept {
+  const std::size_t n = std::min(from.vm_count(), to.vm_count());
+  std::size_t moved = 0;
+  for (std::size_t vm = 0; vm < n; ++vm) {
+    if (from.is_placed(vm) && to.is_placed(vm) &&
+        from.host_of(vm) != to.host_of(vm))
+      ++moved;
+  }
+  return moved;
+}
+
+}  // namespace vmcw

@@ -1,0 +1,56 @@
+#include "core/planners.h"
+
+#include "core/pcp.h"
+
+namespace vmcw {
+
+std::optional<StaticPlan> plan_semi_static(std::span<const VmWorkload> vms,
+                                           const StudySettings& settings,
+                                           const ConstraintSet& constraints) {
+  std::vector<ResourceVector> sizes(vms.size());
+  for (std::size_t i = 0; i < vms.size(); ++i)
+    sizes[i] = vms[i].size_over(0, settings.history_hours, WindowReducer::kMax);
+
+  auto packed = ffd_pack(sizes, settings.capacity(settings.static_utilization_bound),
+                         constraints);
+  if (!packed) return std::nullopt;
+  return StaticPlan{std::move(packed->placement), packed->hosts_used,
+                    std::move(sizes)};
+}
+
+std::optional<StaticPlan> plan_static(std::span<const VmWorkload> vms,
+                                      const StudySettings& settings,
+                                      const ConstraintSet& constraints) {
+  std::vector<ResourceVector> sizes(vms.size());
+  for (std::size_t i = 0; i < vms.size(); ++i)
+    sizes[i] = vms[i].size_over(0, vms[i].hours(), WindowReducer::kMax);
+
+  auto packed = ffd_pack(sizes, settings.capacity(settings.static_utilization_bound),
+                         constraints);
+  if (!packed) return std::nullopt;
+  return StaticPlan{std::move(packed->placement), packed->hosts_used,
+                    std::move(sizes)};
+}
+
+std::optional<StaticPlan> plan_stochastic(std::span<const VmWorkload> vms,
+                                          const StudySettings& settings,
+                                          const ConstraintSet& constraints) {
+  const auto items =
+      make_stochastic_items(vms, 0, settings.history_hours,
+                            settings.body_percentile,
+                            settings.cluster_similarity,
+                            settings.stochastic_memory_percentile);
+  auto packed = pcp_pack(items, settings.capacity(settings.static_utilization_bound),
+                         constraints);
+  if (!packed) return std::nullopt;
+
+  StaticPlan plan;
+  plan.placement = std::move(packed->placement);
+  plan.hosts_used = packed->hosts_used;
+  plan.sizes.resize(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i)
+    plan.sizes[i] = items[i].body;  // the always-provisioned part
+  return plan;
+}
+
+}  // namespace vmcw

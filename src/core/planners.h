@@ -1,0 +1,47 @@
+// Semi-static planners: vanilla (peak + FFD) and stochastic (PCP).
+//
+// Both produce one placement that stays fixed for the whole 14-day
+// evaluation window; re-planning happens only at the next consolidation
+// event (with downtime + relocation, hence no live-migration reservation).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/binpack.h"
+#include "core/constraints.h"
+#include "core/settings.h"
+#include "core/vm.h"
+
+namespace vmcw {
+
+struct StaticPlan {
+  Placement placement;
+  std::size_t hosts_used = 0;
+  std::vector<ResourceVector> sizes;  ///< the demand estimate packed
+};
+
+/// Vanilla semi-static: size each VM at its *peak* demand over the planning
+/// history, pack with FFD (Section 5.1 "Semi-Static Consolidation").
+std::optional<StaticPlan> plan_semi_static(
+    std::span<const VmWorkload> vms, const StudySettings& settings,
+    const ConstraintSet& constraints = {});
+
+/// Pure static consolidation (Section 2.2.1): one-time placement sized at
+/// the expected peak over the *whole workload lifetime* — history and
+/// future alike — so the placement never needs to change. This is the
+/// most conservative (and in the wild, the most common) variant; it
+/// differs from semi-static only in the sizing horizon, since semi-static
+/// re-plans at every maintenance window and can size on the recent past.
+std::optional<StaticPlan> plan_static(
+    std::span<const VmWorkload> vms, const StudySettings& settings,
+    const ConstraintSet& constraints = {});
+
+/// Stochastic semi-static: PCP with body = 90th percentile, tail = max
+/// (Section 5.1 "Stochastic Consolidation").
+std::optional<StaticPlan> plan_stochastic(
+    std::span<const VmWorkload> vms, const StudySettings& settings,
+    const ConstraintSet& constraints = {});
+
+}  // namespace vmcw

@@ -1,0 +1,15 @@
+#include "core/predictor.h"
+
+namespace vmcw {
+
+ResourceVector predict_vm_demand(const PeakPredictor& predictor,
+                                 const VmWorkload& vm, std::size_t hour,
+                                 std::size_t len) noexcept {
+  return ResourceVector{
+      predictor.predict(vm.cpu_rpe2, hour, len,
+                        predictor.options().cpu_safety_margin),
+      predictor.predict(vm.mem_mb, hour, len,
+                        predictor.options().mem_safety_margin)};
+}
+
+}  // namespace vmcw

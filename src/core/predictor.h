@@ -1,0 +1,17 @@
+// VM-level demand prediction: applies the seasonal-max PeakPredictor
+// (analysis/predictor.h) to both resources of a VmWorkload with their
+// per-resource safety margins.
+#pragma once
+
+#include "analysis/predictor.h"
+#include "core/vm.h"
+#include "hardware/server_spec.h"
+
+namespace vmcw {
+
+/// Predicted (CPU, memory) peak of `vm` over [hour, hour+len).
+ResourceVector predict_vm_demand(const PeakPredictor& predictor,
+                                 const VmWorkload& vm, std::size_t hour,
+                                 std::size_t len) noexcept;
+
+}  // namespace vmcw

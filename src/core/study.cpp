@@ -1,0 +1,125 @@
+#include "core/study.h"
+
+#include <stdexcept>
+
+namespace vmcw {
+
+const char* to_string(Algorithm a) noexcept {
+  switch (a) {
+    case Algorithm::kSemiStatic:
+      return "Semi-Static";
+    case Algorithm::kStochastic:
+      return "Stochastic";
+    case Algorithm::kDynamic:
+      return "Dynamic";
+  }
+  return "?";
+}
+
+const AlgorithmResult& StudyResult::get(Algorithm a) const {
+  for (const auto& r : results)
+    if (r.algorithm == a) return r;
+  throw std::out_of_range("algorithm not present in study result");
+}
+
+double StudyResult::normalized_space_cost(Algorithm a) const {
+  const double base = get(Algorithm::kSemiStatic).space_cost;
+  return base > 0 ? get(a).space_cost / base : 0.0;
+}
+
+double StudyResult::normalized_power_cost(Algorithm a) const {
+  const double base = get(Algorithm::kSemiStatic).power_cost;
+  return base > 0 ? get(a).power_cost / base : 0.0;
+}
+
+namespace {
+
+AlgorithmResult evaluate_static(Algorithm algorithm, const StaticPlan& plan,
+                                std::span<const VmWorkload> vms,
+                                const StudySettings& settings,
+                                const CostModel& costs) {
+  AlgorithmResult result;
+  result.algorithm = algorithm;
+  const Placement schedule[] = {plan.placement};
+  result.emulation =
+      emulate(vms, schedule, settings, /*power_off_empty_hosts=*/false);
+  result.provisioned_hosts = plan.hosts_used;
+  result.space_cost = costs.space_hardware_cost(
+      settings.target, result.provisioned_hosts,
+      static_cast<double>(settings.eval_hours) / 24.0);
+  result.power_cost = costs.power_cost(result.emulation.energy_wh);
+  return result;
+}
+
+}  // namespace
+
+StudyResult run_study(std::string workload_name,
+                      std::span<const VmWorkload> vms,
+                      const StudySettings& settings,
+                      const ConstraintSet& constraints,
+                      const CostModel& costs) {
+  StudyResult study;
+  study.workload = std::move(workload_name);
+  study.settings = settings;
+
+  auto semi = plan_semi_static(vms, settings, constraints);
+  if (!semi) throw std::runtime_error("semi-static planning failed");
+  study.results.push_back(evaluate_static(Algorithm::kSemiStatic, *semi, vms,
+                                          settings, costs));
+
+  auto stochastic = plan_stochastic(vms, settings, constraints);
+  if (!stochastic) throw std::runtime_error("stochastic planning failed");
+  study.results.push_back(evaluate_static(Algorithm::kStochastic, *stochastic,
+                                          vms, settings, costs));
+
+  auto dynamic = plan_dynamic(vms, settings, constraints);
+  if (!dynamic) throw std::runtime_error("dynamic planning failed");
+  AlgorithmResult dyn;
+  dyn.algorithm = Algorithm::kDynamic;
+  dyn.emulation = emulate(vms, dynamic->per_interval, settings,
+                          /*power_off_empty_hosts=*/true);
+  dyn.provisioned_hosts = dynamic->max_active_hosts;
+  dyn.space_cost = costs.space_hardware_cost(
+      settings.target, dyn.provisioned_hosts,
+      static_cast<double>(settings.eval_hours) / 24.0);
+  dyn.power_cost = costs.power_cost(dyn.emulation.energy_wh);
+  dyn.migrations_per_interval = std::move(dynamic->migrations);
+  dyn.total_migrations = dynamic->total_migrations;
+  study.results.push_back(std::move(dyn));
+  return study;
+}
+
+StudyResult run_study(const Datacenter& dc, const StudySettings& settings,
+                      const ConstraintSet& constraints,
+                      const CostModel& costs) {
+  const auto vms = to_vm_workloads(dc);
+  return run_study(dc.industry, vms, settings, constraints, costs);
+}
+
+SensitivityResult sensitivity_sweep(
+    const Datacenter& dc, const StudySettings& base_settings,
+    std::span<const double> utilization_bounds) {
+  SensitivityResult result;
+  result.workload = dc.industry;
+  const auto vms = to_vm_workloads(dc);
+
+  auto semi = plan_semi_static(vms, base_settings);
+  auto stochastic = plan_stochastic(vms, base_settings);
+  if (!semi || !stochastic)
+    throw std::runtime_error("static planning failed in sensitivity sweep");
+  result.semi_static_hosts = semi->hosts_used;
+  result.stochastic_hosts = stochastic->hosts_used;
+
+  for (double bound : utilization_bounds) {
+    StudySettings settings = base_settings;
+    settings.dynamic_utilization_bound = bound;
+    auto dynamic = plan_dynamic(vms, settings);
+    if (!dynamic)
+      throw std::runtime_error("dynamic planning failed in sensitivity sweep");
+    result.dynamic_points.push_back(
+        SensitivityPoint{bound, dynamic->max_active_hosts});
+  }
+  return result;
+}
+
+}  // namespace vmcw

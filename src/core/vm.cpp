@@ -1,0 +1,34 @@
+#include "core/vm.h"
+
+namespace vmcw {
+
+ResourceVector VmWorkload::demand_at(std::size_t hour) const noexcept {
+  ResourceVector v;
+  if (hour < cpu_rpe2.size()) v.cpu_rpe2 = cpu_rpe2[hour];
+  if (hour < mem_mb.size()) v.memory_mb = mem_mb[hour];
+  return v;
+}
+
+ResourceVector VmWorkload::size_over(std::size_t begin, std::size_t len,
+                                     WindowReducer reducer) const {
+  ResourceVector v;
+  v.cpu_rpe2 = reduce(cpu_rpe2.slice(begin, len), reducer);
+  v.memory_mb = reduce(mem_mb.slice(begin, len), reducer);
+  return v;
+}
+
+std::vector<VmWorkload> to_vm_workloads(const Datacenter& dc) {
+  std::vector<VmWorkload> vms;
+  vms.reserve(dc.servers.size());
+  for (const auto& server : dc.servers) {
+    VmWorkload vm;
+    vm.id = server.id;
+    vm.klass = server.klass;
+    vm.cpu_rpe2 = server.cpu_rpe2();
+    vm.mem_mb = server.mem_mb;
+    vms.push_back(std::move(vm));
+  }
+  return vms;
+}
+
+}  // namespace vmcw

@@ -1,0 +1,39 @@
+// Virtual-machine workloads: the unit of consolidation planning.
+//
+// Consolidation turns each source physical server into one virtual machine
+// whose demand is the source's measured usage (P2V). Demand is carried in
+// portable units — CPU in RPE2 (so it can be compared against any target
+// blade's rating) and memory in MB — at hourly resolution.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hardware/server_spec.h"
+#include "trace/server_trace.h"
+
+namespace vmcw {
+
+struct VmWorkload {
+  std::string id;
+  WorkloadClass klass = WorkloadClass::kWeb;
+  TimeSeries cpu_rpe2;  ///< hourly CPU demand in RPE2 units
+  TimeSeries mem_mb;    ///< hourly committed memory in MB
+
+  std::size_t hours() const noexcept {
+    return std::max(cpu_rpe2.size(), mem_mb.size());
+  }
+
+  /// Actual demand at one hour (0 beyond the trace).
+  ResourceVector demand_at(std::size_t hour) const noexcept;
+
+  /// Reduce demand over [begin, begin+len) with the given sizing function,
+  /// independently per resource.
+  ResourceVector size_over(std::size_t begin, std::size_t len,
+                           WindowReducer reducer) const;
+};
+
+/// P2V conversion of a whole data center.
+std::vector<VmWorkload> to_vm_workloads(const Datacenter& dc);
+
+}  // namespace vmcw

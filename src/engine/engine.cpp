@@ -1,0 +1,102 @@
+#include "engine/engine.h"
+
+#include <stdexcept>
+
+namespace vmcw {
+
+const char* to_string(Strategy strategy) noexcept {
+  switch (strategy) {
+    case Strategy::kStatic:
+      return "Static";
+    case Strategy::kSemiStatic:
+      return "Semi-Static";
+    case Strategy::kStochastic:
+      return "Stochastic";
+    case Strategy::kDynamic:
+      return "Dynamic";
+    case Strategy::kHybrid:
+      return "Hybrid";
+  }
+  return "?";
+}
+
+ConsolidationEngine::ConsolidationEngine(Config config)
+    : config_(std::move(config)) {}
+
+void ConsolidationEngine::observe(const Datacenter& estate) {
+  truth_ = estate;
+  const auto warehouse =
+      collect_datacenter(estate, config_.agent, config_.monitoring_seed);
+  view_ = reconstruct_datacenter(estate, warehouse);
+  vms_ = to_vm_workloads(*view_);
+}
+
+const Datacenter& ConsolidationEngine::planner_view() const {
+  if (!view_) throw std::logic_error("observe() an estate first");
+  return *view_;
+}
+
+PipelineFidelity ConsolidationEngine::monitoring_fidelity() const {
+  if (!truth_ || !view_) throw std::logic_error("observe() an estate first");
+  return pipeline_fidelity(*truth_, *view_);
+}
+
+std::optional<ConsolidationEngine::Recommendation>
+ConsolidationEngine::recommend(Strategy strategy) const {
+  if (!view_) throw std::logic_error("observe() an estate first");
+  Recommendation rec;
+  rec.strategy = strategy;
+
+  switch (strategy) {
+    case Strategy::kStatic:
+    case Strategy::kSemiStatic:
+    case Strategy::kStochastic: {
+      std::optional<StaticPlan> plan;
+      if (strategy == Strategy::kStatic)
+        plan = plan_static(vms_, config_.settings);
+      else if (strategy == Strategy::kSemiStatic)
+        plan = plan_semi_static(vms_, config_.settings);
+      else
+        plan = plan_stochastic(vms_, config_.settings);
+      if (!plan) return std::nullopt;
+      rec.schedule = {plan->placement};
+      rec.provisioned_hosts = plan->hosts_used;
+      return rec;
+    }
+    case Strategy::kDynamic: {
+      auto plan = plan_dynamic(vms_, config_.settings);
+      if (!plan) return std::nullopt;
+      rec.schedule = std::move(plan->per_interval);
+      rec.provisioned_hosts = plan->max_active_hosts;
+      rec.total_migrations = plan->total_migrations;
+      break;
+    }
+    case Strategy::kHybrid: {
+      auto plan =
+          plan_hybrid(vms_, config_.settings, config_.hybrid_fraction);
+      if (!plan) return std::nullopt;
+      rec.provisioned_hosts = plan->provisioned_hosts();
+      rec.total_migrations = plan->total_migrations;
+      rec.schedule = std::move(plan->per_interval);
+      break;
+    }
+  }
+
+  // Execution feasibility for the strategies that live-migrate.
+  rec.execution = execution_feasibility(
+      rec.schedule, vms_, config_.settings.eval_begin(),
+      config_.settings.interval_hours, MigrationConfig{});
+  return rec;
+}
+
+EmulationReport ConsolidationEngine::evaluate(
+    const Recommendation& recommendation) const {
+  if (!truth_) throw std::logic_error("observe() an estate first");
+  const auto truth_vms = to_vm_workloads(*truth_);
+  const bool power_off = recommendation.strategy == Strategy::kDynamic ||
+                         recommendation.strategy == Strategy::kHybrid;
+  return emulate(truth_vms, recommendation.schedule, config_.settings,
+                 power_off);
+}
+
+}  // namespace vmcw

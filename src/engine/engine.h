@@ -1,0 +1,86 @@
+// The consolidation flow of Section 2.1 as one engine:
+//
+//   Monitoring -> Prediction -> Size Estimation -> Placement -> Execution
+//
+// The engine observes an estate through per-minute monitoring agents into
+// the hourly warehouse (the only data real planning ever sees), then
+// produces a consolidation recommendation with any of the implemented
+// strategies, including the migration-execution feasibility of the result.
+// What the paper's tool suite did across 30+ engagements, in one object.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/hybrid.h"
+#include "core/migration_scheduler.h"
+#include "core/study.h"
+#include "monitoring/pipeline.h"
+
+namespace vmcw {
+
+/// Strategy selector for recommendations. Extends the paper's three
+/// compared algorithms with pure Static and the hybrid extension.
+enum class Strategy {
+  kStatic,
+  kSemiStatic,
+  kStochastic,
+  kDynamic,
+  kHybrid,
+};
+
+const char* to_string(Strategy strategy) noexcept;
+
+class ConsolidationEngine {
+ public:
+  struct Config {
+    AgentConfig agent;        ///< monitoring fidelity knobs
+    StudySettings settings;   ///< Table 3 parameters
+    double hybrid_fraction = 0.25;
+    std::uint64_t monitoring_seed = 1;
+  };
+
+  ConsolidationEngine() : ConsolidationEngine(Config{}) {}
+  explicit ConsolidationEngine(Config config);
+
+  /// Step 1 (Monitoring): run agents over the estate and fill the
+  /// warehouse. The ground truth is kept only for inventory (specs/labels)
+  /// and for evaluate().
+  void observe(const Datacenter& estate);
+
+  /// The planner's view: the estate as reconstructed from warehouse
+  /// aggregates. Requires observe().
+  const Datacenter& planner_view() const;
+
+  /// Monitoring fidelity vs the observed ground truth.
+  PipelineFidelity monitoring_fidelity() const;
+
+  struct Recommendation {
+    Strategy strategy = Strategy::kSemiStatic;
+    std::vector<Placement> schedule;  ///< 1 entry for static variants
+    std::size_t provisioned_hosts = 0;
+    std::size_t total_migrations = 0;
+    /// Migration-execution feasibility (dynamic/hybrid only; empty else).
+    std::optional<ExecutionFeasibility> execution;
+  };
+
+  /// Steps 2-5: size, place and (for dynamic variants) check execution of
+  /// the requested strategy, all on the warehouse view. Requires
+  /// observe(). Returns std::nullopt when planning fails.
+  std::optional<Recommendation> recommend(Strategy strategy) const;
+
+  /// Replay the *ground truth* against a recommendation's schedule — the
+  /// emulator step the paper uses to compare algorithms.
+  EmulationReport evaluate(const Recommendation& recommendation) const;
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  std::optional<Datacenter> truth_;
+  std::optional<Datacenter> view_;
+  std::vector<VmWorkload> vms_;  ///< from the warehouse view
+};
+
+}  // namespace vmcw

@@ -1,0 +1,105 @@
+#include "hardware/catalog.h"
+
+#include <array>
+#include <cassert>
+
+namespace vmcw {
+
+ServerSpec hs23_elite_blade() {
+  return ServerSpec{
+      .model = "IBM HS23 Elite",
+      .cpu_rpe2 = 20480.0,
+      .memory_mb = 128.0 * 1024.0,  // => rpe2_per_gb() == 160
+      .idle_watts = 130.0,
+      .peak_watts = 345.0,
+      .rack_units = 0.64,  // 14 blades per 9U BladeCenter chassis
+      .hardware_cost = 9500.0,
+  };
+}
+
+ServerSpec hs22_blade() {
+  return ServerSpec{
+      .model = "IBM HS22",
+      .cpu_rpe2 = 12300.0,
+      .memory_mb = 96.0 * 1024.0,
+      .idle_watts = 145.0,
+      .peak_watts = 330.0,
+      .rack_units = 0.64,
+      .hardware_cost = 0.0,  // already owned when reused in an engagement
+  };
+}
+
+namespace {
+
+const std::array<ServerSpec, 6> kSourceModels = {{
+    {.model = "x3250-1s-4g",
+     .cpu_rpe2 = 1400.0,
+     .memory_mb = 4.0 * 1024.0,
+     .idle_watts = 90.0,
+     .peak_watts = 180.0,
+     .rack_units = 1.0,
+     .hardware_cost = 1800.0},
+    {.model = "x3550e-2s-4g",  // CPU-dense web node: quad-cores, lean memory
+     .cpu_rpe2 = 3200.0,
+     .memory_mb = 4.0 * 1024.0,
+     .idle_watts = 110.0,
+     .peak_watts = 230.0,
+     .rack_units = 1.0,
+     .hardware_cost = 2900.0},
+    {.model = "x3550-2s-8g",
+     .cpu_rpe2 = 2800.0,
+     .memory_mb = 8.0 * 1024.0,
+     .idle_watts = 120.0,
+     .peak_watts = 240.0,
+     .rack_units = 1.0,
+     .hardware_cost = 3200.0},
+    {.model = "x3650-2s-16g",
+     .cpu_rpe2 = 4200.0,
+     .memory_mb = 16.0 * 1024.0,
+     .idle_watts = 150.0,
+     .peak_watts = 310.0,
+     .rack_units = 2.0,
+     .hardware_cost = 5200.0},
+    {.model = "x3650-2s-32g",
+     .cpu_rpe2 = 5600.0,
+     .memory_mb = 32.0 * 1024.0,
+     .idle_watts = 165.0,
+     .peak_watts = 340.0,
+     .rack_units = 2.0,
+     .hardware_cost = 7400.0},
+    {.model = "x3850-4s-64g",
+     .cpu_rpe2 = 9600.0,
+     .memory_mb = 64.0 * 1024.0,
+     .idle_watts = 260.0,
+     .peak_watts = 620.0,
+     .rack_units = 4.0,
+     .hardware_cost = 14800.0},
+}};
+
+constexpr std::array<double, 6> kDefaultWeights = {0.20, 0.15, 0.30, 0.20,
+                                                   0.10, 0.05};
+constexpr std::array<double, 6> kMemoryHeavyWeights = {0.05, 0.02, 0.18, 0.35,
+                                                       0.30, 0.10};
+
+}  // namespace
+
+std::span<const ServerSpec> source_server_models() { return kSourceModels; }
+
+const ServerSpec& ServerMix::sample(Rng& rng) const {
+  const auto models = source_server_models();
+  assert(weights.size() == models.size());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double pick = rng.uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    pick -= weights[i];
+    if (pick <= 0.0) return models[i];
+  }
+  return models.back();
+}
+
+ServerMix default_server_mix() { return ServerMix{kDefaultWeights}; }
+
+ServerMix memory_heavy_server_mix() { return ServerMix{kMemoryHeavyWeights}; }
+
+}  // namespace vmcw

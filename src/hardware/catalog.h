@@ -1,0 +1,49 @@
+// Server catalog: the consolidation target blade and the legacy source-
+// server models that populate the synthetic data centers.
+//
+// The paper's source fleet is physical Windows servers of mixed vintage;
+// the consolidation target is the HS23 Elite blade (2 sockets, 128 GB,
+// RPE2/GB = 160). Source models below are representative 2-socket rack
+// servers with RPE2 ratings in the few-thousands and 4-64 GB of memory —
+// the regime in which per-server CPU utilization of 1-12% (Table 2) and
+// memory-constrained aggregates (Fig 6) both arise.
+#pragma once
+
+#include "hardware/server_spec.h"
+
+#include <span>
+
+#include "util/rng.h"
+
+namespace vmcw {
+
+/// The IBM HS23 Elite consolidation target: RPE2 20480, 128 GB
+/// (ratio exactly 160, as stated in Fig 6's caption).
+ServerSpec hs23_elite_blade();
+
+/// The previous blade generation (HS22-class): roughly 60% of the compute
+/// and 75% of the memory at worse energy proportionality. Engagements
+/// often reuse a rack of these instead of buying new HS23s for everything.
+ServerSpec hs22_blade();
+
+/// Legacy source-server models, ordered small to large.
+std::span<const ServerSpec> source_server_models();
+
+/// A weighted mix over source models; weights need not be normalized.
+struct ServerMix {
+  /// weight[i] corresponds to source_server_models()[i]. Sizes must match.
+  std::span<const double> weights;
+
+  /// Sample one model according to the weights.
+  const ServerSpec& sample(Rng& rng) const;
+};
+
+/// Default mix skewed toward small/medium boxes (typical of the
+/// under-utilized estates the paper consolidates).
+ServerMix default_server_mix();
+
+/// Memory-rich mix (larger installed memory per RPE2) for data centers
+/// like the Airlines workload whose aggregate is strongly memory-bound.
+ServerMix memory_heavy_server_mix();
+
+}  // namespace vmcw

@@ -1,0 +1,27 @@
+#include "hardware/cost_model.h"
+
+namespace vmcw {
+
+CostModel::CostModel(CostParameters params) noexcept : params_(params) {}
+
+double CostModel::server_month_cost(const ServerSpec& spec) const noexcept {
+  const double space = params_.space_per_rack_unit_month * spec.rack_units;
+  const double hardware =
+      params_.amortization_months > 0
+          ? spec.hardware_cost / params_.amortization_months
+          : 0.0;
+  return space + hardware;
+}
+
+double CostModel::space_hardware_cost(const ServerSpec& spec,
+                                      std::size_t server_count,
+                                      double days) const noexcept {
+  const double months = days / 30.0;
+  return server_month_cost(spec) * static_cast<double>(server_count) * months;
+}
+
+double CostModel::power_cost(double energy_wh) const noexcept {
+  return energy_wh / 1000.0 * params_.pue * params_.usd_per_kwh;
+}
+
+}  // namespace vmcw

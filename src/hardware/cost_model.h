@@ -1,0 +1,51 @@
+// Facilities / hardware / power cost model.
+//
+// The paper reports two infrastructure cost figures (Fig 7), both
+// normalized to the vanilla Semi-Static plan:
+//  - "space and hardware" cost: driven by the number of provisioned
+//    servers, their rack occupancy, and raised-floor space;
+//  - "power" cost: energy over the experiment window.
+// Absolute prices in the engagements are confidential, so the model here is
+// parametric with defensible defaults; every figure normalizes them away.
+#pragma once
+
+#include "hardware/power_model.h"
+#include "hardware/server_spec.h"
+
+#include <cstddef>
+
+namespace vmcw {
+
+struct CostParameters {
+  /// Raised-floor + rack cost per rack-unit per month.
+  double space_per_rack_unit_month = 85.0;
+  /// Hardware amortization horizon in months (cost / horizon = monthly).
+  double amortization_months = 36.0;
+  /// Electricity price per kWh, including PUE overhead folded in.
+  double usd_per_kwh = 0.16;
+  /// Datacenter PUE multiplier applied to IT energy.
+  double pue = 1.7;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(CostParameters params = {}) noexcept;
+
+  /// Monthly space + amortized hardware cost of one provisioned server.
+  double server_month_cost(const ServerSpec& spec) const noexcept;
+
+  /// Space + hardware cost of `server_count` identical provisioned servers
+  /// over `days` days.
+  double space_hardware_cost(const ServerSpec& spec, std::size_t server_count,
+                             double days) const noexcept;
+
+  /// Cost of `energy_wh` watt-hours of IT energy (PUE applied).
+  double power_cost(double energy_wh) const noexcept;
+
+  const CostParameters& parameters() const noexcept { return params_; }
+
+ private:
+  CostParameters params_;
+};
+
+}  // namespace vmcw

@@ -1,0 +1,29 @@
+#include "hardware/power_model.h"
+
+#include <algorithm>
+
+namespace vmcw {
+
+PowerModel::PowerModel(double idle_watts, double peak_watts) noexcept
+    : idle_(std::max(idle_watts, 0.0)), peak_(std::max(peak_watts, idle_)) {}
+
+PowerModel::PowerModel(const ServerSpec& spec) noexcept
+    : PowerModel(spec.idle_watts, spec.peak_watts) {}
+
+double PowerModel::watts(double cpu_utilization, bool powered_on) const noexcept {
+  if (!powered_on) return 0.0;
+  const double u = std::clamp(cpu_utilization, 0.0, 1.0);
+  return idle_ + (peak_ - idle_) * u;
+}
+
+double PowerModel::energy_wh(std::span<const double> per_interval_utilization,
+                             double interval_hours) const noexcept {
+  double wh = 0.0;
+  for (double u : per_interval_utilization) {
+    if (u < 0.0) continue;  // powered off
+    wh += watts(u) * interval_hours;
+  }
+  return wh;
+}
+
+}  // namespace vmcw

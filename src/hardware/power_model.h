@@ -1,0 +1,39 @@
+// Linear server power model.
+//
+// The paper computes power cost per consolidation interval from the set of
+// active servers and their utilization. We use the standard linear model
+// P(u) = idle + (peak - idle) * u, which matches measured enterprise-server
+// behavior to within a few percent (Fan et al., Verma et al. [25]) and is
+// what the paper's own tooling family (pMapper/BrownMap) uses.
+#pragma once
+
+#include "hardware/server_spec.h"
+
+#include <span>
+
+namespace vmcw {
+
+class PowerModel {
+ public:
+  PowerModel(double idle_watts, double peak_watts) noexcept;
+  explicit PowerModel(const ServerSpec& spec) noexcept;
+
+  /// Instantaneous power at CPU utilization u (clamped to [0, 1]).
+  /// A powered-off server draws zero.
+  double watts(double cpu_utilization, bool powered_on = true) const noexcept;
+
+  /// Energy in watt-hours across per-interval utilizations, each interval
+  /// lasting `interval_hours`. Off intervals are encoded as negative
+  /// utilization values.
+  double energy_wh(std::span<const double> per_interval_utilization,
+                   double interval_hours) const noexcept;
+
+  double idle_watts() const noexcept { return idle_; }
+  double peak_watts() const noexcept { return peak_; }
+
+ private:
+  double idle_;
+  double peak_;
+};
+
+}  // namespace vmcw

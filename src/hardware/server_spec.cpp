@@ -1,0 +1,17 @@
+#include "hardware/server_spec.h"
+
+namespace vmcw {
+
+namespace {
+// Relative slack for capacity checks: demand sums are accumulated in
+// floating point, so exact <= comparisons would spuriously reject
+// placements that are mathematically tight.
+constexpr double kEpsilon = 1e-9;
+}  // namespace
+
+bool ResourceVector::fits_within(const ResourceVector& capacity) const noexcept {
+  return cpu_rpe2 <= capacity.cpu_rpe2 * (1.0 + kEpsilon) + kEpsilon &&
+         memory_mb <= capacity.memory_mb * (1.0 + kEpsilon) + kEpsilon;
+}
+
+}  // namespace vmcw

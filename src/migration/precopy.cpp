@@ -1,0 +1,71 @@
+#include "migration/precopy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vmcw {
+
+namespace {
+
+/// Effective copy bandwidth on a loaded source host. Below the CPU the
+/// migration daemon needs, bandwidth degrades proportionally to available
+/// headroom; memory pressure beyond 85% committed degrades it further.
+double effective_bandwidth(const MigrationConfig& c) {
+  const double headroom = std::max(1.0 - c.host_cpu_utilization, 0.0);
+  double cpu_factor = 1.0;
+  if (c.migration_cpu_fraction > 0)
+    cpu_factor = std::min(1.0, headroom / c.migration_cpu_fraction);
+  double mem_factor = 1.0;
+  if (c.host_mem_utilization > 0.85)
+    mem_factor = std::max(0.1, 1.0 - 3.0 * (c.host_mem_utilization - 0.85));
+  return std::max(c.link_bandwidth_mbps * cpu_factor * mem_factor, 0.01);
+}
+
+}  // namespace
+
+MigrationResult simulate_precopy(const MigrationConfig& c) {
+  MigrationResult r;
+  r.effective_bandwidth_mbps = effective_bandwidth(c);
+  const double bw = r.effective_bandwidth_mbps;
+  const double downtime_budget_mb = c.downtime_target_ms / 1000.0 * bw;
+
+  double to_copy = std::max(c.vm_memory_mb, 1.0);
+  double prev_to_copy = std::numeric_limits<double>::infinity();
+  for (int round = 0; round < c.max_rounds; ++round) {
+    ++r.rounds;
+    const double round_time = to_copy / bw;
+    r.duration_s += round_time;
+    r.data_copied_mb += to_copy;
+    // Pages dirtied while this round was copying, capped by the writable
+    // working set (pages dirtied twice only need one re-copy).
+    double dirtied =
+        std::min(c.dirty_rate_mbps * round_time, c.writable_working_set_mb);
+    if (dirtied <= downtime_budget_mb) {
+      r.converged = true;
+      to_copy = dirtied;
+      break;
+    }
+    // Divergence check: dirty set no longer shrinking => stop-and-copy now.
+    if (dirtied >= prev_to_copy * 0.95 && round > 0) {
+      to_copy = dirtied;
+      break;
+    }
+    prev_to_copy = to_copy;
+    to_copy = dirtied;
+  }
+  // Stop-and-copy: the VM pauses while the residual set transfers.
+  r.downtime_ms = to_copy / bw * 1000.0;
+  r.duration_s += to_copy / bw;
+  r.data_copied_mb += to_copy;
+  return r;
+}
+
+MigrationResult simulate_precopy_at_load(MigrationConfig config,
+                                         double host_cpu_utilization,
+                                         double host_mem_utilization) {
+  config.host_cpu_utilization = std::clamp(host_cpu_utilization, 0.0, 1.0);
+  config.host_mem_utilization = std::clamp(host_mem_utilization, 0.0, 1.0);
+  return simulate_precopy(config);
+}
+
+}  // namespace vmcw

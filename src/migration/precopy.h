@@ -1,0 +1,62 @@
+// Iterative pre-copy live-migration model.
+//
+// All production live-migration implementations the paper cites (Xen/Clark
+// et al. NSDI'05, VMware/Nelson et al. ATC'05) share the same design: copy
+// all memory while the VM runs, re-copy the pages dirtied during each round,
+// and stop-and-copy when the residual dirty set is small enough or stops
+// shrinking. We model that loop analytically:
+//
+//   round 0 copies M bytes at effective bandwidth B_eff;
+//   a round of duration t leaves  min(D * t, W) dirty bytes to re-copy,
+//   where D is the dirty rate and W the writable working set;
+//   iteration ends when residual <= downtime_target * B_eff (success) or
+//   rounds stop converging / exceed the round cap (forced stop-and-copy).
+//
+// The key coupling the paper leans on (Observation 4): the copy process
+// itself needs CPU on the loaded *source* host. We model effective
+// bandwidth as B_eff = B * min(1, headroom / cpu_need): with less CPU
+// headroom than the migration daemon needs, the copy slows down, rounds
+// lengthen, more pages dirty per round, and migration time diverges — which
+// is why operators reserve 20-30% of every host.
+#pragma once
+
+namespace vmcw {
+
+struct MigrationConfig {
+  double vm_memory_mb = 4096;
+  /// MB/s of newly dirtied pages while the copy runs. SpecWeb-class guests
+  /// dirty their working set fast (Clark et al.).
+  double dirty_rate_mbps = 100;
+  double writable_working_set_mb = 512;  ///< cap on the re-dirtied set
+  double link_bandwidth_mbps = 125;   ///< 1 GbE in MB/s
+  double downtime_target_ms = 300;    ///< stop-and-copy when residual fits
+  int max_rounds = 30;
+  /// CPU the migration daemon needs on the source host, as a fraction of
+  /// the host (Nelson et al. report ~30%).
+  double migration_cpu_fraction = 0.30;
+  /// CPU utilization of the source host from its workloads, [0, 1].
+  double host_cpu_utilization = 0.5;
+  /// Committed-memory fraction of the source host; thrashing above ~85%
+  /// slows the copy further (page faults compete with the copy).
+  double host_mem_utilization = 0.5;
+};
+
+struct MigrationResult {
+  bool converged = false;   ///< pre-copy reached the downtime target
+  int rounds = 0;
+  double duration_s = 0;    ///< total migration time
+  double downtime_ms = 0;   ///< stop-and-copy pause
+  double data_copied_mb = 0;
+  double effective_bandwidth_mbps = 0;
+};
+
+/// Run the analytic pre-copy iteration.
+MigrationResult simulate_precopy(const MigrationConfig& config);
+
+/// Convenience: migration duration as a function of source-host CPU
+/// utilization, all else per `config`.
+MigrationResult simulate_precopy_at_load(MigrationConfig config,
+                                         double host_cpu_utilization,
+                                         double host_mem_utilization);
+
+}  // namespace vmcw

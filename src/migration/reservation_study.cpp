@@ -1,0 +1,48 @@
+#include "migration/reservation_study.h"
+
+#include <algorithm>
+
+namespace vmcw {
+
+namespace {
+
+ReservationPoint evaluate(const ReservationStudyConfig& config, double cpu,
+                          double mem) {
+  ReservationPoint p;
+  p.host_cpu_utilization = cpu;
+  p.host_mem_utilization = mem;
+  p.migration = simulate_precopy_at_load(config.migration, cpu, mem);
+  p.reliable = p.migration.converged &&
+               p.migration.duration_s <= config.max_acceptable_duration_s;
+  return p;
+}
+
+}  // namespace
+
+std::vector<ReservationPoint> sweep_cpu_utilization(
+    const ReservationStudyConfig& config, double mem_utilization) {
+  std::vector<ReservationPoint> out;
+  const double step = std::max(config.utilization_step, 0.005);
+  for (double u = 0.0; u <= 1.0 + 1e-9; u += step)
+    out.push_back(evaluate(config, std::min(u, 1.0), mem_utilization));
+  return out;
+}
+
+std::vector<ReservationPoint> sweep_mem_utilization(
+    const ReservationStudyConfig& config, double cpu_utilization) {
+  std::vector<ReservationPoint> out;
+  const double step = std::max(config.utilization_step, 0.005);
+  for (double u = 0.0; u <= 1.0 + 1e-9; u += step)
+    out.push_back(evaluate(config, cpu_utilization, std::min(u, 1.0)));
+  return out;
+}
+
+double max_reliable_cpu_utilization(const ReservationStudyConfig& config,
+                                    double mem_utilization) {
+  double best = 0.0;
+  for (const auto& p : sweep_cpu_utilization(config, mem_utilization))
+    if (p.reliable) best = std::max(best, p.host_cpu_utilization);
+  return best;
+}
+
+}  // namespace vmcw

@@ -1,0 +1,45 @@
+// Reservation study: how much of a host must stay free for live migration
+// to be reliable? (Section 4.3 / Observation 4.)
+//
+// Sweeps source-host CPU/memory utilization and reports migration duration,
+// downtime and a reliability verdict at each point. "Reliable" mirrors the
+// paper's operating rule: the pre-copy converges to its downtime target and
+// total duration stays within a bound (prolonged migrations are what
+// production operators cannot accept). The study exposes the knee the
+// paper reports — stable below ~80% CPU / ~85% committed memory — from
+// which the 20% reservation thumb rule follows.
+#pragma once
+
+#include <vector>
+
+#include "migration/precopy.h"
+
+namespace vmcw {
+
+struct ReservationPoint {
+  double host_cpu_utilization = 0;
+  double host_mem_utilization = 0;
+  MigrationResult migration;
+  bool reliable = false;
+};
+
+struct ReservationStudyConfig {
+  MigrationConfig migration;        ///< base VM / link parameters
+  double max_acceptable_duration_s = 300;  ///< beyond this = "prolonged"
+  double utilization_step = 0.05;
+};
+
+/// Sweep CPU utilization at fixed memory utilization.
+std::vector<ReservationPoint> sweep_cpu_utilization(
+    const ReservationStudyConfig& config, double mem_utilization = 0.5);
+
+/// Sweep memory utilization at fixed CPU utilization.
+std::vector<ReservationPoint> sweep_mem_utilization(
+    const ReservationStudyConfig& config, double cpu_utilization = 0.5);
+
+/// Highest CPU utilization at which migration is still reliable (the
+/// utilization bound U; 1-U is the reservation the thumb rule allocates).
+double max_reliable_cpu_utilization(const ReservationStudyConfig& config,
+                                    double mem_utilization = 0.5);
+
+}  // namespace vmcw

@@ -1,0 +1,55 @@
+#include "migration/technology.h"
+
+namespace vmcw {
+
+const char* to_string(MigrationTechnology tech) noexcept {
+  switch (tech) {
+    case MigrationTechnology::kSourcePrecopy:
+      return "source pre-copy";
+    case MigrationTechnology::kTargetAssisted:
+      return "target-assisted copy";
+    case MigrationTechnology::kRdmaOffload:
+      return "RDMA offload";
+  }
+  return "?";
+}
+
+double source_cpu_fraction(MigrationTechnology tech) noexcept {
+  switch (tech) {
+    case MigrationTechnology::kSourcePrecopy:
+      return 0.30;  // Nelson et al.
+    case MigrationTechnology::kTargetAssisted:
+      return 0.12;  // source only write-protects and logs dirty pages
+    case MigrationTechnology::kRdmaOffload:
+      return 0.04;  // registration + dirty tracking only
+  }
+  return 0.30;
+}
+
+double bandwidth_multiplier(MigrationTechnology tech) noexcept {
+  switch (tech) {
+    case MigrationTechnology::kSourcePrecopy:
+    case MigrationTechnology::kTargetAssisted:
+      return 1.0;
+    case MigrationTechnology::kRdmaOffload:
+      return 1.6;  // kernel-bypass saturates the fabric
+  }
+  return 1.0;
+}
+
+MigrationConfig apply_technology(MigrationConfig base,
+                                 MigrationTechnology tech) noexcept {
+  base.migration_cpu_fraction = source_cpu_fraction(tech);
+  base.link_bandwidth_mbps *= bandwidth_multiplier(tech);
+  return base;
+}
+
+double supported_utilization_bound(MigrationTechnology tech,
+                                   const ReservationStudyConfig& study) {
+  ReservationStudyConfig config = study;
+  config.migration = apply_technology(config.migration, tech);
+  config.utilization_step = 0.01;
+  return max_reliable_cpu_utilization(config);
+}
+
+}  // namespace vmcw

@@ -1,0 +1,43 @@
+// Live-migration technology variants (Section 7, "Improving live migration
+// efficiency" / Observation 7).
+//
+// The paper's closing argument: dynamic consolidation's handicap is the
+// resource reservation live migration demands *on the already-loaded
+// source host*. It sketches two remedies — offloading the copy work to the
+// target host, and taking the copy out of the OS entirely with RDMA. This
+// module models the source-side CPU need of each technology so the
+// reservation study (and the Fig 13-16 sensitivity machinery) can quantify
+// how much space/hardware dynamic consolidation would recover with each.
+#pragma once
+
+#include "migration/precopy.h"
+#include "migration/reservation_study.h"
+
+namespace vmcw {
+
+enum class MigrationTechnology {
+  kSourcePrecopy,     ///< classic pre-copy: source does all the work
+  kTargetAssisted,    ///< target pulls pages; source only tracks dirtying
+  kRdmaOffload,       ///< NIC-driven copy; near-zero source CPU
+};
+
+const char* to_string(MigrationTechnology tech) noexcept;
+
+/// Source-host CPU fraction the migration needs under each technology.
+double source_cpu_fraction(MigrationTechnology tech) noexcept;
+
+/// Effective link bandwidth multiplier (RDMA paths bypass the kernel and
+/// sustain higher throughput on the same fabric).
+double bandwidth_multiplier(MigrationTechnology tech) noexcept;
+
+/// A MigrationConfig specialized for the technology.
+MigrationConfig apply_technology(MigrationConfig base,
+                                 MigrationTechnology tech) noexcept;
+
+/// The consolidation utilization bound each technology supports: the
+/// highest host CPU utilization at which migration stays reliable, from
+/// the pre-copy model (Observation 4 generalized).
+double supported_utilization_bound(MigrationTechnology tech,
+                                   const ReservationStudyConfig& study = {});
+
+}  // namespace vmcw

@@ -1,0 +1,77 @@
+#include "monitoring/agent.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vmcw {
+
+const char* to_string(Metric metric) noexcept {
+  switch (metric) {
+    case Metric::kCpuTotalPct:
+      return "% Total Processor Time";
+    case Metric::kMemCommittedMb:
+      return "Memory Committed (MB)";
+    case Metric::kPagesPerSec:
+      return "Pages Per Sec";
+    case Metric::kTcpConnections:
+      return "TCP/IP Conn";
+  }
+  return "?";
+}
+
+MonitoringAgent::MonitoringAgent(const ServerTrace& server, AgentConfig config,
+                                 Rng rng)
+    : server_id_(server.id), server_(&server), config_(config), rng_(rng) {}
+
+std::vector<MetricSample> MonitoringAgent::sample_hour(std::size_t hour) {
+  std::vector<MetricSample> samples;
+  if (hour >= server_->cpu_util.size()) return samples;
+  samples.reserve(4 * 60);
+
+  const double cpu_mean = server_->cpu_util[hour] * 100.0;  // percent
+  const double mem_mean = server_->mem_mb[hour];
+
+  for (std::uint32_t m = 0; m < 60; ++m) {
+    const auto minute = static_cast<std::uint32_t>(hour) * 60 + m;
+    if (rng_.bernoulli(config_.sample_loss_rate)) continue;
+
+    // Intra-hour variation: mean-reverting around the hourly truth, CPU
+    // livelier than memory (the same asymmetry as at hour scale).
+    cpu_state_ = config_.intra_hour_rho * cpu_state_ +
+                 rng_.normal(0.0, config_.intra_hour_sigma);
+    mem_state_ = config_.intra_hour_rho * mem_state_ +
+                 rng_.normal(0.0, config_.intra_hour_sigma * 0.15);
+
+    auto observed = [&](double mean, double state) {
+      const double wiggle = std::max(1.0 + state, 0.0);
+      const double noise =
+          1.0 + rng_.normal(0.0, config_.measurement_noise);
+      return std::max(mean * wiggle * noise, 0.0);
+    };
+
+    const double cpu = std::min(observed(cpu_mean, cpu_state_), 100.0);
+    const double mem =
+        std::min(observed(mem_mean, mem_state_), server_->spec.memory_mb);
+    samples.push_back({minute, Metric::kCpuTotalPct, cpu});
+    samples.push_back({minute, Metric::kMemCommittedMb, mem});
+    // Paging activity correlates with memory pressure; TCP with CPU.
+    const double mem_pressure = mem / server_->spec.memory_mb;
+    samples.push_back(
+        {minute, Metric::kPagesPerSec,
+         std::max(0.0, (mem_pressure - 0.7) * 2000.0 * rng_.uniform(0.5, 1.5))});
+    samples.push_back(
+        {minute, Metric::kTcpConnections, cpu * rng_.uniform(8.0, 12.0)});
+  }
+  return samples;
+}
+
+std::vector<MetricSample> MonitoringAgent::sample_all() {
+  std::vector<MetricSample> all;
+  for (std::size_t hour = 0; hour < server_->cpu_util.size(); ++hour) {
+    auto hour_samples = sample_hour(hour);
+    all.insert(all.end(), hour_samples.begin(), hour_samples.end());
+  }
+  return all;
+}
+
+}  // namespace vmcw

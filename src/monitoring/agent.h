@@ -1,0 +1,80 @@
+// Agent-based monitoring (Section 3.1).
+//
+// The paper's consolidation flow starts below the planner: an agent on
+// every OS instance samples the Table 1 metrics once a minute and ships
+// them to a central server; the warehouse keeps hourly aggregates of the
+// most recent 30 days, and *that* is what planning consumes. This module
+// reproduces the collection half of the pipeline:
+//
+//   true hourly demand --> per-minute samples (intra-hour variation +
+//   measurement noise) --> MetricRecord stream
+//
+// so the warehouse half (warehouse.h) can aggregate the samples back to
+// hourly records and the whole loop can be validated: the planner's view
+// is an *estimate* of the ground truth, not the truth itself.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/server_trace.h"
+#include "util/rng.h"
+
+namespace vmcw {
+
+/// The subset of Table 1 metrics the planner consumes.
+enum class Metric {
+  kCpuTotalPct,       ///< % Total Processor Time
+  kMemCommittedMb,    ///< Memory Committed (MB)
+  kPagesPerSec,       ///< Pages In Per Second
+  kTcpConnections,    ///< TCP/IP packet counter (host constraint only)
+};
+
+const char* to_string(Metric metric) noexcept;
+
+/// One minute-granularity sample as shipped by an agent.
+struct MetricSample {
+  std::uint32_t minute = 0;  ///< minutes since trace start
+  Metric metric = Metric::kCpuTotalPct;
+  double value = 0;
+};
+
+/// Behavior of the per-minute sampling around the hourly truth.
+struct AgentConfig {
+  /// Within an hour the instantaneous demand fluctuates around the hourly
+  /// mean; modeled as AR(1) with this relative sigma.
+  double intra_hour_sigma = 0.15;
+  double intra_hour_rho = 0.7;
+  /// Multiplicative measurement noise of the agent itself.
+  double measurement_noise = 0.01;
+  /// Fraction of samples lost in collection (dropped minutes).
+  double sample_loss_rate = 0.0;
+};
+
+/// Monitoring agent for one server: expands the server's hourly demand
+/// series into per-minute samples of the supported metrics.
+class MonitoringAgent {
+ public:
+  MonitoringAgent(const ServerTrace& server, AgentConfig config, Rng rng);
+
+  const std::string& server_id() const noexcept { return server_id_; }
+
+  /// Samples for one hour (up to 60 per metric; fewer under sample loss).
+  std::vector<MetricSample> sample_hour(std::size_t hour);
+
+  /// Samples for the whole trace.
+  std::vector<MetricSample> sample_all();
+
+ private:
+  double minute_value(double hourly_mean, double relative_wiggle) const;
+
+  std::string server_id_;
+  const ServerTrace* server_;
+  AgentConfig config_;
+  Rng rng_;
+  double cpu_state_ = 0.0;  // AR(1) state for intra-hour CPU variation
+  double mem_state_ = 0.0;
+};
+
+}  // namespace vmcw

@@ -1,0 +1,77 @@
+#include "monitoring/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace vmcw {
+
+DataWarehouse collect_datacenter(const Datacenter& truth,
+                                 const AgentConfig& config,
+                                 std::uint64_t seed) {
+  DataWarehouse warehouse;
+  Rng root(seed);
+  for (const auto& server : truth.servers) {
+    MonitoringAgent agent(server, config, root.fork(server.id));
+    warehouse.ingest(server.id, agent.sample_all());
+  }
+  return warehouse;
+}
+
+Datacenter reconstruct_datacenter(const Datacenter& truth,
+                                  const DataWarehouse& warehouse) {
+  Datacenter estate;
+  estate.name = truth.name;
+  estate.industry = truth.industry;
+  estate.servers.reserve(truth.servers.size());
+  for (const auto& server : truth.servers) {
+    ServerTrace rebuilt;
+    rebuilt.id = server.id;
+    rebuilt.spec = server.spec;
+    rebuilt.klass = server.klass;
+    TimeSeries cpu_pct =
+        warehouse.hourly_average_series(server.id, Metric::kCpuTotalPct);
+    cpu_pct.scale(1.0 / 100.0);  // percent -> fraction
+    rebuilt.cpu_util = std::move(cpu_pct);
+    rebuilt.mem_mb =
+        warehouse.hourly_average_series(server.id, Metric::kMemCommittedMb);
+    estate.servers.push_back(std::move(rebuilt));
+  }
+  return estate;
+}
+
+namespace {
+
+void accumulate_errors(const TimeSeries& truth, const TimeSeries& estimate,
+                       std::vector<double>& errors) {
+  const std::size_t n = std::min(truth.size(), estimate.size());
+  for (std::size_t t = 0; t < n; ++t) {
+    if (truth[t] < 1e-9) continue;
+    errors.push_back(std::abs(estimate[t] - truth[t]) / truth[t]);
+  }
+}
+
+}  // namespace
+
+PipelineFidelity pipeline_fidelity(const Datacenter& truth,
+                                   const Datacenter& reconstructed) {
+  PipelineFidelity f;
+  std::vector<double> cpu_errors;
+  std::vector<double> mem_errors;
+  const std::size_t n =
+      std::min(truth.servers.size(), reconstructed.servers.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    accumulate_errors(truth.servers[i].cpu_util,
+                      reconstructed.servers[i].cpu_util, cpu_errors);
+    accumulate_errors(truth.servers[i].mem_mb, reconstructed.servers[i].mem_mb,
+                      mem_errors);
+  }
+  f.cpu_mean_abs_rel_error = mean(cpu_errors);
+  f.cpu_p99_rel_error = percentile(cpu_errors, 99);
+  f.mem_mean_abs_rel_error = mean(mem_errors);
+  f.mem_p99_rel_error = percentile(mem_errors, 99);
+  return f;
+}
+
+}  // namespace vmcw

@@ -1,0 +1,41 @@
+// End-to-end monitoring pipeline: ground-truth estate -> agents ->
+// warehouse -> the planner's reconstructed Datacenter.
+//
+// This closes the loop the paper's Section 3.1 describes. The
+// reconstructed estate differs from the ground truth by intra-hour
+// variation that hourly averaging absorbs, agent measurement noise, and
+// collection loss — quantified by `fidelity()` so experiments can verify
+// that planning on warehouse data is equivalent to planning on the truth
+// (the premise of the paper's entire methodology).
+#pragma once
+
+#include "monitoring/agent.h"
+#include "monitoring/warehouse.h"
+#include "trace/server_trace.h"
+#include "util/rng.h"
+
+namespace vmcw {
+
+/// Run every server of `truth` through a MonitoringAgent into a fresh
+/// warehouse.
+DataWarehouse collect_datacenter(const Datacenter& truth,
+                                 const AgentConfig& config, std::uint64_t seed);
+
+/// Rebuild a Datacenter from warehouse aggregates (the planner's view).
+/// Server ids, specs and class labels are carried over from `truth`
+/// (configuration data is inventory, not telemetry).
+Datacenter reconstruct_datacenter(const Datacenter& truth,
+                                  const DataWarehouse& warehouse);
+
+/// Fidelity of the reconstruction vs ground truth.
+struct PipelineFidelity {
+  double cpu_mean_abs_rel_error = 0;  ///< mean |est-true|/true over hours
+  double cpu_p99_rel_error = 0;       ///< 99th percentile relative error
+  double mem_mean_abs_rel_error = 0;
+  double mem_p99_rel_error = 0;
+};
+
+PipelineFidelity pipeline_fidelity(const Datacenter& truth,
+                                   const Datacenter& reconstructed);
+
+}  // namespace vmcw

@@ -1,0 +1,78 @@
+#include "monitoring/warehouse.h"
+
+#include <algorithm>
+
+namespace vmcw {
+
+DataWarehouse::DataWarehouse(RetentionPolicy policy) : policy_(policy) {}
+
+void DataWarehouse::ingest(const std::string& server_id,
+                           std::span<const MetricSample> samples) {
+  auto& per_metric = store_[server_id];
+  for (const auto& sample : samples) {
+    const std::uint32_t hour = sample.minute / 60;
+    auto& row = per_metric[sample.metric][hour];
+    row.hour = hour;
+    // Incremental mean: new_mean = old + (x - old) / n.
+    ++row.sample_count;
+    row.average += (sample.value - row.average) /
+                   static_cast<double>(row.sample_count);
+    row.maximum = std::max(row.maximum, sample.value);
+  }
+  for (auto& [metric, rows] : per_metric) expire(rows);
+}
+
+void DataWarehouse::expire(std::map<std::uint32_t, HourlyRecord>& rows) const {
+  if (rows.empty()) return;
+  const std::uint32_t newest = rows.rbegin()->first;
+  const std::uint32_t horizon =
+      newest >= policy_.hourly_retention_hours
+          ? newest - static_cast<std::uint32_t>(policy_.hourly_retention_hours) + 1
+          : 0;
+  rows.erase(rows.begin(), rows.lower_bound(horizon));
+}
+
+std::size_t DataWarehouse::server_count() const noexcept {
+  return store_.size();
+}
+
+std::vector<HourlyRecord> DataWarehouse::hourly_records(
+    const std::string& server_id, Metric metric) const {
+  std::vector<HourlyRecord> out;
+  const auto server_it = store_.find(server_id);
+  if (server_it == store_.end()) return out;
+  const auto metric_it = server_it->second.find(metric);
+  if (metric_it == server_it->second.end()) return out;
+  out.reserve(metric_it->second.size());
+  for (const auto& [hour, row] : metric_it->second) out.push_back(row);
+  return out;
+}
+
+TimeSeries DataWarehouse::hourly_average_series(const std::string& server_id,
+                                                Metric metric) const {
+  const auto rows = hourly_records(server_id, metric);
+  if (rows.empty()) return TimeSeries();
+  const std::uint32_t first = rows.front().hour;
+  const std::uint32_t last = rows.back().hour;
+  std::vector<double> values(last - first + 1, 0.0);
+  for (const auto& row : rows) values[row.hour - first] = row.average;
+  // Gap-fill hours that lost every sample with the previous hour's value.
+  std::vector<bool> present(values.size(), false);
+  for (const auto& row : rows) present[row.hour - first] = true;
+  for (std::size_t i = 1; i < values.size(); ++i)
+    if (!present[i]) values[i] = values[i - 1];
+  return TimeSeries(std::move(values));
+}
+
+std::optional<HourlyRecord> DataWarehouse::record_at(
+    const std::string& server_id, Metric metric, std::uint32_t hour) const {
+  const auto server_it = store_.find(server_id);
+  if (server_it == store_.end()) return std::nullopt;
+  const auto metric_it = server_it->second.find(metric);
+  if (metric_it == server_it->second.end()) return std::nullopt;
+  const auto row_it = metric_it->second.find(hour);
+  if (row_it == metric_it->second.end()) return std::nullopt;
+  return row_it->second;
+}
+
+}  // namespace vmcw

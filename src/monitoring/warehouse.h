@@ -1,0 +1,75 @@
+// Central monitoring data warehouse (Section 3.1).
+//
+// The central server receives per-minute samples from every agent, folds
+// them into hourly aggregates (the paper's planning granularity), and
+// retains a bounded history per retention policy — "maintains data with
+// policies on retention and expiration". Consolidation planning reads the
+// most recent 30 days of hourly averages from here.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "monitoring/agent.h"
+#include "trace/time_series.h"
+
+namespace vmcw {
+
+/// One hourly aggregate row as stored by the warehouse.
+struct HourlyRecord {
+  std::uint32_t hour = 0;
+  double average = 0;
+  double maximum = 0;
+  std::uint32_t sample_count = 0;
+};
+
+struct RetentionPolicy {
+  /// Hourly aggregates kept per (server, metric); older rows expire.
+  std::size_t hourly_retention_hours = 30 * 24;
+};
+
+class DataWarehouse {
+ public:
+  explicit DataWarehouse(RetentionPolicy policy = {});
+
+  /// Ingest a batch of minute samples from one server's agent. Samples are
+  /// folded into hourly aggregates incrementally; out-of-order delivery
+  /// within a batch is fine.
+  void ingest(const std::string& server_id,
+              std::span<const MetricSample> samples);
+
+  /// Number of servers with any data.
+  std::size_t server_count() const noexcept;
+
+  /// All hourly rows currently retained for (server, metric), ordered by
+  /// hour. Empty if unknown.
+  std::vector<HourlyRecord> hourly_records(const std::string& server_id,
+                                           Metric metric) const;
+
+  /// The planner's view: hourly-average series over the retained window.
+  /// Hours with no samples (total collection loss) carry the previous
+  /// hour's value (standard gap-fill), or 0 at the start.
+  TimeSeries hourly_average_series(const std::string& server_id,
+                                   Metric metric) const;
+
+  /// One aggregate row, if retained.
+  std::optional<HourlyRecord> record_at(const std::string& server_id,
+                                        Metric metric,
+                                        std::uint32_t hour) const;
+
+  const RetentionPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  void expire(std::map<std::uint32_t, HourlyRecord>& rows) const;
+
+  RetentionPolicy policy_;
+  // server -> metric -> hour -> aggregate
+  std::map<std::string, std::map<Metric, std::map<std::uint32_t, HourlyRecord>>>
+      store_;
+};
+
+}  // namespace vmcw

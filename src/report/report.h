@@ -1,0 +1,45 @@
+// One-call reproduction report.
+//
+// Runs the complete study — trace analysis (Figs 2-6), the three-way
+// consolidation comparison (Figs 7-12), the sensitivity sweep (Figs
+// 13-16), the migration reservation study (Observation 4) and the emulator
+// validation (Section 5.2) — and renders everything as a single Markdown
+// document. This is the "consolidation planning analysis" artifact the
+// paper's Section 8 recommends producing before consolidating an estate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vmcw {
+
+struct ReportOptions {
+  /// Servers per data center; 0 = the full Table 2 fleet sizes.
+  int servers_per_dc = 0;
+  std::uint64_t seed = 20141208;
+  /// Utilization bounds for the sensitivity section.
+  double min_bound = 0.6;
+  double max_bound = 1.0;
+  double bound_step = 0.1;
+};
+
+/// Build the full report as a Markdown string.
+std::string build_paper_report(const ReportOptions& options = {});
+
+/// Convenience: write it to a file. Throws std::runtime_error on I/O error.
+void write_paper_report(const std::string& path,
+                        const ReportOptions& options = {});
+
+/// Emit plot-ready CSV data files into `directory` (created if missing):
+///   fig02_cpu_p2a.csv ... fig05_mem_cov.csv   per-server CDF samples
+///   fig06_resource_ratio.csv                  per-interval ratio CDFs
+///   fig07_costs.csv                           normalized space/power bars
+///   fig12_active_servers.csv                  active-fraction CDFs
+///   fig13_16_sensitivity.csv                  hosts vs utilization bound
+/// Returns the list of files written. Throws std::runtime_error on I/O
+/// error.
+std::vector<std::string> write_report_data(const std::string& directory,
+                                           const ReportOptions& options = {});
+
+}  // namespace vmcw

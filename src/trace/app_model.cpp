@@ -1,0 +1,24 @@
+#include "trace/app_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vmcw {
+
+double AppResourceModel::cpu_for_throughput(double ops_per_sec) const noexcept {
+  const double ratio = std::max(ops_per_sec, 1e-9) / c_.throughput_ref;
+  return c_.cpu_cores_ref * std::pow(ratio, c_.cpu_exponent);
+}
+
+double AppResourceModel::mem_for_throughput(double ops_per_sec) const noexcept {
+  const double ratio = std::max(ops_per_sec, 1e-9) / c_.throughput_ref;
+  return c_.mem_ref * std::pow(ratio, c_.mem_exponent);
+}
+
+double AppResourceModel::mem_scale_for_cpu_scale(
+    double cpu_scale) const noexcept {
+  const double exponent = c_.mem_exponent / c_.cpu_exponent;
+  return std::pow(std::max(cpu_scale, 1e-9), exponent);
+}
+
+}  // namespace vmcw

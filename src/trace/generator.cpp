@@ -1,0 +1,251 @@
+#include "trace/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "trace/app_model.h"
+#include "trace/patterns.h"
+#include "util/distributions.h"
+#include "util/stats.h"
+
+namespace vmcw {
+
+namespace {
+
+constexpr double kMinUtil = 0.001;  // monitoring floor: an idle OS still ticks
+constexpr double kMaxUtil = 1.0;
+constexpr double kMinMemMb = 64.0;
+
+std::vector<double> generate_cpu_series(const WorkloadSpec& spec,
+                                        const CpuClassParams& p,
+                                        WorkloadClass klass, double mean_util,
+                                        std::size_t hours, Rng& rng,
+                                        const AppContext* app) {
+  // Per-server character: how diurnal and how spiky is *this* box?
+  double peak_mult = p.diurnal_peak_mult;
+  if (p.diurnal_dispersion > 0 && peak_mult > 1.0) {
+    const auto bump = Lognormal::from_mean_cov(peak_mult - 1.0,
+                                               p.diurnal_dispersion);
+    peak_mult = 1.0 + bump.sample(rng);
+  }
+  // Burst activity splits into an app-shared part (arrives via `app`) and a
+  // private remainder; the per-server rate dispersion applies to the
+  // private part only.
+  const double shared_fraction =
+      app != nullptr ? std::clamp(spec.shared_burst_fraction, 0.0, 1.0) : 0.0;
+  double burst_rate = p.bursts_per_day * (1.0 - shared_fraction);
+  if (p.burst_rate_dispersion > 0 && burst_rate > 0) {
+    const auto rate = Lognormal::from_mean_cov(burst_rate,
+                                               p.burst_rate_dispersion);
+    burst_rate = rate.sample(rng);
+  }
+  double ar1_sigma = p.ar1_sigma;
+  if (p.ar1_sigma_dispersion > 0 && ar1_sigma > 0) {
+    const auto sigma = Lognormal::from_mean_cov(ar1_sigma,
+                                                p.ar1_sigma_dispersion);
+    ar1_sigma = std::min(sigma.sample(rng), 0.6);
+  }
+
+  // The app's phase offset shifts the whole business window; per-server
+  // jitter still applies on top.
+  const double app_phase = app != nullptr ? app->phase_offset_hours : 0.0;
+  const DiurnalPattern diurnal(
+      peak_mult, p.business_start_hour + static_cast<int>(app_phase),
+      p.business_end_hour + static_cast<int>(app_phase), p.phase_jitter_hours,
+      rng);
+  const WeekendPattern weekend(p.weekend_factor);
+  const MonthEndPattern month_end(p.month_end_boost, 1);
+  const bool batch_shape = klass == WorkloadClass::kBatch && p.batch_intensity > 0;
+  const BatchWindowPattern batch(p.batch_start_hour, p.batch_duration_hours,
+                                 p.batch_intensity, p.batch_off_level,
+                                 p.batch_start_jitter_hours, rng);
+  auto bursts =
+      generate_burst_train(hours, burst_rate, p.burst_alpha, p.burst_cap_mult,
+                           p.burst_mean_duration_hours, rng);
+  if (app != nullptr) {
+    for (std::size_t t = 0; t < hours && t < app->shared_bursts.size(); ++t)
+      bursts[t] += app->shared_bursts[t];
+  }
+  Ar1Noise noise(p.ar1_rho, ar1_sigma);
+
+  std::vector<double> raw(hours);
+  for (std::size_t t = 0; t < hours; ++t) {
+    double shape = batch_shape ? batch.at(t) : diurnal.at(t);
+    shape *= weekend.at(t) * month_end.at(t);
+    const double n = std::max(1.0 + noise.next(rng), 0.05);
+    raw[t] = std::max(shape, 0.01) * (1.0 + bursts[t]) * n;
+  }
+  // Normalize the shape to the server's drawn mean utilization, then clamp
+  // to the server's saturation ceiling. Clamping the busiest hours lowers
+  // the realized mean slightly — exactly what saturation does to a real
+  // server.
+  const TruncatedNormal ceiling_dist(spec.util_ceiling_mean,
+                                     spec.util_ceiling_sigma, 0.35, kMaxUtil);
+  const double ceiling = ceiling_dist.sample(rng);
+  const double raw_mean = mean(raw);
+  const double k = raw_mean > 0 ? mean_util / raw_mean : 0.0;
+  for (double& x : raw) x = std::clamp(x * k, kMinUtil, ceiling);
+  return raw;
+}
+
+std::vector<double> generate_mem_series(const MemClassParams& p,
+                                        const ServerSpec& hw,
+                                        std::span<const double> cpu,
+                                        Rng& rng) {
+  const TruncatedNormal base_frac_dist(p.base_fraction_mean,
+                                       p.base_fraction_sigma, 0.02, 0.90);
+  const double base_mb = base_frac_dist.sample(rng) * hw.memory_mb;
+  const double cpu_mean = std::max(mean(cpu), 1e-6);
+  // Per-server coupling: most footprints are dominated by resident
+  // code/heap, but a minority (in-memory caches, session stores) track load
+  // closely — those are the servers whose memory CoV exceeds 1 in Fig 5.
+  const bool linear_coupling = rng.bernoulli(p.linear_coupling_probability);
+  const TruncatedNormal coupled_dist(
+      linear_coupling ? p.linear_coupled_fraction : p.coupled_fraction,
+      linear_coupling ? 0.15 : p.coupled_fraction_sigma, 0.0, 0.95);
+  const double c = coupled_dist.sample(rng);
+  const AppResourceModel olio;
+  Ar1Noise noise(p.ar1_rho, p.ar1_sigma);
+
+  std::vector<double> mem(cpu.size());
+  // Load-proportional footprints grow *faster* than CPU under load
+  // (per-session buffers x longer sessions under contention; analytic jobs
+  // materializing datasets): working set ~ load^1.5. These are the minority
+  // of servers whose memory CoV exceeds 1 in Fig 5 (a)/(d).
+  constexpr double kHotMemExponent = 1.5;
+  for (std::size_t t = 0; t < cpu.size(); ++t) {
+    const double cpu_scale = cpu[t] / cpu_mean;
+    const double coupled =
+        linear_coupling ? std::pow(cpu_scale, kHotMemExponent)
+                        : olio.mem_scale_for_cpu_scale(cpu_scale);
+    const double level = base_mb * ((1.0 - c) + c * coupled);
+    const double n = std::max(1.0 + noise.next(rng), 0.2);
+    mem[t] = std::clamp(level * n, kMinMemMb, hw.memory_mb);
+  }
+  return mem;
+}
+
+/// Fleet-wide events land in business hours: market opens, promotions and
+/// breaking news surge when users are active — which is also when a
+/// consolidated host has the least headroom.
+std::vector<double> generate_fleet_events(const WorkloadSpec& spec, Rng& rng) {
+  std::vector<double> train(spec.hours, 0.0);
+  if (spec.fleet_burst_per_day <= 0.0) return train;
+  const BoundedPareto magnitude(1.0, spec.fleet_burst_alpha,
+                                std::max(spec.fleet_burst_cap_mult, 1.0));
+  const double continue_p =
+      spec.fleet_burst_mean_duration_hours > 1.0
+          ? 1.0 - 1.0 / spec.fleet_burst_mean_duration_hours
+          : 0.0;
+  const std::size_t days = spec.hours / kHoursPerDay;
+  for (std::size_t day = 0; day < days; ++day) {
+    if (!rng.bernoulli(spec.fleet_burst_per_day)) continue;
+    const auto start_hour = static_cast<std::size_t>(rng.uniform_int(8, 17));
+    std::size_t h = day * kHoursPerDay + start_hour;
+    const double add = magnitude.sample(rng) - 1.0;
+    do {
+      if (h >= spec.hours) break;
+      train[h] += add;
+      ++h;
+    } while (rng.bernoulli(continue_p));
+  }
+  return train;
+}
+
+}  // namespace
+
+AppContext make_app_context(const WorkloadSpec& spec, WorkloadClass klass,
+                            Rng& rng, std::span<const double> fleet_bursts) {
+  AppContext app;
+  app.klass = klass;
+  app.phase_offset_hours =
+      spec.app_phase_jitter_hours > 0
+          ? rng.uniform(-spec.app_phase_jitter_hours,
+                        spec.app_phase_jitter_hours)
+          : 0.0;
+  const CpuClassParams& p =
+      klass == WorkloadClass::kWeb ? spec.web_cpu : spec.batch_cpu;
+  const double shared_rate =
+      p.bursts_per_day * std::clamp(spec.shared_burst_fraction, 0.0, 1.0);
+  app.shared_bursts =
+      generate_burst_train(spec.hours, shared_rate, p.burst_alpha,
+                           p.burst_cap_mult, p.burst_mean_duration_hours, rng);
+  if (klass == WorkloadClass::kWeb) {
+    for (std::size_t t = 0;
+         t < app.shared_bursts.size() && t < fleet_bursts.size(); ++t)
+      app.shared_bursts[t] += fleet_bursts[t];
+  }
+  return app;
+}
+
+ServerTrace generate_server(const WorkloadSpec& spec, WorkloadClass klass,
+                            const std::string& id, Rng& rng,
+                            const AppContext* app) {
+  ServerTrace server;
+  server.id = id;
+  server.klass = klass;
+  server.spec = spec.server_mix.sample(rng);
+
+  // Per-server mean utilization: lognormal around the fleet target, so a
+  // fleet mixes nearly idle servers with a busy minority (Fig 1's "<5%
+  // average" servers live in the same estate as much hotter ones).
+  const auto util_dist = Lognormal::from_mean_cov(spec.target_avg_cpu_util,
+                                                  spec.util_dispersion_cov);
+  const double mean_util = std::clamp(util_dist.sample(rng), 0.002, 0.60);
+
+  const CpuClassParams& cpu_params =
+      klass == WorkloadClass::kWeb ? spec.web_cpu : spec.batch_cpu;
+  const MemClassParams& mem_params =
+      klass == WorkloadClass::kWeb ? spec.web_mem : spec.batch_mem;
+
+  auto cpu = generate_cpu_series(spec, cpu_params, klass, mean_util,
+                                 spec.hours, rng, app);
+  auto mem = generate_mem_series(mem_params, server.spec, cpu, rng);
+  server.cpu_util = TimeSeries(std::move(cpu));
+  server.mem_mb = TimeSeries(std::move(mem));
+  return server;
+}
+
+Datacenter generate_datacenter(const WorkloadSpec& spec, std::uint64_t seed) {
+  Datacenter dc;
+  dc.name = spec.name;
+  dc.industry = spec.industry;
+  dc.servers.reserve(static_cast<std::size_t>(std::max(spec.num_servers, 0)));
+
+  Rng root(seed);
+  Rng master = root.fork(spec.name + "/" + spec.industry);
+  Rng fleet_rng = master.fork("fleet-events");
+  const std::vector<double> fleet_bursts = generate_fleet_events(spec, fleet_rng);
+  int produced = 0;
+  int app_index = 0;
+  while (produced < spec.num_servers) {
+    // One application at a time: size ~ Uniform[1, 2*mean-1], one class for
+    // all of its servers, one shared context.
+    const std::string app_id = spec.name + "-app-" + std::to_string(app_index);
+    Rng app_rng = master.fork(app_id);
+    const int max_size =
+        std::max(static_cast<int>(2.0 * spec.app_size_mean) - 1, 1);
+    const int app_size = std::min<int>(
+        static_cast<int>(app_rng.uniform_int(1, max_size)),
+        spec.num_servers - produced);
+    const WorkloadClass klass = app_rng.bernoulli(spec.web_fraction)
+                                    ? WorkloadClass::kWeb
+                                    : WorkloadClass::kBatch;
+    const AppContext app =
+        make_app_context(spec, klass, app_rng, fleet_bursts);
+
+    for (int j = 0; j < app_size; ++j) {
+      const std::string id =
+          spec.name + "-srv-" + std::to_string(produced + 1);
+      // Per-server stream keyed by id: adding or removing servers does not
+      // perturb the traces of the others.
+      Rng server_rng = master.fork(id);
+      dc.servers.push_back(generate_server(spec, klass, id, server_rng, &app));
+      ++produced;
+    }
+    ++app_index;
+  }
+  return dc;
+}
+
+}  // namespace vmcw

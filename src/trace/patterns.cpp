@@ -1,0 +1,109 @@
+#include "trace/patterns.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace vmcw {
+
+DiurnalPattern::DiurnalPattern(double peak_multiplier, int start_hour,
+                               int end_hour, double phase_jitter_hours,
+                               Rng& rng)
+    : peak_(std::max(peak_multiplier, 1.0)) {
+  const double jitter =
+      phase_jitter_hours > 0 ? rng.uniform(-phase_jitter_hours, phase_jitter_hours)
+                             : 0.0;
+  start_ = static_cast<double>(start_hour) + jitter;
+  end_ = static_cast<double>(end_hour) + jitter;
+  if (end_ <= start_) end_ = start_ + 1.0;
+}
+
+double DiurnalPattern::at(std::size_t hour) const noexcept {
+  const double h = static_cast<double>(hour_of_day(hour));
+  // Evaluate the raised cosine on the window, treating the day circularly
+  // so jitter across midnight behaves.
+  auto in_window = [&](double x) { return x >= start_ && x < end_; };
+  double pos = h;
+  if (!in_window(pos) && in_window(pos + kHoursPerDay)) pos += kHoursPerDay;
+  if (!in_window(pos)) return 1.0;
+  const double span = end_ - start_;
+  const double phase = (pos - start_) / span;  // 0..1 across the window
+  const double bump = 0.5 * (1.0 - std::cos(2.0 * std::numbers::pi * phase));
+  return 1.0 + (peak_ - 1.0) * bump;
+}
+
+WeekendPattern::WeekendPattern(double weekend_factor) noexcept
+    : factor_(std::max(weekend_factor, 0.0)) {}
+
+double WeekendPattern::at(std::size_t hour) const noexcept {
+  return is_weekend(hour) ? factor_ : 1.0;
+}
+
+MonthEndPattern::MonthEndPattern(double boost, int days) noexcept
+    : boost_(std::max(boost, 0.0)), days_(std::max(days, 0)) {}
+
+double MonthEndPattern::at(std::size_t hour) const noexcept {
+  const auto day = day_of_month(hour);
+  const bool edge = day < static_cast<std::size_t>(days_) ||
+                    day >= kDaysPerMonth - static_cast<std::size_t>(days_);
+  return edge ? boost_ : 1.0;
+}
+
+BatchWindowPattern::BatchWindowPattern(int start_hour, int duration_hours,
+                                       double intensity, double off_level,
+                                       int start_jitter_hours, Rng& rng)
+    : duration_(std::max(duration_hours, 1)),
+      intensity_(std::max(intensity, 0.0)),
+      off_(std::max(off_level, 0.0)) {
+  int jitter = start_jitter_hours > 0
+                   ? static_cast<int>(rng.uniform_int(-start_jitter_hours,
+                                                      start_jitter_hours))
+                   : 0;
+  start_ = ((start_hour + jitter) % static_cast<int>(kHoursPerDay) +
+            static_cast<int>(kHoursPerDay)) %
+           static_cast<int>(kHoursPerDay);
+}
+
+double BatchWindowPattern::at(std::size_t hour) const noexcept {
+  const int h = static_cast<int>(hour_of_day(hour));
+  const int rel = (h - start_ + static_cast<int>(kHoursPerDay)) %
+                  static_cast<int>(kHoursPerDay);
+  return rel < duration_ ? intensity_ : off_;
+}
+
+Ar1Noise::Ar1Noise(double rho, double sigma) noexcept
+    : rho_(std::clamp(rho, 0.0, 0.999)), sigma_(std::max(sigma, 0.0)) {}
+
+double Ar1Noise::next(Rng& rng) noexcept {
+  state_ = rho_ * state_ + rng.normal(0.0, sigma_);
+  return state_;
+}
+
+std::vector<double> generate_burst_train(std::size_t hours,
+                                         double bursts_per_day, double alpha,
+                                         double cap_multiplier,
+                                         double mean_duration_hours,
+                                         Rng& rng) {
+  std::vector<double> train(hours, 0.0);
+  if (hours == 0 || bursts_per_day <= 0.0) return train;
+  const BoundedPareto magnitude(1.0, alpha, std::max(cap_multiplier, 1.0));
+  const Exponential inter_arrival(bursts_per_day / kHoursPerDay);
+  const double continue_p =
+      mean_duration_hours > 1.0 ? 1.0 - 1.0 / mean_duration_hours : 0.0;
+
+  double t = inter_arrival.sample(rng);
+  while (t < static_cast<double>(hours)) {
+    const double add = magnitude.sample(rng) - 1.0;  // additive part, >= 0
+    auto h = static_cast<std::size_t>(t);
+    // Geometric duration: continue burst hour-by-hour with prob continue_p.
+    do {
+      if (h >= hours) break;
+      train[h] += add;
+      ++h;
+    } while (rng.bernoulli(continue_p));
+    t += inter_arrival.sample(rng);
+  }
+  return train;
+}
+
+}  // namespace vmcw

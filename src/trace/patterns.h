@@ -1,0 +1,111 @@
+// Composable workload-pattern components.
+//
+// A synthetic server trace is the product of deterministic calendar shapes
+// (diurnal business hours, weekend damping, month-end boost) and stochastic
+// components (heavy-tailed burst trains, AR(1) noise). Using the last 30
+// days at hourly resolution, hour 0 is 00:00 on day 1 of a 30-day month and
+// day 1 is a Monday, so diurnal, weekly and monthly variation are all
+// represented — the reason the paper uses a full month of history.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace vmcw {
+
+constexpr std::size_t kHoursPerDay = 24;
+constexpr std::size_t kHoursPerWeek = 7 * kHoursPerDay;
+constexpr std::size_t kDaysPerMonth = 30;
+constexpr std::size_t kHoursPerMonth = kDaysPerMonth * kHoursPerDay;
+
+inline std::size_t hour_of_day(std::size_t hour) { return hour % kHoursPerDay; }
+inline std::size_t day_of_month(std::size_t hour) {
+  return (hour / kHoursPerDay) % kDaysPerMonth;
+}
+/// Day 0 is a Monday; 5 and 6 are the weekend.
+inline bool is_weekend(std::size_t hour) {
+  return ((hour / kHoursPerDay) % 7) >= 5;
+}
+
+/// Raised-cosine business-hours bump: multiplier 1 outside the window,
+/// rising smoothly to `peak_multiplier` at the middle of
+/// [start_hour, end_hour). Handles phase jitter per server.
+class DiurnalPattern {
+ public:
+  DiurnalPattern(double peak_multiplier, int start_hour, int end_hour,
+                 double phase_jitter_hours, Rng& rng);
+
+  double at(std::size_t hour) const noexcept;
+  double peak_multiplier() const noexcept { return peak_; }
+
+ private:
+  double peak_;
+  double start_;
+  double end_;
+};
+
+/// Weekend damping: multiplier `weekend_factor` on Saturday/Sunday, 1 else.
+class WeekendPattern {
+ public:
+  explicit WeekendPattern(double weekend_factor) noexcept;
+  double at(std::size_t hour) const noexcept;
+
+ private:
+  double factor_;
+};
+
+/// Month-end/month-start boost (payroll-style): multiplier `boost` on the
+/// first and last `days` days of the 30-day month, 1 elsewhere.
+class MonthEndPattern {
+ public:
+  MonthEndPattern(double boost, int days = 1) noexcept;
+  double at(std::size_t hour) const noexcept;
+
+ private:
+  double boost_;
+  int days_;
+};
+
+/// Nightly batch window: multiplier `intensity` for `duration_hours` hours
+/// starting at `start_hour` (with per-server start jitter), `off_level`
+/// outside the window. Models the custom batch estates of workload C.
+class BatchWindowPattern {
+ public:
+  BatchWindowPattern(int start_hour, int duration_hours, double intensity,
+                     double off_level, int start_jitter_hours, Rng& rng);
+  double at(std::size_t hour) const noexcept;
+
+ private:
+  int start_;
+  int duration_;
+  double intensity_;
+  double off_;
+};
+
+/// Mean-reverting multiplicative AR(1) noise: n_t = rho*n_{t-1} + eps,
+/// eps ~ N(0, sigma); the multiplier applied is max(1 + n_t, floor).
+class Ar1Noise {
+ public:
+  Ar1Noise(double rho, double sigma) noexcept;
+  double next(Rng& rng) noexcept;
+  double state() const noexcept { return state_; }
+
+ private:
+  double rho_;
+  double sigma_;
+  double state_ = 0.0;
+};
+
+/// Heavy-tailed burst train: Poisson arrivals at `bursts_per_day`, each
+/// burst lasting Geometric(1/mean_duration_hours) hours with additive
+/// magnitude (BoundedPareto(1, alpha, cap) - 1). Returns one additive
+/// multiplier per hour (0 = no burst in that hour). Overlapping bursts sum.
+std::vector<double> generate_burst_train(std::size_t hours,
+                                         double bursts_per_day, double alpha,
+                                         double cap_multiplier,
+                                         double mean_duration_hours, Rng& rng);
+
+}  // namespace vmcw

@@ -1,0 +1,57 @@
+#include "trace/server_trace.h"
+
+namespace vmcw {
+
+const char* to_string(WorkloadClass klass) noexcept {
+  switch (klass) {
+    case WorkloadClass::kWeb:
+      return "web";
+    case WorkloadClass::kBatch:
+      return "batch";
+  }
+  return "?";
+}
+
+TimeSeries ServerTrace::cpu_rpe2() const {
+  std::vector<double> rpe2(cpu_util.size());
+  for (std::size_t i = 0; i < cpu_util.size(); ++i)
+    rpe2[i] = cpu_util[i] * spec.cpu_rpe2;
+  return TimeSeries(std::move(rpe2));
+}
+
+ResourceVector ServerTrace::demand_at(std::size_t hour) const noexcept {
+  ResourceVector v;
+  if (hour < cpu_util.size()) v.cpu_rpe2 = cpu_util[hour] * spec.cpu_rpe2;
+  if (hour < mem_mb.size()) v.memory_mb = mem_mb[hour];
+  return v;
+}
+
+std::size_t Datacenter::hours() const noexcept {
+  std::size_t h = 0;
+  for (const auto& s : servers) h = std::max(h, s.cpu_util.size());
+  return h;
+}
+
+double Datacenter::average_cpu_utilization() const noexcept {
+  if (servers.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& s : servers) total += s.cpu_util.mean();
+  return total / static_cast<double>(servers.size());
+}
+
+double Datacenter::web_fraction() const noexcept {
+  if (servers.empty()) return 0.0;
+  std::size_t web = 0;
+  for (const auto& s : servers)
+    if (s.klass == WorkloadClass::kWeb) ++web;
+  return static_cast<double>(web) / static_cast<double>(servers.size());
+}
+
+ResourceVector Datacenter::aggregate_demand_at(
+    std::size_t hour) const noexcept {
+  ResourceVector total;
+  for (const auto& s : servers) total += s.demand_at(hour);
+  return total;
+}
+
+}  // namespace vmcw

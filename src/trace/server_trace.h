@@ -1,0 +1,59 @@
+// Per-server traces and the data-center container.
+//
+// A ServerTrace is one source (physical, non-virtualized Windows) server:
+// its hardware spec, its workload class label (the paper labels every
+// server of an application web-based or batch), and 30 days of hourly CPU
+// utilization and committed-memory samples. A Datacenter is a named fleet
+// of such servers — the unit at which consolidation planning runs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hardware/server_spec.h"
+#include "trace/time_series.h"
+
+namespace vmcw {
+
+enum class WorkloadClass {
+  kWeb,    ///< interactive / web-facing application component
+  kBatch,  ///< computational or batch-processing job
+};
+
+const char* to_string(WorkloadClass klass) noexcept;
+
+struct ServerTrace {
+  std::string id;
+  ServerSpec spec;
+  WorkloadClass klass = WorkloadClass::kWeb;
+  TimeSeries cpu_util;  ///< fraction of this server's CPU capacity, [0, 1]
+  TimeSeries mem_mb;    ///< committed memory in MB
+
+  /// CPU demand converted to portable RPE2 units (util x server rating) —
+  /// the form in which demand is compared against target-blade capacity.
+  TimeSeries cpu_rpe2() const;
+
+  /// Demand vector for one hour.
+  ResourceVector demand_at(std::size_t hour) const noexcept;
+};
+
+struct Datacenter {
+  std::string name;      ///< e.g. "A"
+  std::string industry;  ///< e.g. "Banking"
+  std::vector<ServerTrace> servers;
+
+  std::size_t hours() const noexcept;
+
+  /// Fleet-average CPU utilization (unweighted across servers, matching the
+  /// "CPU Util (%)" column of Table 2).
+  double average_cpu_utilization() const noexcept;
+
+  /// Fraction of servers labeled web-based.
+  double web_fraction() const noexcept;
+
+  /// Aggregate demand across all servers at one hour.
+  ResourceVector aggregate_demand_at(std::size_t hour) const noexcept;
+};
+
+}  // namespace vmcw

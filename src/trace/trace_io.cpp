@@ -1,0 +1,163 @@
+#include "trace/trace_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace vmcw {
+
+namespace {
+
+void write_double(std::ostream& out, double value) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  if (ec != std::errc{}) throw std::runtime_error("double formatting failed");
+  out.write(buf, ptr - buf);
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::stringstream ss(line);
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+double parse_double(const std::string& cell, const char* context) {
+  double value = 0;
+  const auto* begin = cell.data();
+  const auto* end = begin + cell.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end)
+    throw std::runtime_error(std::string("bad number in ") + context + ": '" +
+                             cell + "'");
+  return value;
+}
+
+}  // namespace
+
+void write_servers_csv(const Datacenter& dc, std::ostream& out) {
+  out << "id,class,model,cpu_rpe2,memory_mb,idle_watts,peak_watts,"
+         "rack_units,hardware_cost\n";
+  for (const auto& s : dc.servers) {
+    out << s.id << ',' << to_string(s.klass) << ',' << s.spec.model << ',';
+    write_double(out, s.spec.cpu_rpe2);
+    out << ',';
+    write_double(out, s.spec.memory_mb);
+    out << ',';
+    write_double(out, s.spec.idle_watts);
+    out << ',';
+    write_double(out, s.spec.peak_watts);
+    out << ',';
+    write_double(out, s.spec.rack_units);
+    out << ',';
+    write_double(out, s.spec.hardware_cost);
+    out << '\n';
+  }
+}
+
+void write_traces_csv(const Datacenter& dc, std::ostream& out) {
+  out << "id,hour,cpu_util,mem_mb\n";
+  for (const auto& s : dc.servers) {
+    for (std::size_t t = 0; t < s.cpu_util.size(); ++t) {
+      out << s.id << ',' << t << ',';
+      write_double(out, s.cpu_util[t]);
+      out << ',';
+      write_double(out, t < s.mem_mb.size() ? s.mem_mb[t] : 0.0);
+      out << '\n';
+    }
+  }
+}
+
+Datacenter read_datacenter_csv(std::istream& servers, std::istream& traces,
+                               std::string name, std::string industry) {
+  Datacenter dc;
+  dc.name = std::move(name);
+  dc.industry = std::move(industry);
+
+  std::map<std::string, std::size_t> index;
+  std::string line;
+
+  // servers.csv
+  if (!std::getline(servers, line))
+    throw std::runtime_error("servers.csv: missing header");
+  while (std::getline(servers, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_csv_line(line);
+    if (cells.size() != 9)
+      throw std::runtime_error("servers.csv: expected 9 columns, got " +
+                               std::to_string(cells.size()));
+    ServerTrace server;
+    server.id = cells[0];
+    server.klass =
+        cells[1] == "batch" ? WorkloadClass::kBatch : WorkloadClass::kWeb;
+    server.spec.model = cells[2];
+    server.spec.cpu_rpe2 = parse_double(cells[3], "cpu_rpe2");
+    server.spec.memory_mb = parse_double(cells[4], "memory_mb");
+    server.spec.idle_watts = parse_double(cells[5], "idle_watts");
+    server.spec.peak_watts = parse_double(cells[6], "peak_watts");
+    server.spec.rack_units = parse_double(cells[7], "rack_units");
+    server.spec.hardware_cost = parse_double(cells[8], "hardware_cost");
+    index[server.id] = dc.servers.size();
+    dc.servers.push_back(std::move(server));
+  }
+
+  // traces.csv — rows may arrive in any order; collect then commit.
+  std::vector<std::vector<double>> cpu(dc.servers.size());
+  std::vector<std::vector<double>> mem(dc.servers.size());
+  if (!std::getline(traces, line))
+    throw std::runtime_error("traces.csv: missing header");
+  while (std::getline(traces, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_csv_line(line);
+    if (cells.size() != 4)
+      throw std::runtime_error("traces.csv: expected 4 columns, got " +
+                               std::to_string(cells.size()));
+    const auto it = index.find(cells[0]);
+    if (it == index.end())
+      throw std::runtime_error("traces.csv: unknown server id " + cells[0]);
+    const auto hour = static_cast<std::size_t>(parse_double(cells[1], "hour"));
+    auto& c = cpu[it->second];
+    auto& m = mem[it->second];
+    if (hour >= c.size()) {
+      c.resize(hour + 1, 0.0);
+      m.resize(hour + 1, 0.0);
+    }
+    c[hour] = parse_double(cells[2], "cpu_util");
+    m[hour] = parse_double(cells[3], "mem_mb");
+  }
+  for (std::size_t i = 0; i < dc.servers.size(); ++i) {
+    dc.servers[i].cpu_util = TimeSeries(std::move(cpu[i]));
+    dc.servers[i].mem_mb = TimeSeries(std::move(mem[i]));
+  }
+  return dc;
+}
+
+void save_datacenter(const Datacenter& dc, const std::string& servers_path,
+                     const std::string& traces_path) {
+  std::ofstream servers(servers_path);
+  if (!servers) throw std::runtime_error("cannot open " + servers_path);
+  write_servers_csv(dc, servers);
+  std::ofstream traces(traces_path);
+  if (!traces) throw std::runtime_error("cannot open " + traces_path);
+  write_traces_csv(dc, traces);
+  if (!servers.flush() || !traces.flush())
+    throw std::runtime_error("trace export failed");
+}
+
+Datacenter load_datacenter(const std::string& servers_path,
+                           const std::string& traces_path, std::string name,
+                           std::string industry) {
+  std::ifstream servers(servers_path);
+  if (!servers) throw std::runtime_error("cannot open " + servers_path);
+  std::ifstream traces(traces_path);
+  if (!traces) throw std::runtime_error("cannot open " + traces_path);
+  return read_datacenter_csv(servers, traces, std::move(name),
+                             std::move(industry));
+}
+
+}  // namespace vmcw

@@ -1,0 +1,43 @@
+// Trace serialization: export/import a Datacenter as CSV.
+//
+// The paper's tooling consumed warehouse extracts; downstream users of this
+// library will want to bring their own monitoring exports. The format is a
+// pair of CSVs:
+//
+//   servers.csv:  id,industry_class,model,cpu_rpe2,memory_mb,
+//                 idle_watts,peak_watts,rack_units,hardware_cost
+//   traces.csv:   id,hour,cpu_util,mem_mb
+//
+// Both are written/read losslessly (full double precision), so a
+// write/read roundtrip reproduces the estate bit-for-bit.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "trace/server_trace.h"
+
+namespace vmcw {
+
+/// Write the fleet inventory (one row per server).
+void write_servers_csv(const Datacenter& dc, std::ostream& out);
+
+/// Write the demand traces (one row per server-hour).
+void write_traces_csv(const Datacenter& dc, std::ostream& out);
+
+/// Read both CSVs back into a Datacenter. The name/industry are taken from
+/// the arguments (they are not part of the CSV schema).
+/// Throws std::runtime_error on malformed input.
+Datacenter read_datacenter_csv(std::istream& servers, std::istream& traces,
+                               std::string name, std::string industry);
+
+/// Convenience: write/read via file paths. Throws std::runtime_error on
+/// I/O failure.
+void save_datacenter(const Datacenter& dc, const std::string& servers_path,
+                     const std::string& traces_path);
+Datacenter load_datacenter(const std::string& servers_path,
+                           const std::string& traces_path, std::string name,
+                           std::string industry);
+
+}  // namespace vmcw

@@ -1,0 +1,76 @@
+#include "util/cdf.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+namespace vmcw {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::at(double x) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::fraction_above(double x) const noexcept {
+  return sorted_.empty() ? 0.0 : 1.0 - at(x);
+}
+
+double EmpiricalCdf::quantile(double q) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto n = sorted_.size();
+  auto idx = static_cast<std::size_t>(q * static_cast<double>(n));
+  if (idx >= n) idx = n - 1;
+  return sorted_[idx];
+}
+
+double EmpiricalCdf::min() const noexcept {
+  return sorted_.empty() ? 0.0 : sorted_.front();
+}
+
+double EmpiricalCdf::max() const noexcept {
+  return sorted_.empty() ? 0.0 : sorted_.back();
+}
+
+std::vector<EmpiricalCdf::Point> EmpiricalCdf::curve(std::size_t points) const {
+  std::vector<Point> out;
+  if (sorted_.empty() || points == 0) return out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double q = static_cast<double>(i + 1) / static_cast<double>(points);
+    out.push_back(Point{quantile(q), q});
+  }
+  return out;
+}
+
+std::string format_cdf_table(std::span<const std::string> names,
+                             std::span<const EmpiricalCdf> cdfs,
+                             std::span<const double> quantiles) {
+  std::string out;
+  char buf[64];
+  out += "quantile";
+  for (const auto& n : names) {
+    std::snprintf(buf, sizeof buf, "%14s", n.c_str());
+    out += buf;
+  }
+  out += '\n';
+  for (double q : quantiles) {
+    std::snprintf(buf, sizeof buf, "%7.2f%%", q * 100.0);
+    out += buf;
+    for (const auto& cdf : cdfs) {
+      std::snprintf(buf, sizeof buf, "%14.3f", cdf.quantile(q));
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace vmcw

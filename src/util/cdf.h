@@ -1,0 +1,58 @@
+// Empirical cumulative distribution functions.
+//
+// Every figure in the paper's Section 4/5 is a CDF over per-server or
+// per-interval statistics. EmpiricalCdf stores the sorted sample set once
+// and answers F(x), quantiles, and tail fractions in O(log n).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vmcw {
+
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// Number of samples.
+  std::size_t size() const noexcept { return sorted_.size(); }
+  bool empty() const noexcept { return sorted_.empty(); }
+
+  /// F(x) = fraction of samples <= x. 0 for an empty CDF.
+  double at(double x) const noexcept;
+
+  /// Fraction of samples strictly greater than x (the "more than 30% of
+  /// workloads exhibit a ratio greater than 10" style of statement).
+  double fraction_above(double x) const noexcept;
+
+  /// Inverse CDF: smallest sample value v with F(v) >= q, q in [0, 1].
+  double quantile(double q) const noexcept;
+
+  double min() const noexcept;
+  double max() const noexcept;
+
+  /// Access to the sorted samples (for plotting/serialization).
+  std::span<const double> sorted() const noexcept { return sorted_; }
+
+  /// Sample the CDF at `points` evenly spaced quantiles — the series a
+  /// plotting tool would draw. Returns (x, F(x)) pairs.
+  struct Point {
+    double x;
+    double f;
+  };
+  std::vector<Point> curve(std::size_t points = 20) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Render one or more CDFs as a fixed-quantile text table, one row per
+/// quantile, one column per named CDF. Used by the figure benches.
+std::string format_cdf_table(
+    std::span<const std::string> names,
+    std::span<const EmpiricalCdf> cdfs,
+    std::span<const double> quantiles);
+
+}  // namespace vmcw

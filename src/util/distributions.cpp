@@ -1,0 +1,69 @@
+#include "util/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace vmcw {
+
+Pareto::Pareto(double x_m, double alpha) noexcept
+    : x_m_(std::max(x_m, 1e-12)), alpha_(std::max(alpha, 1e-6)) {}
+
+double Pareto::sample(Rng& rng) const noexcept {
+  // Inverse CDF: x = x_m / U^(1/alpha).
+  double u = 1.0 - rng.uniform();  // (0, 1]
+  return x_m_ / std::pow(u, 1.0 / alpha_);
+}
+
+double Pareto::mean() const noexcept {
+  if (alpha_ <= 1.0) return std::numeric_limits<double>::infinity();
+  return alpha_ * x_m_ / (alpha_ - 1.0);
+}
+
+BoundedPareto::BoundedPareto(double x_m, double alpha, double upper) noexcept
+    : x_m_(std::max(x_m, 1e-12)),
+      alpha_(std::max(alpha, 1e-6)),
+      upper_(std::max(upper, x_m_)) {}
+
+double BoundedPareto::sample(Rng& rng) const noexcept {
+  // Inverse-CDF sampling of the truncated Pareto.
+  const double la = std::pow(x_m_, alpha_);
+  const double ha = std::pow(upper_, alpha_);
+  const double u = rng.uniform();
+  const double denom = ha - u * (ha - la);
+  return std::pow(ha * la / std::max(denom, 1e-300), 1.0 / alpha_);
+}
+
+Lognormal Lognormal::from_mean_cov(double mean, double cov) noexcept {
+  mean = std::max(mean, 1e-12);
+  cov = std::max(cov, 0.0);
+  // For lognormal: cov^2 = exp(sigma^2) - 1; mean = exp(mu + sigma^2/2).
+  const double sigma2 = std::log(1.0 + cov * cov);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return Lognormal(mu, std::sqrt(sigma2));
+}
+
+double Lognormal::sample(Rng& rng) const noexcept {
+  return std::exp(mu_ + sigma_ * rng.normal());
+}
+
+TruncatedNormal::TruncatedNormal(double mean, double sigma, double lo,
+                                 double hi) noexcept
+    : mean_(mean), sigma_(std::max(sigma, 0.0)), lo_(lo), hi_(std::max(hi, lo)) {}
+
+double TruncatedNormal::sample(Rng& rng) const noexcept {
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    double x = rng.normal(mean_, sigma_);
+    if (x >= lo_ && x <= hi_) return x;
+  }
+  return std::clamp(mean_, lo_, hi_);
+}
+
+Exponential::Exponential(double lambda) noexcept
+    : lambda_(std::max(lambda, 1e-12)) {}
+
+double Exponential::sample(Rng& rng) const noexcept {
+  return -std::log(1.0 - rng.uniform()) / lambda_;
+}
+
+}  // namespace vmcw

@@ -1,0 +1,90 @@
+// Heavy-tailed and bounded distributions used by the workload generator.
+//
+// Enterprise CPU demand is heavy-tailed (Crovella et al.); the generator
+// models burst magnitudes with (bounded) Pareto draws and slowly varying
+// baselines with lognormal / truncated-normal draws. Each distribution is a
+// small value type: construct once, sample with an Rng.
+#pragma once
+
+#include "util/rng.h"
+
+namespace vmcw {
+
+/// Pareto distribution with scale x_m > 0 and shape alpha > 0.
+/// Mean is finite only for alpha > 1; variance only for alpha > 2, so
+/// alpha in (1, 2] gives the heavy-tailed bursts (CoV >= 1) the paper
+/// observes on web-facing servers.
+class Pareto {
+ public:
+  Pareto(double x_m, double alpha) noexcept;
+
+  double sample(Rng& rng) const noexcept;
+  double mean() const noexcept;  ///< +inf if alpha <= 1.
+
+  double scale() const noexcept { return x_m_; }
+  double shape() const noexcept { return alpha_; }
+
+ private:
+  double x_m_;
+  double alpha_;
+};
+
+/// Pareto truncated to [x_m, upper]; keeps bursts heavy-tailed while
+/// respecting a physical capacity ceiling (a server cannot exceed 100% CPU).
+class BoundedPareto {
+ public:
+  BoundedPareto(double x_m, double alpha, double upper) noexcept;
+
+  double sample(Rng& rng) const noexcept;
+
+  double lower() const noexcept { return x_m_; }
+  double upper() const noexcept { return upper_; }
+
+ private:
+  double x_m_;
+  double alpha_;
+  double upper_;
+};
+
+/// Lognormal parameterized by the mean/CoV of the *resulting* distribution
+/// (more convenient for calibration than mu/sigma of the underlying normal).
+class Lognormal {
+ public:
+  /// Requires mean > 0 and cov >= 0.
+  static Lognormal from_mean_cov(double mean, double cov) noexcept;
+
+  double sample(Rng& rng) const noexcept;
+
+  double mu() const noexcept { return mu_; }
+  double sigma() const noexcept { return sigma_; }
+
+ private:
+  Lognormal(double mu, double sigma) noexcept : mu_(mu), sigma_(sigma) {}
+  double mu_;
+  double sigma_;
+};
+
+/// Normal truncated to [lo, hi] by rejection (falls back to clamping after
+/// a bounded number of rejections so sampling is always O(1) amortized).
+class TruncatedNormal {
+ public:
+  TruncatedNormal(double mean, double sigma, double lo, double hi) noexcept;
+
+  double sample(Rng& rng) const noexcept;
+
+ private:
+  double mean_, sigma_, lo_, hi_;
+};
+
+/// Exponential with given rate lambda > 0 (used for burst inter-arrivals).
+class Exponential {
+ public:
+  explicit Exponential(double lambda) noexcept;
+
+  double sample(Rng& rng) const noexcept;
+
+ private:
+  double lambda_;
+};
+
+}  // namespace vmcw

@@ -1,0 +1,123 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace vmcw {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+TextTable::TextTable(std::initializer_list<std::string> header)
+    : header_(header) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_row_numeric(const std::string& label,
+                                const std::vector<double>& values,
+                                int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(fmt(v, precision));
+  add_row(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  std::size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  std::vector<std::size_t> widths(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      out += cell;
+      if (c + 1 < cols) out.append(widths[c] - cell.size() + 2, ' ');
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+  emit(header_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < cols; ++c) rule += widths[c] + (c + 1 < cols ? 2 : 0);
+  out.append(rule, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+std::string TextTable::csv() const {
+  auto quote = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (char ch : cell) {
+      if (ch == '"') quoted += '"';
+      quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ',';
+      out += quote(row[c]);
+    }
+    out += '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+std::string TextTable::markdown() const {
+  std::size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  auto escape = [](const std::string& cell) {
+    std::string out;
+    for (char ch : cell) {
+      if (ch == '|') out += '\\';
+      out += ch;
+    }
+    return out;
+  };
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    out += '|';
+    for (std::size_t c = 0; c < cols; ++c) {
+      out += ' ';
+      out += c < row.size() ? escape(row[c]) : std::string{};
+      out += " |";
+    }
+    out += '\n';
+  };
+  emit(header_);
+  out += '|';
+  for (std::size_t c = 0; c < cols; ++c) out += "---|";
+  out += '\n';
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+std::string fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string fmt_pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace vmcw

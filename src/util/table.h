@@ -1,0 +1,49 @@
+// Plain-text table rendering for bench/example output.
+//
+// The figure benches print the same rows/series the paper's figures plot;
+// TextTable keeps that output aligned and diff-friendly, and can also emit
+// CSV for downstream plotting.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace vmcw {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+  TextTable(std::initializer_list<std::string> header);
+
+  /// Append a row of pre-formatted cells. Rows shorter than the header are
+  /// padded with empty cells; longer rows extend the column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with fixed precision.
+  void add_row_numeric(const std::string& label,
+                       const std::vector<double>& values, int precision = 3);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Aligned monospace rendering (header, rule, rows).
+  std::string str() const;
+
+  /// RFC-4180-ish CSV rendering (cells containing commas/quotes are quoted).
+  std::string csv() const;
+
+  /// GitHub-flavored Markdown table (pipes in cells are escaped).
+  std::string markdown() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with the given number of decimals.
+std::string fmt(double value, int precision = 3);
+
+/// Format a fraction as a percentage string, e.g. 0.125 -> "12.5%".
+std::string fmt_pct(double fraction, int precision = 1);
+
+}  // namespace vmcw

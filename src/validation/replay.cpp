@@ -1,0 +1,110 @@
+#include "validation/replay.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace vmcw {
+
+ReplayDriver::ReplayDriver(const SyntheticApp& app, MicroBenchmark micro,
+                           Rng rng)
+    : app_(&app), micro_(micro), rng_(rng) {}
+
+ReplayPoint ReplayDriver::replay_hour(const ResourceVector& target) {
+  ReplayPoint point;
+  point.target = target;
+
+  // Drive the app to consume the trace's CPU, but never beyond the trace's
+  // memory: if the app's footprint at that intensity would overshoot the
+  // memory target, back off until memory is the saturated resource.
+  double intensity = app_->intensity_for_cpu(target.cpu_rpe2);
+  const ResourceVector at_cpu = app_->demand_at(intensity);
+  if (at_cpu.memory_mb > target.memory_mb) {
+    // Binary-search the largest intensity whose footprint fits the target.
+    double lo = 0.0, hi = intensity;
+    for (int i = 0; i < 40; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      if (app_->demand_at(mid).memory_mb <= target.memory_mb)
+        lo = mid;
+      else
+        hi = mid;
+    }
+    intensity = lo;
+  }
+
+  const ResourceVector app_used = app_->run_at(intensity, rng_);
+  // Micro-benchmark tops up whatever the app left unconsumed.
+  const ResourceVector nominal = app_->demand_at(intensity);
+  const ResourceVector top_up{
+      std::max(target.cpu_rpe2 - nominal.cpu_rpe2, 0.0),
+      std::max(target.memory_mb - nominal.memory_mb, 0.0)};
+  const ResourceVector micro_used = micro_.run(top_up, rng_);
+
+  point.achieved = app_used + micro_used;
+  point.cpu_rel_error =
+      target.cpu_rpe2 > 1e-9
+          ? std::abs(point.achieved.cpu_rpe2 - target.cpu_rpe2) /
+                target.cpu_rpe2
+          : 0.0;
+  point.mem_rel_error =
+      target.memory_mb > 1e-9
+          ? std::abs(point.achieved.memory_mb - target.memory_mb) /
+                target.memory_mb
+          : 0.0;
+  return point;
+}
+
+std::vector<ReplayPoint> ReplayDriver::replay(const VmWorkload& vm,
+                                              std::size_t begin,
+                                              std::size_t len) {
+  std::vector<ReplayPoint> points;
+  const std::size_t end = std::min(begin + len, vm.hours());
+  points.reserve(end - begin);
+  for (std::size_t hour = begin; hour < end; ++hour)
+    points.push_back(replay_hour(vm.demand_at(hour)));
+  return points;
+}
+
+VmWorkload make_validation_trace(std::size_t hours, std::uint64_t seed) {
+  VmWorkload vm;
+  vm.id = "validation";
+  Rng rng(seed);
+  std::vector<double> cpu(hours), mem(hours);
+  for (std::size_t t = 0; t < hours; ++t) {
+    const double phase =
+        std::sin(2.0 * 3.14159265358979 * static_cast<double>(t % 24) / 24.0);
+    cpu[t] = std::clamp(2250.0 + 1500.0 * phase + rng.normal(0.0, 250.0),
+                        500.0, 4000.0);
+    mem[t] = std::clamp(2750.0 + 1000.0 * phase + rng.normal(0.0, 150.0),
+                        1500.0, 4000.0);
+  }
+  vm.cpu_rpe2 = TimeSeries(std::move(cpu));
+  vm.mem_mb = TimeSeries(std::move(mem));
+  return vm;
+}
+
+ValidationReport validate_emulator(const SyntheticApp& app,
+                                   const VmWorkload& trace, std::size_t begin,
+                                   std::size_t len, std::uint64_t seed) {
+  ReplayDriver driver(app, MicroBenchmark{}, Rng(seed));
+  const auto points = driver.replay(trace, begin, len);
+
+  ValidationReport report;
+  report.app = app.name();
+  report.points = points.size();
+  std::vector<double> cpu_errors, mem_errors;
+  cpu_errors.reserve(points.size());
+  mem_errors.reserve(points.size());
+  for (const auto& p : points) {
+    cpu_errors.push_back(p.cpu_rel_error);
+    mem_errors.push_back(p.mem_rel_error);
+    report.worst_error =
+        std::max({report.worst_error, p.cpu_rel_error, p.mem_rel_error});
+  }
+  report.cpu_p99_error = percentile(cpu_errors, 99);
+  report.mem_p99_error = percentile(mem_errors, 99);
+  return report;
+}
+
+}  // namespace vmcw

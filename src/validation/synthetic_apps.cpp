@@ -1,0 +1,59 @@
+#include "validation/synthetic_apps.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vmcw {
+
+ResourceVector SyntheticApp::run_at(double intensity, Rng& rng) const {
+  const ResourceVector nominal = demand_at(intensity);
+  const double cpu_wobble = 1.0 + rng.normal(0.0, actuation_noise());
+  const double mem_wobble = 1.0 + rng.normal(0.0, actuation_noise() * 0.5);
+  return ResourceVector{std::max(nominal.cpu_rpe2 * cpu_wobble, 0.0),
+                        std::max(nominal.memory_mb * mem_wobble, 0.0)};
+}
+
+RubisLikeApp::RubisLikeApp(Profile profile) : profile_(profile) {}
+
+ResourceVector RubisLikeApp::demand_at(double clients) const {
+  clients = std::max(clients, 0.0);
+  const double scale = clients / profile_.reference_clients;
+  const double cpu = profile_.cpu_per_client_rpe2 * profile_.reference_clients *
+                     std::pow(scale, profile_.cpu_exponent);
+  const double mem = profile_.base_mem_mb +
+                     profile_.mem_per_client_mb * profile_.reference_clients *
+                         std::pow(scale, profile_.mem_exponent);
+  return ResourceVector{cpu, mem};
+}
+
+double RubisLikeApp::intensity_for_cpu(double cpu_rpe2) const {
+  const double reference_cpu =
+      profile_.cpu_per_client_rpe2 * profile_.reference_clients;
+  if (cpu_rpe2 <= 0.0 || reference_cpu <= 0.0) return 0.0;
+  const double scale =
+      std::pow(cpu_rpe2 / reference_cpu, 1.0 / profile_.cpu_exponent);
+  return scale * profile_.reference_clients;
+}
+
+DaxpyLikeApp::DaxpyLikeApp(Profile profile) : profile_(profile) {}
+
+ResourceVector DaxpyLikeApp::demand_at(double mops) const {
+  return ResourceVector{std::max(mops, 0.0) * profile_.rpe2_per_mops,
+                        profile_.vector_footprint_mb};
+}
+
+double DaxpyLikeApp::intensity_for_cpu(double cpu_rpe2) const {
+  return profile_.rpe2_per_mops > 0
+             ? std::max(cpu_rpe2, 0.0) / profile_.rpe2_per_mops
+             : 0.0;
+}
+
+ResourceVector MicroBenchmark::run(const ResourceVector& target,
+                                   Rng& rng) const {
+  const double cpu_wobble = 1.0 + rng.normal(0.0, actuation_noise());
+  const double mem_wobble = 1.0 + rng.normal(0.0, actuation_noise() * 0.5);
+  return ResourceVector{std::max(target.cpu_rpe2, 0.0) * cpu_wobble,
+                        std::max(target.memory_mb, 0.0) * mem_wobble};
+}
+
+}  // namespace vmcw

@@ -1,0 +1,106 @@
+// Synthetic applications for emulator validation (Section 5.2).
+//
+// The paper verified its emulator with two workloads whose resource
+// consumption can be driven precisely:
+//   - RUBiS: an auction web application; a resource model maps client
+//     count to CPU and memory (interactive, noisy: 99th pctile emulator
+//     error was 5%);
+//   - daxpy: a dense kernel; CPU scales linearly with iteration rate and
+//     memory is the (constant) vector footprint (clean: error 2%).
+// A micro-benchmark then tops up whichever resource the application did
+// not saturate, so workload+micro-benchmark together consume exactly what
+// a trace prescribes.
+//
+// We model the same cast analytically: each app maps a drive intensity to
+// a resource vector, with an actuation-noise level reflecting how
+// controllable the workload is.
+#pragma once
+
+#include <string>
+
+#include "hardware/server_spec.h"
+#include "util/rng.h"
+
+namespace vmcw {
+
+/// A drivable application: intensity in app-specific units (clients for
+/// RUBiS, Mops/s for daxpy) maps deterministically to demand; actual
+/// consumption wobbles around it with the app's actuation noise.
+class SyntheticApp {
+ public:
+  virtual ~SyntheticApp() = default;
+
+  virtual const std::string& name() const noexcept = 0;
+
+  /// Nominal demand at a drive intensity.
+  virtual ResourceVector demand_at(double intensity) const = 0;
+
+  /// Intensity that nominally consumes `cpu_rpe2` CPU (inverse of
+  /// demand_at on the CPU axis).
+  virtual double intensity_for_cpu(double cpu_rpe2) const = 0;
+
+  /// Relative std-dev of achieved vs nominal consumption.
+  virtual double actuation_noise() const noexcept = 0;
+
+  /// Achieved consumption when driven at `intensity` (nominal + noise).
+  ResourceVector run_at(double intensity, Rng& rng) const;
+};
+
+/// RUBiS-like interactive web application. CPU grows super-linearly with
+/// clients (session management overhead), memory sub-linearly (shared
+/// caches) — the same exponents as the Olio model.
+class RubisLikeApp final : public SyntheticApp {
+ public:
+  struct Profile {
+    double cpu_per_client_rpe2 = 8.0;   ///< at the reference point
+    double mem_per_client_mb = 6.0;
+    double base_mem_mb = 512.0;
+    double cpu_exponent = 1.15;
+    double mem_exponent = 0.61;
+    double reference_clients = 100.0;
+  };
+
+  RubisLikeApp() : RubisLikeApp(Profile{}) {}
+  explicit RubisLikeApp(Profile profile);
+
+  const std::string& name() const noexcept override { return name_; }
+  ResourceVector demand_at(double clients) const override;
+  double intensity_for_cpu(double cpu_rpe2) const override;
+  double actuation_noise() const noexcept override { return 0.017; }
+
+ private:
+  std::string name_ = "rubis";
+  Profile profile_;
+};
+
+/// daxpy-like computational kernel: CPU strictly linear in iteration rate,
+/// memory a constant vector footprint. Highly controllable.
+class DaxpyLikeApp final : public SyntheticApp {
+ public:
+  struct Profile {
+    double rpe2_per_mops = 2.0;
+    double vector_footprint_mb = 1024.0;
+  };
+
+  DaxpyLikeApp() : DaxpyLikeApp(Profile{}) {}
+  explicit DaxpyLikeApp(Profile profile);
+
+  const std::string& name() const noexcept override { return name_; }
+  ResourceVector demand_at(double mops) const override;
+  double intensity_for_cpu(double cpu_rpe2) const override;
+  double actuation_noise() const noexcept override { return 0.006; }
+
+ private:
+  std::string name_ = "daxpy";
+  Profile profile_;
+};
+
+/// The top-up micro-benchmark: burns exactly the requested CPU and touches
+/// exactly the requested memory, with a tiny actuation error.
+class MicroBenchmark {
+ public:
+  ResourceVector run(const ResourceVector& target, Rng& rng) const;
+  double actuation_noise() const noexcept { return 0.004; }
+};
+
+}  // namespace vmcw

@@ -1,0 +1,156 @@
+// Unit tests for burstiness metrics, resource ratio, and fleet summaries.
+
+#include <gtest/gtest.h>
+
+#include "analysis/burstiness.h"
+#include "analysis/resource_ratio.h"
+#include "analysis/workload_report.h"
+#include "trace/generator.h"
+#include "trace/presets.h"
+
+namespace vmcw {
+namespace {
+
+/// A hand-built two-server data center with exactly known series.
+Datacenter handmade_dc() {
+  Datacenter dc;
+  dc.name = "T";
+  dc.industry = "Test";
+
+  ServerSpec spec;
+  spec.model = "unit";
+  spec.cpu_rpe2 = 1000.0;
+  spec.memory_mb = 10240.0;  // 10 GB
+
+  ServerTrace flat;
+  flat.id = "flat";
+  flat.spec = spec;
+  flat.cpu_util = TimeSeries(std::vector<double>(8, 0.5));
+  flat.mem_mb = TimeSeries(std::vector<double>(8, 1024.0));
+
+  ServerTrace spiky;
+  spiky.id = "spiky";
+  spiky.spec = spec;
+  spiky.cpu_util = TimeSeries({0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.8});
+  spiky.mem_mb = TimeSeries({512, 512, 512, 512, 512, 512, 512, 1024});
+
+  dc.servers = {flat, spiky};
+  return dc;
+}
+
+TEST(Burstiness, FlatServerHasUnitP2AAndZeroCov) {
+  const auto result = burstiness(handmade_dc(), Resource::kCpu, 1);
+  ASSERT_EQ(result.peak_to_average.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.peak_to_average[0], 1.0);
+  EXPECT_DOUBLE_EQ(result.cov[0], 0.0);
+}
+
+TEST(Burstiness, SpikyServerKnownValues) {
+  const auto result = burstiness(handmade_dc(), Resource::kCpu, 1);
+  // mean = (7*0.1 + 0.8)/8 = 0.1875; peak = 0.8
+  EXPECT_NEAR(result.peak_to_average[1], 0.8 / 0.1875, 1e-9);
+  EXPECT_GT(result.cov[1], 1.0);  // single large spike is heavy-tailed
+}
+
+TEST(Burstiness, LargerWindowsSmoothP2A) {
+  const auto dc = handmade_dc();
+  const auto w1 = burstiness(dc, Resource::kCpu, 1);
+  const auto w4 = burstiness(dc, Resource::kCpu, 4);
+  // Averaging the spike into a 4h window must reduce the ratio.
+  EXPECT_LT(w4.peak_to_average[1], w1.peak_to_average[1]);
+}
+
+TEST(Burstiness, MemoryUsesMemorySeries) {
+  const auto result = burstiness(handmade_dc(), Resource::kMemory, 1);
+  EXPECT_DOUBLE_EQ(result.peak_to_average[0], 1.0);
+  EXPECT_NEAR(result.peak_to_average[1], 1024.0 / 576.0, 1e-9);
+}
+
+TEST(Burstiness, AnalysisWindowRestrictsToTail) {
+  const auto dc = handmade_dc();
+  // Last 4 hours of the spiky server: {0.1,0.1,0.1,0.8}.
+  const auto result = burstiness(dc, Resource::kCpu, 1, 4);
+  EXPECT_NEAR(result.peak_to_average[1], 0.8 / 0.275, 1e-9);
+}
+
+TEST(Burstiness, HeavyTailedFraction) {
+  const auto result = burstiness(handmade_dc(), Resource::kCpu, 1);
+  EXPECT_DOUBLE_EQ(heavy_tailed_fraction(result), 0.5);
+  EXPECT_DOUBLE_EQ(heavy_tailed_fraction(BurstinessResult{}), 0.0);
+}
+
+TEST(Burstiness, CdfHelpers) {
+  const auto result = burstiness(handmade_dc(), Resource::kCpu, 1);
+  EXPECT_EQ(p2a_cdf(result).size(), 2u);
+  EXPECT_EQ(cov_cdf(result).size(), 2u);
+  EXPECT_DOUBLE_EQ(p2a_cdf(result).min(), 1.0);
+}
+
+TEST(ResourceRatio, KnownValues) {
+  const auto ratios = resource_ratio_series(handmade_dc(), 1);
+  ASSERT_EQ(ratios.size(), 8u);
+  // Hour 0: cpu = 0.5*1000 + 0.1*1000 = 600 RPE2;
+  //         mem = (1024 + 512)/1024 = 1.5 GB  => ratio 400.
+  EXPECT_NEAR(ratios[0], 600.0 / 1.5, 1e-9);
+  // Hour 7: cpu = 0.5*1000 + 0.8*1000 = 1300; mem = 2 GB => 650.
+  EXPECT_NEAR(ratios[7], 1300.0 / 2.0, 1e-9);
+}
+
+TEST(ResourceRatio, WindowAveraging) {
+  const auto ratios = resource_ratio_series(handmade_dc(), 8);
+  ASSERT_EQ(ratios.size(), 1u);
+  // Mean cpu = (7*600 + 1300)/8 = 687.5; mean mem GB = (7*1.5 + 2)/8.
+  EXPECT_NEAR(ratios[0], 687.5 / (12.5 / 8.0), 1e-9);
+}
+
+TEST(ResourceRatio, MemoryConstrainedFraction) {
+  // All hourly ratios are 400 except hour 7 at 650; threshold between them
+  // splits 7/8 vs 1/8.
+  EXPECT_NEAR(memory_constrained_fraction(handmade_dc(), 1, 0, 500.0),
+              7.0 / 8.0, 1e-9);
+  EXPECT_DOUBLE_EQ(memory_constrained_fraction(handmade_dc(), 1, 0, 100.0),
+                   0.0);
+  EXPECT_DOUBLE_EQ(memory_constrained_fraction(handmade_dc(), 1, 0, 10000.0),
+                   1.0);
+}
+
+TEST(ResourceRatio, AirlinesAlwaysMemoryBound) {
+  // Observation 3 for workload B at reduced scale.
+  const auto dc =
+      generate_datacenter(scaled_down(airlines_spec(), 120, 336), kStudySeed);
+  EXPECT_GT(memory_constrained_fraction(dc, 2), 0.99);
+}
+
+TEST(ResourceRatio, BankingOftenCpuBound) {
+  const auto dc =
+      generate_datacenter(scaled_down(banking_spec(), 200, kHoursPerMonth),
+                          kStudySeed);
+  const double mem_bound = memory_constrained_fraction(dc, 2, 336);
+  EXPECT_LT(mem_bound, 0.6);  // CPU-intensive for a large share of intervals
+  EXPECT_GT(mem_bound, 0.05);
+}
+
+TEST(WorkloadReport, SummaryFields) {
+  const auto summary = summarize_workload(handmade_dc());
+  EXPECT_EQ(summary.name, "T");
+  EXPECT_EQ(summary.servers, 2u);
+  EXPECT_NEAR(summary.avg_cpu_util, (0.5 + 0.1875) / 2.0, 1e-9);
+  EXPECT_NEAR(summary.total_rpe2_capacity, 2000.0, 1e-9);
+  EXPECT_NEAR(summary.total_memory_gb, 20.0, 1e-9);
+}
+
+TEST(WorkloadReport, TableContainsRows) {
+  const auto summary = summarize_workload(handmade_dc());
+  const std::vector<WorkloadSummary> rows{summary};
+  const std::string table = format_table2(rows);
+  EXPECT_NE(table.find("Test"), std::string::npos);
+  EXPECT_NE(table.find("2"), std::string::npos);
+}
+
+TEST(Resource, ToString) {
+  EXPECT_STREQ(to_string(Resource::kCpu), "cpu");
+  EXPECT_STREQ(to_string(Resource::kMemory), "memory");
+}
+
+}  // namespace
+}  // namespace vmcw

@@ -1,0 +1,80 @@
+// Unit tests for the Olio-calibrated application resource model.
+
+#include "trace/app_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vmcw {
+namespace {
+
+TEST(AppResourceModel, ReproducesPaperOlioEndpoints) {
+  // Section 4.1: throughput 10 -> 60 ops/s gives CPU 0.18 -> 1.42 cores
+  // (7.9x) and memory 3x.
+  const AppResourceModel olio;
+  EXPECT_NEAR(olio.cpu_for_throughput(10.0), 0.18, 1e-9);
+  EXPECT_NEAR(olio.cpu_for_throughput(60.0) / olio.cpu_for_throughput(10.0),
+              7.9, 0.05);
+  EXPECT_NEAR(olio.mem_for_throughput(60.0) / olio.mem_for_throughput(10.0),
+              3.0, 0.02);
+}
+
+TEST(AppResourceModel, CpuSuperlinearMemorySublinear) {
+  const AppResourceModel olio;
+  // Doubling throughput more than doubles CPU but less than doubles memory.
+  EXPECT_GT(olio.cpu_for_throughput(20.0), 2.0 * olio.cpu_for_throughput(10.0));
+  EXPECT_LT(olio.mem_for_throughput(20.0), 2.0 * olio.mem_for_throughput(10.0));
+}
+
+TEST(AppResourceModel, MemScaleIdentityAtOne) {
+  const AppResourceModel olio;
+  EXPECT_NEAR(olio.mem_scale_for_cpu_scale(1.0), 1.0, 1e-12);
+}
+
+TEST(AppResourceModel, MemScaleConsistentWithThroughputCurves) {
+  const AppResourceModel olio;
+  // If CPU scales by cpu(60)/cpu(10), memory should scale by mem(60)/mem(10).
+  const double cpu_scale =
+      olio.cpu_for_throughput(60.0) / olio.cpu_for_throughput(10.0);
+  const double mem_scale =
+      olio.mem_for_throughput(60.0) / olio.mem_for_throughput(10.0);
+  EXPECT_NEAR(olio.mem_scale_for_cpu_scale(cpu_scale), mem_scale, 1e-6);
+}
+
+TEST(AppResourceModel, MemScaleMonotone) {
+  const AppResourceModel olio;
+  double prev = 0;
+  for (double s : {0.1, 0.5, 1.0, 2.0, 5.0, 20.0}) {
+    const double m = olio.mem_scale_for_cpu_scale(s);
+    EXPECT_GT(m, prev);
+    prev = m;
+  }
+}
+
+TEST(AppResourceModel, DampensVariability) {
+  // The core of Observation 2: a CPU swing of 10x becomes a memory swing
+  // of ~3.4x — about an order of magnitude less variance.
+  const AppResourceModel olio;
+  const double mem_swing = olio.mem_scale_for_cpu_scale(10.0);
+  EXPECT_LT(mem_swing, 4.0);
+  EXPECT_GT(mem_swing, 3.0);
+}
+
+TEST(AppResourceModel, CustomCalibration) {
+  AppResourceModel::Calibration c;
+  c.cpu_exponent = 1.0;
+  c.mem_exponent = 1.0;
+  const AppResourceModel linear(c);
+  EXPECT_NEAR(linear.mem_scale_for_cpu_scale(7.0), 7.0, 1e-9);
+}
+
+TEST(AppResourceModel, HandlesZeroThroughput) {
+  const AppResourceModel olio;
+  EXPECT_GE(olio.cpu_for_throughput(0.0), 0.0);
+  EXPECT_GE(olio.mem_for_throughput(0.0), 0.0);
+  EXPECT_GE(olio.mem_scale_for_cpu_scale(0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace vmcw

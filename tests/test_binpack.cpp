@@ -1,0 +1,264 @@
+// Unit + property tests for the FFD 2-D vector packer.
+
+#include "core/binpack.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace vmcw {
+namespace {
+
+constexpr ResourceVector kCap{100.0, 1000.0};
+
+std::vector<ResourceVector> host_loads(const Placement& p,
+                                       std::span<const ResourceVector> sizes) {
+  std::vector<ResourceVector> loads(p.host_index_bound());
+  for (std::size_t vm = 0; vm < p.vm_count(); ++vm)
+    if (p.is_placed(vm))
+      loads[static_cast<std::size_t>(p.host_of(vm))] += sizes[vm];
+  return loads;
+}
+
+TEST(FfdPack, EmptyInput) {
+  const auto result = ffd_pack({}, kCap);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->hosts_used, 0u);
+}
+
+TEST(FfdPack, SingleItem) {
+  const std::vector<ResourceVector> sizes{{50, 100}};
+  const auto result = ffd_pack(sizes, kCap);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->hosts_used, 1u);
+  EXPECT_EQ(result->placement.host_of(0), 0);
+}
+
+TEST(FfdPack, OversizedItemFails) {
+  const std::vector<ResourceVector> sizes{{101, 0}};
+  EXPECT_FALSE(ffd_pack(sizes, kCap).has_value());
+  const std::vector<ResourceVector> mem_over{{0, 1001}};
+  EXPECT_FALSE(ffd_pack(mem_over, kCap).has_value());
+}
+
+TEST(FfdPack, ExactFitUsesOneHost) {
+  const std::vector<ResourceVector> sizes{{50, 500}, {50, 500}};
+  const auto result = ffd_pack(sizes, kCap);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->hosts_used, 1u);
+}
+
+TEST(FfdPack, SplitsWhenEitherDimensionOverflows) {
+  // CPU fits together but memory does not.
+  const std::vector<ResourceVector> sizes{{10, 600}, {10, 600}};
+  const auto result = ffd_pack(sizes, kCap);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->hosts_used, 2u);
+}
+
+TEST(FfdPack, ClassicFfdExample) {
+  // Six 0.6-capacity + six 0.4-capacity items: FFD pairs them 0.6+0.4,
+  // using 6 hosts (optimal).
+  std::vector<ResourceVector> sizes;
+  for (int i = 0; i < 6; ++i) sizes.push_back({60, 0});
+  for (int i = 0; i < 6; ++i) sizes.push_back({40, 0});
+  const auto result = ffd_pack(sizes, kCap);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->hosts_used, 6u);
+}
+
+TEST(FfdPack, NeverViolatesCapacity) {
+  Rng rng(5);
+  std::vector<ResourceVector> sizes;
+  for (int i = 0; i < 200; ++i)
+    sizes.push_back({rng.uniform(1, 60), rng.uniform(10, 600)});
+  const auto result = ffd_pack(sizes, kCap);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->placement.placed_count(), sizes.size());
+  for (const auto& load : host_loads(result->placement, sizes))
+    EXPECT_TRUE(load.fits_within(kCap));
+}
+
+TEST(FfdPack, Deterministic) {
+  Rng rng(6);
+  std::vector<ResourceVector> sizes;
+  for (int i = 0; i < 100; ++i)
+    sizes.push_back({rng.uniform(1, 60), rng.uniform(10, 600)});
+  const auto a = ffd_pack(sizes, kCap);
+  const auto b = ffd_pack(sizes, kCap);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->placement, b->placement);
+}
+
+TEST(FfdPack, WithinAdditiveBoundOfLowerBound) {
+  // FFD is 11/9 OPT + 1 in 1-D; check against the volume lower bound.
+  Rng rng(7);
+  std::vector<ResourceVector> sizes;
+  double total_cpu = 0;
+  for (int i = 0; i < 300; ++i) {
+    const double c = rng.uniform(5, 50);
+    sizes.push_back({c, 0});
+    total_cpu += c;
+  }
+  const auto result = ffd_pack(sizes, kCap);
+  ASSERT_TRUE(result.has_value());
+  const double lower_bound = total_cpu / kCap.cpu_rpe2;
+  EXPECT_LE(result->hosts_used, 11.0 / 9.0 * lower_bound + 2.0);
+}
+
+TEST(FfdPack, AffinityKeepsGroupTogether) {
+  ConstraintSet cs(4);
+  cs.add_affinity(0, 3);
+  const std::vector<ResourceVector> sizes{
+      {40, 100}, {40, 100}, {40, 100}, {40, 100}};
+  const auto result = ffd_pack(sizes, kCap, cs);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->placement.host_of(0), result->placement.host_of(3));
+  EXPECT_TRUE(cs.satisfied_by(result->placement));
+}
+
+TEST(FfdPack, AffinityGroupTooBigFails) {
+  ConstraintSet cs(3);
+  cs.add_affinity(0, 1);
+  cs.add_affinity(1, 2);
+  const std::vector<ResourceVector> sizes{{40, 0}, {40, 0}, {40, 0}};
+  EXPECT_FALSE(ffd_pack(sizes, kCap, cs).has_value());
+}
+
+TEST(FfdPack, AntiAffinitySeparates) {
+  ConstraintSet cs(2);
+  cs.add_anti_affinity(0, 1);
+  const std::vector<ResourceVector> sizes{{10, 10}, {10, 10}};
+  const auto result = ffd_pack(sizes, kCap, cs);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NE(result->placement.host_of(0), result->placement.host_of(1));
+  EXPECT_EQ(result->hosts_used, 2u);
+}
+
+TEST(FfdPack, PinForcesHost) {
+  ConstraintSet cs(2);
+  cs.pin(1, 3);
+  const std::vector<ResourceVector> sizes{{10, 10}, {10, 10}};
+  const auto result = ffd_pack(sizes, kCap, cs);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->placement.host_of(1), 3);
+  EXPECT_TRUE(cs.satisfied_by(result->placement));
+}
+
+TEST(FfdPack, ForbidAvoidsHost) {
+  ConstraintSet cs(2);
+  // Both VMs fill a host; forbid vm1 from host 0 so it must open host 1.
+  cs.forbid(1, 0);
+  const std::vector<ResourceVector> sizes{{60, 10}, {60, 10}};
+  const auto result = ffd_pack(sizes, kCap, cs);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NE(result->placement.host_of(1), 0);
+}
+
+TEST(FfdPack, PinnedVmClaimsHostBeforeFreeVms) {
+  // Regression: a pin to host 0 must succeed even when unpinned VMs would
+  // otherwise fill host 0 first (pinned groups are placed before the FFD
+  // pass).
+  ConstraintSet cs(3);
+  cs.pin(2, 0);
+  // Two large VMs that each fill most of a host, and a pinned small one.
+  const std::vector<ResourceVector> sizes{{90, 10}, {90, 10}, {20, 10}};
+  const auto result = ffd_pack(sizes, kCap, cs);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->placement.host_of(2), 0);
+  EXPECT_TRUE(cs.satisfied_by(result->placement));
+}
+
+TEST(FfdPack, InfeasibleConstraintsRejected) {
+  ConstraintSet cs(2);
+  cs.add_affinity(0, 1);
+  cs.add_anti_affinity(0, 1);
+  const std::vector<ResourceVector> sizes{{10, 10}, {10, 10}};
+  EXPECT_FALSE(ffd_pack(sizes, kCap, cs).has_value());
+}
+
+TEST(DecreasingSizeOrder, SortsByMaxNormalizedDimension) {
+  const std::vector<ResourceVector> sizes{
+      {10, 900},   // norm 0.9 (memory)
+      {50, 100},   // norm 0.5 (cpu)
+      {99, 10},    // norm 0.99
+  };
+  const auto order = decreasing_size_order(sizes, kCap);
+  EXPECT_EQ(order, (std::vector<std::size_t>{2, 0, 1}));
+}
+
+// Exhaustive optimum for tiny instances: try every assignment of items to
+// at most n hosts (n^n combinations, n <= 7).
+std::size_t brute_force_optimum(std::span<const ResourceVector> sizes,
+                                const ResourceVector& capacity) {
+  const std::size_t n = sizes.size();
+  std::size_t best = n;
+  std::vector<std::size_t> assignment(n, 0);
+  const auto total = static_cast<std::size_t>(std::pow(n, n));
+  for (std::size_t code = 0; code < total; ++code) {
+    std::size_t c = code;
+    for (std::size_t i = 0; i < n; ++i) {
+      assignment[i] = c % n;
+      c /= n;
+    }
+    std::vector<ResourceVector> loads(n);
+    bool feasible = true;
+    for (std::size_t i = 0; i < n && feasible; ++i) {
+      loads[assignment[i]] += sizes[i];
+      feasible = loads[assignment[i]].fits_within(capacity);
+    }
+    if (!feasible) continue;
+    std::size_t used = 0;
+    for (const auto& load : loads)
+      if (load.cpu_rpe2 > 0 || load.memory_mb > 0) ++used;
+    best = std::min(best, used);
+  }
+  return best;
+}
+
+class FfdVsOptimal : public ::testing::TestWithParam<int> {};
+
+TEST_P(FfdVsOptimal, WithinTheoreticalGuarantee) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1234567);
+  std::vector<ResourceVector> sizes;
+  const int n = 6;
+  for (int i = 0; i < n; ++i)
+    sizes.push_back({rng.uniform(10, 95), rng.uniform(50, 950)});
+  const auto ffd = ffd_pack(sizes, kCap);
+  ASSERT_TRUE(ffd.has_value());
+  const std::size_t opt = brute_force_optimum(sizes, kCap);
+  EXPECT_GE(ffd->hosts_used, opt);  // sanity: can't beat the optimum
+  EXPECT_LE(static_cast<double>(ffd->hosts_used),
+            11.0 / 9.0 * static_cast<double>(opt) + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(TinyInstances, FfdVsOptimal, ::testing::Range(1, 13));
+
+class RandomPackProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPackProperty, AllPlacedAllWithinCapacity) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<ResourceVector> sizes;
+  const int n = 50 + GetParam() * 37;
+  for (int i = 0; i < n; ++i)
+    sizes.push_back({rng.uniform(0.5, 99), rng.uniform(1, 999)});
+  ConstraintSet cs(sizes.size());
+  // Sprinkle some anti-affinity pairs.
+  for (int i = 0; i + 1 < n && i < 10; i += 2)
+    cs.add_anti_affinity(static_cast<std::size_t>(i),
+                         static_cast<std::size_t>(i + 1));
+  const auto result = ffd_pack(sizes, kCap, cs);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->placement.placed_count(), sizes.size());
+  EXPECT_TRUE(cs.satisfied_by(result->placement));
+  for (const auto& load : host_loads(result->placement, sizes))
+    EXPECT_TRUE(load.fits_within(kCap));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPackProperty, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace vmcw

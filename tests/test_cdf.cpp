@@ -1,0 +1,101 @@
+// Unit tests for util/cdf.h.
+
+#include "util/cdf.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace vmcw {
+namespace {
+
+EmpiricalCdf make_ramp() { return EmpiricalCdf({5, 1, 3, 2, 4}); }
+
+TEST(EmpiricalCdf, EmptyIsSafe) {
+  const EmpiricalCdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_above(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.min(), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 0.0);
+  EXPECT_TRUE(cdf.curve().empty());
+}
+
+TEST(EmpiricalCdf, AtCountsInclusive) {
+  const auto cdf = make_ramp();
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.2);
+  EXPECT_DOUBLE_EQ(cdf.at(3.0), 0.6);
+  EXPECT_DOUBLE_EQ(cdf.at(4.999), 0.8);
+  EXPECT_DOUBLE_EQ(cdf.at(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, FractionAboveComplementsAt) {
+  const auto cdf = make_ramp();
+  for (double x : {0.0, 1.5, 3.0, 6.0})
+    EXPECT_DOUBLE_EQ(cdf.at(x) + cdf.fraction_above(x), 1.0);
+}
+
+TEST(EmpiricalCdf, QuantileInverse) {
+  const auto cdf = make_ramp();
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 5.0);
+}
+
+TEST(EmpiricalCdf, QuantileClampsInput) {
+  const auto cdf = make_ramp();
+  EXPECT_DOUBLE_EQ(cdf.quantile(-1.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(2.0), 5.0);
+}
+
+TEST(EmpiricalCdf, MinMax) {
+  const auto cdf = make_ramp();
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 5.0);
+}
+
+TEST(EmpiricalCdf, SortedAccess) {
+  const auto cdf = make_ramp();
+  const auto sorted = cdf.sorted();
+  ASSERT_EQ(sorted.size(), 5u);
+  for (std::size_t i = 1; i < sorted.size(); ++i)
+    EXPECT_LE(sorted[i - 1], sorted[i]);
+}
+
+TEST(EmpiricalCdf, CurveIsMonotone) {
+  const auto cdf = make_ramp();
+  const auto curve = cdf.curve(10);
+  ASSERT_EQ(curve.size(), 10u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].x, curve[i].x);
+    EXPECT_LT(curve[i - 1].f, curve[i].f);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().f, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().x, 5.0);
+}
+
+TEST(EmpiricalCdf, DuplicateValues) {
+  const EmpiricalCdf cdf({2, 2, 2, 5});
+  EXPECT_DOUBLE_EQ(cdf.at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.at(1.999), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 2.0);
+}
+
+TEST(FormatCdfTable, ContainsNamesAndQuantiles) {
+  const std::vector<std::string> names{"a", "b"};
+  const std::vector<EmpiricalCdf> cdfs{make_ramp(), EmpiricalCdf({10, 20})};
+  const std::vector<double> quantiles{0.5, 0.9};
+  const std::string table = format_cdf_table(names, cdfs, quantiles);
+  EXPECT_NE(table.find("a"), std::string::npos);
+  EXPECT_NE(table.find("b"), std::string::npos);
+  EXPECT_NE(table.find("50.00%"), std::string::npos);
+  EXPECT_NE(table.find("90.00%"), std::string::npos);
+  EXPECT_NE(table.find("3.000"), std::string::npos);  // a's median
+}
+
+}  // namespace
+}  // namespace vmcw

@@ -1,0 +1,171 @@
+// Unit tests for the deployment-constraint framework.
+
+#include "core/constraints.h"
+
+#include <gtest/gtest.h>
+
+namespace vmcw {
+namespace {
+
+TEST(ConstraintSet, EmptyByDefault) {
+  const ConstraintSet cs(4);
+  EXPECT_TRUE(cs.empty());
+  EXPECT_TRUE(cs.structurally_feasible());
+  EXPECT_EQ(cs.affinity_groups().size(), 4u);  // all singletons
+}
+
+TEST(ConstraintSet, AffinityGroupsAreTransitive) {
+  ConstraintSet cs(6);
+  cs.add_affinity(0, 1);
+  cs.add_affinity(1, 2);
+  const auto groups = cs.affinity_groups();
+  // {0,1,2}, {3}, {4}, {5}
+  ASSERT_EQ(groups.size(), 4u);
+  EXPECT_EQ(groups[0], (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(ConstraintSet, AffinityGrowsVmCount) {
+  ConstraintSet cs;  // empty
+  cs.add_affinity(2, 5);
+  EXPECT_GE(cs.vm_count(), 6u);
+}
+
+TEST(ConstraintSet, PinnedHostLookup) {
+  ConstraintSet cs(3);
+  cs.pin(1, 7);
+  EXPECT_EQ(cs.pinned_host(1), 7);
+  EXPECT_EQ(cs.pinned_host(0), Placement::kUnplaced);
+}
+
+TEST(ConstraintSet, AllowsRespectsPin) {
+  ConstraintSet cs(2);
+  cs.pin(0, 3);
+  Placement p(2);
+  EXPECT_TRUE(cs.allows(0, 3, p));
+  EXPECT_FALSE(cs.allows(0, 4, p));
+  EXPECT_TRUE(cs.allows(1, 4, p));
+}
+
+TEST(ConstraintSet, AllowsRespectsForbid) {
+  ConstraintSet cs(2);
+  cs.forbid(0, 2);
+  Placement p(2);
+  EXPECT_FALSE(cs.allows(0, 2, p));
+  EXPECT_TRUE(cs.allows(0, 1, p));
+}
+
+TEST(ConstraintSet, AllowsRespectsAntiAffinity) {
+  ConstraintSet cs(3);
+  cs.add_anti_affinity(0, 1);
+  Placement p(3);
+  p.assign(1, 5);
+  EXPECT_FALSE(cs.allows(0, 5, p));
+  EXPECT_TRUE(cs.allows(0, 4, p));
+  EXPECT_TRUE(cs.allows(2, 5, p));
+}
+
+TEST(ConstraintSet, AllowsGroupChecksAllMembers) {
+  ConstraintSet cs(4);
+  cs.add_anti_affinity(1, 3);
+  Placement p(4);
+  p.assign(3, 0);
+  EXPECT_FALSE(cs.allows_group({0, 1}, 0, p));
+  EXPECT_TRUE(cs.allows_group({0, 2}, 0, p));
+}
+
+TEST(ConstraintSet, AllowsGroupRejectsInternalAntiAffinity) {
+  ConstraintSet cs(3);
+  cs.add_anti_affinity(0, 1);
+  Placement p(3);
+  EXPECT_FALSE(cs.allows_group({0, 1}, 2, p));
+}
+
+TEST(ConstraintSet, SatisfiedByCompletePlacement) {
+  ConstraintSet cs(4);
+  cs.add_affinity(0, 1);
+  cs.add_anti_affinity(2, 3);
+  cs.pin(2, 1);
+
+  Placement good(4);
+  good.assign(0, 0);
+  good.assign(1, 0);
+  good.assign(2, 1);
+  good.assign(3, 2);
+  EXPECT_TRUE(cs.satisfied_by(good));
+
+  Placement split_affinity = good;
+  split_affinity.assign(1, 2);
+  EXPECT_FALSE(cs.satisfied_by(split_affinity));
+
+  Placement broken_anti = good;
+  broken_anti.assign(3, 1);
+  EXPECT_FALSE(cs.satisfied_by(broken_anti));
+
+  Placement wrong_pin = good;
+  wrong_pin.assign(2, 0);
+  EXPECT_FALSE(cs.satisfied_by(wrong_pin));
+
+  Placement incomplete = good;
+  incomplete.unassign(0);
+  EXPECT_FALSE(cs.satisfied_by(incomplete));
+}
+
+TEST(ConstraintSet, StructurallyInfeasibleCases) {
+  {
+    ConstraintSet cs(3);
+    cs.add_affinity(0, 1);
+    cs.add_anti_affinity(0, 1);
+    EXPECT_FALSE(cs.structurally_feasible());
+  }
+  {
+    ConstraintSet cs(3);
+    cs.add_affinity(0, 1);
+    cs.pin(0, 1);
+    cs.pin(1, 2);
+    EXPECT_FALSE(cs.structurally_feasible());
+  }
+  {
+    ConstraintSet cs(3);
+    cs.pin(0, 1);
+    cs.forbid(0, 1);
+    EXPECT_FALSE(cs.structurally_feasible());
+  }
+  {
+    ConstraintSet cs(3);
+    cs.add_affinity(0, 1);
+    cs.add_anti_affinity(1, 2);
+    cs.pin(0, 4);
+    EXPECT_TRUE(cs.structurally_feasible());
+  }
+}
+
+TEST(Placement, Accounting) {
+  Placement p(5);
+  EXPECT_EQ(p.placed_count(), 0u);
+  EXPECT_EQ(p.host_index_bound(), 0u);
+  p.assign(0, 2);
+  p.assign(1, 2);
+  p.assign(2, 4);
+  EXPECT_EQ(p.placed_count(), 3u);
+  EXPECT_EQ(p.host_index_bound(), 5u);
+  EXPECT_EQ(p.active_host_count(), 2u);  // hosts 2 and 4
+  const auto by_host = p.vms_by_host();
+  ASSERT_EQ(by_host.size(), 5u);
+  EXPECT_EQ(by_host[2], (std::vector<std::size_t>{0, 1}));
+  EXPECT_TRUE(by_host[3].empty());
+}
+
+TEST(Placement, MigrationsBetween) {
+  Placement a(4), b(4);
+  a.assign(0, 0);
+  a.assign(1, 1);
+  a.assign(2, 2);
+  b.assign(0, 0);   // unchanged
+  b.assign(1, 2);   // moved
+  b.assign(3, 1);   // newly placed: not a migration
+  // vm 2 unplaced in b: not a migration
+  EXPECT_EQ(Placement::migrations_between(a, b), 1u);
+}
+
+}  // namespace
+}  // namespace vmcw

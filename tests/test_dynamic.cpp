@@ -1,0 +1,163 @@
+// Unit + property tests for the dynamic consolidation planner.
+
+#include "core/dynamic.h"
+
+#include <gtest/gtest.h>
+
+#include "core/predictor.h"
+#include "test_helpers.h"
+
+namespace vmcw {
+namespace {
+
+using testing::constant_vm;
+using testing::small_fleet;
+using testing::small_settings;
+
+TEST(DynamicPlanner, OnePlacementPerInterval) {
+  const auto vms = small_fleet();
+  const auto settings = small_settings();
+  const auto plan = plan_dynamic(vms, settings);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->per_interval.size(), settings.intervals());
+  EXPECT_EQ(plan->migrations.size(), settings.intervals());
+  EXPECT_EQ(plan->migrations[0], 0u);  // nothing to migrate from
+}
+
+TEST(DynamicPlanner, EveryVmPlacedEveryInterval) {
+  const auto vms = small_fleet();
+  const auto plan = plan_dynamic(vms, small_settings());
+  ASSERT_TRUE(plan.has_value());
+  for (const auto& placement : plan->per_interval)
+    EXPECT_EQ(placement.placed_count(), vms.size());
+}
+
+TEST(DynamicPlanner, RespectsUtilizationBoundOnPredictedSizes) {
+  const auto vms = small_fleet();
+  auto settings = small_settings();
+  settings.dynamic_utilization_bound = 0.8;
+  const auto plan = plan_dynamic(vms, settings);
+  ASSERT_TRUE(plan.has_value());
+  const PeakPredictor predictor(settings.predictor);
+  const auto capacity = settings.capacity(0.8);
+
+  for (std::size_t k = 0; k < plan->per_interval.size(); ++k) {
+    const std::size_t hour = settings.eval_begin() + k * settings.interval_hours;
+    std::vector<ResourceVector> loads(
+        plan->per_interval[k].host_index_bound());
+    for (std::size_t vm = 0; vm < vms.size(); ++vm) {
+      loads[static_cast<std::size_t>(plan->per_interval[k].host_of(vm))] +=
+          predict_vm_demand(predictor, vms[vm], hour, settings.interval_hours);
+    }
+    for (const auto& load : loads) EXPECT_TRUE(load.fits_within(capacity));
+  }
+}
+
+TEST(DynamicPlanner, MigrationCountsMatchPlacementDiffs) {
+  const auto vms = small_fleet();
+  const auto plan = plan_dynamic(vms, small_settings());
+  ASSERT_TRUE(plan.has_value());
+  std::size_t total = 0;
+  for (std::size_t k = 1; k < plan->per_interval.size(); ++k) {
+    const auto moved = Placement::migrations_between(plan->per_interval[k - 1],
+                                                     plan->per_interval[k]);
+    EXPECT_EQ(plan->migrations[k], moved);
+    total += moved;
+  }
+  EXPECT_EQ(plan->total_migrations, total);
+}
+
+TEST(DynamicPlanner, MaxActiveHostsConsistent) {
+  const auto vms = small_fleet();
+  const auto plan = plan_dynamic(vms, small_settings());
+  ASSERT_TRUE(plan.has_value());
+  std::size_t max_active = 0;
+  for (const auto& p : plan->per_interval)
+    max_active = std::max(max_active, p.active_host_count());
+  EXPECT_EQ(plan->max_active_hosts, max_active);
+}
+
+TEST(DynamicPlanner, ConstantDemandNeedsNoMigration) {
+  std::vector<VmWorkload> vms;
+  for (int i = 0; i < 20; ++i)
+    vms.push_back(constant_vm("v" + std::to_string(i), 1000.0, 4096.0, 168));
+  const auto plan = plan_dynamic(vms, small_settings());
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->total_migrations, 0u);
+}
+
+TEST(DynamicPlanner, PinnedVmNeverMoves) {
+  auto vms = small_fleet(40);
+  ConstraintSet cs(vms.size());
+  cs.pin(0, 0);
+  cs.pin(1, 1);
+  const auto plan = plan_dynamic(vms, small_settings(), cs);
+  ASSERT_TRUE(plan.has_value());
+  for (const auto& p : plan->per_interval) {
+    EXPECT_EQ(p.host_of(0), 0);
+    EXPECT_EQ(p.host_of(1), 1);
+  }
+}
+
+TEST(DynamicPlanner, AffinityPreservedEveryInterval) {
+  auto vms = small_fleet(40);
+  ConstraintSet cs(vms.size());
+  cs.add_affinity(2, 3);
+  cs.add_affinity(3, 4);
+  const auto plan = plan_dynamic(vms, small_settings(), cs);
+  ASSERT_TRUE(plan.has_value());
+  for (const auto& p : plan->per_interval) {
+    EXPECT_EQ(p.host_of(2), p.host_of(3));
+    EXPECT_EQ(p.host_of(3), p.host_of(4));
+  }
+}
+
+TEST(DynamicPlanner, AntiAffinityPreservedEveryInterval) {
+  auto vms = small_fleet(40);
+  ConstraintSet cs(vms.size());
+  cs.add_anti_affinity(5, 6);
+  const auto plan = plan_dynamic(vms, small_settings(), cs);
+  ASSERT_TRUE(plan.has_value());
+  for (const auto& p : plan->per_interval)
+    EXPECT_NE(p.host_of(5), p.host_of(6));
+}
+
+TEST(DynamicPlanner, InfeasibleConstraintsRejected) {
+  auto vms = small_fleet(10);
+  ConstraintSet cs(vms.size());
+  cs.add_affinity(0, 1);
+  cs.add_anti_affinity(0, 1);
+  EXPECT_FALSE(plan_dynamic(vms, small_settings(), cs).has_value());
+}
+
+TEST(DynamicPlanner, Deterministic) {
+  const auto vms = small_fleet();
+  const auto a = plan_dynamic(vms, small_settings());
+  const auto b = plan_dynamic(vms, small_settings());
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->total_migrations, b->total_migrations);
+  for (std::size_t k = 0; k < a->per_interval.size(); ++k)
+    EXPECT_EQ(a->per_interval[k], b->per_interval[k]);
+}
+
+// Property (Fig 13-16's mechanism): provisioning requirement grows as the
+// utilization bound shrinks.
+class UtilizationBoundSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(UtilizationBoundSweep, TighterBoundNeverNeedsFewerHosts) {
+  const auto vms = small_fleet(80);
+  auto settings = small_settings();
+  settings.dynamic_utilization_bound = GetParam();
+  const auto tight = plan_dynamic(vms, settings);
+  settings.dynamic_utilization_bound = 1.0;
+  const auto loose = plan_dynamic(vms, settings);
+  ASSERT_TRUE(tight && loose);
+  // Heuristic packing allows 1 host of slack, but the trend must hold.
+  EXPECT_GE(tight->max_active_hosts + 1, loose->max_active_hosts);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, UtilizationBoundSweep,
+                         ::testing::Values(0.5, 0.6, 0.7, 0.8, 0.9));
+
+}  // namespace
+}  // namespace vmcw

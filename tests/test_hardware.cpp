@@ -1,0 +1,163 @@
+// Unit tests for the hardware library: specs, catalog, power, cost.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "hardware/catalog.h"
+#include "hardware/cost_model.h"
+#include "hardware/power_model.h"
+#include "hardware/server_spec.h"
+
+namespace vmcw {
+namespace {
+
+TEST(ServerSpec, Hs23RatioIsExactly160) {
+  // Fig 6's caption: "the CPU to memory ratio for a high-end blade server
+  // is 160".
+  EXPECT_DOUBLE_EQ(hs23_elite_blade().rpe2_per_gb(), 160.0);
+}
+
+TEST(ServerSpec, RatioHandlesZeroMemory) {
+  ServerSpec s;
+  s.cpu_rpe2 = 100;
+  s.memory_mb = 0;
+  EXPECT_DOUBLE_EQ(s.rpe2_per_gb(), 0.0);
+}
+
+TEST(ResourceVector, Arithmetic) {
+  const ResourceVector a{10, 100};
+  const ResourceVector b{5, 50};
+  EXPECT_EQ(a + b, (ResourceVector{15, 150}));
+  EXPECT_EQ(a - b, (ResourceVector{5, 50}));
+  EXPECT_EQ(a * 2.0, (ResourceVector{20, 200}));
+}
+
+TEST(ResourceVector, FitsWithinBothDimensions) {
+  const ResourceVector cap{100, 1000};
+  EXPECT_TRUE((ResourceVector{100, 1000}).fits_within(cap));
+  EXPECT_TRUE((ResourceVector{0, 0}).fits_within(cap));
+  EXPECT_FALSE((ResourceVector{101, 0}).fits_within(cap));
+  EXPECT_FALSE((ResourceVector{0, 1001}).fits_within(cap));
+}
+
+TEST(ResourceVector, FitsWithinToleratesFloatAccumulation) {
+  const ResourceVector cap{1.0, 1.0};
+  // Ten 0.1s do not sum to exactly 1.0 in binary floating point.
+  ResourceVector sum;
+  for (int i = 0; i < 10; ++i) sum += ResourceVector{0.1, 0.1};
+  EXPECT_TRUE(sum.fits_within(cap));
+}
+
+TEST(Catalog, SourceModelsAreOrderedSmallToLarge) {
+  const auto models = source_server_models();
+  ASSERT_GE(models.size(), 2u);
+  EXPECT_LE(models.front().memory_mb, models.back().memory_mb);
+  for (const auto& m : models) {
+    EXPECT_GT(m.cpu_rpe2, 0);
+    EXPECT_GT(m.memory_mb, 0);
+    EXPECT_GT(m.peak_watts, m.idle_watts);
+    EXPECT_GT(m.hardware_cost, 0);
+  }
+}
+
+TEST(Catalog, MixSamplingFollowsWeights) {
+  Rng rng(99);
+  const auto mix = default_server_mix();
+  std::map<std::string, int> counts;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) counts[mix.sample(rng).model]++;
+  // The default mix's most-weighted model should dominate the least.
+  const auto models = source_server_models();
+  int max_count = 0, min_count = n;
+  for (const auto& m : models) {
+    max_count = std::max(max_count, counts[m.model]);
+    min_count = std::min(min_count, counts[m.model]);
+  }
+  EXPECT_GT(max_count, 2 * min_count);
+}
+
+TEST(Catalog, MemoryHeavyMixHasMoreMemoryPerRpe2) {
+  Rng rng1(7), rng2(7);
+  const auto light = default_server_mix();
+  const auto heavy = memory_heavy_server_mix();
+  double light_gb = 0, heavy_gb = 0;
+  for (int i = 0; i < 5000; ++i) {
+    light_gb += light.sample(rng1).memory_mb;
+    heavy_gb += heavy.sample(rng2).memory_mb;
+  }
+  EXPECT_GT(heavy_gb, light_gb * 1.3);
+}
+
+TEST(PowerModel, LinearInterpolation) {
+  const PowerModel p(100, 300);
+  EXPECT_DOUBLE_EQ(p.watts(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(p.watts(1.0), 300.0);
+  EXPECT_DOUBLE_EQ(p.watts(0.5), 200.0);
+}
+
+TEST(PowerModel, ClampsUtilization) {
+  const PowerModel p(100, 300);
+  EXPECT_DOUBLE_EQ(p.watts(-0.5), 100.0);
+  EXPECT_DOUBLE_EQ(p.watts(1.7), 300.0);
+}
+
+TEST(PowerModel, PoweredOffDrawsNothing) {
+  const PowerModel p(100, 300);
+  EXPECT_DOUBLE_EQ(p.watts(0.5, /*powered_on=*/false), 0.0);
+}
+
+TEST(PowerModel, PeakBelowIdleIsRepaired) {
+  const PowerModel p(200, 100);  // nonsensical input
+  EXPECT_GE(p.watts(1.0), p.watts(0.0));
+}
+
+TEST(PowerModel, EnergySkipsOffIntervals) {
+  const PowerModel p(100, 300);
+  const std::vector<double> utils{0.0, 1.0, -1.0, 0.5};  // -1 = off
+  // 2-hour intervals: (100 + 300 + 0 + 200) * 2
+  EXPECT_DOUBLE_EQ(p.energy_wh(utils, 2.0), 1200.0);
+}
+
+TEST(PowerModel, FromSpec) {
+  const auto blade = hs23_elite_blade();
+  const PowerModel p(blade);
+  EXPECT_DOUBLE_EQ(p.idle_watts(), blade.idle_watts);
+  EXPECT_DOUBLE_EQ(p.peak_watts(), blade.peak_watts);
+}
+
+TEST(CostModel, MoreServersCostMore) {
+  const CostModel costs;
+  const auto blade = hs23_elite_blade();
+  EXPECT_LT(costs.space_hardware_cost(blade, 10, 14),
+            costs.space_hardware_cost(blade, 11, 14));
+  EXPECT_LT(costs.space_hardware_cost(blade, 10, 14),
+            costs.space_hardware_cost(blade, 10, 28));
+}
+
+TEST(CostModel, ZeroServersCostNothing) {
+  const CostModel costs;
+  EXPECT_DOUBLE_EQ(costs.space_hardware_cost(hs23_elite_blade(), 0, 14), 0.0);
+}
+
+TEST(CostModel, PowerCostScalesWithEnergyAndPue) {
+  CostParameters params;
+  params.usd_per_kwh = 0.10;
+  params.pue = 2.0;
+  const CostModel costs(params);
+  EXPECT_DOUBLE_EQ(costs.power_cost(1000.0), 0.2);  // 1 kWh * 2.0 * $0.10
+}
+
+TEST(CostModel, MonthlyCostCombinesSpaceAndAmortization) {
+  CostParameters params;
+  params.space_per_rack_unit_month = 100.0;
+  params.amortization_months = 36.0;
+  const CostModel costs(params);
+  ServerSpec s;
+  s.rack_units = 2.0;
+  s.hardware_cost = 3600.0;
+  EXPECT_DOUBLE_EQ(costs.server_month_cost(s), 200.0 + 100.0);
+}
+
+}  // namespace
+}  // namespace vmcw

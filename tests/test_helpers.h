@@ -1,0 +1,41 @@
+// Shared fixtures for planner/emulator tests: small deterministic fleets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/settings.h"
+#include "core/vm.h"
+#include "trace/generator.h"
+#include "trace/presets.h"
+
+namespace vmcw::testing {
+
+/// Settings scaled to short traces: 5 days of history, 2 days of
+/// evaluation, 2-hour intervals (24 intervals).
+inline StudySettings small_settings() {
+  StudySettings s;
+  s.history_hours = 120;
+  s.eval_hours = 48;
+  s.interval_hours = 2;
+  return s;
+}
+
+/// A small generated fleet with the Banking character (bursty CPU).
+inline std::vector<VmWorkload> small_fleet(int servers = 60,
+                                           std::uint64_t seed = 42) {
+  const auto spec = scaled_down(banking_spec(), servers, 168);
+  return to_vm_workloads(generate_datacenter(spec, seed));
+}
+
+/// One VM with constant demand.
+inline VmWorkload constant_vm(const std::string& id, double cpu_rpe2,
+                              double mem_mb, std::size_t hours) {
+  VmWorkload vm;
+  vm.id = id;
+  vm.cpu_rpe2 = TimeSeries(std::vector<double>(hours, cpu_rpe2));
+  vm.mem_mb = TimeSeries(std::vector<double>(hours, mem_mb));
+  return vm;
+}
+
+}  // namespace vmcw::testing

@@ -1,0 +1,188 @@
+// Tests for heterogeneous consolidation-target pools and the pool-aware
+// packer/emulator overloads.
+
+#include "core/host_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "core/binpack.h"
+#include "core/emulator.h"
+#include "hardware/catalog.h"
+#include "test_helpers.h"
+
+namespace vmcw {
+namespace {
+
+ServerSpec small_host() {
+  ServerSpec s;
+  s.model = "small";
+  s.cpu_rpe2 = 100;
+  s.memory_mb = 1000;
+  s.idle_watts = 50;
+  s.peak_watts = 100;
+  return s;
+}
+
+ServerSpec big_host() {
+  ServerSpec s;
+  s.model = "big";
+  s.cpu_rpe2 = 400;
+  s.memory_mb = 4000;
+  s.idle_watts = 120;
+  s.peak_watts = 300;
+  return s;
+}
+
+TEST(HostPool, UniformIsUnbounded) {
+  const auto pool = HostPool::uniform(small_host());
+  EXPECT_FALSE(pool.is_bounded());
+  EXPECT_TRUE(pool.valid_host(1u << 20));
+  EXPECT_EQ(pool.spec_of(12345).model, "small");
+}
+
+TEST(HostPool, ClassesOwnConsecutiveIndices) {
+  const HostPool pool({{small_host(), 3}, {big_host(), 2}});
+  EXPECT_TRUE(pool.is_bounded());
+  EXPECT_EQ(pool.max_hosts(), 5u);
+  for (std::size_t h : {0u, 1u, 2u}) EXPECT_EQ(pool.spec_of(h).model, "small");
+  for (std::size_t h : {3u, 4u}) EXPECT_EQ(pool.spec_of(h).model, "big");
+  EXPECT_FALSE(pool.valid_host(5));
+}
+
+TEST(HostPool, BoundedThenUnlimited) {
+  const HostPool pool({{small_host(), 2}, {big_host(), HostClass::kUnlimited}});
+  EXPECT_FALSE(pool.is_bounded());
+  EXPECT_EQ(pool.spec_of(1).model, "small");
+  EXPECT_EQ(pool.spec_of(2).model, "big");
+  EXPECT_EQ(pool.spec_of(99999).model, "big");
+}
+
+TEST(HostPool, InvalidConfigurationsRejected) {
+  EXPECT_THROW(HostPool({}), std::invalid_argument);
+  EXPECT_THROW(HostPool({{small_host(), 0}}), std::invalid_argument);
+  EXPECT_THROW(HostPool({{small_host(), HostClass::kUnlimited},
+                         {big_host(), 2}}),
+               std::invalid_argument);
+}
+
+TEST(HostPool, CapacityScalesWithBound) {
+  const auto pool = HostPool::uniform(small_host());
+  const auto cap = pool.capacity_of(0, 0.8);
+  EXPECT_DOUBLE_EQ(cap.cpu_rpe2, 80.0);
+  EXPECT_DOUBLE_EQ(cap.memory_mb, 800.0);
+}
+
+TEST(HostPool, ReferenceCapacityIsPerDimensionMax) {
+  ServerSpec cpu_heavy = small_host();
+  cpu_heavy.cpu_rpe2 = 1000;
+  const HostPool pool({{cpu_heavy, 1}, {big_host(), 1}});
+  const auto ref = pool.reference_capacity(1.0);
+  EXPECT_DOUBLE_EQ(ref.cpu_rpe2, 1000.0);
+  EXPECT_DOUBLE_EQ(ref.memory_mb, 4000.0);
+}
+
+TEST(FfdPackPool, UniformPoolMatchesLegacyApi) {
+  Rng rng(3);
+  std::vector<ResourceVector> sizes;
+  for (int i = 0; i < 120; ++i)
+    sizes.push_back({rng.uniform(1, 90), rng.uniform(10, 900)});
+  const ResourceVector capacity{100, 1000};
+  const auto legacy = ffd_pack(sizes, capacity);
+  const auto pooled = ffd_pack(sizes, HostPool::uniform(small_host()), 1.0);
+  ASSERT_TRUE(legacy && pooled);
+  EXPECT_EQ(legacy->placement, pooled->placement);
+  EXPECT_EQ(legacy->hosts_used, pooled->hosts_used);
+}
+
+TEST(FfdPackPool, FillsSmallClassThenOverflowsToBig) {
+  // Four items of half a small host each: two fit the single small host,
+  // the rest overflow to the big class.
+  const HostPool pool({{small_host(), 1}, {big_host(), HostClass::kUnlimited}});
+  const std::vector<ResourceVector> sizes{
+      {50, 500}, {50, 500}, {50, 500}, {50, 500}};
+  const auto result = ffd_pack(sizes, pool, 1.0);
+  ASSERT_TRUE(result.has_value());
+  // Host 0 (small) holds two; host 1 (big) holds the other two.
+  EXPECT_EQ(result->hosts_used, 2u);
+}
+
+TEST(FfdPackPool, BoundedPoolExhaustionFails) {
+  const HostPool pool({{small_host(), 2}});
+  const std::vector<ResourceVector> sizes{
+      {90, 100}, {90, 100}, {90, 100}};  // one per host, three needed
+  EXPECT_FALSE(ffd_pack(sizes, pool, 1.0).has_value());
+}
+
+TEST(FfdPackPool, ItemTooBigForUnlimitedClassFails) {
+  const HostPool pool({{small_host(), HostClass::kUnlimited}});
+  const std::vector<ResourceVector> sizes{{150, 100}};
+  EXPECT_FALSE(ffd_pack(sizes, pool, 1.0).has_value());
+}
+
+TEST(FfdPackPool, ItemSkipsSmallClassThatCannotHoldIt) {
+  const HostPool pool({{small_host(), 2}, {big_host(), 1}});
+  const std::vector<ResourceVector> sizes{{300, 2000}};  // only "big" fits
+  const auto result = ffd_pack(sizes, pool, 1.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->placement.host_of(0), 2);  // first big-class index
+}
+
+TEST(FfdPackPool, PinToInvalidHostFails) {
+  const HostPool pool({{small_host(), 2}});
+  ConstraintSet cs(1);
+  cs.pin(0, 7);
+  const std::vector<ResourceVector> sizes{{10, 10}};
+  EXPECT_FALSE(ffd_pack(sizes, pool, 1.0, cs).has_value());
+}
+
+TEST(EmulatePool, UniformPoolMatchesLegacyApi) {
+  const auto vms = testing::small_fleet(40);
+  const auto settings = testing::small_settings();
+  Placement p(vms.size());
+  for (std::size_t i = 0; i < vms.size(); ++i)
+    p.assign(i, static_cast<std::int32_t>(i % 5));
+  const std::vector<Placement> schedule{p};
+  const auto legacy = emulate(vms, schedule, settings, false);
+  const auto pooled = emulate(vms, schedule, settings, false,
+                              HostPool::uniform(settings.target));
+  EXPECT_DOUBLE_EQ(legacy.energy_wh, pooled.energy_wh);
+  EXPECT_EQ(legacy.hours_with_contention, pooled.hours_with_contention);
+  ASSERT_EQ(legacy.host_avg_cpu_util.size(), pooled.host_avg_cpu_util.size());
+  for (std::size_t h = 0; h < legacy.host_avg_cpu_util.size(); ++h)
+    EXPECT_DOUBLE_EQ(legacy.host_avg_cpu_util[h], pooled.host_avg_cpu_util[h]);
+}
+
+TEST(EmulatePool, PerHostCapacityDrivesContention) {
+  // Same demand on a small host contends; on a big host it does not.
+  auto settings = testing::small_settings();
+  std::vector<VmWorkload> vms{
+      testing::constant_vm("v", 150.0, 500.0, 168)};  // > small cpu of 100
+  Placement on_small(1), on_big(1);
+  on_small.assign(0, 0);
+  on_big.assign(0, 1);
+  const HostPool pool({{small_host(), 1}, {big_host(), 1}});
+  const std::vector<Placement> s1{on_small}, s2{on_big};
+  const auto contended = emulate(vms, s1, settings, false, pool);
+  const auto fine = emulate(vms, s2, settings, false, pool);
+  EXPECT_GT(contended.hours_with_contention, 0u);
+  EXPECT_EQ(fine.hours_with_contention, 0u);
+}
+
+TEST(EmulatePool, MixedPoolEnergyUsesPerHostPowerModels) {
+  auto settings = testing::small_settings();
+  std::vector<VmWorkload> vms{
+      testing::constant_vm("a", 50.0, 100.0, 168),
+      testing::constant_vm("b", 200.0, 100.0, 168)};
+  Placement p(2);
+  p.assign(0, 0);  // small host at util 0.5 -> 50 + 0.5*50 = 75 W
+  p.assign(1, 1);  // big host at util 0.5 -> 120 + 0.5*180 = 210 W
+  const HostPool pool({{small_host(), 1}, {big_host(), 1}});
+  const std::vector<Placement> schedule{p};
+  const auto report = emulate(vms, schedule, settings, false, pool);
+  EXPECT_NEAR(report.energy_wh,
+              (75.0 + 210.0) * static_cast<double>(settings.eval_hours),
+              1e-6);
+}
+
+}  // namespace
+}  // namespace vmcw

@@ -1,0 +1,157 @@
+// Tests for candidate scoring and the hybrid consolidation planner.
+
+#include "core/hybrid.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/emulator.h"
+#include "test_helpers.h"
+
+namespace vmcw {
+namespace {
+
+using testing::constant_vm;
+using testing::small_fleet;
+using testing::small_settings;
+
+VmWorkload diurnal_vm(const std::string& id, double base, double peak_mult,
+                      std::size_t hours) {
+  VmWorkload vm;
+  vm.id = id;
+  std::vector<double> cpu(hours), mem(hours, 2048.0);
+  for (std::size_t t = 0; t < hours; ++t) {
+    const double phase = std::sin(2.0 * 3.14159265358979 *
+                                  static_cast<double>(t % 24) / 24.0);
+    cpu[t] = base * (1.0 + (peak_mult - 1.0) * 0.5 * (1.0 + phase));
+  }
+  vm.cpu_rpe2 = TimeSeries(std::move(cpu));
+  vm.mem_mb = TimeSeries(std::move(mem));
+  return vm;
+}
+
+TEST(CandidateScore, FlatVmScoresNearZero) {
+  std::vector<VmWorkload> vms{constant_vm("flat", 500, 2048, 168)};
+  const auto scores = score_dynamic_candidates(vms, small_settings());
+  ASSERT_EQ(scores.size(), 1u);
+  EXPECT_NEAR(scores[0].burstiness_gain, 0.0, 1e-9);
+  EXPECT_NEAR(scores[0].score, 0.0, 1e-9);
+}
+
+TEST(CandidateScore, BurstyPredictableVmScoresHigh) {
+  // A daily sine between base and 8x base: gain = 1 - 4.5/8 = 0.4375, with
+  // near-perfect predictability.
+  std::vector<VmWorkload> vms{diurnal_vm("wave", 100, 8.0, 168)};
+  const auto scores = score_dynamic_candidates(vms, small_settings());
+  EXPECT_NEAR(scores[0].burstiness_gain, 0.4375, 0.02);
+  EXPECT_GT(scores[0].predictability, 0.9);  // perfect daily cycle
+  EXPECT_GT(scores[0].score, 0.38);
+}
+
+TEST(CandidateScore, UnpredictableSpikesDiscounted) {
+  // Two VMs with *identical* burstiness: one spikes at the same hour every
+  // day, the other at a wandering hour. Only predictability differs, so
+  // the bankable score must rank the punctual one higher.
+  auto spiky = [](const std::string& id, bool wandering) {
+    VmWorkload vm;
+    vm.id = id;
+    std::vector<double> cpu(168, 100.0), mem(168, 2048.0);
+    for (std::size_t day = 0; day < 7; ++day) {
+      const std::size_t hour = wandering ? (day * 7) % 24 : 12;
+      cpu[day * 24 + hour] = 2000.0;
+    }
+    vm.cpu_rpe2 = TimeSeries(std::move(cpu));
+    vm.mem_mb = TimeSeries(std::move(mem));
+    return vm;
+  };
+  std::vector<VmWorkload> vms{spiky("erratic", true), spiky("punctual", false)};
+  const auto scores = score_dynamic_candidates(vms, small_settings());
+  EXPECT_NEAR(scores[0].burstiness_gain, scores[1].burstiness_gain, 1e-9);
+  EXPECT_LT(scores[0].predictability, scores[1].predictability);
+  EXPECT_LT(scores[0].score, scores[1].score);
+}
+
+TEST(HybridPlan, SelectsRequestedFraction) {
+  const auto vms = small_fleet(80);
+  const auto plan = plan_hybrid(vms, small_settings(), 0.25);
+  ASSERT_TRUE(plan.has_value());
+  std::size_t dynamic_members = 0;
+  for (bool d : plan->is_dynamic) dynamic_members += d;
+  EXPECT_EQ(dynamic_members, 20u);
+}
+
+TEST(HybridPlan, EveryVmPlacedEveryInterval) {
+  const auto vms = small_fleet(60);
+  const auto settings = small_settings();
+  const auto plan = plan_hybrid(vms, settings, 0.3);
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->per_interval.size(), settings.intervals());
+  for (const auto& placement : plan->per_interval)
+    EXPECT_EQ(placement.placed_count(), vms.size());
+}
+
+TEST(HybridPlan, GroupsOccupyDisjointHostRanges) {
+  const auto vms = small_fleet(60);
+  const auto plan = plan_hybrid(vms, small_settings(), 0.3);
+  ASSERT_TRUE(plan.has_value());
+  for (const auto& placement : plan->per_interval) {
+    for (std::size_t vm = 0; vm < vms.size(); ++vm) {
+      const auto host = static_cast<std::size_t>(placement.host_of(vm));
+      if (plan->is_dynamic[vm])
+        EXPECT_GE(host, plan->stochastic_hosts);
+      else
+        EXPECT_LT(host, plan->stochastic_hosts);
+    }
+  }
+}
+
+TEST(HybridPlan, StochasticVmsNeverMigrate) {
+  const auto vms = small_fleet(60);
+  const auto plan = plan_hybrid(vms, small_settings(), 0.3);
+  ASSERT_TRUE(plan.has_value());
+  for (std::size_t k = 1; k < plan->per_interval.size(); ++k) {
+    for (std::size_t vm = 0; vm < vms.size(); ++vm) {
+      if (!plan->is_dynamic[vm]) {
+        EXPECT_EQ(plan->per_interval[k].host_of(vm),
+                  plan->per_interval[k - 1].host_of(vm));
+      }
+    }
+  }
+}
+
+TEST(HybridPlan, ZeroFractionIsPureStochastic) {
+  const auto vms = small_fleet(50);
+  const auto settings = small_settings();
+  const auto hybrid = plan_hybrid(vms, settings, 0.0);
+  const auto stochastic = plan_stochastic(vms, settings);
+  ASSERT_TRUE(hybrid && stochastic);
+  EXPECT_EQ(hybrid->max_dynamic_hosts, 0u);
+  EXPECT_EQ(hybrid->total_migrations, 0u);
+  EXPECT_EQ(hybrid->provisioned_hosts(), stochastic->hosts_used);
+}
+
+TEST(HybridPlan, FullFractionIsPureDynamic) {
+  const auto vms = small_fleet(50);
+  const auto settings = small_settings();
+  const auto hybrid = plan_hybrid(vms, settings, 1.0);
+  const auto dynamic = plan_dynamic(vms, settings);
+  ASSERT_TRUE(hybrid && dynamic);
+  EXPECT_EQ(hybrid->stochastic_hosts, 0u);
+  EXPECT_EQ(hybrid->max_dynamic_hosts, dynamic->max_active_hosts);
+}
+
+TEST(HybridPlan, MergedScheduleEmulates) {
+  const auto vms = small_fleet(60);
+  const auto settings = small_settings();
+  const auto plan = plan_hybrid(vms, settings, 0.3);
+  ASSERT_TRUE(plan.has_value());
+  const auto report =
+      emulate(vms, plan->per_interval, settings, /*power_off=*/true);
+  EXPECT_GE(report.provisioned_hosts, plan->stochastic_hosts);
+  EXPECT_LE(report.provisioned_hosts, plan->provisioned_hosts());
+  EXPECT_GT(report.energy_wh, 0.0);
+}
+
+}  // namespace
+}  // namespace vmcw

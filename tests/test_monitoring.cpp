@@ -1,0 +1,200 @@
+// Unit + integration tests for the monitoring pipeline: agent sampling,
+// warehouse aggregation/retention, and end-to-end reconstruction fidelity.
+
+#include <gtest/gtest.h>
+
+#include "monitoring/agent.h"
+#include "monitoring/pipeline.h"
+#include "monitoring/warehouse.h"
+#include "trace/generator.h"
+#include "trace/presets.h"
+
+namespace vmcw {
+namespace {
+
+ServerTrace flat_server(std::size_t hours, double cpu_util, double mem_mb) {
+  ServerTrace s;
+  s.id = "srv";
+  s.spec.model = "unit";
+  s.spec.cpu_rpe2 = 2000;
+  s.spec.memory_mb = 16384;
+  s.cpu_util = TimeSeries(std::vector<double>(hours, cpu_util));
+  s.mem_mb = TimeSeries(std::vector<double>(hours, mem_mb));
+  return s;
+}
+
+AgentConfig quiet_agent() {
+  AgentConfig c;
+  c.intra_hour_sigma = 0.0;
+  c.intra_hour_rho = 0.0;
+  c.measurement_noise = 0.0;
+  c.sample_loss_rate = 0.0;
+  return c;
+}
+
+TEST(MonitoringAgent, SixtySamplesPerMetricPerHour) {
+  const auto server = flat_server(3, 0.2, 4096);
+  MonitoringAgent agent(server, quiet_agent(), Rng(1));
+  const auto samples = agent.sample_hour(0);
+  int cpu = 0, mem = 0, pages = 0, tcp = 0;
+  for (const auto& s : samples) {
+    switch (s.metric) {
+      case Metric::kCpuTotalPct: ++cpu; break;
+      case Metric::kMemCommittedMb: ++mem; break;
+      case Metric::kPagesPerSec: ++pages; break;
+      case Metric::kTcpConnections: ++tcp; break;
+    }
+  }
+  EXPECT_EQ(cpu, 60);
+  EXPECT_EQ(mem, 60);
+  EXPECT_EQ(pages, 60);
+  EXPECT_EQ(tcp, 60);
+}
+
+TEST(MonitoringAgent, NoiselessAgentReportsTruth) {
+  const auto server = flat_server(2, 0.25, 4096);
+  MonitoringAgent agent(server, quiet_agent(), Rng(2));
+  for (const auto& s : agent.sample_hour(1)) {
+    if (s.metric == Metric::kCpuTotalPct) {
+      EXPECT_NEAR(s.value, 25.0, 1e-9);
+    }
+    if (s.metric == Metric::kMemCommittedMb) {
+      EXPECT_NEAR(s.value, 4096, 1e-9);
+    }
+  }
+}
+
+TEST(MonitoringAgent, SampleLossDropsMinutes) {
+  const auto server = flat_server(5, 0.2, 4096);
+  AgentConfig config = quiet_agent();
+  config.sample_loss_rate = 0.5;
+  MonitoringAgent agent(server, config, Rng(3));
+  const auto samples = agent.sample_all();
+  // ~50% of 5*60 minutes, 4 metrics each.
+  EXPECT_LT(samples.size(), 5u * 60u * 4u * 3u / 4u);
+  EXPECT_GT(samples.size(), 5u * 60u * 4u / 4u);
+}
+
+TEST(MonitoringAgent, OutOfRangeHourIsEmpty) {
+  const auto server = flat_server(2, 0.2, 4096);
+  MonitoringAgent agent(server, quiet_agent(), Rng(4));
+  EXPECT_TRUE(agent.sample_hour(2).empty());
+}
+
+TEST(MonitoringAgent, CpuCappedAtHundredPercent) {
+  const auto server = flat_server(4, 0.98, 4096);
+  AgentConfig config;
+  config.intra_hour_sigma = 0.5;  // wild intra-hour swings
+  MonitoringAgent agent(server, config, Rng(5));
+  for (const auto& s : agent.sample_all()) {
+    if (s.metric == Metric::kCpuTotalPct) {
+      EXPECT_LE(s.value, 100.0);
+    }
+  }
+}
+
+TEST(DataWarehouse, AggregatesMeanAndMax) {
+  DataWarehouse warehouse;
+  const std::vector<MetricSample> samples{
+      {0, Metric::kCpuTotalPct, 10.0},
+      {1, Metric::kCpuTotalPct, 20.0},
+      {2, Metric::kCpuTotalPct, 60.0},
+  };
+  warehouse.ingest("s1", samples);
+  const auto record = warehouse.record_at("s1", Metric::kCpuTotalPct, 0);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_NEAR(record->average, 30.0, 1e-9);
+  EXPECT_NEAR(record->maximum, 60.0, 1e-9);
+  EXPECT_EQ(record->sample_count, 3u);
+}
+
+TEST(DataWarehouse, IncrementalIngestMatchesBatch) {
+  DataWarehouse a, b;
+  std::vector<MetricSample> batch;
+  Rng rng(6);
+  for (std::uint32_t m = 0; m < 60; ++m)
+    batch.push_back({m, Metric::kCpuTotalPct, rng.uniform(0, 100)});
+  a.ingest("s", batch);
+  for (const auto& s : batch)
+    b.ingest("s", std::vector<MetricSample>{s});
+  const auto ra = a.record_at("s", Metric::kCpuTotalPct, 0);
+  const auto rb = b.record_at("s", Metric::kCpuTotalPct, 0);
+  ASSERT_TRUE(ra && rb);
+  EXPECT_NEAR(ra->average, rb->average, 1e-9);
+  EXPECT_DOUBLE_EQ(ra->maximum, rb->maximum);
+}
+
+TEST(DataWarehouse, RetentionExpiresOldHours) {
+  RetentionPolicy policy;
+  policy.hourly_retention_hours = 24;
+  DataWarehouse warehouse(policy);
+  std::vector<MetricSample> samples;
+  for (std::uint32_t hour = 0; hour < 48; ++hour)
+    samples.push_back({hour * 60, Metric::kCpuTotalPct, 1.0});
+  warehouse.ingest("s", samples);
+  const auto rows = warehouse.hourly_records("s", Metric::kCpuTotalPct);
+  ASSERT_EQ(rows.size(), 24u);
+  EXPECT_EQ(rows.front().hour, 24u);
+  EXPECT_EQ(rows.back().hour, 47u);
+}
+
+TEST(DataWarehouse, UnknownServerOrMetricIsEmpty) {
+  DataWarehouse warehouse;
+  EXPECT_TRUE(warehouse.hourly_records("nope", Metric::kCpuTotalPct).empty());
+  EXPECT_FALSE(warehouse.record_at("nope", Metric::kCpuTotalPct, 0));
+  EXPECT_TRUE(warehouse.hourly_average_series("nope", Metric::kCpuTotalPct)
+                  .empty());
+  EXPECT_EQ(warehouse.server_count(), 0u);
+}
+
+TEST(DataWarehouse, GapFillCarriesPreviousHour) {
+  DataWarehouse warehouse;
+  // Hours 0 and 2 have data; hour 1 lost everything.
+  const std::vector<MetricSample> samples{
+      {0, Metric::kCpuTotalPct, 10.0},
+      {125, Metric::kCpuTotalPct, 30.0},  // minute 125 = hour 2
+  };
+  warehouse.ingest("s", samples);
+  const auto series = warehouse.hourly_average_series("s", Metric::kCpuTotalPct);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0], 10.0);
+  EXPECT_DOUBLE_EQ(series[1], 10.0);  // gap-filled
+  EXPECT_DOUBLE_EQ(series[2], 30.0);
+}
+
+TEST(Pipeline, ReconstructionTracksGroundTruth) {
+  const auto truth = generate_datacenter(
+      scaled_down(banking_spec(), 15, 96), 7);
+  AgentConfig config;  // realistic defaults
+  const auto warehouse = collect_datacenter(truth, config, 99);
+  EXPECT_EQ(warehouse.server_count(), truth.servers.size());
+  const auto rebuilt = reconstruct_datacenter(truth, warehouse);
+  ASSERT_EQ(rebuilt.servers.size(), truth.servers.size());
+
+  const auto fidelity = pipeline_fidelity(truth, rebuilt);
+  // Hourly averaging over 60 samples washes out intra-hour noise: mean
+  // relative error well inside a few percent.
+  EXPECT_LT(fidelity.cpu_mean_abs_rel_error, 0.05);
+  EXPECT_LT(fidelity.mem_mean_abs_rel_error, 0.02);
+  EXPECT_LT(fidelity.cpu_p99_rel_error, 0.20);
+}
+
+TEST(Pipeline, PlanningOnWarehouseDataMatchesTruthScale) {
+  // The paper's premise: hourly warehouse aggregates are good enough to
+  // plan on. Fleet-level statistics of the reconstruction must match.
+  const auto truth = generate_datacenter(
+      scaled_down(beverage_spec(), 20, 96), 8);
+  const auto warehouse = collect_datacenter(truth, AgentConfig{}, 100);
+  const auto rebuilt = reconstruct_datacenter(truth, warehouse);
+  EXPECT_NEAR(rebuilt.average_cpu_utilization(),
+              truth.average_cpu_utilization(),
+              0.1 * truth.average_cpu_utilization() + 1e-4);
+}
+
+TEST(MetricNames, Stable) {
+  EXPECT_STREQ(to_string(Metric::kCpuTotalPct), "% Total Processor Time");
+  EXPECT_STREQ(to_string(Metric::kMemCommittedMb), "Memory Committed (MB)");
+}
+
+}  // namespace
+}  // namespace vmcw

@@ -1,0 +1,178 @@
+// Unit tests for the workload-pattern components (trace/patterns.h).
+
+#include "trace/patterns.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace vmcw {
+namespace {
+
+TEST(CalendarHelpers, HourDayWeekend) {
+  EXPECT_EQ(hour_of_day(0), 0u);
+  EXPECT_EQ(hour_of_day(25), 1u);
+  EXPECT_EQ(day_of_month(0), 0u);
+  EXPECT_EQ(day_of_month(24 * 29 + 5), 29u);
+  EXPECT_EQ(day_of_month(24 * 30), 0u);  // wraps to the next month
+  // Day 0 is Monday; days 5 and 6 are the weekend.
+  EXPECT_FALSE(is_weekend(0));
+  EXPECT_FALSE(is_weekend(4 * 24));
+  EXPECT_TRUE(is_weekend(5 * 24));
+  EXPECT_TRUE(is_weekend(6 * 24 + 23));
+  EXPECT_FALSE(is_weekend(7 * 24));
+}
+
+TEST(DiurnalPattern, UnityOutsideBusinessHours) {
+  Rng rng(1);
+  const DiurnalPattern p(4.0, 9, 18, 0.0, rng);
+  EXPECT_DOUBLE_EQ(p.at(3), 1.0);    // 3am
+  EXPECT_DOUBLE_EQ(p.at(23), 1.0);   // 11pm
+  EXPECT_DOUBLE_EQ(p.at(8), 1.0);    // just before opening
+}
+
+TEST(DiurnalPattern, PeaksMidWindow) {
+  Rng rng(1);
+  const DiurnalPattern p(4.0, 9, 18, 0.0, rng);
+  // Raised cosine: max at window center (13:30), ~peak multiplier.
+  EXPECT_NEAR(p.at(13), 4.0, 0.3);
+  EXPECT_GT(p.at(13), p.at(10));
+  EXPECT_GT(p.at(13), p.at(17));
+  EXPECT_GE(p.at(10), 1.0);
+}
+
+TEST(DiurnalPattern, RepeatsDaily) {
+  Rng rng(2);
+  const DiurnalPattern p(3.0, 9, 18, 1.0, rng);
+  for (std::size_t h = 0; h < 24; ++h)
+    EXPECT_DOUBLE_EQ(p.at(h), p.at(h + kHoursPerDay * 5));
+}
+
+TEST(DiurnalPattern, PeakMultiplierBelowOneIsClamped) {
+  Rng rng(3);
+  const DiurnalPattern p(0.5, 9, 18, 0.0, rng);
+  for (std::size_t h = 0; h < 24; ++h) EXPECT_DOUBLE_EQ(p.at(h), 1.0);
+}
+
+TEST(WeekendPattern, DampsOnlyWeekends) {
+  const WeekendPattern p(0.5);
+  EXPECT_DOUBLE_EQ(p.at(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.at(5 * 24 + 12), 0.5);
+  EXPECT_DOUBLE_EQ(p.at(6 * 24), 0.5);
+}
+
+TEST(MonthEndPattern, BoostsFirstAndLastDays) {
+  const MonthEndPattern p(2.0, 1);
+  EXPECT_DOUBLE_EQ(p.at(0), 2.0);                 // day 0
+  EXPECT_DOUBLE_EQ(p.at(24 * 15), 1.0);           // mid-month
+  EXPECT_DOUBLE_EQ(p.at(24 * 29 + 3), 2.0);       // day 29
+}
+
+TEST(MonthEndPattern, WiderEdges) {
+  const MonthEndPattern p(3.0, 2);
+  EXPECT_DOUBLE_EQ(p.at(24 * 1), 3.0);
+  EXPECT_DOUBLE_EQ(p.at(24 * 28), 3.0);
+  EXPECT_DOUBLE_EQ(p.at(24 * 14), 1.0);
+}
+
+TEST(BatchWindowPattern, WindowAndOffLevels) {
+  Rng rng(4);
+  const BatchWindowPattern p(2, 4, 5.0, 0.3, /*start_jitter_hours=*/0, rng);
+  EXPECT_DOUBLE_EQ(p.at(2), 5.0);
+  EXPECT_DOUBLE_EQ(p.at(5), 5.0);
+  EXPECT_DOUBLE_EQ(p.at(6), 0.3);
+  EXPECT_DOUBLE_EQ(p.at(14), 0.3);
+}
+
+TEST(BatchWindowPattern, WrapsPastMidnight) {
+  Rng rng(5);
+  const BatchWindowPattern p(22, 4, 3.0, 0.5, 0, rng);
+  EXPECT_DOUBLE_EQ(p.at(22), 3.0);
+  EXPECT_DOUBLE_EQ(p.at(23), 3.0);
+  EXPECT_DOUBLE_EQ(p.at(24), 3.0);  // 0:00 next day
+  EXPECT_DOUBLE_EQ(p.at(25), 3.0);  // 1:00
+  EXPECT_DOUBLE_EQ(p.at(26), 0.5);
+}
+
+TEST(Ar1Noise, MeanRevertsToZero) {
+  Rng rng(6);
+  Ar1Noise noise(0.8, 0.1);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += noise.next(rng);
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+}
+
+TEST(Ar1Noise, StationaryVariance) {
+  Rng rng(7);
+  const double rho = 0.8, sigma = 0.1;
+  Ar1Noise noise(rho, sigma);
+  double sum_sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = noise.next(rng);
+    sum_sq += x * x;
+  }
+  const double expected_var = sigma * sigma / (1 - rho * rho);
+  EXPECT_NEAR(sum_sq / n / expected_var, 1.0, 0.05);
+}
+
+TEST(Ar1Noise, ZeroSigmaStaysZero) {
+  Rng rng(8);
+  Ar1Noise noise(0.9, 0.0);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(noise.next(rng), 0.0);
+}
+
+TEST(BurstTrain, EmptyWhenDisabled) {
+  Rng rng(9);
+  const auto train = generate_burst_train(100, 0.0, 1.5, 10, 1.5, rng);
+  for (double x : train) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(BurstTrain, NonNegativeAdditive) {
+  Rng rng(10);
+  const auto train = generate_burst_train(720, 2.0, 1.2, 20, 2.0, rng);
+  for (double x : train) EXPECT_GE(x, 0.0);
+}
+
+TEST(BurstTrain, OccupancyScalesWithRate) {
+  Rng rng(11);
+  auto occupancy = [&](double rate) {
+    const auto train = generate_burst_train(72000, rate, 1.5, 10, 1.5, rng);
+    int busy = 0;
+    for (double x : train) busy += x > 0;
+    return static_cast<double>(busy) / train.size();
+  };
+  const double low = occupancy(0.2);
+  const double high = occupancy(2.0);
+  EXPECT_GT(high, 3.0 * low);
+}
+
+TEST(BurstTrain, MeanDurationApproximatelyGeometric) {
+  Rng rng(12);
+  const auto train = generate_burst_train(200000, 0.5, 1.5, 10, 3.0, rng);
+  // Count mean run length of busy hours.
+  int runs = 0;
+  long busy = 0;
+  bool in_run = false;
+  for (double x : train) {
+    if (x > 0) {
+      ++busy;
+      if (!in_run) ++runs;
+      in_run = true;
+    } else {
+      in_run = false;
+    }
+  }
+  ASSERT_GT(runs, 100);
+  // Overlapping bursts merge runs, so the run length overshoots slightly.
+  EXPECT_NEAR(static_cast<double>(busy) / runs, 3.0, 0.8);
+}
+
+TEST(BurstTrain, ZeroHoursIsEmpty) {
+  Rng rng(13);
+  EXPECT_TRUE(generate_burst_train(0, 1.0, 1.5, 10, 1.5, rng).empty());
+}
+
+}  // namespace
+}  // namespace vmcw

@@ -1,0 +1,178 @@
+// Unit + property tests for the stochastic (PCP) packer.
+
+#include "core/pcp.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace vmcw {
+namespace {
+
+constexpr ResourceVector kCap{100.0, 1000.0};
+
+StochasticItem item(double body_cpu, double tail_cpu, std::size_t cluster,
+                    double body_mem = 10, double tail_mem = 0) {
+  return StochasticItem{{body_cpu, body_mem}, {tail_cpu, tail_mem}, cluster};
+}
+
+TEST(PcpEnvelope, SameClusterTailsAdd) {
+  const std::vector<StochasticItem> items{item(10, 20, 0), item(10, 30, 0)};
+  const std::vector<std::size_t> members{0, 1};
+  const auto env = pcp_envelope(items, members);
+  EXPECT_DOUBLE_EQ(env.cpu_rpe2, 10 + 10 + 20 + 30);
+}
+
+TEST(PcpEnvelope, DifferentClustersTakeWorstTail) {
+  const std::vector<StochasticItem> items{item(10, 20, 0), item(10, 30, 1)};
+  const std::vector<std::size_t> members{0, 1};
+  const auto env = pcp_envelope(items, members);
+  EXPECT_DOUBLE_EQ(env.cpu_rpe2, 10 + 10 + 30);
+}
+
+TEST(PcpEnvelope, PerDimensionWorstCluster) {
+  // Cluster 0 dominates CPU tails, cluster 1 dominates memory tails; the
+  // envelope takes each dimension's own worst cluster.
+  const std::vector<StochasticItem> items{
+      item(10, 50, 0, 10, 0),
+      item(10, 5, 1, 10, 100),
+  };
+  const std::vector<std::size_t> members{0, 1};
+  const auto env = pcp_envelope(items, members);
+  EXPECT_DOUBLE_EQ(env.cpu_rpe2, 20 + 50);
+  EXPECT_DOUBLE_EQ(env.memory_mb, 20 + 100);
+}
+
+TEST(PcpPack, EmptyInput) {
+  const auto result = pcp_pack({}, kCap);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->hosts_used, 0u);
+}
+
+TEST(PcpPack, EnvelopeRespectedOnEveryHost) {
+  Rng rng(3);
+  std::vector<StochasticItem> items;
+  for (int i = 0; i < 150; ++i) {
+    items.push_back(item(rng.uniform(1, 30), rng.uniform(0, 40),
+                         static_cast<std::size_t>(rng.uniform_int(0, 4)),
+                         rng.uniform(5, 200), rng.uniform(0, 100)));
+  }
+  const auto result = pcp_pack(items, kCap);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->placement.placed_count(), items.size());
+  const auto by_host = result->placement.vms_by_host();
+  for (const auto& members : by_host) {
+    if (members.empty()) continue;
+    EXPECT_TRUE(pcp_envelope(items, members).fits_within(kCap));
+  }
+}
+
+TEST(PcpPack, AntiCorrelatedTailsShareHostsBetterThanFfd) {
+  // 10 VMs in 5 distinct clusters, each body 10 / tail 50. PCP needs
+  // body*10 + max tail = 150 CPU -> 2 hosts of 100. FFD at max sizing
+  // (60 each) needs 10*60/100 = 6 hosts.
+  std::vector<StochasticItem> items;
+  std::vector<ResourceVector> max_sizes;
+  for (int i = 0; i < 10; ++i) {
+    items.push_back(item(10, 50, static_cast<std::size_t>(i % 5)));
+    max_sizes.push_back({60, 10});
+  }
+  const auto pcp = pcp_pack(items, kCap);
+  const auto ffd = ffd_pack(max_sizes, kCap);
+  ASSERT_TRUE(pcp && ffd);
+  EXPECT_LT(pcp->hosts_used, ffd->hosts_used);
+}
+
+TEST(PcpPack, SingleClusterDegeneratesToMaxSizing) {
+  // All VMs peak together: PCP must provision body+tail for all, matching
+  // FFD on (body+tail) sizes.
+  std::vector<StochasticItem> items;
+  std::vector<ResourceVector> max_sizes;
+  for (int i = 0; i < 12; ++i) {
+    items.push_back(item(20, 20, 0));
+    max_sizes.push_back({40, 10});
+  }
+  const auto pcp = pcp_pack(items, kCap);
+  const auto ffd = ffd_pack(max_sizes, kCap);
+  ASSERT_TRUE(pcp && ffd);
+  EXPECT_EQ(pcp->hosts_used, ffd->hosts_used);
+}
+
+TEST(PcpPack, OversizedItemFails) {
+  const std::vector<StochasticItem> items{item(80, 30, 0)};
+  EXPECT_FALSE(pcp_pack(items, kCap).has_value());
+}
+
+TEST(PcpPack, ConstraintsHonored) {
+  std::vector<StochasticItem> items;
+  for (int i = 0; i < 6; ++i) items.push_back(item(10, 5, 0));
+  ConstraintSet cs(6);
+  cs.add_anti_affinity(0, 1);
+  cs.add_affinity(2, 3);
+  cs.pin(4, 2);
+  const auto result = pcp_pack(items, kCap, cs);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(cs.satisfied_by(result->placement));
+  EXPECT_NE(result->placement.host_of(0), result->placement.host_of(1));
+  EXPECT_EQ(result->placement.host_of(2), result->placement.host_of(3));
+  EXPECT_EQ(result->placement.host_of(4), 2);
+}
+
+TEST(PcpPack, PinnedVmClaimsHostBeforeFreeVms) {
+  // Regression twin of FfdPack.PinnedVmClaimsHostBeforeFreeVms.
+  std::vector<StochasticItem> items{item(60, 30, 0), item(60, 30, 1),
+                                    item(10, 5, 2)};
+  ConstraintSet cs(3);
+  cs.pin(2, 0);
+  const auto result = pcp_pack(items, kCap, cs);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->placement.host_of(2), 0);
+  EXPECT_TRUE(cs.satisfied_by(result->placement));
+}
+
+TEST(PcpPack, InfeasibleConstraintsRejected) {
+  std::vector<StochasticItem> items{item(10, 5, 0), item(10, 5, 0)};
+  ConstraintSet cs(2);
+  cs.add_affinity(0, 1);
+  cs.add_anti_affinity(0, 1);
+  EXPECT_FALSE(pcp_pack(items, kCap, cs).has_value());
+}
+
+TEST(MakeStochasticItems, BodyTailFromHistory) {
+  // One VM with a flat series + spike; body should be ~flat level.
+  VmWorkload vm;
+  std::vector<double> cpu(100, 10.0);
+  cpu[50] = 100.0;
+  vm.cpu_rpe2 = TimeSeries(cpu);
+  vm.mem_mb = TimeSeries(std::vector<double>(100, 256.0));
+  const std::vector<VmWorkload> vms{vm};
+
+  const auto items = make_stochastic_items(vms, 0, 100, 90.0);
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_NEAR(items[0].body.cpu_rpe2, 10.0, 1.0);
+  EXPECT_NEAR(items[0].body.cpu_rpe2 + items[0].tail.cpu_rpe2, 100.0, 1e-9);
+  // Flat memory: body == max, zero tail regardless of percentile.
+  EXPECT_DOUBLE_EQ(items[0].body.memory_mb, 256.0);
+  EXPECT_DOUBLE_EQ(items[0].tail.memory_mb, 0.0);
+}
+
+TEST(MakeStochasticItems, CoPeakingVmsShareCluster) {
+  // Two VMs peaking at hour 10 daily; one peaking at hour 2.
+  auto make_vm = [](std::size_t peak_hour) {
+    VmWorkload vm;
+    std::vector<double> cpu(240, 5.0);
+    for (std::size_t d = 0; d < 10; ++d) cpu[d * 24 + peak_hour] = 50.0;
+    vm.cpu_rpe2 = TimeSeries(cpu);
+    vm.mem_mb = TimeSeries(std::vector<double>(240, 100.0));
+    return vm;
+  };
+  const std::vector<VmWorkload> vms{make_vm(10), make_vm(11), make_vm(2)};
+  const auto items = make_stochastic_items(vms, 0, 240);
+  EXPECT_EQ(items[0].cluster, items[1].cluster);  // same 4h bucket (8-11)
+  EXPECT_NE(items[0].cluster, items[2].cluster);
+}
+
+}  // namespace
+}  // namespace vmcw

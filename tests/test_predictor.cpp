@@ -1,0 +1,101 @@
+// Unit tests for the seasonal-max demand predictor.
+
+#include "core/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "trace/patterns.h"
+
+namespace vmcw {
+namespace {
+
+PeakPredictor::Options no_margin() {
+  PeakPredictor::Options o;
+  o.cpu_safety_margin = 1.0;
+  o.mem_safety_margin = 1.0;
+  return o;
+}
+
+TEST(PeakPredictor, UsesSameWindowOnPreviousDays) {
+  // Daily pattern: demand 10 except hour 12 of each day = 50.
+  std::vector<double> v(24 * 8, 10.0);
+  for (std::size_t d = 0; d < 8; ++d) v[d * 24 + 12] = 50.0;
+  const TimeSeries series(v);
+  const PeakPredictor p(no_margin());
+  // Predicting the noon window of day 7 sees day 6's noon spike.
+  EXPECT_DOUBLE_EQ(p.predict(series, 7 * 24 + 12, 2, 1.0), 50.0);
+  // Predicting an off-peak window sees only the base.
+  EXPECT_DOUBLE_EQ(p.predict(series, 7 * 24 + 2, 2, 1.0), 10.0);
+}
+
+TEST(PeakPredictor, UsesImmediatelyPrecedingWindow) {
+  // A fresh level shift in the last 2 hours must be picked up.
+  std::vector<double> v(48, 10.0);
+  v[46] = 80.0;
+  v[47] = 80.0;
+  const TimeSeries series(v);
+  const PeakPredictor p(no_margin());
+  EXPECT_DOUBLE_EQ(p.predict(series, 48, 2, 1.0), 80.0);
+}
+
+TEST(PeakPredictor, CannotSeeTheFuture) {
+  std::vector<double> v(24 * 8, 10.0);
+  v[7 * 24 + 13] = 99.0;  // spike inside the predicted window itself
+  const TimeSeries series(v);
+  const PeakPredictor p(no_margin());
+  EXPECT_DOUBLE_EQ(p.predict(series, 7 * 24 + 12, 2, 1.0), 10.0);
+}
+
+TEST(PeakPredictor, LookbackDaysLimit) {
+  // Spike 5 days ago; lookback of 3 days must not see it.
+  std::vector<double> v(24 * 10, 10.0);
+  v[4 * 24 + 12] = 70.0;
+  const TimeSeries series(v);
+  PeakPredictor::Options o = no_margin();
+  o.lookback_days = 3;
+  const PeakPredictor p(o);
+  EXPECT_DOUBLE_EQ(p.predict(series, 9 * 24 + 12, 2, 1.0), 10.0);
+  PeakPredictor::Options wide = no_margin();
+  wide.lookback_days = 7;
+  EXPECT_DOUBLE_EQ(PeakPredictor(wide).predict(series, 9 * 24 + 12, 2, 1.0),
+                   70.0);
+}
+
+TEST(PeakPredictor, SafetyMarginScales) {
+  const TimeSeries series(std::vector<double>(72, 10.0));
+  const PeakPredictor p(no_margin());
+  EXPECT_DOUBLE_EQ(p.predict(series, 48, 2, 1.25), 12.5);
+}
+
+TEST(PeakPredictor, EarlyHoursWithLittleHistory) {
+  const TimeSeries series(std::vector<double>{5, 6, 7, 8});
+  const PeakPredictor p(no_margin());
+  // hour 2, len 2: no same-window-previous-day, only preceding window {5,6}.
+  EXPECT_DOUBLE_EQ(p.predict(series, 2, 2, 1.0), 6.0);
+  // hour 0: no history at all.
+  EXPECT_DOUBLE_EQ(p.predict(series, 0, 2, 1.0), 0.0);
+}
+
+TEST(PeakPredictor, PredictVmAppliesPerResourceMargins) {
+  VmWorkload vm;
+  vm.cpu_rpe2 = TimeSeries(std::vector<double>(48, 100.0));
+  vm.mem_mb = TimeSeries(std::vector<double>(48, 1000.0));
+  PeakPredictor::Options o;
+  o.cpu_safety_margin = 1.2;
+  o.mem_safety_margin = 1.05;
+  const PeakPredictor p(o);
+  const auto predicted = predict_vm_demand(p, vm, 26, 2);
+  EXPECT_DOUBLE_EQ(predicted.cpu_rpe2, 120.0);
+  EXPECT_DOUBLE_EQ(predicted.memory_mb, 1050.0);
+}
+
+TEST(PeakPredictor, DefaultMarginsAreCpuHeavy) {
+  const PeakPredictor p;
+  EXPECT_GT(p.options().cpu_safety_margin, p.options().mem_safety_margin);
+  EXPECT_GE(p.options().mem_safety_margin, 1.0);
+}
+
+}  // namespace
+}  // namespace vmcw

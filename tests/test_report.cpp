@@ -1,0 +1,103 @@
+// Tests for the one-call reproduction report.
+
+#include "report/report.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "util/table.h"
+
+namespace vmcw {
+namespace {
+
+ReportOptions tiny_options() {
+  ReportOptions options;
+  options.servers_per_dc = 40;
+  options.bound_step = 0.2;
+  return options;
+}
+
+TEST(Report, ContainsEverySection) {
+  const std::string md = build_paper_report(tiny_options());
+  for (const char* heading :
+       {"## Workloads", "## Burstiness", "## Resource ratio",
+        "## Consolidation comparison", "## Sensitivity",
+        "## Live-migration reservation", "## Emulator validation"}) {
+    EXPECT_NE(md.find(heading), std::string::npos) << heading;
+  }
+  for (const char* workload :
+       {"Banking", "Airlines", "Natural Resources", "Beverage"}) {
+    EXPECT_NE(md.find(workload), std::string::npos) << workload;
+  }
+}
+
+TEST(Report, IsValidMarkdownTables) {
+  const std::string md = build_paper_report(tiny_options());
+  // Every table header row is followed by a separator row.
+  std::size_t pos = 0;
+  int tables = 0;
+  while ((pos = md.find("|---|", pos)) != std::string::npos) {
+    ++tables;
+    pos += 5;
+  }
+  EXPECT_GE(tables, 6);
+}
+
+TEST(Report, WriteToFile) {
+  const std::string path = "/tmp/vmcw_test_report.md";
+  write_paper_report(path, tiny_options());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_NE(first_line.find("Virtual Machine Consolidation"),
+            std::string::npos);
+}
+
+TEST(Report, WriteToBadPathThrows) {
+  EXPECT_THROW(write_paper_report("/nonexistent/dir/report.md", tiny_options()),
+               std::runtime_error);
+}
+
+TEST(ReportData, WritesEveryFigureFile) {
+  const std::string dir = "/tmp/vmcw_test_report_data";
+  const auto written = write_report_data(dir, tiny_options());
+  ASSERT_EQ(written.size(), 8u);
+  for (const char* name :
+       {"fig02_cpu_p2a.csv", "fig03_cpu_cov.csv", "fig04_mem_p2a.csv",
+        "fig05_mem_cov.csv", "fig06_resource_ratio.csv", "fig07_costs.csv",
+        "fig12_active_servers.csv", "fig13_16_sensitivity.csv"}) {
+    std::ifstream in(dir + "/" + name);
+    ASSERT_TRUE(in.good()) << name;
+    std::string header, first_row;
+    std::getline(in, header);
+    std::getline(in, first_row);
+    EXPECT_FALSE(header.empty()) << name;
+    EXPECT_FALSE(first_row.empty()) << name;
+    EXPECT_NE(header.find(','), std::string::npos) << name;
+  }
+}
+
+TEST(ReportData, CdfFilesHaveHundredQuantileRows) {
+  const std::string dir = "/tmp/vmcw_test_report_data2";
+  write_report_data(dir, tiny_options());
+  std::ifstream in(dir + "/fig02_cpu_p2a.csv");
+  std::string line;
+  int rows = -1;  // discount header
+  while (std::getline(in, line))
+    if (!line.empty()) ++rows;
+  EXPECT_EQ(rows, 100);
+}
+
+TEST(TextTableMarkdown, RendersAndEscapes) {
+  TextTable t({"a", "b"});
+  t.add_row({"x|y", "2"});
+  const std::string md = t.markdown();
+  EXPECT_NE(md.find("| a | b |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("x\\|y"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vmcw

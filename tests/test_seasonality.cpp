@@ -1,0 +1,104 @@
+// Tests for seasonality / predictability analysis.
+
+#include "analysis/seasonality.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/generator.h"
+#include "trace/patterns.h"
+#include "trace/presets.h"
+
+namespace vmcw {
+namespace {
+
+TimeSeries daily_wave(std::size_t days, double base = 1.0, double amp = 0.5) {
+  std::vector<double> v(days * kHoursPerDay);
+  for (std::size_t t = 0; t < v.size(); ++t)
+    v[t] = base + amp * std::sin(2.0 * 3.14159265358979 *
+                                 static_cast<double>(t % 24) / 24.0);
+  return TimeSeries(std::move(v));
+}
+
+TEST(Autocorrelation, PerfectDailyCycle) {
+  const auto series = daily_wave(10);
+  EXPECT_NEAR(autocorrelation(series.samples(), kHoursPerDay), 1.0, 0.05);
+  // Half a day out of phase: strongly negative.
+  EXPECT_LT(autocorrelation(series.samples(), 12), -0.5);
+}
+
+TEST(Autocorrelation, DegenerateInputs) {
+  const std::vector<double> constant(50, 3.0);
+  EXPECT_DOUBLE_EQ(autocorrelation(constant, 24), 0.0);
+  const std::vector<double> tiny{1, 2};
+  EXPECT_DOUBLE_EQ(autocorrelation(tiny, 24), 0.0);
+}
+
+TEST(SeasonalityProfile, PureDailyCycleIsFullySeasonal) {
+  const auto profile = seasonality_profile(daily_wave(10));
+  EXPECT_GT(profile.daily_acf, 0.95);
+  EXPECT_GT(profile.diurnal_strength, 0.95);
+}
+
+TEST(SeasonalityProfile, WhiteNoiseIsNotSeasonal) {
+  Rng rng(5);
+  std::vector<double> v(480);
+  for (auto& x : v) x = rng.uniform();
+  const auto profile = seasonality_profile(TimeSeries(std::move(v)));
+  EXPECT_LT(std::abs(profile.daily_acf), 0.2);
+  EXPECT_LT(profile.diurnal_strength, 0.2);
+}
+
+TEST(SeasonalityProfile, ShortSeriesSafe) {
+  const auto profile = seasonality_profile(TimeSeries({1, 2, 3}));
+  EXPECT_DOUBLE_EQ(profile.daily_acf, 0.0);
+  EXPECT_DOUBLE_EQ(profile.diurnal_strength, 0.0);
+}
+
+TEST(Predictability, PerfectCycleFullyPredictable) {
+  const auto series = daily_wave(20);
+  const auto report = predictability(series, 10 * 24, 10 * 24, 2);
+  EXPECT_EQ(report.windows, 120u);
+  EXPECT_DOUBLE_EQ(report.hit_rate, 1.0);
+  EXPECT_DOUBLE_EQ(report.mean_miss_shortfall, 0.0);
+}
+
+TEST(Predictability, FreshSpikeIsAMiss) {
+  auto series = daily_wave(20);
+  series[15 * 24 + 12] = 100.0;  // unprecedented spike on day 15
+  const auto report = predictability(series, 10 * 24, 10 * 24, 2);
+  EXPECT_LT(report.hit_rate, 1.0);
+  EXPECT_GT(report.mean_miss_shortfall, 1.0);  // 100 vs ~1.5 predicted
+}
+
+TEST(Predictability, ZeroWindowIsEmpty) {
+  const auto report = predictability(daily_wave(5), 0, 48, 0);
+  EXPECT_EQ(report.windows, 0u);
+}
+
+TEST(FleetPredictability, EstateCharactersSeparate) {
+  // The seasonal predictor works everywhere (hit rate >= 80%), the
+  // strongly diurnal Banking estate is far more calendar-driven than the
+  // flat Airlines estate, and misses do carry real shortfall (they are
+  // where Fig 8/9's contention comes from).
+  const auto banking = generate_datacenter(
+      scaled_down(banking_spec(), 80, kHoursPerMonth), kStudySeed);
+  const auto airlines = generate_datacenter(
+      scaled_down(airlines_spec(), 80, kHoursPerMonth), kStudySeed);
+  const auto b = fleet_predictability(banking, 384, 336, 2);
+  const auto a = fleet_predictability(airlines, 384, 336, 2);
+  EXPECT_GT(b.mean_hit_rate, 0.8);
+  EXPECT_GT(a.mean_hit_rate, 0.8);
+  EXPECT_GT(b.mean_diurnal_strength, 1.5 * a.mean_diurnal_strength);
+  EXPECT_GT(b.mean_miss_shortfall, 0.1);
+}
+
+TEST(FleetPredictability, EmptyFleetSafe) {
+  Datacenter empty;
+  const auto f = fleet_predictability(empty, 0, 48, 2);
+  EXPECT_DOUBLE_EQ(f.mean_hit_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace vmcw

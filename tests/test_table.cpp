@@ -1,0 +1,83 @@
+// Unit tests for util/table.h.
+
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace vmcw {
+namespace {
+
+TEST(TextTable, HeaderOnly) {
+  TextTable t({"col1", "col2"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("col1"), std::string::npos);
+  EXPECT_NE(out.find("col2"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 0u);
+}
+
+TEST(TextTable, RowsAligned) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2"});
+  const std::string out = t.str();
+  // Both value cells must start at the same column.
+  const auto line_start = [&](const std::string& needle) {
+    const auto pos = out.find(needle);
+    EXPECT_NE(pos, std::string::npos);
+    return out.rfind('\n', pos) + 1;
+  };
+  const auto col_of = [&](const std::string& row_key,
+                          const std::string& cell) {
+    const auto start = line_start(row_key);
+    return out.find(cell, start) - start;
+  };
+  EXPECT_EQ(col_of("x", "1"), col_of("longer-name", "2"));
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  EXPECT_NO_THROW(t.str());
+  EXPECT_NO_THROW(t.csv());
+}
+
+TEST(TextTable, LongRowsExtendColumns) {
+  TextTable t({"a"});
+  t.add_row({"1", "2", "3"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("3"), std::string::npos);
+}
+
+TEST(TextTable, NumericRowFormatting) {
+  TextTable t({"label", "x", "y"});
+  t.add_row_numeric("r", {1.23456, 2.0}, 2);
+  const std::string out = t.str();
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("2.00"), std::string::npos);
+}
+
+TEST(TextTable, CsvEscapesSpecialCells) {
+  TextTable t({"name", "note"});
+  t.add_row({"a,b", "say \"hi\""});
+  t.add_row({"plain", "ok"});
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+  EXPECT_NE(csv.find("plain,ok"), std::string::npos);
+}
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.0, 0), "3");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(FmtPct, Formatting) {
+  EXPECT_EQ(fmt_pct(0.125), "12.5%");
+  EXPECT_EQ(fmt_pct(1.0, 0), "100%");
+  EXPECT_EQ(fmt_pct(0.0), "0.0%");
+}
+
+}  // namespace
+}  // namespace vmcw

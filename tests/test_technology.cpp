@@ -1,0 +1,62 @@
+// Tests for the migration-technology variants (Section 7 / Observation 7).
+
+#include "migration/technology.h"
+
+#include <gtest/gtest.h>
+
+namespace vmcw {
+namespace {
+
+TEST(MigrationTechnology, SourceCpuNeedOrdering) {
+  EXPECT_GT(source_cpu_fraction(MigrationTechnology::kSourcePrecopy),
+            source_cpu_fraction(MigrationTechnology::kTargetAssisted));
+  EXPECT_GT(source_cpu_fraction(MigrationTechnology::kTargetAssisted),
+            source_cpu_fraction(MigrationTechnology::kRdmaOffload));
+}
+
+TEST(MigrationTechnology, ApplyTechnologyConfiguresConfig) {
+  const MigrationConfig base;
+  const auto rdma = apply_technology(base, MigrationTechnology::kRdmaOffload);
+  EXPECT_LT(rdma.migration_cpu_fraction, base.migration_cpu_fraction);
+  EXPECT_GT(rdma.link_bandwidth_mbps, base.link_bandwidth_mbps);
+  const auto precopy =
+      apply_technology(base, MigrationTechnology::kSourcePrecopy);
+  EXPECT_DOUBLE_EQ(precopy.link_bandwidth_mbps, base.link_bandwidth_mbps);
+}
+
+TEST(MigrationTechnology, BetterTechnologySupportsHigherBound) {
+  // Observation 7's mechanism: cheaper source-side migration lets the
+  // consolidator run hosts hotter.
+  const double precopy =
+      supported_utilization_bound(MigrationTechnology::kSourcePrecopy);
+  const double assisted =
+      supported_utilization_bound(MigrationTechnology::kTargetAssisted);
+  const double rdma =
+      supported_utilization_bound(MigrationTechnology::kRdmaOffload);
+  EXPECT_LT(precopy, assisted);
+  EXPECT_LE(assisted, rdma);
+  // Classic pre-copy sits at the paper's 70-80% operating rule...
+  EXPECT_GE(precopy, 0.65);
+  EXPECT_LE(precopy, 0.85);
+  // ...while RDMA frees nearly the whole host.
+  EXPECT_GE(rdma, 0.90);
+}
+
+TEST(MigrationTechnology, MigrationsStillCompleteUnderRdma) {
+  const auto config =
+      apply_technology(MigrationConfig{}, MigrationTechnology::kRdmaOffload);
+  const auto r = simulate_precopy_at_load(config, 0.9, 0.5);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.duration_s, 120.0);
+}
+
+TEST(MigrationTechnology, Names) {
+  EXPECT_STREQ(to_string(MigrationTechnology::kSourcePrecopy),
+               "source pre-copy");
+  EXPECT_STREQ(to_string(MigrationTechnology::kTargetAssisted),
+               "target-assisted copy");
+  EXPECT_STREQ(to_string(MigrationTechnology::kRdmaOffload), "RDMA offload");
+}
+
+}  // namespace
+}  // namespace vmcw

@@ -1,0 +1,133 @@
+// Unit tests for trace/time_series.h.
+
+#include "trace/time_series.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vmcw {
+namespace {
+
+TimeSeries ramp(int n) {
+  std::vector<double> v(n);
+  for (int i = 0; i < n; ++i) v[i] = i + 1;
+  return TimeSeries(std::move(v));
+}
+
+TEST(TimeSeries, ZerosFactory) {
+  const auto z = TimeSeries::zeros(5);
+  EXPECT_EQ(z.size(), 5u);
+  for (std::size_t i = 0; i < z.size(); ++i) EXPECT_DOUBLE_EQ(z[i], 0.0);
+}
+
+TEST(TimeSeries, IndexingAndMutation) {
+  auto s = TimeSeries::zeros(3);
+  s[1] = 7.0;
+  EXPECT_DOUBLE_EQ(s[1], 7.0);
+}
+
+TEST(TimeSeries, SliceClamped) {
+  const auto s = ramp(10);
+  EXPECT_EQ(s.slice(0, 10).size(), 10u);
+  EXPECT_EQ(s.slice(8, 10).size(), 2u);
+  EXPECT_EQ(s.slice(10, 5).size(), 0u);
+  EXPECT_EQ(s.slice(100, 5).size(), 0u);
+  EXPECT_DOUBLE_EQ(s.slice(3, 2)[0], 4.0);
+}
+
+TEST(TimeSeries, Tail) {
+  const auto s = ramp(10);
+  const auto t = s.tail(3);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t[0], 8.0);
+  EXPECT_DOUBLE_EQ(t[2], 10.0);
+  EXPECT_EQ(s.tail(100).size(), 10u);
+  EXPECT_EQ(s.tail(0).size(), 0u);
+}
+
+TEST(TimeSeries, Scale) {
+  auto s = ramp(3);
+  s.scale(2.0);
+  EXPECT_DOUBLE_EQ(s[0], 2.0);
+  EXPECT_DOUBLE_EQ(s[2], 6.0);
+}
+
+TEST(TimeSeries, WindowReduceMax) {
+  const auto s = ramp(6);
+  const auto w = s.window_reduce(2, WindowReducer::kMax);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w[0], 2.0);
+  EXPECT_DOUBLE_EQ(w[1], 4.0);
+  EXPECT_DOUBLE_EQ(w[2], 6.0);
+}
+
+TEST(TimeSeries, WindowReduceMean) {
+  const auto s = ramp(6);
+  const auto w = s.window_reduce(3, WindowReducer::kMean);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0], 2.0);
+  EXPECT_DOUBLE_EQ(w[1], 5.0);
+}
+
+TEST(TimeSeries, WindowReduceTrailingPartialWindow) {
+  const auto s = ramp(5);
+  const auto w = s.window_reduce(2, WindowReducer::kMax);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w[2], 5.0);  // partial window of one sample
+}
+
+TEST(TimeSeries, WindowReduceDegenerateInputs) {
+  const auto s = ramp(5);
+  EXPECT_TRUE(s.window_reduce(0, WindowReducer::kMax).empty());
+  EXPECT_TRUE(TimeSeries().window_reduce(2, WindowReducer::kMax).empty());
+  // Window of 1 reproduces the series.
+  const auto w = s.window_reduce(1, WindowReducer::kMean);
+  ASSERT_EQ(w.size(), 5u);
+  EXPECT_DOUBLE_EQ(w[3], 4.0);
+}
+
+TEST(TimeSeries, WindowReducePercentiles) {
+  const std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const TimeSeries s(v);
+  const auto p90 = s.window_reduce(10, WindowReducer::kP90);
+  ASSERT_EQ(p90.size(), 1u);
+  EXPECT_NEAR(p90[0], 9.1, 1e-9);
+  const auto p95 = s.window_reduce(10, WindowReducer::kP95);
+  EXPECT_GT(p95[0], p90[0]);
+}
+
+TEST(TimeSeries, StatisticsPassThrough) {
+  const auto s = ramp(5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.peak(), 5.0);
+  EXPECT_DOUBLE_EQ(s.peak_to_average(), 5.0 / 3.0);
+  EXPECT_GT(s.cov(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 3.0);
+}
+
+TEST(Reduce, AllReducersOnWindow) {
+  const std::vector<double> w{4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(reduce(w, WindowReducer::kMax), 4.0);
+  EXPECT_DOUBLE_EQ(reduce(w, WindowReducer::kMean), 2.5);
+  EXPECT_GE(reduce(w, WindowReducer::kP95), reduce(w, WindowReducer::kP90));
+}
+
+// Property: for any series, windowed means average to the series mean and
+// windowed maxima bound the windowed means.
+class WindowReduceProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WindowReduceProperty, MaxDominatesMean) {
+  const auto s = ramp(24);
+  const auto maxes = s.window_reduce(GetParam(), WindowReducer::kMax);
+  const auto means = s.window_reduce(GetParam(), WindowReducer::kMean);
+  ASSERT_EQ(maxes.size(), means.size());
+  for (std::size_t i = 0; i < maxes.size(); ++i)
+    EXPECT_GE(maxes[i], means[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowReduceProperty,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12, 24));
+
+}  // namespace
+}  // namespace vmcw

@@ -1,0 +1,135 @@
+// Tests for CSV trace serialization: roundtrip fidelity and malformed
+// input rejection.
+
+#include "trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/generator.h"
+#include "trace/presets.h"
+
+namespace vmcw {
+namespace {
+
+Datacenter sample_dc() {
+  return generate_datacenter(scaled_down(airlines_spec(), 8, 48), 9);
+}
+
+TEST(TraceIo, RoundtripIsLossless) {
+  const auto original = sample_dc();
+  std::stringstream servers, traces;
+  write_servers_csv(original, servers);
+  write_traces_csv(original, traces);
+
+  const auto loaded =
+      read_datacenter_csv(servers, traces, original.name, original.industry);
+  ASSERT_EQ(loaded.servers.size(), original.servers.size());
+  for (std::size_t i = 0; i < original.servers.size(); ++i) {
+    const auto& a = original.servers[i];
+    const auto& b = loaded.servers[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.klass, b.klass);
+    EXPECT_EQ(a.spec, b.spec);
+    ASSERT_EQ(a.cpu_util.size(), b.cpu_util.size());
+    for (std::size_t t = 0; t < a.cpu_util.size(); ++t) {
+      EXPECT_DOUBLE_EQ(a.cpu_util[t], b.cpu_util[t]);
+      EXPECT_DOUBLE_EQ(a.mem_mb[t], b.mem_mb[t]);
+    }
+  }
+}
+
+TEST(TraceIo, HeadersPresent) {
+  const auto dc = sample_dc();
+  std::stringstream servers, traces;
+  write_servers_csv(dc, servers);
+  write_traces_csv(dc, traces);
+  std::string line;
+  std::getline(servers, line);
+  EXPECT_EQ(line,
+            "id,class,model,cpu_rpe2,memory_mb,idle_watts,peak_watts,"
+            "rack_units,hardware_cost");
+  std::getline(traces, line);
+  EXPECT_EQ(line, "id,hour,cpu_util,mem_mb");
+}
+
+TEST(TraceIo, RejectsMissingHeader) {
+  std::stringstream empty_servers, traces("id,hour,cpu_util,mem_mb\n");
+  EXPECT_THROW(read_datacenter_csv(empty_servers, traces, "X", "Test"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, RejectsWrongColumnCount) {
+  std::stringstream servers(
+      "id,class,model,cpu_rpe2,memory_mb,idle_watts,peak_watts,rack_units,"
+      "hardware_cost\n"
+      "s1,web,m,100\n");
+  std::stringstream traces("id,hour,cpu_util,mem_mb\n");
+  EXPECT_THROW(read_datacenter_csv(servers, traces, "X", "Test"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, RejectsUnknownServerInTraces) {
+  std::stringstream servers(
+      "id,class,model,cpu_rpe2,memory_mb,idle_watts,peak_watts,rack_units,"
+      "hardware_cost\n"
+      "s1,web,m,100,1024,50,100,1,500\n");
+  std::stringstream traces(
+      "id,hour,cpu_util,mem_mb\n"
+      "ghost,0,0.5,100\n");
+  EXPECT_THROW(read_datacenter_csv(servers, traces, "X", "Test"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, RejectsMalformedNumber) {
+  std::stringstream servers(
+      "id,class,model,cpu_rpe2,memory_mb,idle_watts,peak_watts,rack_units,"
+      "hardware_cost\n"
+      "s1,web,m,abc,1024,50,100,1,500\n");
+  std::stringstream traces("id,hour,cpu_util,mem_mb\n");
+  EXPECT_THROW(read_datacenter_csv(servers, traces, "X", "Test"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, OutOfOrderTraceRowsAccepted) {
+  std::stringstream servers(
+      "id,class,model,cpu_rpe2,memory_mb,idle_watts,peak_watts,rack_units,"
+      "hardware_cost\n"
+      "s1,batch,m,100,1024,50,100,1,500\n");
+  std::stringstream traces(
+      "id,hour,cpu_util,mem_mb\n"
+      "s1,2,0.3,300\n"
+      "s1,0,0.1,100\n"
+      "s1,1,0.2,200\n");
+  const auto dc = read_datacenter_csv(servers, traces, "X", "Test");
+  ASSERT_EQ(dc.servers.size(), 1u);
+  EXPECT_EQ(dc.servers[0].klass, WorkloadClass::kBatch);
+  ASSERT_EQ(dc.servers[0].cpu_util.size(), 3u);
+  EXPECT_DOUBLE_EQ(dc.servers[0].cpu_util[0], 0.1);
+  EXPECT_DOUBLE_EQ(dc.servers[0].cpu_util[1], 0.2);
+  EXPECT_DOUBLE_EQ(dc.servers[0].cpu_util[2], 0.3);
+  EXPECT_DOUBLE_EQ(dc.servers[0].mem_mb[2], 300.0);
+}
+
+TEST(TraceIo, FileRoundtrip) {
+  const auto original = sample_dc();
+  const std::string servers_path = "/tmp/vmcw_test_servers.csv";
+  const std::string traces_path = "/tmp/vmcw_test_traces.csv";
+  save_datacenter(original, servers_path, traces_path);
+  const auto loaded =
+      load_datacenter(servers_path, traces_path, original.name,
+                      original.industry);
+  EXPECT_EQ(loaded.servers.size(), original.servers.size());
+  EXPECT_DOUBLE_EQ(loaded.average_cpu_utilization(),
+                   original.average_cpu_utilization());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load_datacenter("/nonexistent/a.csv", "/nonexistent/b.csv",
+                               "X", "Test"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vmcw

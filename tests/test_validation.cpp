@@ -1,0 +1,124 @@
+// Tests for the emulator-validation subsystem (Section 5.2): synthetic
+// apps, the replay control law, and the paper's accuracy acceptance bars.
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.h"
+#include "trace/presets.h"
+#include "validation/replay.h"
+#include "validation/synthetic_apps.h"
+
+namespace vmcw {
+namespace {
+
+TEST(RubisLikeApp, CpuSuperlinearMemorySublinear) {
+  const RubisLikeApp app;
+  const auto at100 = app.demand_at(100);
+  const auto at200 = app.demand_at(200);
+  EXPECT_GT(at200.cpu_rpe2, 2.0 * at100.cpu_rpe2);
+  EXPECT_LT(at200.memory_mb, 2.0 * at100.memory_mb);
+}
+
+TEST(RubisLikeApp, IntensityInversionRoundtrips) {
+  const RubisLikeApp app;
+  for (double clients : {10.0, 50.0, 100.0, 400.0}) {
+    const double cpu = app.demand_at(clients).cpu_rpe2;
+    EXPECT_NEAR(app.intensity_for_cpu(cpu), clients, clients * 1e-9);
+  }
+}
+
+TEST(RubisLikeApp, ZeroIntensityHasBaseFootprintOnly) {
+  const RubisLikeApp app;
+  const auto demand = app.demand_at(0);
+  EXPECT_DOUBLE_EQ(demand.cpu_rpe2, 0.0);
+  EXPECT_GT(demand.memory_mb, 0.0);  // resident base memory
+}
+
+TEST(DaxpyLikeApp, LinearCpuConstantMemory) {
+  const DaxpyLikeApp app;
+  const auto at10 = app.demand_at(10);
+  const auto at20 = app.demand_at(20);
+  EXPECT_NEAR(at20.cpu_rpe2, 2.0 * at10.cpu_rpe2, 1e-9);
+  EXPECT_DOUBLE_EQ(at10.memory_mb, at20.memory_mb);
+}
+
+TEST(DaxpyLikeApp, IntensityInversionRoundtrips) {
+  const DaxpyLikeApp app;
+  EXPECT_NEAR(app.intensity_for_cpu(app.demand_at(123.0).cpu_rpe2), 123.0,
+              1e-9);
+}
+
+TEST(DaxpyLikeApp, MoreControllableThanRubis) {
+  EXPECT_LT(DaxpyLikeApp{}.actuation_noise(), RubisLikeApp{}.actuation_noise());
+}
+
+TEST(MicroBenchmark, HitsTargetsClosely) {
+  MicroBenchmark micro;
+  Rng rng(1);
+  const ResourceVector target{1000.0, 2048.0};
+  for (int i = 0; i < 200; ++i) {
+    const auto used = micro.run(target, rng);
+    EXPECT_NEAR(used.cpu_rpe2 / target.cpu_rpe2, 1.0, 0.05);
+    EXPECT_NEAR(used.memory_mb / target.memory_mb, 1.0, 0.05);
+  }
+}
+
+TEST(ReplayDriver, AchievesTraceTargets) {
+  const RubisLikeApp app;
+  ReplayDriver driver(app, MicroBenchmark{}, Rng(2));
+  const ResourceVector target{1500.0, 3000.0};
+  const auto point = driver.replay_hour(target);
+  EXPECT_NEAR(point.achieved.cpu_rpe2 / target.cpu_rpe2, 1.0, 0.1);
+  EXPECT_NEAR(point.achieved.memory_mb / target.memory_mb, 1.0, 0.1);
+}
+
+TEST(ReplayDriver, BacksOffWhenAppMemoryWouldOvershoot) {
+  // A target with high CPU but tiny memory: the driver must throttle the
+  // app below the CPU-matching intensity and let the micro-benchmark burn
+  // the rest, never exceeding the memory target by more than noise.
+  const RubisLikeApp app;
+  ReplayDriver driver(app, MicroBenchmark{}, Rng(3));
+  const ResourceVector target{4000.0, 600.0};
+  const auto point = driver.replay_hour(target);
+  EXPECT_LT(point.achieved.memory_mb, target.memory_mb * 1.1);
+  EXPECT_NEAR(point.achieved.cpu_rpe2 / target.cpu_rpe2, 1.0, 0.1);
+}
+
+TEST(ReplayDriver, ReplaysWholeTraceWindow) {
+  const auto trace = make_validation_trace(72, 4);
+  const DaxpyLikeApp app;
+  ReplayDriver driver(app, MicroBenchmark{}, Rng(5));
+  const auto points = driver.replay(trace, 24, 48);
+  EXPECT_EQ(points.size(), 48u);
+}
+
+TEST(ValidateEmulator, PaperAccuracyBars) {
+  // Paper: 99th percentile emulator error 5% for RUBiS, 2% for daxpy, on
+  // controlled testbed traces.
+  const auto trace = make_validation_trace(336, 10);
+
+  const auto rubis = validate_emulator(RubisLikeApp{}, trace, 0, 336, 11);
+  EXPECT_EQ(rubis.points, 336u);
+  EXPECT_LE(rubis.cpu_p99_error, 0.05);
+  EXPECT_LE(rubis.mem_p99_error, 0.05);
+
+  const auto daxpy = validate_emulator(DaxpyLikeApp{}, trace, 0, 336, 12);
+  EXPECT_LE(daxpy.cpu_p99_error, 0.02);
+  EXPECT_LE(daxpy.mem_p99_error, 0.02);
+
+  // And the controllable kernel validates tighter than the web app.
+  EXPECT_LT(daxpy.cpu_p99_error, rubis.cpu_p99_error);
+}
+
+TEST(ValidationTrace, StaysInOperatingRange) {
+  const auto trace = make_validation_trace(200, 3);
+  for (std::size_t t = 0; t < trace.hours(); ++t) {
+    EXPECT_GE(trace.cpu_rpe2[t], 500.0);
+    EXPECT_LE(trace.cpu_rpe2[t], 4000.0);
+    EXPECT_GE(trace.mem_mb[t], 1500.0);
+    EXPECT_LE(trace.mem_mb[t], 4000.0);
+  }
+}
+
+}  // namespace
+}  // namespace vmcw
