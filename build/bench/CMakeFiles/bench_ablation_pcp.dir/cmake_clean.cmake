@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pcp.dir/bench_ablation_pcp.cpp.o"
+  "CMakeFiles/bench_ablation_pcp.dir/bench_ablation_pcp.cpp.o.d"
+  "bench_ablation_pcp"
+  "bench_ablation_pcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_potential.dir/bench_claim_potential.cpp.o"
+  "CMakeFiles/bench_claim_potential.dir/bench_claim_potential.cpp.o.d"
+  "bench_claim_potential"
+  "bench_claim_potential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_potential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

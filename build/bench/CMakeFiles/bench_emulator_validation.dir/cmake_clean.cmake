@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_emulator_validation.dir/bench_emulator_validation.cpp.o"
+  "CMakeFiles/bench_emulator_validation.dir/bench_emulator_validation.cpp.o.d"
+  "bench_emulator_validation"
+  "bench_emulator_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_emulator_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

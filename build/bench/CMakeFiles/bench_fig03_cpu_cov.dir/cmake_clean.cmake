@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_cpu_cov.dir/bench_fig03_cpu_cov.cpp.o"
+  "CMakeFiles/bench_fig03_cpu_cov.dir/bench_fig03_cpu_cov.cpp.o.d"
+  "bench_fig03_cpu_cov"
+  "bench_fig03_cpu_cov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_cpu_cov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

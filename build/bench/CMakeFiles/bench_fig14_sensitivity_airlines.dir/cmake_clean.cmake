@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_sensitivity_airlines.dir/bench_fig14_sensitivity_airlines.cpp.o"
+  "CMakeFiles/bench_fig14_sensitivity_airlines.dir/bench_fig14_sensitivity_airlines.cpp.o.d"
+  "bench_fig14_sensitivity_airlines"
+  "bench_fig14_sensitivity_airlines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_sensitivity_airlines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

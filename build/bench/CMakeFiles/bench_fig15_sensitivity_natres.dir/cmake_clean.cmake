@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_sensitivity_natres.dir/bench_fig15_sensitivity_natres.cpp.o"
+  "CMakeFiles/bench_fig15_sensitivity_natres.dir/bench_fig15_sensitivity_natres.cpp.o.d"
+  "bench_fig15_sensitivity_natres"
+  "bench_fig15_sensitivity_natres.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_sensitivity_natres.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_sensitivity_beverage.dir/bench_fig16_sensitivity_beverage.cpp.o"
+  "CMakeFiles/bench_fig16_sensitivity_beverage.dir/bench_fig16_sensitivity_beverage.cpp.o.d"
+  "bench_fig16_sensitivity_beverage"
+  "bench_fig16_sensitivity_beverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_sensitivity_beverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

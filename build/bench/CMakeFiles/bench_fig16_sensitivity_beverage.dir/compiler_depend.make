@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig16_sensitivity_beverage.
+# This may be replaced when dependencies are built.

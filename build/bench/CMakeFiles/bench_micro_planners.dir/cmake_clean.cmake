@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_planners.dir/bench_micro_planners.cpp.o"
+  "CMakeFiles/bench_micro_planners.dir/bench_micro_planners.cpp.o.d"
+  "bench_micro_planners"
+  "bench_micro_planners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_planners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_obs4_migration_reservation.dir/bench_obs4_migration_reservation.cpp.o"
+  "CMakeFiles/bench_obs4_migration_reservation.dir/bench_obs4_migration_reservation.cpp.o.d"
+  "bench_obs4_migration_reservation"
+  "bench_obs4_migration_reservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_obs4_migration_reservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_obs4_migration_reservation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_obs4_migration_reservation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_olio_scaling.dir/bench_olio_scaling.cpp.o"
+  "CMakeFiles/bench_olio_scaling.dir/bench_olio_scaling.cpp.o.d"
+  "bench_olio_scaling"
+  "bench_olio_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_olio_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_predictability.dir/bench_predictability.cpp.o"
+  "CMakeFiles/bench_predictability.dir/bench_predictability.cpp.o.d"
+  "bench_predictability"
+  "bench_predictability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_predictability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

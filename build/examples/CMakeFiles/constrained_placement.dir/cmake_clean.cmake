@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constrained_placement.dir/constrained_placement.cpp.o"
+  "CMakeFiles/constrained_placement.dir/constrained_placement.cpp.o.d"
+  "constrained_placement"
+  "constrained_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constrained_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

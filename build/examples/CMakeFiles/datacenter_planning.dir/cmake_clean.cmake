@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_planning.dir/datacenter_planning.cpp.o"
+  "CMakeFiles/datacenter_planning.dir/datacenter_planning.cpp.o.d"
+  "datacenter_planning"
+  "datacenter_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_maintenance.dir/host_maintenance.cpp.o"
+  "CMakeFiles/host_maintenance.dir/host_maintenance.cpp.o.d"
+  "host_maintenance"
+  "host_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

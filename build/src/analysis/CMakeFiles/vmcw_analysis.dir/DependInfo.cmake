@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/burstiness.cpp" "src/analysis/CMakeFiles/vmcw_analysis.dir/burstiness.cpp.o" "gcc" "src/analysis/CMakeFiles/vmcw_analysis.dir/burstiness.cpp.o.d"
+  "/root/repo/src/analysis/correlation.cpp" "src/analysis/CMakeFiles/vmcw_analysis.dir/correlation.cpp.o" "gcc" "src/analysis/CMakeFiles/vmcw_analysis.dir/correlation.cpp.o.d"
+  "/root/repo/src/analysis/predictor.cpp" "src/analysis/CMakeFiles/vmcw_analysis.dir/predictor.cpp.o" "gcc" "src/analysis/CMakeFiles/vmcw_analysis.dir/predictor.cpp.o.d"
+  "/root/repo/src/analysis/resource_ratio.cpp" "src/analysis/CMakeFiles/vmcw_analysis.dir/resource_ratio.cpp.o" "gcc" "src/analysis/CMakeFiles/vmcw_analysis.dir/resource_ratio.cpp.o.d"
+  "/root/repo/src/analysis/seasonality.cpp" "src/analysis/CMakeFiles/vmcw_analysis.dir/seasonality.cpp.o" "gcc" "src/analysis/CMakeFiles/vmcw_analysis.dir/seasonality.cpp.o.d"
+  "/root/repo/src/analysis/workload_report.cpp" "src/analysis/CMakeFiles/vmcw_analysis.dir/workload_report.cpp.o" "gcc" "src/analysis/CMakeFiles/vmcw_analysis.dir/workload_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/vmcw_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vmcw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hardware/CMakeFiles/vmcw_hardware.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

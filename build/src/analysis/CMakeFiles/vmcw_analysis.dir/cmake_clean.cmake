@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmcw_analysis.dir/burstiness.cpp.o"
+  "CMakeFiles/vmcw_analysis.dir/burstiness.cpp.o.d"
+  "CMakeFiles/vmcw_analysis.dir/correlation.cpp.o"
+  "CMakeFiles/vmcw_analysis.dir/correlation.cpp.o.d"
+  "CMakeFiles/vmcw_analysis.dir/predictor.cpp.o"
+  "CMakeFiles/vmcw_analysis.dir/predictor.cpp.o.d"
+  "CMakeFiles/vmcw_analysis.dir/resource_ratio.cpp.o"
+  "CMakeFiles/vmcw_analysis.dir/resource_ratio.cpp.o.d"
+  "CMakeFiles/vmcw_analysis.dir/seasonality.cpp.o"
+  "CMakeFiles/vmcw_analysis.dir/seasonality.cpp.o.d"
+  "CMakeFiles/vmcw_analysis.dir/workload_report.cpp.o"
+  "CMakeFiles/vmcw_analysis.dir/workload_report.cpp.o.d"
+  "libvmcw_analysis.a"
+  "libvmcw_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmcw_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/binpack.cpp" "src/core/CMakeFiles/vmcw_core.dir/binpack.cpp.o" "gcc" "src/core/CMakeFiles/vmcw_core.dir/binpack.cpp.o.d"
+  "/root/repo/src/core/constraints.cpp" "src/core/CMakeFiles/vmcw_core.dir/constraints.cpp.o" "gcc" "src/core/CMakeFiles/vmcw_core.dir/constraints.cpp.o.d"
+  "/root/repo/src/core/dynamic.cpp" "src/core/CMakeFiles/vmcw_core.dir/dynamic.cpp.o" "gcc" "src/core/CMakeFiles/vmcw_core.dir/dynamic.cpp.o.d"
+  "/root/repo/src/core/emulator.cpp" "src/core/CMakeFiles/vmcw_core.dir/emulator.cpp.o" "gcc" "src/core/CMakeFiles/vmcw_core.dir/emulator.cpp.o.d"
+  "/root/repo/src/core/evacuation.cpp" "src/core/CMakeFiles/vmcw_core.dir/evacuation.cpp.o" "gcc" "src/core/CMakeFiles/vmcw_core.dir/evacuation.cpp.o.d"
+  "/root/repo/src/core/host_pool.cpp" "src/core/CMakeFiles/vmcw_core.dir/host_pool.cpp.o" "gcc" "src/core/CMakeFiles/vmcw_core.dir/host_pool.cpp.o.d"
+  "/root/repo/src/core/hybrid.cpp" "src/core/CMakeFiles/vmcw_core.dir/hybrid.cpp.o" "gcc" "src/core/CMakeFiles/vmcw_core.dir/hybrid.cpp.o.d"
+  "/root/repo/src/core/migration_scheduler.cpp" "src/core/CMakeFiles/vmcw_core.dir/migration_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/vmcw_core.dir/migration_scheduler.cpp.o.d"
+  "/root/repo/src/core/pcp.cpp" "src/core/CMakeFiles/vmcw_core.dir/pcp.cpp.o" "gcc" "src/core/CMakeFiles/vmcw_core.dir/pcp.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/core/CMakeFiles/vmcw_core.dir/placement.cpp.o" "gcc" "src/core/CMakeFiles/vmcw_core.dir/placement.cpp.o.d"
+  "/root/repo/src/core/planners.cpp" "src/core/CMakeFiles/vmcw_core.dir/planners.cpp.o" "gcc" "src/core/CMakeFiles/vmcw_core.dir/planners.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/core/CMakeFiles/vmcw_core.dir/predictor.cpp.o" "gcc" "src/core/CMakeFiles/vmcw_core.dir/predictor.cpp.o.d"
+  "/root/repo/src/core/study.cpp" "src/core/CMakeFiles/vmcw_core.dir/study.cpp.o" "gcc" "src/core/CMakeFiles/vmcw_core.dir/study.cpp.o.d"
+  "/root/repo/src/core/vm.cpp" "src/core/CMakeFiles/vmcw_core.dir/vm.cpp.o" "gcc" "src/core/CMakeFiles/vmcw_core.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/vmcw_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/vmcw_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/migration/CMakeFiles/vmcw_migration.dir/DependInfo.cmake"
+  "/root/repo/build/src/hardware/CMakeFiles/vmcw_hardware.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vmcw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmcw_core.dir/binpack.cpp.o"
+  "CMakeFiles/vmcw_core.dir/binpack.cpp.o.d"
+  "CMakeFiles/vmcw_core.dir/constraints.cpp.o"
+  "CMakeFiles/vmcw_core.dir/constraints.cpp.o.d"
+  "CMakeFiles/vmcw_core.dir/dynamic.cpp.o"
+  "CMakeFiles/vmcw_core.dir/dynamic.cpp.o.d"
+  "CMakeFiles/vmcw_core.dir/emulator.cpp.o"
+  "CMakeFiles/vmcw_core.dir/emulator.cpp.o.d"
+  "CMakeFiles/vmcw_core.dir/evacuation.cpp.o"
+  "CMakeFiles/vmcw_core.dir/evacuation.cpp.o.d"
+  "CMakeFiles/vmcw_core.dir/host_pool.cpp.o"
+  "CMakeFiles/vmcw_core.dir/host_pool.cpp.o.d"
+  "CMakeFiles/vmcw_core.dir/hybrid.cpp.o"
+  "CMakeFiles/vmcw_core.dir/hybrid.cpp.o.d"
+  "CMakeFiles/vmcw_core.dir/migration_scheduler.cpp.o"
+  "CMakeFiles/vmcw_core.dir/migration_scheduler.cpp.o.d"
+  "CMakeFiles/vmcw_core.dir/pcp.cpp.o"
+  "CMakeFiles/vmcw_core.dir/pcp.cpp.o.d"
+  "CMakeFiles/vmcw_core.dir/placement.cpp.o"
+  "CMakeFiles/vmcw_core.dir/placement.cpp.o.d"
+  "CMakeFiles/vmcw_core.dir/planners.cpp.o"
+  "CMakeFiles/vmcw_core.dir/planners.cpp.o.d"
+  "CMakeFiles/vmcw_core.dir/predictor.cpp.o"
+  "CMakeFiles/vmcw_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/vmcw_core.dir/study.cpp.o"
+  "CMakeFiles/vmcw_core.dir/study.cpp.o.d"
+  "CMakeFiles/vmcw_core.dir/vm.cpp.o"
+  "CMakeFiles/vmcw_core.dir/vm.cpp.o.d"
+  "libvmcw_core.a"
+  "libvmcw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmcw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvmcw_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmcw_engine.dir/engine.cpp.o"
+  "CMakeFiles/vmcw_engine.dir/engine.cpp.o.d"
+  "libvmcw_engine.a"
+  "libvmcw_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmcw_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hardware/catalog.cpp" "src/hardware/CMakeFiles/vmcw_hardware.dir/catalog.cpp.o" "gcc" "src/hardware/CMakeFiles/vmcw_hardware.dir/catalog.cpp.o.d"
+  "/root/repo/src/hardware/cost_model.cpp" "src/hardware/CMakeFiles/vmcw_hardware.dir/cost_model.cpp.o" "gcc" "src/hardware/CMakeFiles/vmcw_hardware.dir/cost_model.cpp.o.d"
+  "/root/repo/src/hardware/power_model.cpp" "src/hardware/CMakeFiles/vmcw_hardware.dir/power_model.cpp.o" "gcc" "src/hardware/CMakeFiles/vmcw_hardware.dir/power_model.cpp.o.d"
+  "/root/repo/src/hardware/server_spec.cpp" "src/hardware/CMakeFiles/vmcw_hardware.dir/server_spec.cpp.o" "gcc" "src/hardware/CMakeFiles/vmcw_hardware.dir/server_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vmcw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

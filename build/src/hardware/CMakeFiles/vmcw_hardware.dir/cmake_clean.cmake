@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmcw_hardware.dir/catalog.cpp.o"
+  "CMakeFiles/vmcw_hardware.dir/catalog.cpp.o.d"
+  "CMakeFiles/vmcw_hardware.dir/cost_model.cpp.o"
+  "CMakeFiles/vmcw_hardware.dir/cost_model.cpp.o.d"
+  "CMakeFiles/vmcw_hardware.dir/power_model.cpp.o"
+  "CMakeFiles/vmcw_hardware.dir/power_model.cpp.o.d"
+  "CMakeFiles/vmcw_hardware.dir/server_spec.cpp.o"
+  "CMakeFiles/vmcw_hardware.dir/server_spec.cpp.o.d"
+  "libvmcw_hardware.a"
+  "libvmcw_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmcw_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

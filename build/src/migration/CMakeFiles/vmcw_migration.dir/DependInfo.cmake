@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/migration/precopy.cpp" "src/migration/CMakeFiles/vmcw_migration.dir/precopy.cpp.o" "gcc" "src/migration/CMakeFiles/vmcw_migration.dir/precopy.cpp.o.d"
+  "/root/repo/src/migration/reservation_study.cpp" "src/migration/CMakeFiles/vmcw_migration.dir/reservation_study.cpp.o" "gcc" "src/migration/CMakeFiles/vmcw_migration.dir/reservation_study.cpp.o.d"
+  "/root/repo/src/migration/technology.cpp" "src/migration/CMakeFiles/vmcw_migration.dir/technology.cpp.o" "gcc" "src/migration/CMakeFiles/vmcw_migration.dir/technology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vmcw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hardware/CMakeFiles/vmcw_hardware.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmcw_migration.dir/precopy.cpp.o"
+  "CMakeFiles/vmcw_migration.dir/precopy.cpp.o.d"
+  "CMakeFiles/vmcw_migration.dir/reservation_study.cpp.o"
+  "CMakeFiles/vmcw_migration.dir/reservation_study.cpp.o.d"
+  "CMakeFiles/vmcw_migration.dir/technology.cpp.o"
+  "CMakeFiles/vmcw_migration.dir/technology.cpp.o.d"
+  "libvmcw_migration.a"
+  "libvmcw_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmcw_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitoring/agent.cpp" "src/monitoring/CMakeFiles/vmcw_monitoring.dir/agent.cpp.o" "gcc" "src/monitoring/CMakeFiles/vmcw_monitoring.dir/agent.cpp.o.d"
+  "/root/repo/src/monitoring/pipeline.cpp" "src/monitoring/CMakeFiles/vmcw_monitoring.dir/pipeline.cpp.o" "gcc" "src/monitoring/CMakeFiles/vmcw_monitoring.dir/pipeline.cpp.o.d"
+  "/root/repo/src/monitoring/warehouse.cpp" "src/monitoring/CMakeFiles/vmcw_monitoring.dir/warehouse.cpp.o" "gcc" "src/monitoring/CMakeFiles/vmcw_monitoring.dir/warehouse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/vmcw_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vmcw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hardware/CMakeFiles/vmcw_hardware.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmcw_monitoring.dir/agent.cpp.o"
+  "CMakeFiles/vmcw_monitoring.dir/agent.cpp.o.d"
+  "CMakeFiles/vmcw_monitoring.dir/pipeline.cpp.o"
+  "CMakeFiles/vmcw_monitoring.dir/pipeline.cpp.o.d"
+  "CMakeFiles/vmcw_monitoring.dir/warehouse.cpp.o"
+  "CMakeFiles/vmcw_monitoring.dir/warehouse.cpp.o.d"
+  "libvmcw_monitoring.a"
+  "libvmcw_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmcw_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmcw_report.dir/report.cpp.o"
+  "CMakeFiles/vmcw_report.dir/report.cpp.o.d"
+  "libvmcw_report.a"
+  "libvmcw_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmcw_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/app_model.cpp" "src/trace/CMakeFiles/vmcw_trace.dir/app_model.cpp.o" "gcc" "src/trace/CMakeFiles/vmcw_trace.dir/app_model.cpp.o.d"
+  "/root/repo/src/trace/generator.cpp" "src/trace/CMakeFiles/vmcw_trace.dir/generator.cpp.o" "gcc" "src/trace/CMakeFiles/vmcw_trace.dir/generator.cpp.o.d"
+  "/root/repo/src/trace/patterns.cpp" "src/trace/CMakeFiles/vmcw_trace.dir/patterns.cpp.o" "gcc" "src/trace/CMakeFiles/vmcw_trace.dir/patterns.cpp.o.d"
+  "/root/repo/src/trace/presets.cpp" "src/trace/CMakeFiles/vmcw_trace.dir/presets.cpp.o" "gcc" "src/trace/CMakeFiles/vmcw_trace.dir/presets.cpp.o.d"
+  "/root/repo/src/trace/server_trace.cpp" "src/trace/CMakeFiles/vmcw_trace.dir/server_trace.cpp.o" "gcc" "src/trace/CMakeFiles/vmcw_trace.dir/server_trace.cpp.o.d"
+  "/root/repo/src/trace/time_series.cpp" "src/trace/CMakeFiles/vmcw_trace.dir/time_series.cpp.o" "gcc" "src/trace/CMakeFiles/vmcw_trace.dir/time_series.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/vmcw_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/vmcw_trace.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vmcw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hardware/CMakeFiles/vmcw_hardware.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmcw_trace.dir/app_model.cpp.o"
+  "CMakeFiles/vmcw_trace.dir/app_model.cpp.o.d"
+  "CMakeFiles/vmcw_trace.dir/generator.cpp.o"
+  "CMakeFiles/vmcw_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/vmcw_trace.dir/patterns.cpp.o"
+  "CMakeFiles/vmcw_trace.dir/patterns.cpp.o.d"
+  "CMakeFiles/vmcw_trace.dir/presets.cpp.o"
+  "CMakeFiles/vmcw_trace.dir/presets.cpp.o.d"
+  "CMakeFiles/vmcw_trace.dir/server_trace.cpp.o"
+  "CMakeFiles/vmcw_trace.dir/server_trace.cpp.o.d"
+  "CMakeFiles/vmcw_trace.dir/time_series.cpp.o"
+  "CMakeFiles/vmcw_trace.dir/time_series.cpp.o.d"
+  "CMakeFiles/vmcw_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/vmcw_trace.dir/trace_io.cpp.o.d"
+  "libvmcw_trace.a"
+  "libvmcw_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmcw_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

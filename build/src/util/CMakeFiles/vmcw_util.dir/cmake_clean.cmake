@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmcw_util.dir/cdf.cpp.o"
+  "CMakeFiles/vmcw_util.dir/cdf.cpp.o.d"
+  "CMakeFiles/vmcw_util.dir/distributions.cpp.o"
+  "CMakeFiles/vmcw_util.dir/distributions.cpp.o.d"
+  "CMakeFiles/vmcw_util.dir/rng.cpp.o"
+  "CMakeFiles/vmcw_util.dir/rng.cpp.o.d"
+  "CMakeFiles/vmcw_util.dir/stats.cpp.o"
+  "CMakeFiles/vmcw_util.dir/stats.cpp.o.d"
+  "CMakeFiles/vmcw_util.dir/table.cpp.o"
+  "CMakeFiles/vmcw_util.dir/table.cpp.o.d"
+  "libvmcw_util.a"
+  "libvmcw_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmcw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

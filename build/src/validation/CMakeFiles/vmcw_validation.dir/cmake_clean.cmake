@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmcw_validation.dir/replay.cpp.o"
+  "CMakeFiles/vmcw_validation.dir/replay.cpp.o.d"
+  "CMakeFiles/vmcw_validation.dir/synthetic_apps.cpp.o"
+  "CMakeFiles/vmcw_validation.dir/synthetic_apps.cpp.o.d"
+  "libvmcw_validation.a"
+  "libvmcw_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmcw_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

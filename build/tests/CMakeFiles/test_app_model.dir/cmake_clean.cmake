@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_app_model.dir/test_app_model.cpp.o"
+  "CMakeFiles/test_app_model.dir/test_app_model.cpp.o.d"
+  "test_app_model"
+  "test_app_model.pdb"
+  "test_app_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_app_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_binpack.dir/test_binpack.cpp.o"
+  "CMakeFiles/test_binpack.dir/test_binpack.cpp.o.d"
+  "test_binpack"
+  "test_binpack.pdb"
+  "test_binpack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_binpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evacuation.dir/test_evacuation.cpp.o"
+  "CMakeFiles/test_evacuation.dir/test_evacuation.cpp.o.d"
+  "test_evacuation"
+  "test_evacuation.pdb"
+  "test_evacuation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evacuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host_pool.dir/test_host_pool.cpp.o"
+  "CMakeFiles/test_host_pool.dir/test_host_pool.cpp.o.d"
+  "test_host_pool"
+  "test_host_pool.pdb"
+  "test_host_pool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_migration_scheduler.dir/test_migration_scheduler.cpp.o"
+  "CMakeFiles/test_migration_scheduler.dir/test_migration_scheduler.cpp.o.d"
+  "test_migration_scheduler"
+  "test_migration_scheduler.pdb"
+  "test_migration_scheduler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_migration_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

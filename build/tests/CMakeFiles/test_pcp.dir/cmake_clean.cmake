@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcp.dir/test_pcp.cpp.o"
+  "CMakeFiles/test_pcp.dir/test_pcp.cpp.o.d"
+  "test_pcp"
+  "test_pcp.pdb"
+  "test_pcp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

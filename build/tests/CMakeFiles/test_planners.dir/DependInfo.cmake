@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_planners.cpp" "tests/CMakeFiles/test_planners.dir/test_planners.cpp.o" "gcc" "tests/CMakeFiles/test_planners.dir/test_planners.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vmcw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/vmcw_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vmcw_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/migration/CMakeFiles/vmcw_migration.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitoring/CMakeFiles/vmcw_monitoring.dir/DependInfo.cmake"
+  "/root/repo/build/src/validation/CMakeFiles/vmcw_validation.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/vmcw_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/vmcw_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/hardware/CMakeFiles/vmcw_hardware.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vmcw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

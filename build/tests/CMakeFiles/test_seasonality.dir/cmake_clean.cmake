@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seasonality.dir/test_seasonality.cpp.o"
+  "CMakeFiles/test_seasonality.dir/test_seasonality.cpp.o.d"
+  "test_seasonality"
+  "test_seasonality.pdb"
+  "test_seasonality[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seasonality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_study_presets.dir/test_study_presets.cpp.o"
+  "CMakeFiles/test_study_presets.dir/test_study_presets.cpp.o.d"
+  "test_study_presets"
+  "test_study_presets.pdb"
+  "test_study_presets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_study_presets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
