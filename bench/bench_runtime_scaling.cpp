@@ -1,0 +1,88 @@
+// Runtime scaling — wall-clock of the paper's evaluation grid at 1..N
+// threads, plus a byte-level determinism check: the sweep must produce
+// identical results at every thread count (the runtime's contract).
+//
+// Grid: 4 workload classes x 3 strategies, one cell each — the shape of
+// the Fig 7-12 suite. argv[1] scales servers per estate (default 48),
+// argv[2] caps the thread counts tried (default VMCW_THREADS / hardware).
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common.h"
+#include "runtime/sweep.h"
+#include "runtime/thread_pool.h"
+
+using namespace vmcw;
+
+namespace {
+
+// The determinism-relevant bytes of one sweep result (wall times excluded).
+std::string fingerprint(const std::vector<SweepCellResult>& results) {
+  std::string fp;
+  char buffer[128];
+  for (const auto& r : results) {
+    std::snprintf(buffer, sizeof(buffer), "%zu|%s|%d|%d|%zu|%zu|%a|%zu;",
+                  r.index, r.workload.c_str(), static_cast<int>(r.strategy),
+                  r.planned ? 1 : 0, r.provisioned_hosts, r.total_migrations,
+                  r.report.energy_wh, r.report.total_vm_contention_hours);
+    fp += buffer;
+  }
+  return fp;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_header("Runtime scaling",
+                      "Sweep wall-clock vs thread count (+ determinism)");
+  const int servers = argc > 1 ? std::atoi(argv[1]) : 48;
+  const std::size_t max_threads = argc > 2
+                                      ? static_cast<std::size_t>(
+                                            std::atoll(argv[2]))
+                                      : ThreadPool::default_concurrency();
+
+  std::vector<WorkloadSpec> specs;
+  for (const auto& preset : all_workload_specs())
+    specs.push_back(scaled_down(preset, servers, preset.hours));
+  const StudySettings settings[] = {bench::baseline_settings()};
+  const Strategy strategies[] = {Strategy::kSemiStatic, Strategy::kStochastic,
+                                 Strategy::kDynamic};
+  const std::uint64_t seeds[] = {kStudySeed};
+  const auto cells = SweepDriver::grid(specs, settings, strategies, seeds);
+  std::printf("grid: %zu cells (%d servers per estate)\n\n", cells.size(),
+              servers);
+
+  std::vector<std::size_t> thread_counts{1};
+  for (std::size_t t = 2; t <= max_threads; t *= 2) thread_counts.push_back(t);
+  if (thread_counts.back() != max_threads && max_threads > 1)
+    thread_counts.push_back(max_threads);
+
+  TextTable table({"threads", "wall s", "speedup", "identical"});
+  std::string reference;
+  double serial_seconds = 0;
+  for (const std::size_t threads : thread_counts) {
+    ThreadPool pool(threads);
+    ScopedPoolOverride scope(pool);  // nested phases share the pool
+    Stopwatch watch("bench.sweep_seconds");
+    const auto results = SweepDriver(&pool).run(cells);
+    const double seconds = watch.stop();
+    const std::string fp = fingerprint(results);
+    if (reference.empty()) {
+      reference = fp;
+      serial_seconds = seconds;
+    }
+    table.add_row({std::to_string(threads), fmt(seconds, 2),
+                   fmt(serial_seconds / seconds, 2),
+                   fp == reference ? "yes" : "NO"});
+    if (fp != reference) {
+      std::printf("DETERMINISM VIOLATION at %zu threads\n", threads);
+      return 1;
+    }
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf("\nresults byte-identical at every thread count; telemetry in "
+              "telemetry_runtime_scaling.json\n");
+  return 0;
+}

@@ -5,13 +5,17 @@
 // paper's figures all describe the same four data centers.
 #pragma once
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "analysis/burstiness.h"
 #include "core/study.h"
+#include "runtime/telemetry.h"
+#include "runtime/thread_pool.h"
 #include "trace/generator.h"
 #include "trace/presets.h"
 #include "util/cdf.h"
@@ -20,35 +24,71 @@
 namespace vmcw::bench {
 
 /// Generate all four data centers at full Table 2 scale (or a scale
-/// override from the command line: argv[1] = servers per DC).
+/// override from the command line: argv[1] = servers per DC). Fleets are
+/// generated across the thread pool; each is seeded independently from
+/// kStudySeed, so the output is identical at any VMCW_THREADS.
 inline std::vector<Datacenter> make_fleets(int argc, char** argv) {
+  Stopwatch span("bench.make_fleets_seconds");
   const int servers = argc > 1 ? std::atoi(argv[1]) : 0;
-  std::vector<Datacenter> fleets;
-  for (const auto& preset : all_workload_specs()) {
-    const WorkloadSpec spec =
-        servers > 0 ? scaled_down(preset, servers, preset.hours) : preset;
-    fleets.push_back(generate_datacenter(spec, kStudySeed));
-  }
+  const auto presets = all_workload_specs();
+  std::vector<Datacenter> fleets(presets.size());
+  parallel_for(0, presets.size(), [&](std::size_t i) {
+    const WorkloadSpec spec = servers > 0
+                                  ? scaled_down(presets[i], servers,
+                                                presets[i].hours)
+                                  : presets[i];
+    fleets[i] = generate_datacenter(spec, kStudySeed);
+  });
   return fleets;
 }
 
 /// Baseline Table 3 settings.
 inline StudySettings baseline_settings() { return StudySettings{}; }
 
-/// Run the three-way study for every fleet with baseline settings.
+/// Run the three-way study for every fleet with baseline settings — one
+/// sweep cell per fleet across the pool, each writing its own slot.
 inline std::vector<StudyResult> run_all_studies(
     const std::vector<Datacenter>& fleets) {
-  std::vector<StudyResult> studies;
-  studies.reserve(fleets.size());
-  for (const auto& dc : fleets)
-    studies.push_back(run_study(dc, baseline_settings()));
+  Stopwatch span("bench.studies_seconds");
+  std::vector<StudyResult> studies(fleets.size());
+  parallel_for(
+      0, fleets.size(),
+      [&](std::size_t i) { studies[i] = run_study(fleets[i], baseline_settings()); },
+      /*pool=*/nullptr, /*grain=*/1);
   return studies;
 }
+
+namespace detail {
+
+inline std::string& telemetry_path() {
+  static std::string path;
+  return path;
+}
+
+inline void dump_telemetry() {
+  if (!telemetry_path().empty())
+    MetricsRegistry::global().dump_json(telemetry_path());
+}
+
+}  // namespace detail
 
 inline void print_header(const char* figure, const char* caption) {
   std::printf("==============================================================\n");
   std::printf("%s — %s\n", figure, caption);
   std::printf("==============================================================\n");
+  // Dump per-phase telemetry as JSON next to this bench's output when the
+  // process exits (sidecar only — tables on stdout stay byte-identical at
+  // any thread count). Disable with VMCW_TELEMETRY=0.
+  const char* env = std::getenv("VMCW_TELEMETRY");
+  if (env && env[0] == '0') return;
+  std::string slug;
+  for (const char* c = figure; *c; ++c)
+    slug += std::isalnum(static_cast<unsigned char>(*c))
+                ? static_cast<char>(std::tolower(static_cast<unsigned char>(*c)))
+                : '_';
+  const bool fresh = detail::telemetry_path().empty();
+  detail::telemetry_path() = "telemetry_" + slug + ".json";
+  if (fresh) std::atexit(&detail::dump_telemetry);
 }
 
 /// "(a) Banking"-style label as the paper's sub-figures use.

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
+
+#include "runtime/telemetry.h"
 
 namespace vmcw {
 
@@ -17,6 +20,7 @@ EmulationReport emulate(std::span<const VmWorkload> vms,
                         std::span<const Placement> schedule,
                         const StudySettings& settings,
                         bool power_off_empty_hosts, const HostPool& pool) {
+  Stopwatch span("emulate.wall_seconds");
   EmulationReport report;
   report.eval_hours = settings.eval_hours;
   report.intervals = settings.intervals();
@@ -52,22 +56,40 @@ EmulationReport emulate(std::span<const VmWorkload> vms,
 
   report.active_hosts_per_interval.reserve(report.intervals);
 
+  // Placement-derived state, rebuilt only when the schedule switches to a
+  // different placement (for static plans: once for the whole window).
+  // `placed` compacts the vm -> host map to the placed VMs so the hourly
+  // demand and contention loops touch no unplaced entries and carry no
+  // per-VM branch.
+  const Placement* current = nullptr;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> placed;  // (vm, host)
+  std::size_t active = 0;
+  std::uint64_t vm_hours = 0;
+
   for (std::size_t k = 0; k < report.intervals; ++k) {
     const Placement& placement =
         schedule.size() == 1 ? schedule[0]
                              : schedule[std::min(k, schedule.size() - 1)];
-    // A host is active this interval iff it has at least one VM.
-    std::fill(host_active.begin(), host_active.end(), false);
-    for (std::size_t vm = 0; vm < placement.vm_count(); ++vm)
-      if (placement.is_placed(vm))
-        host_active[static_cast<std::size_t>(placement.host_of(vm))] = true;
-    std::size_t active = 0;
-    for (std::size_t h = 0; h < host_bound; ++h) {
-      if (host_active[h]) {
-        ++active;
-        host_ever_used[h] = true;
+    if (&placement != current) {
+      current = &placement;
+      placed.clear();
+      std::fill(host_active.begin(), host_active.end(), false);
+      active = 0;
+      const std::size_t vm_bound = std::min(placement.vm_count(), vms.size());
+      for (std::size_t vm = 0; vm < placement.vm_count(); ++vm) {
+        if (!placement.is_placed(vm)) continue;
+        const auto h = static_cast<std::size_t>(placement.host_of(vm));
+        if (vm < vm_bound)
+          placed.emplace_back(static_cast<std::uint32_t>(vm),
+                              static_cast<std::uint32_t>(h));
+        if (!host_active[h]) {
+          host_active[h] = true;
+          ++active;
+        }
       }
     }
+    for (std::size_t h = 0; h < host_bound; ++h)
+      if (host_active[h]) host_ever_used[h] = true;
     report.active_hosts_per_interval.push_back(active);
     report.provisioned_hosts = std::max(report.provisioned_hosts, active);
 
@@ -77,14 +99,12 @@ EmulationReport emulate(std::span<const VmWorkload> vms,
       const std::size_t hour = interval_begin + dt;
       std::fill(cpu_demand.begin(), cpu_demand.end(), 0.0);
       std::fill(mem_demand.begin(), mem_demand.end(), 0.0);
-      for (std::size_t vm = 0; vm < placement.vm_count() && vm < vms.size();
-           ++vm) {
-        if (!placement.is_placed(vm)) continue;
-        const auto h = static_cast<std::size_t>(placement.host_of(vm));
+      for (const auto& [vm, h] : placed) {
         const ResourceVector d = vms[vm].demand_at(hour);
         cpu_demand[h] += d.cpu_rpe2;
         mem_demand[h] += d.memory_mb;
       }
+      vm_hours += placed.size();
 
       bool any_contention = false;
       std::fill(host_contended.begin(), host_contended.end(), false);
@@ -114,10 +134,7 @@ EmulationReport emulate(std::span<const VmWorkload> vms,
       if (any_contention) {
         ++report.hours_with_contention;
         // Every VM sharing a contended host is SLA-exposed for this hour.
-        for (std::size_t vm = 0; vm < placement.vm_count() && vm < vms.size();
-             ++vm) {
-          if (!placement.is_placed(vm)) continue;
-          const auto h = static_cast<std::size_t>(placement.host_of(vm));
+        for (const auto& [vm, h] : placed) {
           if (host_contended[h]) {
             ++report.vm_contention_hours[vm];
             ++report.total_vm_contention_hours;
@@ -135,6 +152,10 @@ EmulationReport emulate(std::span<const VmWorkload> vms,
             : 0.0);
     report.host_peak_cpu_util.push_back(host_peak_util[h]);
   }
+
+  MetricsRegistry::global().add_counter("emulate.runs");
+  MetricsRegistry::global().add_counter("emulate.intervals", report.intervals);
+  MetricsRegistry::global().add_counter("emulate.vm_hours", vm_hours);
   return report;
 }
 

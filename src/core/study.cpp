@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "runtime/telemetry.h"
+#include "runtime/thread_pool.h"
+
 namespace vmcw {
 
 const char* to_string(Algorithm a) noexcept {
@@ -58,34 +61,56 @@ StudyResult run_study(std::string workload_name,
                       const StudySettings& settings,
                       const ConstraintSet& constraints,
                       const CostModel& costs) {
+  Stopwatch span("study.wall_seconds");
   StudyResult study;
   study.workload = std::move(workload_name);
   study.settings = settings;
 
-  auto semi = plan_semi_static(vms, settings, constraints);
-  if (!semi) throw std::runtime_error("semi-static planning failed");
-  study.results.push_back(evaluate_static(Algorithm::kSemiStatic, *semi, vms,
-                                          settings, costs));
+  // The three algorithms plan and replay independently; fan them out as a
+  // task group and collect into fixed slots so the result order (and every
+  // byte of it) is identical at any thread count. Each task packs against
+  // its own copy of the constraints: ConstraintSet path-compresses its
+  // union-find under const, so sharing one across threads would race.
+  AlgorithmResult semi_result;
+  AlgorithmResult stochastic_result;
+  AlgorithmResult dynamic_result;
+  TaskGroup group;
+  group.run([&, constraints] {
+    Stopwatch plan_span("study.semi_static_seconds");
+    auto semi = plan_semi_static(vms, settings, constraints);
+    if (!semi) throw std::runtime_error("semi-static planning failed");
+    semi_result =
+        evaluate_static(Algorithm::kSemiStatic, *semi, vms, settings, costs);
+  });
+  group.run([&, constraints] {
+    Stopwatch plan_span("study.stochastic_seconds");
+    auto stochastic = plan_stochastic(vms, settings, constraints);
+    if (!stochastic) throw std::runtime_error("stochastic planning failed");
+    stochastic_result = evaluate_static(Algorithm::kStochastic, *stochastic,
+                                        vms, settings, costs);
+  });
+  group.run([&, constraints] {
+    Stopwatch plan_span("study.dynamic_seconds");
+    auto dynamic = plan_dynamic(vms, settings, constraints);
+    if (!dynamic) throw std::runtime_error("dynamic planning failed");
+    AlgorithmResult dyn;
+    dyn.algorithm = Algorithm::kDynamic;
+    dyn.emulation = emulate(vms, dynamic->per_interval, settings,
+                            /*power_off_empty_hosts=*/true);
+    dyn.provisioned_hosts = dynamic->max_active_hosts;
+    dyn.space_cost = costs.space_hardware_cost(
+        settings.target, dyn.provisioned_hosts,
+        static_cast<double>(settings.eval_hours) / 24.0);
+    dyn.power_cost = costs.power_cost(dyn.emulation.energy_wh);
+    dyn.migrations_per_interval = std::move(dynamic->migrations);
+    dyn.total_migrations = dynamic->total_migrations;
+    dynamic_result = std::move(dyn);
+  });
+  group.wait();
 
-  auto stochastic = plan_stochastic(vms, settings, constraints);
-  if (!stochastic) throw std::runtime_error("stochastic planning failed");
-  study.results.push_back(evaluate_static(Algorithm::kStochastic, *stochastic,
-                                          vms, settings, costs));
-
-  auto dynamic = plan_dynamic(vms, settings, constraints);
-  if (!dynamic) throw std::runtime_error("dynamic planning failed");
-  AlgorithmResult dyn;
-  dyn.algorithm = Algorithm::kDynamic;
-  dyn.emulation = emulate(vms, dynamic->per_interval, settings,
-                          /*power_off_empty_hosts=*/true);
-  dyn.provisioned_hosts = dynamic->max_active_hosts;
-  dyn.space_cost = costs.space_hardware_cost(
-      settings.target, dyn.provisioned_hosts,
-      static_cast<double>(settings.eval_hours) / 24.0);
-  dyn.power_cost = costs.power_cost(dyn.emulation.energy_wh);
-  dyn.migrations_per_interval = std::move(dynamic->migrations);
-  dyn.total_migrations = dynamic->total_migrations;
-  study.results.push_back(std::move(dyn));
+  study.results.push_back(std::move(semi_result));
+  study.results.push_back(std::move(stochastic_result));
+  study.results.push_back(std::move(dynamic_result));
   return study;
 }
 
@@ -99,26 +124,40 @@ StudyResult run_study(const Datacenter& dc, const StudySettings& settings,
 SensitivityResult sensitivity_sweep(
     const Datacenter& dc, const StudySettings& base_settings,
     std::span<const double> utilization_bounds) {
+  Stopwatch span("sensitivity.wall_seconds");
   SensitivityResult result;
   result.workload = dc.industry;
   const auto vms = to_vm_workloads(dc);
 
-  auto semi = plan_semi_static(vms, base_settings);
-  auto stochastic = plan_stochastic(vms, base_settings);
+  // The reference plans and every utilization-bound point are independent
+  // cells of one grid: run them all on the pool, each writing its own slot.
+  std::optional<StaticPlan> semi;
+  std::optional<StaticPlan> stochastic;
+  std::vector<std::size_t> dynamic_hosts(utilization_bounds.size(), 0);
+  TaskGroup group;
+  group.run([&] { semi = plan_semi_static(vms, base_settings); });
+  group.run([&] { stochastic = plan_stochastic(vms, base_settings); });
+  for (std::size_t i = 0; i < utilization_bounds.size(); ++i) {
+    group.run([&, i] {
+      StudySettings settings = base_settings;
+      settings.dynamic_utilization_bound = utilization_bounds[i];
+      auto dynamic = plan_dynamic(vms, settings);
+      if (!dynamic)
+        throw std::runtime_error(
+            "dynamic planning failed in sensitivity sweep");
+      dynamic_hosts[i] = dynamic->max_active_hosts;
+    });
+  }
+  group.wait();
+
   if (!semi || !stochastic)
     throw std::runtime_error("static planning failed in sensitivity sweep");
   result.semi_static_hosts = semi->hosts_used;
   result.stochastic_hosts = stochastic->hosts_used;
-
-  for (double bound : utilization_bounds) {
-    StudySettings settings = base_settings;
-    settings.dynamic_utilization_bound = bound;
-    auto dynamic = plan_dynamic(vms, settings);
-    if (!dynamic)
-      throw std::runtime_error("dynamic planning failed in sensitivity sweep");
+  result.dynamic_points.reserve(utilization_bounds.size());
+  for (std::size_t i = 0; i < utilization_bounds.size(); ++i)
     result.dynamic_points.push_back(
-        SensitivityPoint{bound, dynamic->max_active_hosts});
-  }
+        SensitivityPoint{utilization_bounds[i], dynamic_hosts[i]});
   return result;
 }
 

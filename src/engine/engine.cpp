@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "runtime/telemetry.h"
+
 namespace vmcw {
 
 const char* to_string(Strategy strategy) noexcept {
@@ -24,7 +26,9 @@ ConsolidationEngine::ConsolidationEngine(Config config)
     : config_(std::move(config)) {}
 
 void ConsolidationEngine::observe(const Datacenter& estate) {
+  Stopwatch span("engine.observe_seconds");
   truth_ = estate;
+  // collect_datacenter fans the per-server agents across the thread pool.
   const auto warehouse =
       collect_datacenter(estate, config_.agent, config_.monitoring_seed);
   view_ = reconstruct_datacenter(estate, warehouse);
@@ -44,6 +48,8 @@ PipelineFidelity ConsolidationEngine::monitoring_fidelity() const {
 std::optional<ConsolidationEngine::Recommendation>
 ConsolidationEngine::recommend(Strategy strategy) const {
   if (!view_) throw std::logic_error("observe() an estate first");
+  Stopwatch span(std::string("engine.recommend_seconds.") +
+                 to_string(strategy));
   Recommendation rec;
   rec.strategy = strategy;
 
@@ -92,6 +98,7 @@ ConsolidationEngine::recommend(Strategy strategy) const {
 EmulationReport ConsolidationEngine::evaluate(
     const Recommendation& recommendation) const {
   if (!truth_) throw std::logic_error("observe() an estate first");
+  Stopwatch span("engine.evaluate_seconds");
   const auto truth_vms = to_vm_workloads(*truth_);
   const bool power_off = recommendation.strategy == Strategy::kDynamic ||
                          recommendation.strategy == Strategy::kHybrid;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/telemetry.h"
+#include "runtime/thread_pool.h"
 #include "util/stats.h"
 
 namespace vmcw {
@@ -10,12 +12,21 @@ namespace vmcw {
 DataWarehouse collect_datacenter(const Datacenter& truth,
                                  const AgentConfig& config,
                                  std::uint64_t seed) {
-  DataWarehouse warehouse;
-  Rng root(seed);
-  for (const auto& server : truth.servers) {
+  Stopwatch span("monitoring.collect_seconds");
+  // Agents are independent — each samples with its own stream keyed by the
+  // server id, so running them across the pool is bit-identical to the
+  // serial order. The warehouse is not concurrent; ingest stays serial and
+  // in estate order.
+  const Rng root(seed);
+  std::vector<std::vector<MetricSample>> sampled(truth.servers.size());
+  parallel_for(0, truth.servers.size(), [&](std::size_t i) {
+    const auto& server = truth.servers[i];
     MonitoringAgent agent(server, config, root.fork(server.id));
-    warehouse.ingest(server.id, agent.sample_all());
-  }
+    sampled[i] = agent.sample_all();
+  });
+  DataWarehouse warehouse;
+  for (std::size_t i = 0; i < truth.servers.size(); ++i)
+    warehouse.ingest(truth.servers[i].id, sampled[i]);
   return warehouse;
 }
 

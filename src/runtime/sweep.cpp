@@ -1,0 +1,69 @@
+#include "runtime/sweep.h"
+
+#include "runtime/telemetry.h"
+#include "util/rng.h"
+
+namespace vmcw {
+
+std::vector<SweepCell> SweepDriver::grid(
+    std::span<const WorkloadSpec> specs,
+    std::span<const StudySettings> settings,
+    std::span<const Strategy> strategies,
+    std::span<const std::uint64_t> seeds) {
+  std::vector<SweepCell> cells;
+  cells.reserve(specs.size() * settings.size() * strategies.size() *
+                seeds.size());
+  for (const auto& spec : specs)
+    for (const auto& s : settings)
+      for (const auto strategy : strategies)
+        for (const auto seed : seeds)
+          cells.push_back(SweepCell{spec, s, strategy, seed});
+  return cells;
+}
+
+std::vector<SweepCellResult> SweepDriver::run(
+    std::span<const SweepCell> cells) const {
+  std::vector<SweepCellResult> results(cells.size());
+  Stopwatch sweep_span("sweep.wall_seconds");
+  MetricsRegistry::global().add_counter("sweep.cells", cells.size());
+  parallel_for(
+      0, cells.size(),
+      [&](std::size_t i) {
+        Stopwatch cell_span("sweep.cell_seconds");
+        const SweepCell& cell = cells[i];
+        SweepCellResult& out = results[i];
+        out.index = i;
+        out.strategy = cell.strategy;
+        out.seed = cell.seed;
+
+        // Every stream this cell consumes is a keyed fork of the cell
+        // seed: independent of sibling cells and of scheduling order.
+        const Rng root(cell.seed);
+        const Datacenter estate =
+            generate_datacenter(cell.spec, root.fork("estate")());
+        out.workload = estate.industry;
+
+        ConsolidationEngine::Config config;
+        config.settings = cell.settings;
+        config.monitoring_seed = root.fork("monitoring")();
+        ConsolidationEngine engine(std::move(config));
+        engine.observe(estate);
+
+        const auto recommendation = engine.recommend(cell.strategy);
+        if (!recommendation) {
+          MetricsRegistry::global().add_counter("sweep.cells_failed");
+          out.wall_seconds = cell_span.stop();
+          return;
+        }
+        out.planned = true;
+        out.provisioned_hosts = recommendation->provisioned_hosts;
+        out.total_migrations = recommendation->total_migrations;
+        out.report = engine.evaluate(*recommendation);
+        MetricsRegistry::global().add_counter("sweep.cells_done");
+        out.wall_seconds = cell_span.stop();
+      },
+      pool_, /*grain=*/1);
+  return results;
+}
+
+}  // namespace vmcw

@@ -1,0 +1,71 @@
+// SweepDriver: fan a grid of independent experiment cells across the
+// thread pool.
+//
+// The paper's evaluation is a grid — figures x workload classes x
+// strategies — where every cell is one self-contained (estate, settings,
+// strategy, seed) run. The driver executes cells in any order on any
+// number of threads and still produces bit-identical results, because each
+// cell derives every RNG stream it needs (estate generation, monitoring
+// noise) from its *own* seed via util/rng.h keyed forks and writes into
+// its own result slot. Nothing mutable is shared between cells.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/emulator.h"
+#include "core/settings.h"
+#include "engine/engine.h"
+#include "runtime/thread_pool.h"
+#include "trace/generator.h"
+
+namespace vmcw {
+
+/// One independent experiment: generate the estate from `spec` seeded by
+/// the cell, observe it through the monitoring pipeline, plan with
+/// `strategy`, and replay the ground truth against the plan.
+struct SweepCell {
+  WorkloadSpec spec;
+  StudySettings settings;
+  Strategy strategy = Strategy::kSemiStatic;
+  std::uint64_t seed = 0;
+};
+
+struct SweepCellResult {
+  std::size_t index = 0;  ///< position in the submitted grid
+  std::string workload;
+  Strategy strategy = Strategy::kSemiStatic;
+  std::uint64_t seed = 0;
+  bool planned = false;  ///< false when the planner failed on this cell
+  std::size_t provisioned_hosts = 0;
+  std::size_t total_migrations = 0;
+  EmulationReport report;  ///< default-constructed when !planned
+  /// Wall time of this cell — telemetry only, excluded from the
+  /// determinism contract.
+  double wall_seconds = 0;
+};
+
+class SweepDriver {
+ public:
+  /// pool == nullptr uses ThreadPool::global().
+  explicit SweepDriver(ThreadPool* pool = nullptr) : pool_(pool) {}
+
+  /// Cartesian grid in row-major order: specs x settings x strategies x
+  /// seeds.
+  static std::vector<SweepCell> grid(std::span<const WorkloadSpec> specs,
+                                     std::span<const StudySettings> settings,
+                                     std::span<const Strategy> strategies,
+                                     std::span<const std::uint64_t> seeds);
+
+  /// Run every cell across the pool. Results are indexed like `cells` and
+  /// bit-identical for any thread count. A cell whose planner fails is
+  /// reported with planned == false rather than aborting the sweep.
+  std::vector<SweepCellResult> run(std::span<const SweepCell> cells) const;
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace vmcw
