@@ -1,0 +1,182 @@
+#include "chaos/fault_plan.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/rng.h"
+
+namespace vmcw {
+
+namespace {
+
+/// Stateless mix of the plan seed with a fault coordinate: two splitmix64
+/// rounds over a linear combination. Pure, so the same (seed, vm, interval,
+/// salt) always yields the same draw — migration fault decisions need no
+/// precomputed table and no shared generator.
+double hashed_uniform(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                      std::uint64_t salt) noexcept {
+  std::uint64_t state = seed;
+  state += 0x9e3779b97f4a7c15ULL * (a + 1);
+  state += 0xbf58476d1ce4e5b9ULL * (b + 1);
+  state += 0x94d049bb133111ebULL * (salt + 1);
+  std::uint64_t x = splitmix64(state);
+  x = splitmix64(state);
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultSpec FaultSpec::at_intensity(double f) noexcept {
+  f = std::clamp(f, 0.0, 1.0);
+  FaultSpec spec;
+  spec.host_crashes_per_month = 2.0 * f;
+  spec.migration_failure_rate = 0.30 * f;
+  spec.migration_slowdown_rate = 0.30 * f;
+  spec.migration_slowdown_max = 4.0;
+  spec.monitoring_gap_rate = 0.25 * f;
+  return spec;
+}
+
+FaultPlan FaultPlan::generate(const FaultSpec& spec, std::size_t host_count,
+                              const StudySettings& settings,
+                              std::uint64_t seed) {
+  FaultPlan plan;
+  plan.spec_ = spec;
+  const Rng root(seed);
+  plan.migration_seed_ = root.fork("chaos/migrations")();
+  plan.hashed_migration_faults_ = true;
+
+  // Host outages: one keyed stream per host, so adding hosts never
+  // perturbs the outage schedule of the others.
+  const std::size_t begin = settings.eval_begin();
+  const std::size_t end = settings.eval_end();
+  const double crash_per_hour =
+      std::max(spec.host_crashes_per_month, 0.0) / 720.0;
+  const std::size_t reboot_min = std::max<std::size_t>(spec.reboot_hours_min, 1);
+  const std::size_t reboot_max = std::max(spec.reboot_hours_max, reboot_min);
+  if (crash_per_hour > 0.0) {
+    for (std::size_t h = 0; h < host_count; ++h) {
+      Rng rng = root.fork("chaos/host-" + std::to_string(h));
+      std::size_t hour = begin;
+      while (hour < end) {
+        if (!rng.bernoulli(crash_per_hour)) {
+          ++hour;
+          continue;
+        }
+        const auto outage_hours = static_cast<std::size_t>(rng.uniform_int(
+            static_cast<std::int64_t>(reboot_min),
+            static_cast<std::int64_t>(reboot_max)));
+        plan.outages_.push_back(HostOutage{h, hour, hour + outage_hours});
+        hour += outage_hours;  // a host cannot crash while already down
+      }
+    }
+    std::sort(plan.outages_.begin(), plan.outages_.end(),
+              [](const HostOutage& a, const HostOutage& b) {
+                return a.host != b.host ? a.host < b.host
+                                        : a.down_from < b.down_from;
+              });
+  }
+
+  // Monitoring gaps: one stream over the interval sequence.
+  plan.stale_.assign(settings.intervals(), 0);
+  if (spec.monitoring_gap_rate > 0.0) {
+    Rng rng = root.fork("chaos/monitoring");
+    const std::size_t gap_max =
+        std::max<std::size_t>(spec.monitoring_gap_max_intervals, 1);
+    std::size_t gap_left = 0;
+    for (std::size_t k = 0; k < plan.stale_.size(); ++k) {
+      if (gap_left > 0) {
+        plan.stale_[k] = 1;
+        --gap_left;
+        continue;
+      }
+      if (!rng.bernoulli(spec.monitoring_gap_rate)) continue;
+      plan.stale_[k] = 1;
+      gap_left = static_cast<std::size_t>(rng.uniform_int(
+                     1, static_cast<std::int64_t>(gap_max))) -
+                 1;
+    }
+  }
+  return plan;
+}
+
+bool FaultPlan::any() const noexcept {
+  return spec_.any() || !outages_.empty() || !forced_.empty() ||
+         stale_interval_count() > 0;
+}
+
+bool FaultPlan::host_down(std::size_t host, std::size_t hour) const noexcept {
+  for (const auto& o : outages_) {
+    if (o.host != host) continue;
+    if (hour >= o.down_from && hour < o.up_at) return true;
+  }
+  return false;
+}
+
+std::vector<HostOutage> FaultPlan::outages_starting_in(
+    std::size_t from_hour, std::size_t to_hour) const {
+  std::vector<HostOutage> hits;
+  for (const auto& o : outages_)
+    if (o.down_from >= from_hour && o.down_from < to_hour) hits.push_back(o);
+  std::sort(hits.begin(), hits.end(),
+            [](const HostOutage& a, const HostOutage& b) {
+              return a.down_from != b.down_from ? a.down_from < b.down_from
+                                                : a.host < b.host;
+            });
+  return hits;
+}
+
+void FaultPlan::add_outage(std::size_t host, std::size_t down_from,
+                           std::size_t up_at) {
+  outages_.push_back(HostOutage{host, down_from, up_at});
+  std::sort(outages_.begin(), outages_.end(),
+            [](const HostOutage& a, const HostOutage& b) {
+              return a.host != b.host ? a.host < b.host
+                                      : a.down_from < b.down_from;
+            });
+}
+
+bool FaultPlan::monitoring_stale(std::size_t interval) const noexcept {
+  return interval < stale_.size() && stale_[interval] != 0;
+}
+
+std::size_t FaultPlan::stale_interval_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto s : stale_) n += s != 0 ? 1 : 0;
+  return n;
+}
+
+void FaultPlan::force_stale(std::size_t interval) {
+  if (stale_.size() <= interval) stale_.resize(interval + 1, 0);
+  stale_[interval] = 1;
+}
+
+bool FaultPlan::migration_attempt_fails(std::size_t vm, std::size_t interval,
+                                        int attempt) const noexcept {
+  for (const auto& [key, failures] : forced_)
+    if (key.first == vm && key.second == interval) return attempt < failures;
+  if (!hashed_migration_faults_ || spec_.migration_failure_rate <= 0.0)
+    return false;
+  const double u = hashed_uniform(migration_seed_, vm, interval,
+                                  0xA77E39ULL + static_cast<std::uint64_t>(
+                                                    std::max(attempt, 0)));
+  return u < spec_.migration_failure_rate;
+}
+
+double FaultPlan::migration_slowdown(std::size_t vm,
+                                     std::size_t interval) const noexcept {
+  if (!hashed_migration_faults_ || spec_.migration_slowdown_rate <= 0.0)
+    return 1.0;
+  if (hashed_uniform(migration_seed_, vm, interval, 0x510Dull) >=
+      spec_.migration_slowdown_rate)
+    return 1.0;
+  const double u = hashed_uniform(migration_seed_, vm, interval, 0x51F7ull);
+  return 1.0 + u * (std::max(spec_.migration_slowdown_max, 1.0) - 1.0);
+}
+
+void FaultPlan::force_migration_failures(std::size_t vm, std::size_t interval,
+                                         int failures) {
+  forced_.emplace_back(std::make_pair(vm, interval), failures);
+}
+
+}  // namespace vmcw

@@ -1,0 +1,140 @@
+// Deterministic fault injection: the chaos layer's schedule generator.
+//
+// The paper's dynamic strategy stands or falls on live-migration
+// reliability — its 20% host reservation exists so migrations complete
+// under load — yet a perfect-world emulator can never show what happens
+// when they don't. A FaultPlan is a complete, precomputed-or-pure fault
+// schedule for one replay window: host crashes with reboot outages,
+// per-attempt migration failures and slowdowns, and monitoring gaps that
+// leave the planner on stale telemetry.
+//
+// Determinism contract (extends the PR-1 runtime contract): every fault
+// decision derives from keyed Rng::fork streams of one scenario seed —
+// host outages from a per-host stream, monitoring gaps from a per-window
+// stream, and migration failures from a stateless hash of
+// (vm, interval, attempt) — so the same seed yields a bit-identical fault
+// schedule at any VMCW_THREADS and regardless of query order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/settings.h"
+
+namespace vmcw {
+
+/// Fault-intensity knobs. All rates are per-entity probabilities; the
+/// default-constructed spec injects nothing (and replay with it is
+/// bit-identical to the fault-free emulator).
+struct FaultSpec {
+  /// Expected crashes per host per 30 days (720 h). Scaled to the
+  /// evaluation window when outages are generated.
+  double host_crashes_per_month = 0.0;
+  std::size_t reboot_hours_min = 2;   ///< outage duration bounds
+  std::size_t reboot_hours_max = 12;
+
+  /// Probability that one migration *attempt* fails (retries re-roll).
+  double migration_failure_rate = 0.0;
+  /// Probability that a migration job is degraded (congested link, busy
+  /// source); degraded jobs run uniform [1, migration_slowdown_max]x long.
+  double migration_slowdown_rate = 0.0;
+  double migration_slowdown_max = 4.0;
+
+  /// Probability that a monitoring gap starts at a consolidation interval;
+  /// a gap lasts uniform [1, monitoring_gap_max_intervals] intervals,
+  /// during which planners only have stale (last-known-good) telemetry.
+  double monitoring_gap_rate = 0.0;
+  std::size_t monitoring_gap_max_intervals = 3;
+
+  /// One-knob profile: scale a production-shaped fault mix by `f` in
+  /// [0, 1]. f = 0 is the perfect world; f = 1 is a very bad month.
+  static FaultSpec at_intensity(double f) noexcept;
+
+  /// Does this spec inject anything at all?
+  bool any() const noexcept {
+    return host_crashes_per_month > 0.0 || migration_failure_rate > 0.0 ||
+           migration_slowdown_rate > 0.0 || monitoring_gap_rate > 0.0;
+  }
+};
+
+/// One host outage: the host serves nothing in [down_from, up_at).
+struct HostOutage {
+  std::size_t host = 0;
+  std::size_t down_from = 0;  ///< absolute trace hour the crash hits
+  std::size_t up_at = 0;      ///< absolute trace hour service resumes
+
+  bool operator==(const HostOutage&) const = default;
+};
+
+class FaultPlan {
+ public:
+  /// An empty plan (no faults); script faults onto it with add_outage /
+  /// force_stale / force_migration_failures for targeted drills and tests.
+  FaultPlan() = default;
+
+  /// Derive the full fault schedule for `host_count` hosts over the
+  /// evaluation window of `settings` from `seed`. Deterministic in its
+  /// arguments; independent of thread count and query order.
+  static FaultPlan generate(const FaultSpec& spec, std::size_t host_count,
+                            const StudySettings& settings,
+                            std::uint64_t seed);
+
+  const FaultSpec& spec() const noexcept { return spec_; }
+  bool any() const noexcept;
+
+  // -- host crashes ---------------------------------------------------
+
+  /// All outages, sorted by (host, down_from). Non-overlapping per host.
+  const std::vector<HostOutage>& outages() const noexcept { return outages_; }
+
+  bool host_down(std::size_t host, std::size_t hour) const noexcept;
+
+  /// Outages whose down_from lies in [from_hour, to_hour), in order.
+  std::vector<HostOutage> outages_starting_in(std::size_t from_hour,
+                                              std::size_t to_hour) const;
+
+  /// Script one outage (drills/tests). Keeps outages_ sorted.
+  void add_outage(std::size_t host, std::size_t down_from, std::size_t up_at);
+
+  // -- monitoring gaps ------------------------------------------------
+
+  /// Is the planner's telemetry stale at consolidation interval `k`?
+  bool monitoring_stale(std::size_t interval) const noexcept;
+  std::size_t stale_interval_count() const noexcept;
+  const std::vector<std::uint8_t>& stale_intervals() const noexcept {
+    return stale_;
+  }
+
+  /// Script a stale interval (drills/tests).
+  void force_stale(std::size_t interval);
+
+  // -- migration faults -----------------------------------------------
+
+  /// Does attempt `attempt` (0-based) of migrating `vm` in interval `k`
+  /// fail? Pure function of (plan seed, vm, k, attempt); scripted
+  /// failures (force_migration_failures) take precedence.
+  bool migration_attempt_fails(std::size_t vm, std::size_t interval,
+                               int attempt) const noexcept;
+
+  /// Duration multiplier (>= 1) for migrating `vm` in interval `k`.
+  double migration_slowdown(std::size_t vm, std::size_t interval)
+      const noexcept;
+
+  /// Script: the first `failures` attempts of migrating `vm` in interval
+  /// `k` fail, later ones succeed (drills/tests).
+  void force_migration_failures(std::size_t vm, std::size_t interval,
+                                int failures);
+
+ private:
+  FaultSpec spec_;
+  std::vector<HostOutage> outages_;
+  std::vector<std::uint8_t> stale_;  ///< per consolidation interval
+  std::uint64_t migration_seed_ = 0;
+  bool hashed_migration_faults_ = false;  ///< generate()d (vs scripted-only)
+  /// Scripted (vm, interval) -> forced failure count.
+  std::vector<std::pair<std::pair<std::size_t, std::size_t>, int>> forced_;
+};
+
+}  // namespace vmcw

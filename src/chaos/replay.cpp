@@ -1,0 +1,226 @@
+#include "chaos/replay.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "runtime/telemetry.h"
+
+namespace vmcw {
+
+RobustnessReport replay_under_faults(std::span<const VmWorkload> vms,
+                                     std::span<const Placement> schedule,
+                                     const StudySettings& settings,
+                                     bool power_off_empty_hosts,
+                                     const FaultPlan& plan,
+                                     const ChaosOptions& options) {
+  return replay_under_faults(vms, schedule, settings, power_off_empty_hosts,
+                             plan, options, HostPool::uniform(settings.target));
+}
+
+RobustnessReport replay_under_faults(std::span<const VmWorkload> vms,
+                                     std::span<const Placement> schedule,
+                                     const StudySettings& settings,
+                                     bool power_off_empty_hosts,
+                                     const FaultPlan& plan,
+                                     const ChaosOptions& options,
+                                     const HostPool& pool) {
+  Stopwatch span("chaos.replay_seconds");
+  RobustnessReport rob;
+  rob.vm_down_hours.assign(vms.size(), 0);
+  const std::size_t intervals = settings.intervals();
+  if (schedule.empty() || intervals == 0) {
+    rob.emulation.eval_hours = settings.eval_hours;
+    rob.emulation.intervals = intervals;
+    return rob;
+  }
+
+  std::size_t host_bound = 0;
+  for (const auto& p : schedule)
+    host_bound = std::max(host_bound, p.host_index_bound());
+  EmulationAccumulator acc(vms, settings, power_off_empty_hosts, pool,
+                           host_bound);
+
+  // A plan that injects nothing replays exactly as emulate() does — the
+  // same accumulator driven by the same placement objects in the same
+  // order — so the reports are bit-identical by construction.
+  if (!plan.any()) {
+    for (std::size_t k = 0; k < intervals; ++k) {
+      const Placement& placement =
+          schedule.size() == 1 ? schedule[0]
+                               : schedule[std::min(k, schedule.size() - 1)];
+      acc.begin_interval(placement);
+      const std::size_t interval_begin =
+          settings.eval_begin() + k * settings.interval_hours;
+      for (std::size_t dt = 0; dt < settings.interval_hours; ++dt)
+        acc.step_hour(interval_begin + dt);
+    }
+    rob.emulation = acc.finish();
+    MetricsRegistry::global().add_counter("chaos.replays");
+    return rob;
+  }
+
+  const auto& outages = plan.outages();
+  // Per outage: did the host carry VMs when it went down? Such hosts count
+  // as lost capacity for every hour of their outage.
+  std::vector<char> outage_loaded(outages.size(), 0);
+
+  Placement actual = schedule[0];  // the placement actually achieved
+  std::size_t last_fresh = 0;      // schedule index of the last fresh plan
+  std::vector<bool> down(host_bound, false);
+  std::vector<std::uint8_t> down_u8(host_bound, 0);
+  std::size_t hosts_down = 0;
+  std::size_t loaded_hosts_down = 0;
+  const double interval_s =
+      static_cast<double>(settings.interval_hours) * 3600.0;
+  std::vector<char> hour_bad(settings.eval_hours, 0);
+  bool dirty = true;  // `actual` mutated since the accumulator last saw it
+
+  for (std::size_t k = 0; k < intervals; ++k) {
+    const std::size_t hour0 =
+        settings.eval_begin() + k * settings.interval_hours;
+
+    // Degraded-mode planning: with stale telemetry the planner cannot
+    // justify a new placement, so the executor re-applies the last plan
+    // computed from fresh data instead of chasing one built on data it
+    // does not have.
+    std::size_t target_idx = std::min(k, schedule.size() - 1);
+    if (k > 0 && plan.monitoring_stale(k)) {
+      ++rob.stale_intervals;
+      target_idx = last_fresh;
+    } else {
+      last_fresh = target_idx;
+    }
+    const Placement& target = schedule[target_idx];
+
+    // Execute this interval's migrations from the achieved placement
+    // toward the plan (interval 0 is the initial deployment). Jobs whose
+    // source or destination is down, and jobs the scheduler could not
+    // complete inside the interval, are deferred: the diff against next
+    // interval's plan recomputes them.
+    if (k > 0) {
+      const auto jobs =
+          migration_jobs(actual, target, vms, hour0, options.migration);
+      std::vector<MigrationJob> runnable;
+      runnable.reserve(jobs.size());
+      for (const auto& job : jobs) {
+        const auto from = static_cast<std::size_t>(job.from);
+        const auto to = static_cast<std::size_t>(job.to);
+        if ((from < down.size() && down[from]) ||
+            (to < down.size() && down[to])) {
+          ++rob.migrations_deferred;
+          continue;
+        }
+        runnable.push_back(job);
+      }
+      if (!runnable.empty()) {
+        const auto outcome = schedule_migrations_with_retries(
+            runnable, options.per_host_migration_limit, options.retry,
+            interval_s,
+            [&](std::size_t j, int attempt) {
+              return plan.migration_attempt_fails(runnable[j].vm, k, attempt);
+            },
+            [&](std::size_t j) {
+              return plan.migration_slowdown(runnable[j].vm, k);
+            });
+        rob.migration_attempts += outcome.total_attempts;
+        rob.failed_migration_attempts += outcome.failed_attempts;
+        rob.migration_retries += outcome.retries;
+        rob.migrations_deferred += outcome.abandoned;
+        for (std::size_t j = 0; j < runnable.size(); ++j) {
+          if (!outcome.jobs[j].completed) continue;
+          actual.assign(runnable[j].vm, runnable[j].to);
+          ++rob.migrations_completed;
+          dirty = true;
+        }
+      }
+    }
+
+    acc.begin_interval(actual, dirty);
+    dirty = false;
+
+    for (std::size_t dt = 0; dt < settings.interval_hours; ++dt) {
+      const std::size_t hour = hour0 + dt;
+
+      // Reboots first: up_at == hour means the host serves this hour.
+      for (std::size_t i = 0; i < outages.size(); ++i) {
+        const HostOutage& o = outages[i];
+        if (o.up_at != hour || o.host >= host_bound || !down[o.host]) continue;
+        down[o.host] = false;
+        down_u8[o.host] = 0;
+        --hosts_down;
+        if (outage_loaded[i] != 0) {
+          --loaded_hosts_down;
+          outage_loaded[i] = 0;
+        }
+      }
+      // Crashes hitting this hour.
+      for (std::size_t i = 0; i < outages.size(); ++i) {
+        const HostOutage& o = outages[i];
+        if (o.down_from != hour || o.up_at <= hour || o.host >= host_bound ||
+            down[o.host])
+          continue;
+        down[o.host] = true;
+        down_u8[o.host] = 1;
+        ++hosts_down;
+        ++rob.host_crashes;
+        bool loaded = false;
+        for (std::size_t vm = 0; vm < actual.vm_count() && !loaded; ++vm)
+          loaded = actual.is_placed(vm) &&
+                   actual.host_of(vm) == static_cast<std::int32_t>(o.host);
+        if (!loaded) continue;
+        outage_loaded[i] = 1;
+        ++loaded_hosts_down;
+        // HA drain onto surviving hosts (other down hosts excluded as
+        // targets); when nothing fits, the VMs ride the host down.
+        EvacuationOptions evac = options.evacuation;
+        evac.unavailable_hosts = down_u8;
+        auto drain = plan_evacuation(actual, static_cast<std::int32_t>(o.host),
+                                     vms, hour, pool, evac);
+        if (drain.has_value()) {
+          ++rob.evacuations;
+          rob.migrations_completed += drain->jobs.size();
+          actual = std::move(drain->after);
+          acc.update_placement(actual);
+        } else {
+          ++rob.failed_evacuations;
+        }
+      }
+
+      rob.capacity_lost_host_hours += static_cast<double>(loaded_hosts_down);
+      const auto out =
+          acc.step_hour(hour, hosts_down > 0 ? &down : nullptr,
+                        &rob.vm_down_hours);
+      rob.vm_downtime_hours += out.vms_down;
+      if (out.contention || out.vms_down > 0)
+        hour_bad[hour - settings.eval_begin()] = 1;
+    }
+  }
+
+  rob.emulation = acc.finish();
+
+  // Merge flagged hours into maximal [from, to) absolute-hour ranges.
+  const std::size_t base = settings.eval_begin();
+  for (std::size_t h = 0; h < hour_bad.size(); ++h) {
+    if (hour_bad[h] == 0) continue;
+    std::size_t end = h + 1;
+    while (end < hour_bad.size() && hour_bad[end] != 0) ++end;
+    rob.sla_violation_intervals.emplace_back(base + h, base + end);
+    h = end;
+  }
+
+  auto& metrics = MetricsRegistry::global();
+  metrics.add_counter("chaos.replays");
+  metrics.add_counter("chaos.host_crashes", rob.host_crashes);
+  metrics.add_counter("chaos.evacuations", rob.evacuations);
+  metrics.add_counter("chaos.failed_evacuations", rob.failed_evacuations);
+  metrics.add_counter("chaos.migration_attempts", rob.migration_attempts);
+  metrics.add_counter("chaos.migration_failed_attempts",
+                      rob.failed_migration_attempts);
+  metrics.add_counter("chaos.migration_retries", rob.migration_retries);
+  metrics.add_counter("chaos.migrations_deferred", rob.migrations_deferred);
+  metrics.add_counter("chaos.stale_intervals", rob.stale_intervals);
+  metrics.add_counter("chaos.vm_downtime_hours", rob.vm_downtime_hours);
+  return rob;
+}
+
+}  // namespace vmcw

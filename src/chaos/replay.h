@@ -1,0 +1,107 @@
+// Failure-aware consolidation replay: the chaos layer's executor.
+//
+// Replays a placement schedule the way a production control plane would
+// have to execute it: live migrations can fail (retried with capped
+// exponential backoff, deferred past the interval deadline), hosts crash
+// (their VMs are drained through the evacuation planner when the surviving
+// fleet has room, and are simply *down* when it does not), and monitoring
+// gaps force degraded-mode planning — with stale telemetry the executor
+// re-applies the last plan computed from fresh data instead of chasing a
+// plan built on data it does not have.
+//
+// The fault-free accounting is exactly core/emulator's (both drive the
+// same EmulationAccumulator), so a FaultPlan that injects nothing yields a
+// report bit-identical to emulate().
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "chaos/fault_plan.h"
+#include "core/emulator.h"
+#include "core/evacuation.h"
+#include "core/host_pool.h"
+#include "core/migration_scheduler.h"
+#include "core/placement.h"
+#include "core/settings.h"
+#include "core/vm.h"
+
+namespace vmcw {
+
+struct ChaosOptions {
+  RetryPolicy retry;               ///< migration retry/backoff behavior
+  int per_host_migration_limit = 2;
+  MigrationConfig migration;       ///< pre-copy pricing for plan changes
+  EvacuationOptions evacuation;    ///< crash-drain parameters
+};
+
+/// What the evaluation window looked like once failures were allowed to
+/// happen — the robustness counterpart of EmulationReport.
+struct RobustnessReport {
+  EmulationReport emulation;  ///< replayed outcome under faults
+
+  // Faults encountered.
+  std::size_t host_crashes = 0;
+  /// Provisioned-host hours offline (hosts that had VMs when they went
+  /// down, counted for every hour of their outage).
+  double capacity_lost_host_hours = 0;
+  std::size_t stale_intervals = 0;  ///< intervals planned in degraded mode
+
+  // Migration execution under failures.
+  std::size_t migration_attempts = 0;
+  std::size_t failed_migration_attempts = 0;
+  std::size_t migration_retries = 0;   ///< attempts beyond each job's first
+  std::size_t migrations_completed = 0;
+  std::size_t migrations_deferred = 0; ///< pushed to a later interval
+
+  // Availability.
+  std::size_t evacuations = 0;         ///< successful crash drains
+  std::size_t failed_evacuations = 0;  ///< no room: VMs ride the host down
+  std::size_t vm_downtime_hours = 0;   ///< total VM-hours offline
+  std::vector<std::size_t> vm_down_hours;  ///< per VM
+  /// Maximal absolute-hour ranges [from, to) in which some VM was down or
+  /// some host contended — Section 7's "higher risk of SLA violations"
+  /// made countable as intervals.
+  std::vector<std::pair<std::size_t, std::size_t>> sla_violation_intervals;
+
+  /// Fraction of expected VM-hours actually served, 1.0 = no downtime.
+  double availability() const noexcept {
+    const double expected = static_cast<double>(vm_down_hours.size()) *
+                            static_cast<double>(emulation.eval_hours);
+    return expected > 0.0
+               ? 1.0 - static_cast<double>(vm_downtime_hours) / expected
+               : 1.0;
+  }
+};
+
+/// Replay `vms` against `schedule` under `plan`'s faults. Semantics beyond
+/// emulate():
+///  - Each interval the executor migrates from the *achieved* placement
+///    toward the interval's plan; attempts fail per the plan and are
+///    retried with capped exponential backoff. Jobs that cannot finish
+///    inside the interval (or whose source/target host is down) are
+///    deferred and recomputed next interval.
+///  - A crashed host is drained through plan_evacuation onto surviving
+///    hosts; when no drain fits, its VMs are down until reboot.
+///  - A stale-monitoring interval re-applies the last plan computed from
+///    fresh telemetry (single-placement schedules are unaffected).
+/// With a no-fault plan the result is bit-identical to emulate().
+RobustnessReport replay_under_faults(std::span<const VmWorkload> vms,
+                                     std::span<const Placement> schedule,
+                                     const StudySettings& settings,
+                                     bool power_off_empty_hosts,
+                                     const FaultPlan& plan,
+                                     const ChaosOptions& options = {});
+
+/// Heterogeneous-pool variant (host indices must be valid pool indices).
+RobustnessReport replay_under_faults(std::span<const VmWorkload> vms,
+                                     std::span<const Placement> schedule,
+                                     const StudySettings& settings,
+                                     bool power_off_empty_hosts,
+                                     const FaultPlan& plan,
+                                     const ChaosOptions& options,
+                                     const HostPool& pool);
+
+}  // namespace vmcw

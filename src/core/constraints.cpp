@@ -14,11 +14,16 @@ void ConstraintSet::ensure_size(std::size_t vm) {
   while (parent_.size() <= vm) parent_.push_back(parent_.size());
 }
 
-std::size_t ConstraintSet::find_root(std::size_t vm) const {
+std::size_t ConstraintSet::find_root(std::size_t vm) const noexcept {
   std::size_t root = vm;
   while (parent_[root] != root) root = parent_[root];
-  while (parent_[vm] != root) {  // path compression
-    std::size_t next = parent_[vm];
+  return root;
+}
+
+std::size_t ConstraintSet::compress_to_root(std::size_t vm) {
+  const std::size_t root = find_root(vm);
+  while (parent_[vm] != root) {
+    const std::size_t next = parent_[vm];
     parent_[vm] = root;
     vm = next;
   }
@@ -27,8 +32,8 @@ std::size_t ConstraintSet::find_root(std::size_t vm) const {
 
 void ConstraintSet::add_affinity(std::size_t a, std::size_t b) {
   ensure_size(std::max(a, b));
-  const std::size_t ra = find_root(a);
-  const std::size_t rb = find_root(b);
+  const std::size_t ra = compress_to_root(a);
+  const std::size_t rb = compress_to_root(b);
   if (ra != rb) parent_[std::max(ra, rb)] = std::min(ra, rb);
   has_affinity_ = true;
 }

@@ -62,10 +62,15 @@ class ConstraintSet {
   bool structurally_feasible() const;
 
  private:
-  std::size_t find_root(std::size_t vm) const;
+  /// Root lookup without mutation — logically and physically const, so a
+  /// single ConstraintSet can be shared by concurrent planner tasks.
+  std::size_t find_root(std::size_t vm) const noexcept;
+  /// Root lookup with path compression; only mutators call this, keeping
+  /// chains short without ever writing under const.
+  std::size_t compress_to_root(std::size_t vm);
   void ensure_size(std::size_t vm);
 
-  mutable std::vector<std::size_t> parent_;  // union-find with compression
+  std::vector<std::size_t> parent_;  // union-find, compressed on mutation
   bool has_affinity_ = false;
   std::vector<std::pair<std::size_t, std::size_t>> anti_affinity_;
   std::vector<std::pair<std::size_t, std::int32_t>> pins_;

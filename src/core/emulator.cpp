@@ -8,6 +8,166 @@
 
 namespace vmcw {
 
+EmulationAccumulator::EmulationAccumulator(std::span<const VmWorkload> vms,
+                                           const StudySettings& settings,
+                                           bool power_off_empty_hosts,
+                                           const HostPool& pool,
+                                           std::size_t host_bound)
+    : vms_(vms),
+      power_off_empty_hosts_(power_off_empty_hosts),
+      host_bound_(host_bound),
+      interval_hours_(settings.interval_hours) {
+  report_.eval_hours = settings.eval_hours;
+  report_.intervals = settings.intervals();
+
+  // Per-host models from the pool (host 0..host_bound-1).
+  power_.reserve(host_bound_);
+  cpu_capacity_.resize(host_bound_);
+  mem_capacity_.resize(host_bound_);
+  for (std::size_t h = 0; h < host_bound_; ++h) {
+    const ServerSpec& spec = pool.spec_of(h);
+    power_.emplace_back(spec);
+    cpu_capacity_[h] = spec.cpu_rpe2;
+    mem_capacity_[h] = spec.memory_mb;
+  }
+
+  host_util_sum_.assign(host_bound_, 0.0);
+  host_active_hours_.assign(host_bound_, 0);
+  host_peak_util_.assign(host_bound_, 0.0);
+  host_ever_used_.assign(host_bound_, false);
+
+  cpu_demand_.resize(host_bound_);
+  mem_demand_.resize(host_bound_);
+  host_active_.resize(host_bound_);
+  host_contended_.resize(host_bound_);
+  report_.vm_contention_hours.assign(vms_.size(), 0);
+  report_.active_hosts_per_interval.reserve(report_.intervals);
+}
+
+void EmulationAccumulator::rebuild(const Placement& placement) {
+  // `placed_` compacts the vm -> host map to the placed VMs so the hourly
+  // demand and contention loops touch no unplaced entries and carry no
+  // per-VM branch.
+  placed_.clear();
+  std::fill(host_active_.begin(), host_active_.end(), false);
+  active_ = 0;
+  const std::size_t vm_bound = std::min(placement.vm_count(), vms_.size());
+  for (std::size_t vm = 0; vm < placement.vm_count(); ++vm) {
+    if (!placement.is_placed(vm)) continue;
+    const auto h = static_cast<std::size_t>(placement.host_of(vm));
+    if (vm < vm_bound)
+      placed_.emplace_back(static_cast<std::uint32_t>(vm),
+                           static_cast<std::uint32_t>(h));
+    if (!host_active_[h]) {
+      host_active_[h] = true;
+      ++active_;
+    }
+  }
+}
+
+void EmulationAccumulator::begin_interval(const Placement& placement,
+                                          bool force) {
+  if (force || &placement != current_) {
+    current_ = &placement;
+    rebuild(placement);
+  }
+  for (std::size_t h = 0; h < host_bound_; ++h)
+    if (host_active_[h]) host_ever_used_[h] = true;
+  report_.active_hosts_per_interval.push_back(active_);
+  report_.provisioned_hosts = std::max(report_.provisioned_hosts, active_);
+}
+
+void EmulationAccumulator::update_placement(const Placement& placement) {
+  current_ = &placement;
+  rebuild(placement);
+  for (std::size_t h = 0; h < host_bound_; ++h)
+    if (host_active_[h]) host_ever_used_[h] = true;
+}
+
+EmulationAccumulator::HourOutcome EmulationAccumulator::step_hour(
+    std::size_t hour, const std::vector<bool>* down_hosts,
+    std::vector<std::size_t>* vm_down_hours) {
+  HourOutcome out;
+  std::fill(cpu_demand_.begin(), cpu_demand_.end(), 0.0);
+  std::fill(mem_demand_.begin(), mem_demand_.end(), 0.0);
+  if (down_hosts == nullptr) {
+    for (const auto& [vm, h] : placed_) {
+      const ResourceVector d = vms_[vm].demand_at(hour);
+      cpu_demand_[h] += d.cpu_rpe2;
+      mem_demand_[h] += d.memory_mb;
+    }
+    vm_hours_ += placed_.size();
+  } else {
+    for (const auto& [vm, h] : placed_) {
+      if ((*down_hosts)[h]) {
+        ++out.vms_down;
+        if (vm_down_hours != nullptr) ++(*vm_down_hours)[vm];
+        continue;
+      }
+      const ResourceVector d = vms_[vm].demand_at(hour);
+      cpu_demand_[h] += d.cpu_rpe2;
+      mem_demand_[h] += d.memory_mb;
+      ++vm_hours_;
+    }
+  }
+
+  bool any_contention = false;
+  std::fill(host_contended_.begin(), host_contended_.end(), false);
+  for (std::size_t h = 0; h < host_bound_; ++h) {
+    const bool offline = down_hosts != nullptr && (*down_hosts)[h];
+    if (host_active_[h] && !offline) {
+      const double util = cpu_demand_[h] / cpu_capacity_[h];
+      const double mem_util = mem_demand_[h] / mem_capacity_[h];
+      host_util_sum_[h] += util;
+      ++host_active_hours_[h];
+      host_peak_util_[h] = std::max(host_peak_util_[h], util);
+      if (util > 1.0) {
+        report_.cpu_contention_samples.push_back(util - 1.0);
+        any_contention = true;
+        host_contended_[h] = true;
+      }
+      if (mem_util > 1.0) {
+        report_.mem_contention_samples.push_back(mem_util - 1.0);
+        any_contention = true;
+        host_contended_[h] = true;
+      }
+      report_.energy_wh += power_[h].watts(util);
+    } else if (!offline && !power_off_empty_hosts_ && host_ever_used_[h]) {
+      // Static plans keep provisioned-but-idle hosts powered.
+      report_.energy_wh += power_[h].watts(0.0);
+    }
+  }
+  if (any_contention) {
+    ++report_.hours_with_contention;
+    // Every VM sharing a contended host is SLA-exposed for this hour.
+    for (const auto& [vm, h] : placed_) {
+      if (host_contended_[h]) {
+        ++report_.vm_contention_hours[vm];
+        ++report_.total_vm_contention_hours;
+      }
+    }
+  }
+  out.contention = any_contention;
+  return out;
+}
+
+EmulationReport EmulationAccumulator::finish() {
+  for (std::size_t h = 0; h < host_bound_; ++h) {
+    if (!host_ever_used_[h]) continue;
+    report_.host_avg_cpu_util.push_back(
+        host_active_hours_[h] > 0
+            ? host_util_sum_[h] / static_cast<double>(host_active_hours_[h])
+            : 0.0);
+    report_.host_peak_cpu_util.push_back(host_peak_util_[h]);
+  }
+
+  MetricsRegistry::global().add_counter("emulate.runs");
+  MetricsRegistry::global().add_counter("emulate.intervals",
+                                        report_.intervals);
+  MetricsRegistry::global().add_counter("emulate.vm_hours", vm_hours_);
+  return std::move(report_);
+}
+
 EmulationReport emulate(std::span<const VmWorkload> vms,
                         std::span<const Placement> schedule,
                         const StudySettings& settings,
@@ -21,142 +181,32 @@ EmulationReport emulate(std::span<const VmWorkload> vms,
                         const StudySettings& settings,
                         bool power_off_empty_hosts, const HostPool& pool) {
   Stopwatch span("emulate.wall_seconds");
-  EmulationReport report;
-  report.eval_hours = settings.eval_hours;
-  report.intervals = settings.intervals();
-  if (schedule.empty() || report.intervals == 0) return report;
+  if (schedule.empty() || settings.intervals() == 0) {
+    EmulationReport report;
+    report.eval_hours = settings.eval_hours;
+    report.intervals = settings.intervals();
+    return report;
+  }
 
   // Host index space across the whole schedule.
   std::size_t host_bound = 0;
   for (const auto& p : schedule)
     host_bound = std::max(host_bound, p.host_index_bound());
 
-  // Per-host models from the pool (host 0..host_bound-1).
-  std::vector<PowerModel> power;
-  std::vector<double> cpu_capacity(host_bound);
-  std::vector<double> mem_capacity(host_bound);
-  power.reserve(host_bound);
-  for (std::size_t h = 0; h < host_bound; ++h) {
-    const ServerSpec& spec = pool.spec_of(h);
-    power.emplace_back(spec);
-    cpu_capacity[h] = spec.cpu_rpe2;
-    mem_capacity[h] = spec.memory_mb;
-  }
-
-  std::vector<double> host_util_sum(host_bound, 0.0);
-  std::vector<std::size_t> host_active_hours(host_bound, 0);
-  std::vector<double> host_peak_util(host_bound, 0.0);
-  std::vector<bool> host_ever_used(host_bound, false);
-
-  std::vector<double> cpu_demand(host_bound);
-  std::vector<double> mem_demand(host_bound);
-  std::vector<bool> host_active(host_bound);
-  std::vector<bool> host_contended(host_bound);
-  report.vm_contention_hours.assign(vms.size(), 0);
-
-  report.active_hosts_per_interval.reserve(report.intervals);
-
-  // Placement-derived state, rebuilt only when the schedule switches to a
-  // different placement (for static plans: once for the whole window).
-  // `placed` compacts the vm -> host map to the placed VMs so the hourly
-  // demand and contention loops touch no unplaced entries and carry no
-  // per-VM branch.
-  const Placement* current = nullptr;
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> placed;  // (vm, host)
-  std::size_t active = 0;
-  std::uint64_t vm_hours = 0;
-
-  for (std::size_t k = 0; k < report.intervals; ++k) {
+  EmulationAccumulator acc(vms, settings, power_off_empty_hosts, pool,
+                           host_bound);
+  const std::size_t intervals = settings.intervals();
+  for (std::size_t k = 0; k < intervals; ++k) {
     const Placement& placement =
         schedule.size() == 1 ? schedule[0]
                              : schedule[std::min(k, schedule.size() - 1)];
-    if (&placement != current) {
-      current = &placement;
-      placed.clear();
-      std::fill(host_active.begin(), host_active.end(), false);
-      active = 0;
-      const std::size_t vm_bound = std::min(placement.vm_count(), vms.size());
-      for (std::size_t vm = 0; vm < placement.vm_count(); ++vm) {
-        if (!placement.is_placed(vm)) continue;
-        const auto h = static_cast<std::size_t>(placement.host_of(vm));
-        if (vm < vm_bound)
-          placed.emplace_back(static_cast<std::uint32_t>(vm),
-                              static_cast<std::uint32_t>(h));
-        if (!host_active[h]) {
-          host_active[h] = true;
-          ++active;
-        }
-      }
-    }
-    for (std::size_t h = 0; h < host_bound; ++h)
-      if (host_active[h]) host_ever_used[h] = true;
-    report.active_hosts_per_interval.push_back(active);
-    report.provisioned_hosts = std::max(report.provisioned_hosts, active);
-
+    acc.begin_interval(placement);
     const std::size_t interval_begin =
         settings.eval_begin() + k * settings.interval_hours;
-    for (std::size_t dt = 0; dt < settings.interval_hours; ++dt) {
-      const std::size_t hour = interval_begin + dt;
-      std::fill(cpu_demand.begin(), cpu_demand.end(), 0.0);
-      std::fill(mem_demand.begin(), mem_demand.end(), 0.0);
-      for (const auto& [vm, h] : placed) {
-        const ResourceVector d = vms[vm].demand_at(hour);
-        cpu_demand[h] += d.cpu_rpe2;
-        mem_demand[h] += d.memory_mb;
-      }
-      vm_hours += placed.size();
-
-      bool any_contention = false;
-      std::fill(host_contended.begin(), host_contended.end(), false);
-      for (std::size_t h = 0; h < host_bound; ++h) {
-        if (host_active[h]) {
-          const double util = cpu_demand[h] / cpu_capacity[h];
-          const double mem_util = mem_demand[h] / mem_capacity[h];
-          host_util_sum[h] += util;
-          ++host_active_hours[h];
-          host_peak_util[h] = std::max(host_peak_util[h], util);
-          if (util > 1.0) {
-            report.cpu_contention_samples.push_back(util - 1.0);
-            any_contention = true;
-            host_contended[h] = true;
-          }
-          if (mem_util > 1.0) {
-            report.mem_contention_samples.push_back(mem_util - 1.0);
-            any_contention = true;
-            host_contended[h] = true;
-          }
-          report.energy_wh += power[h].watts(util);
-        } else if (!power_off_empty_hosts && host_ever_used[h]) {
-          // Static plans keep provisioned-but-idle hosts powered.
-          report.energy_wh += power[h].watts(0.0);
-        }
-      }
-      if (any_contention) {
-        ++report.hours_with_contention;
-        // Every VM sharing a contended host is SLA-exposed for this hour.
-        for (const auto& [vm, h] : placed) {
-          if (host_contended[h]) {
-            ++report.vm_contention_hours[vm];
-            ++report.total_vm_contention_hours;
-          }
-        }
-      }
-    }
+    for (std::size_t dt = 0; dt < settings.interval_hours; ++dt)
+      acc.step_hour(interval_begin + dt);
   }
-
-  for (std::size_t h = 0; h < host_bound; ++h) {
-    if (!host_ever_used[h]) continue;
-    report.host_avg_cpu_util.push_back(
-        host_active_hours[h] > 0
-            ? host_util_sum[h] / static_cast<double>(host_active_hours[h])
-            : 0.0);
-    report.host_peak_cpu_util.push_back(host_peak_util[h]);
-  }
-
-  MetricsRegistry::global().add_counter("emulate.runs");
-  MetricsRegistry::global().add_counter("emulate.intervals", report.intervals);
-  MetricsRegistry::global().add_counter("emulate.vm_hours", vm_hours);
-  return report;
+  return acc.finish();
 }
 
 }  // namespace vmcw

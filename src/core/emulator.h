@@ -19,7 +19,9 @@
 // contention but becomes contention beyond 100%.
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/host_pool.h"
@@ -68,6 +70,76 @@ struct EmulationReport {
                                 static_cast<double>(eval_hours)
                           : 0.0;
   }
+};
+
+/// Incremental form of the emulator: callers drive the replay interval by
+/// interval and hour by hour. emulate() is a thin loop over this class, so
+/// the batch and incremental paths produce bit-identical reports for the
+/// same inputs; the failure-aware replay (src/chaos) drives the same
+/// accumulator while swapping placements mid-window and taking hosts
+/// offline, so its fault-free accounting is exactly the emulator's.
+class EmulationAccumulator {
+ public:
+  /// `host_bound` is 1 + the highest host index any placement will use.
+  EmulationAccumulator(std::span<const VmWorkload> vms,
+                       const StudySettings& settings,
+                       bool power_off_empty_hosts, const HostPool& pool,
+                       std::size_t host_bound);
+
+  /// Start the next consolidation interval with `placement` in force.
+  /// Placement-derived state is rebuilt when the object differs from the
+  /// previous call (pointer identity, as in batch replay) or when `force`
+  /// is set (for callers that mutate one placement object in place).
+  void begin_interval(const Placement& placement, bool force = false);
+
+  /// Swap the in-force placement mid-interval (a crash evacuation moves
+  /// VMs between hours): rebuilds placement state without starting a new
+  /// interval, so per-interval accounting is unaffected.
+  void update_placement(const Placement& placement);
+
+  struct HourOutcome {
+    bool contention = false;   ///< some host's demand exceeded capacity
+    std::size_t vms_down = 0;  ///< placed VMs whose host is offline
+  };
+
+  /// Replay one absolute trace hour. `down_hosts` (optional) marks hosts
+  /// offline this hour: their VMs serve no demand (counted in vms_down
+  /// and, when `vm_down_hours` is given, per VM) and the host neither
+  /// draws power nor accrues utilization.
+  HourOutcome step_hour(std::size_t hour,
+                        const std::vector<bool>* down_hosts = nullptr,
+                        std::vector<std::size_t>* vm_down_hours = nullptr);
+
+  /// Finalize per-host utilization and telemetry counters. Call once.
+  EmulationReport finish();
+
+ private:
+  void rebuild(const Placement& placement);
+
+  std::span<const VmWorkload> vms_;
+  bool power_off_empty_hosts_ = false;
+  std::size_t host_bound_ = 0;
+  std::size_t interval_hours_ = 0;
+
+  std::vector<PowerModel> power_;
+  std::vector<double> cpu_capacity_;
+  std::vector<double> mem_capacity_;
+
+  std::vector<double> host_util_sum_;
+  std::vector<std::size_t> host_active_hours_;
+  std::vector<double> host_peak_util_;
+  std::vector<bool> host_ever_used_;
+
+  std::vector<double> cpu_demand_;
+  std::vector<double> mem_demand_;
+  std::vector<bool> host_active_;
+  std::vector<bool> host_contended_;
+
+  const Placement* current_ = nullptr;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> placed_;  // (vm, host)
+  std::size_t active_ = 0;
+  std::uint64_t vm_hours_ = 0;
+  EmulationReport report_;
 };
 
 /// Replay `vms` against a placement schedule. `schedule` holds either one

@@ -50,6 +50,9 @@ std::optional<EvacuationPlan> plan_evacuation(
     bool placed = false;
     for (std::size_t h = 0; h < host_bound && !placed; ++h) {
       if (static_cast<std::int32_t>(h) == host) continue;
+      if (h < options.unavailable_hosts.size() &&
+          options.unavailable_hosts[h] != 0)
+        continue;
       if (load[h].cpu_rpe2 == 0 && load[h].memory_mb == 0) {
         // Skip hosts that were empty before the drain: maintenance should
         // not power servers back on.

@@ -34,6 +34,10 @@ struct EvacuationOptions {
   double destination_bound = 0.9;
   int per_host_migration_limit = 2;
   MigrationConfig migration;  ///< pre-copy parameters for job pricing
+  /// Hosts that must not receive evacuees (indexed by host; nonzero =
+  /// excluded). Fault-injected replay drains a crashed host while other
+  /// hosts may also be down; empty means every surviving host is eligible.
+  std::vector<std::uint8_t> unavailable_hosts;
 };
 
 /// Drain `host`: relocate all of its VMs, sized by their demand at `hour`,

@@ -99,6 +99,130 @@ MigrationSchedule schedule_migrations(std::span<const MigrationJob> jobs,
   return schedule;
 }
 
+double RetryPolicy::backoff_for(int failures) const noexcept {
+  if (failures <= 0) return 0.0;
+  double backoff = backoff_base_s;
+  for (int i = 1; i < failures && backoff < backoff_cap_s; ++i) backoff *= 2.0;
+  return std::min(backoff, backoff_cap_s);
+}
+
+FaultyMigrationSchedule schedule_migrations_with_retries(
+    std::span<const MigrationJob> jobs, int per_host_limit,
+    const RetryPolicy& policy, double deadline_s,
+    const std::function<bool(std::size_t, int)>& attempt_fails,
+    const std::function<double(std::size_t)>& slowdown) {
+  FaultyMigrationSchedule result;
+  result.jobs.assign(jobs.size(), JobAttempts{});
+  if (jobs.empty()) return result;
+  per_host_limit = std::max(per_host_limit, 1);
+  const int max_attempts = std::max(policy.max_attempts, 1);
+
+  // Effective durations: a slowed migration runs longer on every attempt.
+  std::vector<double> duration(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const double factor = slowdown ? std::max(slowdown(j), 1.0) : 1.0;
+    duration[j] = jobs[j].duration_s * factor;
+  }
+
+  // Longest job first, as in the fault-free scheduler.
+  std::vector<std::size_t> order(jobs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return duration[a] > duration[b];
+                   });
+
+  enum class State { kPending, kRunning, kDone, kAbandoned };
+  std::vector<State> state(jobs.size(), State::kPending);
+  std::vector<double> ready_at(jobs.size(), 0.0);  // earliest next try
+
+  std::map<std::int32_t, int> busy;
+  struct Running {
+    double finish;
+    std::size_t job;
+  };
+  auto later = [](const Running& a, const Running& b) {
+    return a.finish > b.finish;
+  };
+  std::priority_queue<Running, std::vector<Running>, decltype(later)> running(
+      later);
+  double now = 0.0;
+
+  auto abandon = [&](std::size_t idx) {
+    state[idx] = State::kAbandoned;
+    ++result.abandoned;
+  };
+
+  for (;;) {
+    // Start every job startable at `now`.
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t idx : order) {
+        if (state[idx] != State::kPending || ready_at[idx] > now) continue;
+        const auto& job = jobs[idx];
+        if (busy[job.from] >= per_host_limit ||
+            busy[job.to] >= per_host_limit)
+          continue;
+        if (now + duration[idx] > deadline_s) {
+          // Cannot finish inside the interval: defer to the next one
+          // rather than occupying slots for a doomed attempt.
+          abandon(idx);
+          continue;
+        }
+        state[idx] = State::kRunning;
+        ++result.jobs[idx].attempts;
+        ++result.total_attempts;
+        ++busy[job.from];
+        ++busy[job.to];
+        running.push({now + duration[idx], idx});
+        progress = true;
+      }
+    }
+    if (running.empty()) {
+      // Nothing running: jump to the earliest backoff expiry, if any.
+      double next = -1.0;
+      for (std::size_t idx : order)
+        if (state[idx] == State::kPending &&
+            (next < 0.0 || ready_at[idx] < next))
+          next = ready_at[idx];
+      if (next < 0.0) break;  // everything done or abandoned
+      now = std::max(now, next);
+      continue;
+    }
+    const Running done = running.top();
+    running.pop();
+    now = done.finish;
+    const std::size_t idx = done.job;
+    --busy[jobs[idx].from];
+    --busy[jobs[idx].to];
+    const int attempt = result.jobs[idx].attempts - 1;  // 0-based
+    if (attempt_fails && attempt_fails(idx, attempt)) {
+      ++result.failed_attempts;
+      if (result.jobs[idx].attempts >= max_attempts) {
+        abandon(idx);
+      } else {
+        const double back = policy.backoff_for(result.jobs[idx].attempts);
+        ready_at[idx] = now + back;
+        if (ready_at[idx] >= deadline_s)
+          abandon(idx);
+        else
+          state[idx] = State::kPending;
+      }
+    } else {
+      state[idx] = State::kDone;
+      result.jobs[idx].completed = true;
+      result.jobs[idx].finish_s = now;
+      result.makespan_s = std::max(result.makespan_s, now);
+    }
+  }
+
+  for (const auto& j : result.jobs)
+    if (j.attempts > 1)
+      result.retries += static_cast<std::size_t>(j.attempts - 1);
+  return result;
+}
+
 ExecutionFeasibility execution_feasibility(
     std::span<const Placement> per_interval, std::span<const VmWorkload> vms,
     std::size_t eval_begin_hour, std::size_t interval_hours,

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -48,6 +49,50 @@ struct MigrationSchedule {
 /// most `per_host_limit` concurrent migrations in either role).
 MigrationSchedule schedule_migrations(std::span<const MigrationJob> jobs,
                                       int per_host_limit = 2);
+
+/// Retry behavior when a migration attempt can fail (fault-injected replay,
+/// src/chaos): a failed attempt is retried after capped exponential backoff
+/// until it succeeds, the attempt budget is exhausted, or the interval
+/// deadline passes.
+struct RetryPolicy {
+  int max_attempts = 4;          ///< total tries per job (1 = never retry)
+  double backoff_base_s = 30.0;  ///< wait before the second attempt
+  double backoff_cap_s = 480.0;  ///< exponential backoff ceiling
+
+  /// Backoff after the `failures`-th consecutive failure (1-based):
+  /// min(base * 2^(failures-1), cap).
+  double backoff_for(int failures) const noexcept;
+};
+
+/// Per-job outcome of fault-aware scheduling.
+struct JobAttempts {
+  int attempts = 0;        ///< tries actually started
+  bool completed = false;  ///< finished successfully before the deadline
+  double finish_s = 0;     ///< completion time (valid when completed)
+};
+
+struct FaultyMigrationSchedule {
+  double makespan_s = 0;  ///< completion time of the last successful job
+  std::size_t total_attempts = 0;
+  std::size_t failed_attempts = 0;
+  std::size_t retries = 0;    ///< attempts beyond each job's first
+  std::size_t abandoned = 0;  ///< jobs not completed by the deadline
+  std::vector<JobAttempts> jobs;  ///< parallel to the input jobs
+};
+
+/// List-schedule `jobs` under the per-host slot limits of
+/// schedule_migrations(), where attempt `a` (0-based) of job `j` fails when
+/// `attempt_fails(j, a)` and runs `slowdown(j)`x longer than priced (both
+/// callbacks must be deterministic pure functions for replay determinism;
+/// `slowdown` may be empty for none). An attempt is only started if it can
+/// finish by `deadline_s`; a failed attempt occupies its slots for its full
+/// duration, then the job backs off per `policy` before recompeting for
+/// slots. Jobs that run out of attempts or deadline are reported abandoned.
+FaultyMigrationSchedule schedule_migrations_with_retries(
+    std::span<const MigrationJob> jobs, int per_host_limit,
+    const RetryPolicy& policy, double deadline_s,
+    const std::function<bool(std::size_t, int)>& attempt_fails,
+    const std::function<double(std::size_t)>& slowdown = {});
 
 /// Feasibility of a whole dynamic plan: for each interval, the ratio of
 /// migration makespan to interval length. Ratios above 1 mean the plan

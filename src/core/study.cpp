@@ -68,28 +68,28 @@ StudyResult run_study(std::string workload_name,
 
   // The three algorithms plan and replay independently; fan them out as a
   // task group and collect into fixed slots so the result order (and every
-  // byte of it) is identical at any thread count. Each task packs against
-  // its own copy of the constraints: ConstraintSet path-compresses its
-  // union-find under const, so sharing one across threads would race.
+  // byte of it) is identical at any thread count. ConstraintSet is
+  // physically const-clean (no compression under const), so all tasks
+  // share the caller's set directly.
   AlgorithmResult semi_result;
   AlgorithmResult stochastic_result;
   AlgorithmResult dynamic_result;
   TaskGroup group;
-  group.run([&, constraints] {
+  group.run([&] {
     Stopwatch plan_span("study.semi_static_seconds");
     auto semi = plan_semi_static(vms, settings, constraints);
     if (!semi) throw std::runtime_error("semi-static planning failed");
     semi_result =
         evaluate_static(Algorithm::kSemiStatic, *semi, vms, settings, costs);
   });
-  group.run([&, constraints] {
+  group.run([&] {
     Stopwatch plan_span("study.stochastic_seconds");
     auto stochastic = plan_stochastic(vms, settings, constraints);
     if (!stochastic) throw std::runtime_error("stochastic planning failed");
     stochastic_result = evaluate_static(Algorithm::kStochastic, *stochastic,
                                         vms, settings, costs);
   });
-  group.run([&, constraints] {
+  group.run([&] {
     Stopwatch plan_span("study.dynamic_seconds");
     auto dynamic = plan_dynamic(vms, settings, constraints);
     if (!dynamic) throw std::runtime_error("dynamic planning failed");

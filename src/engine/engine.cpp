@@ -106,4 +106,16 @@ EmulationReport ConsolidationEngine::evaluate(
                  power_off);
 }
 
+RobustnessReport ConsolidationEngine::evaluate_under_faults(
+    const Recommendation& recommendation, const FaultPlan& plan,
+    const ChaosOptions& options) const {
+  if (!truth_) throw std::logic_error("observe() an estate first");
+  Stopwatch span("engine.evaluate_faults_seconds");
+  const auto truth_vms = to_vm_workloads(*truth_);
+  const bool power_off = recommendation.strategy == Strategy::kDynamic ||
+                         recommendation.strategy == Strategy::kHybrid;
+  return replay_under_faults(truth_vms, recommendation.schedule,
+                             config_.settings, power_off, plan, options);
+}
+
 }  // namespace vmcw

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/replay.h"
 #include "core/hybrid.h"
 #include "core/migration_scheduler.h"
 #include "core/study.h"
@@ -73,6 +74,13 @@ class ConsolidationEngine {
   /// Replay the *ground truth* against a recommendation's schedule — the
   /// emulator step the paper uses to compare algorithms.
   EmulationReport evaluate(const Recommendation& recommendation) const;
+
+  /// Robustness counterpart of evaluate(): replay the ground truth under
+  /// an injected fault schedule (src/chaos). With a no-fault plan the
+  /// embedded EmulationReport is bit-identical to evaluate()'s.
+  RobustnessReport evaluate_under_faults(
+      const Recommendation& recommendation, const FaultPlan& plan,
+      const ChaosOptions& options = {}) const;
 
   const Config& config() const noexcept { return config_; }
 

@@ -9,8 +9,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
+
+#include "chaos/replay.h"
 
 namespace vmcw {
 
@@ -26,6 +29,19 @@ struct ReportOptions {
 
 /// Build the full report as a Markdown string.
 std::string build_paper_report(const ReportOptions& options = {});
+
+/// One replayed cell of a fault-injection study (src/chaos).
+struct RobustnessRow {
+  std::string workload;
+  std::string strategy;
+  double fault_intensity = 0;
+  RobustnessReport report;
+};
+
+/// Render a robustness study as a Markdown section: per cell the injected
+/// faults it survived, the retry/deferral work its executor did, and the
+/// availability and SLA exposure that resulted.
+std::string render_robustness_report(std::span<const RobustnessRow> rows);
 
 /// Convenience: write it to a file. Throws std::runtime_error on I/O error.
 void write_paper_report(const std::string& path,

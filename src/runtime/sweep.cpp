@@ -1,5 +1,7 @@
 #include "runtime/sweep.h"
 
+#include <algorithm>
+
 #include "runtime/telemetry.h"
 #include "util/rng.h"
 
@@ -16,8 +18,14 @@ std::vector<SweepCell> SweepDriver::grid(
   for (const auto& spec : specs)
     for (const auto& s : settings)
       for (const auto strategy : strategies)
-        for (const auto seed : seeds)
-          cells.push_back(SweepCell{spec, s, strategy, seed});
+        for (const auto seed : seeds) {
+          SweepCell cell;
+          cell.spec = spec;
+          cell.settings = s;
+          cell.strategy = strategy;
+          cell.seed = seed;
+          cells.push_back(std::move(cell));
+        }
   return cells;
 }
 
@@ -58,7 +66,21 @@ std::vector<SweepCellResult> SweepDriver::run(
         out.planned = true;
         out.provisioned_hosts = recommendation->provisioned_hosts;
         out.total_migrations = recommendation->total_migrations;
-        out.report = engine.evaluate(*recommendation);
+        if (cell.faults.any()) {
+          // Fault schedule from the cell's own keyed stream: independent
+          // of sibling cells and of scheduling order, like every other
+          // stream the cell consumes.
+          std::size_t host_bound = 0;
+          for (const auto& p : recommendation->schedule)
+            host_bound = std::max(host_bound, p.host_index_bound());
+          const FaultPlan plan = FaultPlan::generate(
+              cell.faults, host_bound, cell.settings, root.fork("chaos")());
+          out.robustness =
+              engine.evaluate_under_faults(*recommendation, plan, cell.chaos);
+          out.report = out.robustness.emulation;
+        } else {
+          out.report = engine.evaluate(*recommendation);
+        }
         MetricsRegistry::global().add_counter("sweep.cells_done");
         out.wall_seconds = cell_span.stop();
       },

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/replay.h"
 #include "core/emulator.h"
 #include "core/settings.h"
 #include "engine/engine.h"
@@ -31,6 +32,13 @@ struct SweepCell {
   StudySettings settings;
   Strategy strategy = Strategy::kSemiStatic;
   std::uint64_t seed = 0;
+  /// Fault injection (src/chaos). When faults.any(), the cell replays the
+  /// plan under a FaultPlan derived from fork("chaos") of the cell seed and
+  /// fills SweepCellResult::robustness; `report` is then the faulted
+  /// replay's emulation. The default spec injects nothing, and the cell is
+  /// bit-identical to a pre-chaos run.
+  FaultSpec faults;
+  ChaosOptions chaos;
 };
 
 struct SweepCellResult {
@@ -42,6 +50,9 @@ struct SweepCellResult {
   std::size_t provisioned_hosts = 0;
   std::size_t total_migrations = 0;
   EmulationReport report;  ///< default-constructed when !planned
+  /// Fault-injected replay outcome; only meaningful when the cell's
+  /// FaultSpec injects something (robustness.emulation == report then).
+  RobustnessReport robustness;
   /// Wall time of this cell — telemetry only, excluded from the
   /// determinism contract.
   double wall_seconds = 0;

@@ -115,13 +115,28 @@ std::string MetricsRegistry::to_json() const {
 }
 
 bool MetricsRegistry::dump_json(const std::string& path) const {
-  std::FILE* file = std::fopen(path.c_str(), "w");
+  // Write-then-rename so a reader (or a crash mid-dump) never sees a
+  // truncated sidecar: the file at `path` is either the previous complete
+  // dump or the new one.
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "w");
   if (!file) return false;
   const std::string json = to_json();
   const std::size_t written = std::fwrite(json.data(), 1, json.size(), file);
-  const bool ok = written == json.size() && std::fclose(file) == 0;
-  if (written != json.size()) std::fclose(file);
-  return ok;
+  if (written != json.size() || std::fflush(file) != 0) {
+    std::fclose(file);
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::fclose(file) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 void MetricsRegistry::clear() {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/thread_pool.h"
 #include "trace/app_model.h"
 #include "trace/patterns.h"
 #include "util/distributions.h"
@@ -210,17 +211,27 @@ Datacenter generate_datacenter(const WorkloadSpec& spec, std::uint64_t seed) {
   Datacenter dc;
   dc.name = spec.name;
   dc.industry = spec.industry;
-  dc.servers.reserve(static_cast<std::size_t>(std::max(spec.num_servers, 0)));
 
   Rng root(seed);
   Rng master = root.fork(spec.name + "/" + spec.industry);
   Rng fleet_rng = master.fork("fleet-events");
   const std::vector<double> fleet_bursts = generate_fleet_events(spec, fleet_rng);
+
+  // Pass 1 (serial, cheap): carve the fleet into applications and draw each
+  // app's shared context from its own keyed stream. One application at a
+  // time: size ~ Uniform[1, 2*mean-1], one class for all of its servers,
+  // one shared context.
+  struct ServerPlan {
+    std::string id;
+    WorkloadClass klass = WorkloadClass::kWeb;
+    std::size_t app = 0;
+  };
+  std::vector<AppContext> apps;
+  std::vector<ServerPlan> plans;
+  plans.reserve(static_cast<std::size_t>(std::max(spec.num_servers, 0)));
   int produced = 0;
   int app_index = 0;
   while (produced < spec.num_servers) {
-    // One application at a time: size ~ Uniform[1, 2*mean-1], one class for
-    // all of its servers, one shared context.
     const std::string app_id = spec.name + "-app-" + std::to_string(app_index);
     Rng app_rng = master.fork(app_id);
     const int max_size =
@@ -231,20 +242,31 @@ Datacenter generate_datacenter(const WorkloadSpec& spec, std::uint64_t seed) {
     const WorkloadClass klass = app_rng.bernoulli(spec.web_fraction)
                                     ? WorkloadClass::kWeb
                                     : WorkloadClass::kBatch;
-    const AppContext app =
-        make_app_context(spec, klass, app_rng, fleet_bursts);
+    apps.push_back(make_app_context(spec, klass, app_rng, fleet_bursts));
 
     for (int j = 0; j < app_size; ++j) {
-      const std::string id =
-          spec.name + "-srv-" + std::to_string(produced + 1);
-      // Per-server stream keyed by id: adding or removing servers does not
-      // perturb the traces of the others.
-      Rng server_rng = master.fork(id);
-      dc.servers.push_back(generate_server(spec, klass, id, server_rng, &app));
+      ServerPlan plan;
+      plan.id = spec.name + "-srv-" + std::to_string(produced + 1);
+      plan.klass = klass;
+      plan.app = apps.size() - 1;
+      plans.push_back(std::move(plan));
       ++produced;
     }
     ++app_index;
   }
+
+  // Pass 2 (parallel, the expensive trace synthesis): every server draws
+  // only from its own stream keyed by id — adding or removing servers does
+  // not perturb the traces of the others, and sharding the loop across the
+  // pool writes each trace into its own slot, bit-identical to the serial
+  // order at any VMCW_THREADS.
+  dc.servers.resize(plans.size());
+  parallel_for(0, plans.size(), [&](std::size_t i) {
+    const ServerPlan& plan = plans[i];
+    Rng server_rng = master.fork(plan.id);
+    dc.servers[i] = generate_server(spec, plan.klass, plan.id, server_rng,
+                                    &apps[plan.app]);
+  });
   return dc;
 }
 

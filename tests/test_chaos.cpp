@@ -1,0 +1,470 @@
+// Fault-injection subsystem (src/chaos): deterministic fault schedules,
+// failure-aware replay, and the determinism contract under faults.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "chaos/fault_plan.h"
+#include "chaos/replay.h"
+#include "core/emulator.h"
+#include "core/migration_scheduler.h"
+#include "runtime/sweep.h"
+#include "runtime/thread_pool.h"
+#include "test_helpers.h"
+
+namespace vmcw {
+namespace {
+
+using testing::constant_vm;
+using testing::small_settings;
+
+// -- fixtures ---------------------------------------------------------
+
+// `hosts` constant VMs, one per host, modest footprint (~10 fit per blade).
+std::vector<VmWorkload> one_vm_per_host(std::size_t hosts,
+                                        const StudySettings& settings) {
+  std::vector<VmWorkload> vms;
+  const std::size_t hours = settings.eval_end();
+  for (std::size_t i = 0; i < hosts; ++i)
+    vms.push_back(constant_vm("vm-" + std::to_string(i), 2000.0, 8000.0,
+                              hours));
+  return vms;
+}
+
+Placement spread(std::size_t vms) {
+  Placement p(vms);
+  for (std::size_t vm = 0; vm < vms; ++vm)
+    p.assign(vm, static_cast<std::int32_t>(vm));
+  return p;
+}
+
+void expect_same_emulation(const EmulationReport& a, const EmulationReport& b) {
+  EXPECT_EQ(a.eval_hours, b.eval_hours);
+  EXPECT_EQ(a.intervals, b.intervals);
+  EXPECT_EQ(a.provisioned_hosts, b.provisioned_hosts);
+  EXPECT_EQ(a.active_hosts_per_interval, b.active_hosts_per_interval);
+  EXPECT_EQ(a.host_avg_cpu_util, b.host_avg_cpu_util);
+  EXPECT_EQ(a.host_peak_cpu_util, b.host_peak_cpu_util);
+  EXPECT_EQ(a.cpu_contention_samples, b.cpu_contention_samples);
+  EXPECT_EQ(a.mem_contention_samples, b.mem_contention_samples);
+  EXPECT_EQ(a.hours_with_contention, b.hours_with_contention);
+  EXPECT_EQ(a.vm_contention_hours, b.vm_contention_hours);
+  EXPECT_EQ(a.total_vm_contention_hours, b.total_vm_contention_hours);
+  EXPECT_EQ(a.energy_wh, b.energy_wh);  // bitwise, not approximate
+}
+
+// -- FaultPlan generation ---------------------------------------------
+
+TEST(FaultPlan, GenerateIsDeterministic) {
+  const auto settings = small_settings();
+  const auto spec = FaultSpec::at_intensity(1.0);
+  const auto a = FaultPlan::generate(spec, 32, settings, 7);
+  const auto b = FaultPlan::generate(spec, 32, settings, 7);
+  EXPECT_EQ(a.outages(), b.outages());
+  EXPECT_EQ(a.stale_intervals(), b.stale_intervals());
+  for (std::size_t vm = 0; vm < 40; ++vm)
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      EXPECT_EQ(a.migration_attempt_fails(vm, 3, attempt),
+                b.migration_attempt_fails(vm, 3, attempt));
+      EXPECT_EQ(a.migration_slowdown(vm, 3), b.migration_slowdown(vm, 3));
+    }
+}
+
+TEST(FaultPlan, SeedsProduceDifferentSchedules) {
+  const auto settings = small_settings();
+  const auto spec = FaultSpec::at_intensity(1.0);
+  const auto a = FaultPlan::generate(spec, 32, settings, 7);
+  const auto b = FaultPlan::generate(spec, 32, settings, 8);
+  EXPECT_NE(a.outages(), b.outages());
+}
+
+TEST(FaultPlan, PerHostStreamsAreIndependent) {
+  // Growing the fleet must not perturb the outage schedule of the hosts
+  // that were already there (keyed forks per host).
+  const auto settings = small_settings();
+  const auto spec = FaultSpec::at_intensity(1.0);
+  const auto small = FaultPlan::generate(spec, 16, settings, 7);
+  const auto large = FaultPlan::generate(spec, 24, settings, 7);
+  std::vector<HostOutage> small_prefix;
+  for (const auto& o : large.outages())
+    if (o.host < 16) small_prefix.push_back(o);
+  EXPECT_EQ(small.outages(), small_prefix);
+}
+
+TEST(FaultPlan, OutagesStayInsideEvaluationWindow) {
+  const auto settings = small_settings();
+  const auto plan =
+      FaultPlan::generate(FaultSpec::at_intensity(1.0), 64, settings, 3);
+  for (const auto& o : plan.outages()) {
+    EXPECT_GE(o.down_from, settings.eval_begin());
+    EXPECT_LT(o.down_from, settings.eval_end());
+    EXPECT_GT(o.up_at, o.down_from);
+  }
+}
+
+TEST(FaultPlan, IntensityZeroInjectsNothing) {
+  const auto settings = small_settings();
+  const auto plan =
+      FaultPlan::generate(FaultSpec::at_intensity(0.0), 64, settings, 3);
+  EXPECT_FALSE(plan.any());
+  EXPECT_TRUE(plan.outages().empty());
+  EXPECT_EQ(plan.stale_interval_count(), 0u);
+  EXPECT_FALSE(plan.migration_attempt_fails(0, 0, 0));
+  EXPECT_EQ(plan.migration_slowdown(0, 0), 1.0);
+}
+
+TEST(FaultPlan, ScriptedFaultsWork) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.any());
+  plan.add_outage(3, 100, 105);
+  plan.force_stale(7);
+  plan.force_migration_failures(11, 4, 2);
+  EXPECT_TRUE(plan.any());
+  EXPECT_TRUE(plan.host_down(3, 100));
+  EXPECT_TRUE(plan.host_down(3, 104));
+  EXPECT_FALSE(plan.host_down(3, 105));
+  EXPECT_TRUE(plan.monitoring_stale(7));
+  EXPECT_FALSE(plan.monitoring_stale(6));
+  EXPECT_TRUE(plan.migration_attempt_fails(11, 4, 0));
+  EXPECT_TRUE(plan.migration_attempt_fails(11, 4, 1));
+  EXPECT_FALSE(plan.migration_attempt_fails(11, 4, 2));
+  EXPECT_FALSE(plan.migration_attempt_fails(11, 5, 0));  // other interval
+}
+
+// -- retry scheduling -------------------------------------------------
+
+TEST(RetryPolicy, BackoffDoublesAndCaps) {
+  RetryPolicy policy;  // base 30, cap 480
+  EXPECT_DOUBLE_EQ(policy.backoff_for(1), 30.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_for(2), 60.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_for(3), 120.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_for(5), 480.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_for(50), 480.0);
+}
+
+TEST(RetrySchedule, FailNTimesThenSucceed) {
+  MigrationJob job;
+  job.vm = 0;
+  job.from = 0;
+  job.to = 1;
+  job.duration_s = 100.0;
+  const std::vector<MigrationJob> jobs{job};
+  RetryPolicy policy;
+  const auto result = schedule_migrations_with_retries(
+      jobs, 2, policy, 7200.0,
+      [](std::size_t, int attempt) { return attempt < 2; });
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_TRUE(result.jobs[0].completed);
+  EXPECT_EQ(result.jobs[0].attempts, 3);
+  EXPECT_EQ(result.total_attempts, 3u);
+  EXPECT_EQ(result.failed_attempts, 2u);
+  EXPECT_EQ(result.retries, 2u);
+  EXPECT_EQ(result.abandoned, 0u);
+  // 3 runs of 100 s + backoffs of 30 s and 60 s.
+  EXPECT_DOUBLE_EQ(result.jobs[0].finish_s, 390.0);
+}
+
+TEST(RetrySchedule, ExhaustsAttemptBudget) {
+  MigrationJob job;
+  job.duration_s = 100.0;
+  job.from = 0;
+  job.to = 1;
+  const std::vector<MigrationJob> jobs{job};
+  const auto result = schedule_migrations_with_retries(
+      jobs, 2, RetryPolicy{}, 7200.0,
+      [](std::size_t, int) { return true; });  // always fails
+  EXPECT_FALSE(result.jobs[0].completed);
+  EXPECT_EQ(result.jobs[0].attempts, 4);  // default max_attempts
+  EXPECT_EQ(result.abandoned, 1u);
+}
+
+TEST(RetrySchedule, RespectsDeadline) {
+  MigrationJob job;
+  job.duration_s = 100.0;
+  job.from = 0;
+  job.to = 1;
+  const std::vector<MigrationJob> jobs{job};
+  const auto result = schedule_migrations_with_retries(
+      jobs, 2, RetryPolicy{}, /*deadline_s=*/50.0,
+      [](std::size_t, int) { return false; });
+  // Cannot finish inside the deadline: deferred without burning an attempt.
+  EXPECT_FALSE(result.jobs[0].completed);
+  EXPECT_EQ(result.jobs[0].attempts, 0);
+  EXPECT_EQ(result.abandoned, 1u);
+}
+
+TEST(RetrySchedule, SlowdownStretchesDuration) {
+  MigrationJob job;
+  job.duration_s = 100.0;
+  job.from = 0;
+  job.to = 1;
+  const std::vector<MigrationJob> jobs{job};
+  const auto result = schedule_migrations_with_retries(
+      jobs, 2, RetryPolicy{}, 7200.0,
+      [](std::size_t, int) { return false; },
+      [](std::size_t) { return 3.0; });
+  EXPECT_TRUE(result.jobs[0].completed);
+  EXPECT_DOUBLE_EQ(result.jobs[0].finish_s, 300.0);
+}
+
+TEST(RetrySchedule, NoFaultsMatchesPlainScheduler) {
+  // With no failures and no slowdowns, the retry scheduler is the plain
+  // LJF list scheduler.
+  std::vector<MigrationJob> jobs;
+  for (int i = 0; i < 6; ++i) {
+    MigrationJob job;
+    job.vm = static_cast<std::size_t>(i);
+    job.from = i % 2;
+    job.to = 2 + i % 3;
+    job.duration_s = 60.0 + 10.0 * i;
+    jobs.push_back(job);
+  }
+  const auto plain = schedule_migrations(jobs, 2);
+  const auto faulty = schedule_migrations_with_retries(
+      jobs, 2, RetryPolicy{}, 7200.0,
+      [](std::size_t, int) { return false; });
+  EXPECT_EQ(faulty.total_attempts, jobs.size());
+  EXPECT_EQ(faulty.retries, 0u);
+  EXPECT_DOUBLE_EQ(faulty.makespan_s, plain.makespan_s);
+}
+
+// -- failure-aware replay ---------------------------------------------
+
+TEST(ChaosReplay, NoFaultPlanReproducesEmulator) {
+  // Acceptance: fault intensity 0 => replay is identical to emulate().
+  const auto vms = testing::small_fleet(50, 11);
+  const auto settings = small_settings();
+  Placement p(vms.size());
+  for (std::size_t vm = 0; vm < vms.size(); ++vm)
+    p.assign(vm, static_cast<std::int32_t>(vm % 8));
+  const std::vector<Placement> schedule{p};
+
+  const auto direct = emulate(vms, schedule, settings, false);
+  const auto replayed =
+      replay_under_faults(vms, schedule, settings, false, FaultPlan{});
+  expect_same_emulation(direct, replayed.emulation);
+  EXPECT_EQ(replayed.host_crashes, 0u);
+  EXPECT_EQ(replayed.vm_downtime_hours, 0u);
+  EXPECT_EQ(replayed.migration_retries, 0u);
+  EXPECT_EQ(replayed.stale_intervals, 0u);
+  EXPECT_TRUE(replayed.sla_violation_intervals.empty());
+  EXPECT_DOUBLE_EQ(replayed.availability(), 1.0);
+}
+
+TEST(ChaosReplay, ZeroIntensityGeneratedPlanAlsoReproducesEmulator) {
+  const auto vms = testing::small_fleet(50, 11);
+  const auto settings = small_settings();
+  Placement p(vms.size());
+  for (std::size_t vm = 0; vm < vms.size(); ++vm)
+    p.assign(vm, static_cast<std::int32_t>(vm % 8));
+  const std::vector<Placement> schedule{p};
+  const auto plan =
+      FaultPlan::generate(FaultSpec::at_intensity(0.0), 8, settings, 99);
+  const auto direct = emulate(vms, schedule, settings, false);
+  const auto replayed =
+      replay_under_faults(vms, schedule, settings, false, plan);
+  expect_same_emulation(direct, replayed.emulation);
+}
+
+TEST(ChaosReplay, CrashedHostIsEvacuatedMidInterval) {
+  const auto settings = small_settings();
+  const auto vms = one_vm_per_host(4, settings);
+  const std::vector<Placement> schedule{spread(vms.size())};
+
+  FaultPlan plan;
+  // Crash host 0 three hours into the window; hosts 1-3 have headroom.
+  const std::size_t crash_hour = settings.eval_begin() + 3;
+  plan.add_outage(0, crash_hour, crash_hour + 5);
+  const auto rob = replay_under_faults(vms, schedule, settings, false, plan);
+
+  EXPECT_EQ(rob.host_crashes, 1u);
+  EXPECT_EQ(rob.evacuations, 1u);
+  EXPECT_EQ(rob.failed_evacuations, 0u);
+  // The drain moved the VM before it lost an hour.
+  EXPECT_EQ(rob.vm_downtime_hours, 0u);
+  EXPECT_DOUBLE_EQ(rob.availability(), 1.0);
+  EXPECT_DOUBLE_EQ(rob.capacity_lost_host_hours, 5.0);
+}
+
+TEST(ChaosReplay, FailedEvacuationCountsDowntime) {
+  const auto settings = small_settings();
+  // Every VM on one host: a crash has nowhere to drain to.
+  const auto vms = one_vm_per_host(3, settings);
+  Placement p(vms.size());
+  for (std::size_t vm = 0; vm < vms.size(); ++vm) p.assign(vm, 0);
+  const std::vector<Placement> schedule{p};
+
+  FaultPlan plan;
+  const std::size_t crash_hour = settings.eval_begin() + 2;
+  plan.add_outage(0, crash_hour, crash_hour + 4);
+  const auto rob = replay_under_faults(vms, schedule, settings, false, plan);
+
+  EXPECT_EQ(rob.host_crashes, 1u);
+  EXPECT_EQ(rob.evacuations, 0u);
+  EXPECT_EQ(rob.failed_evacuations, 1u);
+  EXPECT_EQ(rob.vm_downtime_hours, 3u * 4u);
+  for (const auto hours : rob.vm_down_hours) EXPECT_EQ(hours, 4u);
+  ASSERT_EQ(rob.sla_violation_intervals.size(), 1u);
+  EXPECT_EQ(rob.sla_violation_intervals[0].first, crash_hour);
+  EXPECT_EQ(rob.sla_violation_intervals[0].second, crash_hour + 4);
+  EXPECT_LT(rob.availability(), 1.0);
+}
+
+// Dynamic-style schedule: vm 0 moves from host 0 to host 1 at interval 5.
+std::vector<Placement> move_at_interval_5(std::size_t vms,
+                                          const StudySettings& settings) {
+  std::vector<Placement> schedule;
+  for (std::size_t k = 0; k < settings.intervals(); ++k) {
+    Placement p = spread(vms);
+    if (k >= 5) p.assign(0, 1);
+    schedule.push_back(std::move(p));
+  }
+  return schedule;
+}
+
+TEST(ChaosReplay, MigrationFailsTwiceThenSucceeds) {
+  const auto settings = small_settings();
+  const auto vms = one_vm_per_host(4, settings);
+  const auto schedule = move_at_interval_5(vms.size(), settings);
+
+  FaultPlan plan;
+  plan.force_migration_failures(0, 5, 2);
+  const auto rob = replay_under_faults(vms, schedule, settings, false, plan);
+
+  EXPECT_EQ(rob.migration_attempts, 3u);
+  EXPECT_EQ(rob.failed_migration_attempts, 2u);
+  EXPECT_EQ(rob.migration_retries, 2u);
+  EXPECT_EQ(rob.migrations_completed, 1u);
+  EXPECT_EQ(rob.migrations_deferred, 0u);
+  EXPECT_EQ(rob.vm_downtime_hours, 0u);
+
+  // The retried replay still converges to the plan, so its final state
+  // matches the fault-free replay's.
+  const auto clean =
+      replay_under_faults(vms, schedule, settings, false, FaultPlan{});
+  expect_same_emulation(clean.emulation, rob.emulation);
+}
+
+TEST(ChaosReplay, ExhaustedMigrationIsDeferredToNextInterval) {
+  const auto settings = small_settings();
+  const auto vms = one_vm_per_host(4, settings);
+  const auto schedule = move_at_interval_5(vms.size(), settings);
+
+  FaultPlan plan;
+  plan.force_migration_failures(0, 5, 100);  // interval 5 never succeeds
+  const auto rob = replay_under_faults(vms, schedule, settings, false, plan);
+
+  // 4 failed attempts in interval 5 (abandoned), then success at 6.
+  EXPECT_EQ(rob.migrations_deferred, 1u);
+  EXPECT_EQ(rob.migrations_completed, 1u);
+  EXPECT_EQ(rob.failed_migration_attempts, 4u);
+  EXPECT_GE(rob.migration_attempts, 5u);
+}
+
+TEST(ChaosReplay, StaleTelemetryDefersThePlan) {
+  const auto settings = small_settings();
+  const auto vms = one_vm_per_host(4, settings);
+  const auto schedule = move_at_interval_5(vms.size(), settings);
+
+  FaultPlan plan;
+  plan.force_stale(5);
+  const auto rob = replay_under_faults(vms, schedule, settings, false, plan);
+
+  // Degraded mode at interval 5 re-applies plan 4 (no move); the move
+  // happens when telemetry recovers at interval 6.
+  EXPECT_EQ(rob.stale_intervals, 1u);
+  EXPECT_EQ(rob.migrations_completed, 1u);
+  EXPECT_EQ(rob.vm_downtime_hours, 0u);
+}
+
+TEST(ChaosReplay, CrashOfMigrationTargetDefersJobs) {
+  const auto settings = small_settings();
+  const auto vms = one_vm_per_host(4, settings);
+  // The plan moves vm 0 from host 0 to the (empty) host 4 at interval 5.
+  std::vector<Placement> schedule;
+  for (std::size_t k = 0; k < settings.intervals(); ++k) {
+    Placement p = spread(vms.size());
+    if (k >= 5) p.assign(0, 4);
+    schedule.push_back(std::move(p));
+  }
+
+  FaultPlan plan;
+  // Host 4 is down across the interval-5 boundary (hours 129-130; interval
+  // 5 starts at hour 130), rebooting one hour into the interval.
+  const std::size_t boundary =
+      settings.eval_begin() + 5 * settings.interval_hours;
+  plan.add_outage(4, boundary - 1, boundary + 1);
+  const auto rob = replay_under_faults(vms, schedule, settings, false, plan);
+
+  // Host 4 was empty when it crashed: no evacuation, no downtime — but the
+  // interval-5 job targeting it is deferred, then recomputed and completed
+  // at interval 6.
+  EXPECT_EQ(rob.host_crashes, 1u);
+  EXPECT_EQ(rob.evacuations, 0u);
+  EXPECT_EQ(rob.failed_evacuations, 0u);
+  EXPECT_DOUBLE_EQ(rob.capacity_lost_host_hours, 0.0);
+  EXPECT_EQ(rob.vm_downtime_hours, 0u);
+  EXPECT_EQ(rob.migrations_deferred, 1u);
+  EXPECT_EQ(rob.migrations_completed, 1u);
+}
+
+// -- determinism under faults -----------------------------------------
+
+std::string chaos_fingerprint(const std::vector<SweepCellResult>& results) {
+  std::string fp;
+  char buffer[192];
+  for (const auto& r : results) {
+    const auto& rob = r.robustness;
+    std::snprintf(buffer, sizeof(buffer),
+                  "%zu|%d|%zu|%zu|%zu|%zu|%zu|%zu|%zu|%a|%a;", r.index,
+                  r.planned ? 1 : 0, rob.host_crashes, rob.evacuations,
+                  rob.migration_attempts, rob.migration_retries,
+                  rob.migrations_deferred, rob.stale_intervals,
+                  rob.vm_downtime_hours, rob.capacity_lost_host_hours,
+                  r.report.energy_wh);
+    fp += buffer;
+  }
+  return fp;
+}
+
+TEST(ChaosDeterminism, SweepIdenticalAtAnyThreadCount) {
+  std::vector<WorkloadSpec> specs{scaled_down(banking_spec(), 40, 168)};
+  const StudySettings settings[] = {small_settings()};
+  const Strategy strategies[] = {Strategy::kSemiStatic, Strategy::kDynamic};
+  const std::uint64_t seeds[] = {42};
+  auto cells = SweepDriver::grid(specs, settings, strategies, seeds);
+  for (auto& cell : cells) cell.faults = FaultSpec::at_intensity(1.0);
+
+  std::string reference;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    ScopedPoolOverride scope(pool);
+    const auto results = SweepDriver(&pool).run(cells);
+    const std::string fp = chaos_fingerprint(results);
+    if (reference.empty())
+      reference = fp;
+    else
+      EXPECT_EQ(fp, reference) << "at " << threads << " threads";
+  }
+  EXPECT_FALSE(reference.empty());
+}
+
+TEST(ChaosDeterminism, FaultedSweepActuallyInjects) {
+  std::vector<WorkloadSpec> specs{scaled_down(banking_spec(), 40, 168)};
+  const StudySettings settings[] = {small_settings()};
+  const Strategy strategies[] = {Strategy::kDynamic};
+  const std::uint64_t seeds[] = {42};
+  auto cells = SweepDriver::grid(specs, settings, strategies, seeds);
+  for (auto& cell : cells) cell.faults = FaultSpec::at_intensity(1.0);
+  const auto results = SweepDriver().run(cells);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].planned);
+  const auto& rob = results[0].robustness;
+  EXPECT_GT(rob.migration_attempts, 0u);
+  EXPECT_GT(rob.stale_intervals, 0u);
+}
+
+}  // namespace
+}  // namespace vmcw
