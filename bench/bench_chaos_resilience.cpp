@@ -7,6 +7,12 @@
 // 0.5, 1.0}, one SweepDriver cell each; every fault schedule derives from
 // the cell seed, so the whole table is bit-identical at any VMCW_THREADS.
 // argv[1] scales servers per estate (default 40).
+//
+// Second axis — correlated outages: rack incidents (every host of a rack
+// down together) at two monthly rates, with domain-aware app spread off
+// and on. Dense packing concentrates an application's replicas in one
+// rack's blast domain; the table shows what that costs in per-app blast
+// radius and incident recovery time, and what spread costs in hosts.
 
 #include <cstdio>
 #include <cstdlib>
@@ -86,6 +92,77 @@ int main(int argc, char** argv) {
   }
   if (retries == 0 || stale == 0 || crashes == 0) {
     std::printf("FAIL: some fault class was never exercised\n");
+    return 1;
+  }
+
+  // ---- Correlated-outage axis: rack incidents, spread off vs on --------
+  const Strategy corr_strategies[] = {Strategy::kSemiStatic,
+                                      Strategy::kDynamic};
+  const double rack_rates[] = {2.0, 4.0};  // incidents per rack per month
+  struct CorrMeta {
+    bool spread = false;
+    double rate = 0;
+  };
+  std::vector<SweepCell> corr_cells;
+  std::vector<CorrMeta> corr_meta;
+  for (const bool spread : {false, true})
+    for (const double rate : rack_rates)
+      for (const auto& spec : specs)
+        for (const Strategy strategy : corr_strategies) {
+          SweepCell cell;
+          cell.spec = spec;
+          cell.settings = bench::baseline_settings();
+          cell.settings.domains.spread = spread;
+          cell.strategy = strategy;
+          cell.seed = kStudySeed;
+          cell.faults.rack_outages_per_month = rate;
+          cell.faults.domain_outage_hours_min = 2;
+          cell.faults.domain_outage_hours_max = 8;
+          corr_cells.push_back(std::move(cell));
+          corr_meta.push_back({spread, rate});
+        }
+  const auto corr_results = SweepDriver().run(corr_cells);
+
+  std::printf("\n## Correlated rack outages: domain-aware spread off vs on\n\n");
+  std::printf("%-10s %-12s %6s %7s %6s %10s %11s %10s %10s %6s\n", "Workload",
+              "Strategy", "rate", "spread", "incid", "recovery_h", "max_blast",
+              "vm_down_h", "peak_down", "hosts");
+  double blast_off = 0, blast_on = 0, recovery_off = 0, recovery_on = 0;
+  std::size_t down_off = 0, down_on = 0, corr_planned = 0;
+  for (std::size_t i = 0; i < corr_results.size(); ++i) {
+    const auto& r = corr_results[i];
+    if (!r.planned) {
+      std::printf("cell %zu (%s) failed to plan\n", i, r.workload.c_str());
+      continue;
+    }
+    ++corr_planned;
+    const RobustnessReport& rob = r.robustness;
+    std::printf("%-10s %-12s %6.1f %7s %6zu %10.1f %10.1f%% %10zu %10zu %6zu\n",
+                r.workload.c_str(), to_string(r.strategy),
+                corr_meta[i].rate, corr_meta[i].spread ? "on" : "off",
+                rob.incidents.size(), rob.worst_incident_recovery_hours,
+                100.0 * rob.max_app_blast_radius, rob.vm_downtime_hours,
+                rob.max_vms_down_simultaneously, r.provisioned_hosts);
+    (corr_meta[i].spread ? blast_on : blast_off) += rob.max_app_blast_radius;
+    (corr_meta[i].spread ? recovery_on : recovery_off) +=
+        rob.worst_incident_recovery_hours;
+    (corr_meta[i].spread ? down_on : down_off) +=
+        rob.max_vms_down_simultaneously;
+  }
+  std::printf("\naggregates (summed over %zu cells per arm):\n", corr_planned / 2);
+  std::printf("  app blast radius   off %.2f  ->  on %.2f\n", blast_off,
+              blast_on);
+  std::printf("  worst recovery (h) off %.1f  ->  on %.1f\n", recovery_off,
+              recovery_on);
+  std::printf("  peak VMs down      off %zu  ->  on %zu\n", down_off, down_on);
+  if (corr_planned == 0) {
+    std::printf("FAIL: no correlated-outage cell planned\n");
+    return 1;
+  }
+  // The headline claim: spreading an application across racks must shrink
+  // the share of its replicas a single rack incident can take out.
+  if (blast_on >= blast_off) {
+    std::printf("FAIL: spread did not reduce aggregate app blast radius\n");
     return 1;
   }
   std::printf("telemetry sidecar: telemetry_chaos_resilience.json\n");

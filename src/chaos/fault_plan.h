@@ -10,10 +10,15 @@
 //
 // Determinism contract (extends the PR-1 runtime contract): every fault
 // decision derives from keyed Rng::fork streams of one scenario seed —
-// host outages from a per-host stream, monitoring gaps from a per-window
-// stream, and migration failures from a stateless hash of
-// (vm, interval, attempt) — so the same seed yields a bit-identical fault
-// schedule at any VMCW_THREADS and regardless of query order.
+// host outages from a per-host stream, correlated rack / power-domain
+// outages from a per-domain stream ("chaos/rack-R", "chaos/power-P"),
+// monitoring gaps from a per-window stream, and migration failures from a
+// stateless hash of (vm, interval, attempt) — so the same seed yields a
+// bit-identical fault schedule at any VMCW_THREADS and regardless of query
+// order. Keyed forks never advance the parent stream, so enabling the
+// domain streams leaves every per-host schedule untouched: a spec with
+// zero domain rates generates byte-identical plans with or without a
+// topology.
 #pragma once
 
 #include <cstddef>
@@ -22,6 +27,7 @@
 #include <vector>
 
 #include "core/settings.h"
+#include "topology/failure_domains.h"
 
 namespace vmcw {
 
@@ -48,22 +54,53 @@ struct FaultSpec {
   double monitoring_gap_rate = 0.0;
   std::size_t monitoring_gap_max_intervals = 3;
 
+  /// Expected correlated outages per rack / power domain per 30 days
+  /// (720 h). Require a FailureDomainMap at generate(); a domain outage
+  /// takes down every member host for the same [down_from, up_at).
+  double rack_outages_per_month = 0.0;
+  double power_domain_outages_per_month = 0.0;
+  std::size_t domain_outage_hours_min = 1;  ///< correlated-outage duration
+  std::size_t domain_outage_hours_max = 6;
+
   /// One-knob profile: scale a production-shaped fault mix by `f` in
   /// [0, 1]. f = 0 is the perfect world; f = 1 is a very bad month.
+  /// Domain-outage rates stay zero — correlated faults are opted into
+  /// explicitly so existing intensity sweeps keep their schedules.
   static FaultSpec at_intensity(double f) noexcept;
+
+  /// Copy with every knob clamped to its sane range: rates into [0, 1]
+  /// (probabilities) or [0, inf) (monthly counts), duration bounds ordered
+  /// with min >= 1, slowdown factor >= 1. generate() validates through
+  /// this, so hostile inputs (negative rates, inverted bounds) degrade to
+  /// the nearest meaningful spec instead of corrupting the schedule.
+  FaultSpec validated() const noexcept;
 
   /// Does this spec inject anything at all?
   bool any() const noexcept {
     return host_crashes_per_month > 0.0 || migration_failure_rate > 0.0 ||
-           migration_slowdown_rate > 0.0 || monitoring_gap_rate > 0.0;
+           migration_slowdown_rate > 0.0 || monitoring_gap_rate > 0.0 ||
+           rack_outages_per_month > 0.0 || power_domain_outages_per_month > 0.0;
   }
 };
+
+/// What took the host down: an independent crash, or a correlated rack /
+/// power-domain incident (in which case every sibling host shares the
+/// same window and the replay can attribute blast radius to the domain).
+enum class OutageCause : std::uint8_t {
+  kHost = 0,
+  kRack = 1,
+  kPowerDomain = 2,
+};
+
+const char* to_string(OutageCause cause) noexcept;
 
 /// One host outage: the host serves nothing in [down_from, up_at).
 struct HostOutage {
   std::size_t host = 0;
   std::size_t down_from = 0;  ///< absolute trace hour the crash hits
   std::size_t up_at = 0;      ///< absolute trace hour service resumes
+  OutageCause cause = OutageCause::kHost;
+  std::int32_t domain = -1;  ///< rack / power-domain id for correlated causes
 
   bool operator==(const HostOutage&) const = default;
 };
@@ -76,17 +113,25 @@ class FaultPlan {
 
   /// Derive the full fault schedule for `host_count` hosts over the
   /// evaluation window of `settings` from `seed`. Deterministic in its
-  /// arguments; independent of thread count and query order.
+  /// arguments; independent of thread count and query order. `spec` is
+  /// run through FaultSpec::validated() first. With a `topology`, the
+  /// spec's rack / power-domain rates emit correlated outages — one
+  /// synchronized HostOutage per member host — from per-domain keyed
+  /// streams; without one (or with zero domain rates) the plan is
+  /// byte-identical to what this function has always produced.
   static FaultPlan generate(const FaultSpec& spec, std::size_t host_count,
-                            const StudySettings& settings,
-                            std::uint64_t seed);
+                            const StudySettings& settings, std::uint64_t seed,
+                            const FailureDomainMap* topology = nullptr);
 
   const FaultSpec& spec() const noexcept { return spec_; }
   bool any() const noexcept;
 
   // -- host crashes ---------------------------------------------------
 
-  /// All outages, sorted by (host, down_from). Non-overlapping per host.
+  /// All outages, sorted by (host, down_from). Non-overlapping per host:
+  /// windows that would overlap (an independent crash inside a rack
+  /// outage, say) are merged into one outage so an hour of lost capacity
+  /// is never counted twice.
   const std::vector<HostOutage>& outages() const noexcept { return outages_; }
 
   bool host_down(std::size_t host, std::size_t hour) const noexcept;
@@ -95,8 +140,16 @@ class FaultPlan {
   std::vector<HostOutage> outages_starting_in(std::size_t from_hour,
                                               std::size_t to_hour) const;
 
-  /// Script one outage (drills/tests). Keeps outages_ sorted.
+  /// Script one outage (drills/tests). Keeps outages_ sorted and merges
+  /// any overlap with existing outages of the same host.
   void add_outage(std::size_t host, std::size_t down_from, std::size_t up_at);
+
+  /// Script one correlated outage (drills/tests): every host of `domain`
+  /// in `topology` goes down for [down_from, up_at) with the matching
+  /// cause. Sorted and overlap-merged like add_outage.
+  void add_domain_outage(const FailureDomainMap& topology, DomainKind kind,
+                         std::size_t domain, std::size_t down_from,
+                         std::size_t up_at);
 
   // -- monitoring gaps ------------------------------------------------
 
@@ -128,6 +181,10 @@ class FaultPlan {
                                 int failures);
 
  private:
+  /// Sort outages_ by (host, down_from) and merge per-host overlaps. The
+  /// merged outage keeps the earliest cause/domain attribution.
+  void normalize_outages();
+
   FaultSpec spec_;
   std::vector<HostOutage> outages_;
   std::vector<std::uint8_t> stale_;  ///< per consolidation interval

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <unordered_map>
 
 #include "runtime/telemetry.h"
 
@@ -63,6 +67,31 @@ RobustnessReport replay_under_faults(std::span<const VmWorkload> vms,
   // Per outage: did the host carry VMs when it went down? Such hosts count
   // as lost capacity for every hour of their outage.
   std::vector<char> outage_loaded(outages.size(), 0);
+
+  // Correlated incidents: outage records sharing (cause, domain, start)
+  // are one physical event. Index them up front so the replay can charge
+  // drains, strandings, and recovery time to the incident they belong to.
+  constexpr std::size_t kNoIncident = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> incident_of(outages.size(), kNoIncident);
+  {
+    std::map<std::tuple<int, std::int32_t, std::size_t>, std::size_t> ids;
+    for (std::size_t i = 0; i < outages.size(); ++i) {
+      const HostOutage& o = outages[i];
+      if (o.cause == OutageCause::kHost) continue;
+      const auto [it, inserted] = ids.emplace(
+          std::make_tuple(static_cast<int>(o.cause), o.domain, o.down_from),
+          rob.incidents.size());
+      if (inserted) {
+        IncidentRecord rec;
+        rec.cause = o.cause;
+        rec.domain = o.domain;
+        rec.start_hour = o.down_from;
+        rob.incidents.push_back(rec);
+      }
+      incident_of[i] = it->second;
+    }
+  }
+  std::vector<std::vector<std::size_t>> incident_vms(rob.incidents.size());
 
   Placement actual = schedule[0];  // the placement actually achieved
   std::size_t last_fresh = 0;      // schedule index of the last fresh plan
@@ -153,6 +182,16 @@ RobustnessReport replay_under_faults(std::span<const VmWorkload> vms,
           outage_loaded[i] = 0;
         }
       }
+      // Pre-mark correlated crashes landing this hour: a drain run for any
+      // host going down now must not pick as target a sibling that the
+      // same incident is about to take with it. Independent crashes keep
+      // their original semantics (only already-down hosts are excluded).
+      for (const HostOutage& o : outages) {
+        if (o.cause == OutageCause::kHost) continue;
+        if (o.down_from == hour && o.up_at > hour && o.host < host_bound &&
+            !down[o.host])
+          down_u8[o.host] = 1;
+      }
       // Crashes hitting this hour.
       for (std::size_t i = 0; i < outages.size(); ++i) {
         const HostOutage& o = outages[i];
@@ -163,11 +202,20 @@ RobustnessReport replay_under_faults(std::span<const VmWorkload> vms,
         down_u8[o.host] = 1;
         ++hosts_down;
         ++rob.host_crashes;
-        bool loaded = false;
-        for (std::size_t vm = 0; vm < actual.vm_count() && !loaded; ++vm)
-          loaded = actual.is_placed(vm) &&
-                   actual.host_of(vm) == static_cast<std::int32_t>(o.host);
-        if (!loaded) continue;
+        std::vector<std::size_t> on_host;
+        for (std::size_t vm = 0; vm < actual.vm_count(); ++vm)
+          if (actual.is_placed(vm) &&
+              actual.host_of(vm) == static_cast<std::int32_t>(o.host))
+            on_host.push_back(vm);
+        const std::size_t inc = incident_of[i];
+        if (inc != kNoIncident) {
+          IncidentRecord& rec = rob.incidents[inc];
+          ++rec.hosts_lost;
+          rec.vms_affected += on_host.size();
+          incident_vms[inc].insert(incident_vms[inc].end(), on_host.begin(),
+                                   on_host.end());
+        }
+        if (on_host.empty()) continue;
         outage_loaded[i] = 1;
         ++loaded_hosts_down;
         // HA drain onto surviving hosts (other down hosts excluded as
@@ -179,10 +227,22 @@ RobustnessReport replay_under_faults(std::span<const VmWorkload> vms,
         if (drain.has_value()) {
           ++rob.evacuations;
           rob.migrations_completed += drain->jobs.size();
+          if (inc != kNoIncident) {
+            rob.incidents[inc].recovery_hours =
+                std::max(rob.incidents[inc].recovery_hours,
+                         drain->schedule.makespan_s / 3600.0);
+          }
           actual = std::move(drain->after);
           acc.update_placement(actual);
         } else {
           ++rob.failed_evacuations;
+          if (inc != kNoIncident) {
+            IncidentRecord& rec = rob.incidents[inc];
+            rec.vms_stranded += on_host.size();
+            rec.recovery_hours =
+                std::max(rec.recovery_hours,
+                         static_cast<double>(o.up_at - o.down_from));
+          }
         }
       }
 
@@ -191,12 +251,46 @@ RobustnessReport replay_under_faults(std::span<const VmWorkload> vms,
           acc.step_hour(hour, hosts_down > 0 ? &down : nullptr,
                         &rob.vm_down_hours);
       rob.vm_downtime_hours += out.vms_down;
+      rob.max_vms_down_simultaneously =
+          std::max(rob.max_vms_down_simultaneously, out.vms_down);
       if (out.contention || out.vms_down > 0)
         hour_bad[hour - settings.eval_begin()] = 1;
     }
   }
 
   rob.emulation = acc.finish();
+
+  // Per-incident blast radius: the share of each application's replicas
+  // inside one incident's footprint. Applications of one VM are excluded
+  // (their share is trivially total).
+  if (!rob.incidents.empty()) {
+    std::unordered_map<std::string, std::size_t> app_size;
+    for (const auto& vm : vms)
+      if (!vm.app.empty()) ++app_size[vm.app];
+    for (std::size_t inc = 0; inc < rob.incidents.size(); ++inc) {
+      std::unordered_map<std::string, std::size_t> hit;
+      for (const std::size_t vm : incident_vms[inc])
+        if (!vms[vm].app.empty()) ++hit[vms[vm].app];
+      double worst = 0;
+      for (const auto& [app, count] : hit) {
+        const std::size_t total = app_size[app];
+        if (total < 2) continue;
+        worst = std::max(worst, static_cast<double>(count) /
+                                    static_cast<double>(total));
+      }
+      rob.incidents[inc].max_app_blast_fraction = worst;
+      rob.worst_incident_recovery_hours = std::max(
+          rob.worst_incident_recovery_hours, rob.incidents[inc].recovery_hours);
+      rob.max_app_blast_radius = std::max(rob.max_app_blast_radius, worst);
+    }
+    std::sort(rob.incidents.begin(), rob.incidents.end(),
+              [](const IncidentRecord& a, const IncidentRecord& b) {
+                return std::make_tuple(a.start_hour,
+                                       static_cast<int>(a.cause), a.domain) <
+                       std::make_tuple(b.start_hour,
+                                       static_cast<int>(b.cause), b.domain);
+              });
+  }
 
   // Merge flagged hours into maximal [from, to) absolute-hour ranges.
   const std::size_t base = settings.eval_begin();
@@ -220,6 +314,7 @@ RobustnessReport replay_under_faults(std::span<const VmWorkload> vms,
   metrics.add_counter("chaos.migrations_deferred", rob.migrations_deferred);
   metrics.add_counter("chaos.stale_intervals", rob.stale_intervals);
   metrics.add_counter("chaos.vm_downtime_hours", rob.vm_downtime_hours);
+  metrics.add_counter("chaos.incidents", rob.incidents.size());
   return rob;
 }
 

@@ -37,6 +37,25 @@ struct ChaosOptions {
   EvacuationOptions evacuation;    ///< crash-drain parameters
 };
 
+/// One correlated incident — a rack or power-domain outage — replayed
+/// start to finish. Outage records sharing (cause, domain, start hour)
+/// are one physical event.
+struct IncidentRecord {
+  OutageCause cause = OutageCause::kRack;
+  std::int32_t domain = -1;
+  std::size_t start_hour = 0;    ///< absolute trace hour of impact
+  std::size_t hosts_lost = 0;    ///< member hosts taken down together
+  std::size_t vms_affected = 0;  ///< VMs on those hosts at impact
+  std::size_t vms_stranded = 0;  ///< affected VMs with no drain target
+  /// Detection to service restored: the drain makespan where the VMs were
+  /// evacuated, the full reboot window where they rode the host down.
+  double recovery_hours = 0;
+  /// Worst per-application share of replicas inside the blast; 1.0 means
+  /// some application lost every replica at once. Only applications with
+  /// two or more VMs count (a singleton's share is trivially total).
+  double max_app_blast_fraction = 0;
+};
+
 /// What the evaluation window looked like once failures were allowed to
 /// happen — the robustness counterpart of EmulationReport.
 struct RobustnessReport {
@@ -61,6 +80,14 @@ struct RobustnessReport {
   std::size_t failed_evacuations = 0;  ///< no room: VMs ride the host down
   std::size_t vm_downtime_hours = 0;   ///< total VM-hours offline
   std::vector<std::size_t> vm_down_hours;  ///< per VM
+  /// Peak count of VMs offline in any single hour — the headline number a
+  /// correlated outage moves and per-host faults barely touch.
+  std::size_t max_vms_down_simultaneously = 0;
+
+  // Correlated-outage accounting (empty without rack / power faults).
+  std::vector<IncidentRecord> incidents;  ///< ordered by start hour
+  double worst_incident_recovery_hours = 0;
+  double max_app_blast_radius = 0;  ///< worst incident app-blast fraction
   /// Maximal absolute-hour ranges [from, to) in which some VM was down or
   /// some host contended — Section 7's "higher risk of SLA violations"
   /// made countable as intervals.

@@ -5,6 +5,17 @@
 
 namespace vmcw {
 
+std::int32_t DomainLookup::domain_of(std::int32_t host) const noexcept {
+  const std::int64_t shifted =
+      static_cast<std::int64_t>(host) + static_cast<std::int64_t>(host_offset);
+  if (shifted < 0) return -1;
+  const auto h = static_cast<std::size_t>(shifted);
+  if (h < table.size()) return table[h];
+  if (tail_first_domain < 0 || h < tail_base) return -1;
+  const std::size_t stride = tail_hosts_per_domain > 0 ? tail_hosts_per_domain : 1;
+  return tail_first_domain + static_cast<std::int32_t>((h - tail_base) / stride);
+}
+
 ConstraintSet::ConstraintSet(std::size_t vm_count) {
   parent_.resize(vm_count);
   for (std::size_t i = 0; i < vm_count; ++i) parent_[i] = i;
@@ -53,6 +64,17 @@ void ConstraintSet::forbid(std::size_t vm, std::int32_t host) {
   forbidden_.emplace_back(vm, host);
 }
 
+void ConstraintSet::add_domain_spread(std::vector<std::size_t> vms,
+                                      DomainLookup domains, std::size_t cap) {
+  if (vms.empty()) return;
+  const std::size_t max_vm = *std::max_element(vms.begin(), vms.end());
+  ensure_size(max_vm);
+  if (spread_of_vm_.size() <= max_vm) spread_of_vm_.resize(max_vm + 1);
+  const auto rule_index = static_cast<std::uint32_t>(spread_.size());
+  for (const std::size_t vm : vms) spread_of_vm_[vm].push_back(rule_index);
+  spread_.push_back(SpreadRule{std::move(vms), std::move(domains), cap});
+}
+
 std::vector<std::vector<std::size_t>> ConstraintSet::affinity_groups() const {
   std::map<std::size_t, std::vector<std::size_t>> by_root;
   for (std::size_t vm = 0; vm < parent_.size(); ++vm)
@@ -82,7 +104,29 @@ bool ConstraintSet::allows(std::size_t vm, std::int32_t host,
         partial.host_of(other) == host)
       return false;
   }
+  if (vm < spread_of_vm_.size()) {
+    for (const std::uint32_t r : spread_of_vm_[vm]) {
+      const SpreadRule& rule = spread_[r];
+      const std::int32_t d = rule.domains.domain_of(host);
+      if (d < 0) continue;  // unknown domain: unconstrained
+      if (placed_in_same_domain(rule, vm, d, partial) + 1 > rule.cap)
+        return false;
+    }
+  }
   return true;
+}
+
+std::size_t ConstraintSet::placed_in_same_domain(
+    const SpreadRule& rule, std::size_t vm, std::int32_t domain,
+    const Placement& partial) const noexcept {
+  std::size_t members = 0;
+  for (const std::size_t other : rule.vms) {
+    if (other == vm || other >= partial.vm_count() ||
+        !partial.is_placed(other))
+      continue;
+    if (rule.domains.domain_of(partial.host_of(other)) == domain) ++members;
+  }
+  return members;
 }
 
 bool ConstraintSet::allows_group(const std::vector<std::size_t>& group,
@@ -95,6 +139,24 @@ bool ConstraintSet::allows_group(const std::vector<std::size_t>& group,
     const bool a_in = std::find(group.begin(), group.end(), a) != group.end();
     const bool b_in = std::find(group.begin(), group.end(), b) != group.end();
     if (a_in && b_in) return false;
+  }
+  // Domain caps must hold with the whole group landing at once: allows()
+  // above admits each member singly, but co-placed members count together.
+  for (const SpreadRule& rule : spread_) {
+    std::size_t in_group = 0;
+    for (const std::size_t vm : rule.vms)
+      in_group += std::find(group.begin(), group.end(), vm) != group.end();
+    if (in_group == 0) continue;  // the group cannot change this rule
+    const std::int32_t d = rule.domains.domain_of(host);
+    if (d < 0) continue;
+    std::size_t members = in_group;
+    for (const std::size_t vm : rule.vms) {
+      if (std::find(group.begin(), group.end(), vm) != group.end()) continue;
+      if (vm < partial.vm_count() && partial.is_placed(vm) &&
+          rule.domains.domain_of(partial.host_of(vm)) == d)
+        ++members;
+    }
+    if (members > rule.cap) return false;
   }
   return true;
 }
@@ -120,6 +182,23 @@ bool ConstraintSet::satisfied_by(const Placement& placement) const noexcept {
     if (vm < placement.vm_count() && placement.host_of(vm) == host)
       return false;
   }
+  for (const SpreadRule& rule : spread_) {
+    // Count members per domain (rules are application-sized: O(n^2) here
+    // is cheap and keeps this validation allocation-light).
+    for (const std::size_t vm : rule.vms) {
+      if (vm >= placement.vm_count() || !placement.is_placed(vm)) continue;
+      const std::int32_t d = rule.domains.domain_of(placement.host_of(vm));
+      if (d < 0) continue;
+      std::size_t members = 0;
+      for (const std::size_t other : rule.vms) {
+        if (other >= placement.vm_count() || !placement.is_placed(other))
+          continue;
+        members +=
+            rule.domains.domain_of(placement.host_of(other)) == d ? 1 : 0;
+      }
+      if (members > rule.cap) return false;
+    }
+  }
   return true;
 }
 
@@ -136,6 +215,32 @@ bool ConstraintSet::structurally_feasible() const {
   // Anti-affinity within one affinity group.
   for (const auto& [a, b] : anti_affinity_)
     if (find_root(a) == find_root(b)) return false;
+  // A zero-cap spread rule forbids its members everywhere a domain is
+  // known; an affinity group larger than a rule's cap can never co-locate.
+  for (const SpreadRule& rule : spread_) {
+    if (rule.cap == 0) return false;
+    for (const std::size_t vm : rule.vms) {
+      std::size_t same_affinity = 0;
+      for (const std::size_t other : rule.vms)
+        same_affinity += find_root(other) == find_root(vm) ? 1 : 0;
+      if (same_affinity > rule.cap) return false;
+    }
+    // Pins forcing more members into one domain than the cap allows.
+    for (const std::size_t vm : rule.vms) {
+      const std::int32_t host = pinned_host(vm);
+      if (host == Placement::kUnplaced) continue;
+      const std::int32_t d = rule.domains.domain_of(host);
+      if (d < 0) continue;
+      std::size_t pinned_here = 0;
+      for (const std::size_t other : rule.vms) {
+        const std::int32_t other_host = pinned_host(other);
+        if (other_host != Placement::kUnplaced &&
+            rule.domains.domain_of(other_host) == d)
+          ++pinned_here;
+      }
+      if (pinned_here > rule.cap) return false;
+    }
+  }
   return true;
 }
 

@@ -12,6 +12,10 @@
 //  - anti_affinity(a, b):  a and b must land on different hosts.
 //  - pin(vm, host):        vm must land on exactly this host index.
 //  - forbid(vm, host):     vm must not land on this host index.
+//  - domain spread:        at most `cap` members of a replica group may
+//                          share one failure domain (rack, power feed).
+//                          Anti-affinity is the degenerate case where the
+//                          domain is the host itself and cap is 1.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +26,34 @@
 
 namespace vmcw {
 
+/// Total host -> failure-domain lookup, decoupled from the topology layer
+/// so core stays free of it: an explicit table for the first hosts plus an
+/// optional affine tail (domains of `tail_hosts_per_domain` consecutive
+/// hosts from `tail_base` on), matching maps derived over pools whose last
+/// class is unlimited. Packers may open host indices past any table a
+/// caller could precompute; the tail keeps the constraint binding there.
+struct DomainLookup {
+  std::vector<std::int32_t> table;      ///< domain of host h for h < size()
+  std::size_t tail_base = 0;            ///< first extrapolated host index
+  std::int32_t tail_first_domain = -1;  ///< -1: no tail (unknown past table)
+  std::size_t tail_hosts_per_domain = 1;
+  /// Added to the host index before lookup — sub-problems whose host
+  /// indices are shifted against the real fleet (hybrid's dynamic block)
+  /// reuse the parent lookup through this offset.
+  std::int32_t host_offset = 0;
+
+  /// Domain of a host; -1 when unknown (such hosts are never constrained).
+  std::int32_t domain_of(std::int32_t host) const noexcept;
+};
+
+/// One compiled spread rule: of the VMs in `vms` (one application's
+/// replicas), at most `cap` may be placed on hosts sharing a domain.
+struct SpreadRule {
+  std::vector<std::size_t> vms;
+  DomainLookup domains;
+  std::size_t cap = 1;
+};
+
 class ConstraintSet {
  public:
   ConstraintSet() = default;
@@ -30,13 +62,19 @@ class ConstraintSet {
   std::size_t vm_count() const noexcept { return parent_.size(); }
   bool empty() const noexcept {
     return anti_affinity_.empty() && pins_.empty() && forbidden_.empty() &&
-           !has_affinity_;
+           spread_.empty() && !has_affinity_;
   }
 
   void add_affinity(std::size_t a, std::size_t b);
   void add_anti_affinity(std::size_t a, std::size_t b);
   void pin(std::size_t vm, std::int32_t host);
   void forbid(std::size_t vm, std::int32_t host);
+  /// At most `cap` of `vms` on hosts sharing one domain of `domains`.
+  void add_domain_spread(std::vector<std::size_t> vms, DomainLookup domains,
+                         std::size_t cap);
+  const std::vector<SpreadRule>& spread_rules() const noexcept {
+    return spread_;
+  }
 
   /// Affinity groups as disjoint VM-index lists covering all VMs
   /// (singletons included), ordered by smallest member.
@@ -70,11 +108,21 @@ class ConstraintSet {
   std::size_t compress_to_root(std::size_t vm);
   void ensure_size(std::size_t vm);
 
+  /// Spread members of `spread_[r]` placed (other than `vm`) in the same
+  /// domain as `host`; kNoDomain hosts never count.
+  std::size_t placed_in_same_domain(const SpreadRule& rule, std::size_t vm,
+                                    std::int32_t domain,
+                                    const Placement& partial) const noexcept;
+
   std::vector<std::size_t> parent_;  // union-find, compressed on mutation
   bool has_affinity_ = false;
   std::vector<std::pair<std::size_t, std::size_t>> anti_affinity_;
   std::vector<std::pair<std::size_t, std::int32_t>> pins_;
   std::vector<std::pair<std::size_t, std::int32_t>> forbidden_;
+  std::vector<SpreadRule> spread_;
+  /// Per VM: indices into spread_ of the rules containing it, so the hot
+  /// allows() path touches only the (few, small) rules a VM is part of.
+  std::vector<std::vector<std::uint32_t>> spread_of_vm_;
 };
 
 }  // namespace vmcw

@@ -8,6 +8,34 @@
 
 namespace vmcw {
 
+namespace {
+
+/// Re-key the parent's domain-spread rules for one side of the split:
+/// members are remapped through old_to_side (parent VM index -> side VM
+/// index, or kNotOnSide), and the side's host indices are shifted against
+/// the merged fleet by `host_offset` (0 for the stochastic block, the
+/// stochastic host count for the dynamic block).
+constexpr std::size_t kNotOnSide = static_cast<std::size_t>(-1);
+
+ConstraintSet side_spread_rules(const ConstraintSet& constraints,
+                                const std::vector<std::size_t>& old_to_side,
+                                std::int32_t host_offset) {
+  ConstraintSet side;
+  for (const SpreadRule& rule : constraints.spread_rules()) {
+    std::vector<std::size_t> members;
+    for (const std::size_t vm : rule.vms)
+      if (vm < old_to_side.size() && old_to_side[vm] != kNotOnSide)
+        members.push_back(old_to_side[vm]);
+    if (members.size() < 2 || rule.cap >= members.size()) continue;
+    DomainLookup domains = rule.domains;
+    domains.host_offset += host_offset;
+    side.add_domain_spread(std::move(members), std::move(domains), rule.cap);
+  }
+  return side;
+}
+
+}  // namespace
+
 std::vector<CandidateScore> score_dynamic_candidates(
     std::span<const VmWorkload> vms, const StudySettings& settings) {
   std::vector<CandidateScore> scores(vms.size());
@@ -32,7 +60,8 @@ std::vector<CandidateScore> score_dynamic_candidates(
 
 std::optional<HybridPlan> plan_hybrid(std::span<const VmWorkload> vms,
                                       const StudySettings& settings,
-                                      double candidate_fraction) {
+                                      double candidate_fraction,
+                                      const ConstraintSet& constraints) {
   HybridPlan plan;
   plan.is_dynamic.assign(vms.size(), false);
   candidate_fraction = std::clamp(candidate_fraction, 0.0, 1.0);
@@ -54,24 +83,34 @@ std::optional<HybridPlan> plan_hybrid(std::span<const VmWorkload> vms,
   // Split the fleet.
   std::vector<VmWorkload> stochastic_vms, dynamic_vms;
   std::vector<std::size_t> stochastic_index, dynamic_index;
+  std::vector<std::size_t> old_to_stochastic(vms.size(), kNotOnSide);
+  std::vector<std::size_t> old_to_dynamic(vms.size(), kNotOnSide);
   for (std::size_t i = 0; i < vms.size(); ++i) {
     if (plan.is_dynamic[i]) {
+      old_to_dynamic[i] = dynamic_vms.size();
       dynamic_vms.push_back(vms[i]);
       dynamic_index.push_back(i);
     } else {
+      old_to_stochastic[i] = stochastic_vms.size();
       stochastic_vms.push_back(vms[i]);
       stochastic_index.push_back(i);
     }
   }
 
   // Plan each side with its own strategy.
-  const auto stochastic_plan = plan_stochastic(stochastic_vms, settings);
+  const ConstraintSet stochastic_cs =
+      side_spread_rules(constraints, old_to_stochastic, 0);
+  const auto stochastic_plan =
+      plan_stochastic(stochastic_vms, settings, stochastic_cs);
   if (!stochastic_plan) return std::nullopt;
   plan.stochastic_hosts = stochastic_plan->hosts_used;
 
   DynamicPlan dynamic_plan;
   if (!dynamic_vms.empty()) {
-    auto planned = plan_dynamic(dynamic_vms, settings);
+    const ConstraintSet dynamic_cs = side_spread_rules(
+        constraints, old_to_dynamic,
+        static_cast<std::int32_t>(plan.stochastic_hosts));
+    auto planned = plan_dynamic(dynamic_vms, settings, dynamic_cs);
     if (!planned) return std::nullopt;
     dynamic_plan = std::move(*planned);
   } else {

@@ -54,11 +54,16 @@ struct HybridPlan {
 };
 
 /// Plan hybrid consolidation: the `candidate_fraction` of VMs with the
-/// highest candidate scores go to the dynamic group. Deployment
-/// constraints are not supported in the hybrid splitter (the two groups
-/// plan independently); pass VMs unconstrained.
+/// highest candidate scores go to the dynamic group. Of the deployment
+/// constraints only domain-spread rules are supported (each side re-checks
+/// them with remapped VM indices and, for the dynamic block, the merged
+/// fleet's host offset); affinity, pins and forbids are not — the two
+/// groups plan independently, so pass VMs otherwise unconstrained. A
+/// spread group split across the two sides is enforced per side (the cap
+/// holds within each side, which can admit up to 2x the cap across both).
 std::optional<HybridPlan> plan_hybrid(std::span<const VmWorkload> vms,
                                       const StudySettings& settings,
-                                      double candidate_fraction = 0.25);
+                                      double candidate_fraction = 0.25,
+                                      const ConstraintSet& constraints = {});
 
 }  // namespace vmcw

@@ -18,6 +18,17 @@
 
 namespace vmcw {
 
+/// Failure-domain knobs: the physical rack / power shape assumed for the
+/// target estate and whether planning compiles application spread rules
+/// against it (src/topology derives the actual map; these stay plain
+/// numbers so core does not depend on that layer).
+struct FailureDomainSettings {
+  bool spread = false;       ///< compile app-spread rules into planning
+  std::size_t spread_k = 2;  ///< target failure domains per application
+  std::size_t hosts_per_rack = 8;
+  std::size_t racks_per_power_domain = 4;
+};
+
 struct StudySettings {
   ServerSpec target = hs23_elite_blade();
 
@@ -40,6 +51,8 @@ struct StudySettings {
   double stochastic_memory_percentile = 95.0;
 
   PeakPredictor::Options predictor;
+
+  FailureDomainSettings domains;
 
   std::size_t eval_begin() const noexcept { return history_hours; }
   std::size_t eval_end() const noexcept { return history_hours + eval_hours; }

@@ -23,6 +23,7 @@ std::vector<VmWorkload> to_vm_workloads(const Datacenter& dc) {
   for (const auto& server : dc.servers) {
     VmWorkload vm;
     vm.id = server.id;
+    vm.app = server.app;
     vm.klass = server.klass;
     vm.cpu_rpe2 = server.cpu_rpe2();
     vm.mem_mb = server.mem_mb;

@@ -16,6 +16,7 @@ namespace vmcw {
 
 struct VmWorkload {
   std::string id;
+  std::string app;  ///< owning application label; empty when unknown
   WorkloadClass klass = WorkloadClass::kWeb;
   TimeSeries cpu_rpe2;  ///< hourly CPU demand in RPE2 units
   TimeSeries mem_mb;    ///< hourly committed memory in MB

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "runtime/telemetry.h"
+#include "topology/spread.h"
 
 namespace vmcw {
 
@@ -45,6 +46,15 @@ PipelineFidelity ConsolidationEngine::monitoring_fidelity() const {
   return pipeline_fidelity(*truth_, *view_);
 }
 
+FailureDomainMap ConsolidationEngine::failure_domain_map() const {
+  if (!view_) throw std::logic_error("observe() an estate first");
+  const TopologySpec spec{config_.settings.domains.hosts_per_rack,
+                          config_.settings.domains.racks_per_power_domain};
+  return FailureDomainMap::generate(
+      HostPool::uniform(config_.settings.target), vms_.size(), spec,
+      config_.topology_seed);
+}
+
 std::optional<ConsolidationEngine::Recommendation>
 ConsolidationEngine::recommend(Strategy strategy) const {
   if (!view_) throw std::logic_error("observe() an estate first");
@@ -53,24 +63,34 @@ ConsolidationEngine::recommend(Strategy strategy) const {
   Recommendation rec;
   rec.strategy = strategy;
 
+  // Domain-aware planning: compile each application's spread rule once;
+  // every strategy below honors the resulting ConstraintSet.
+  ConstraintSet constraints;
+  if (config_.settings.domains.spread) {
+    const auto groups = app_replica_groups(vms_);
+    spread_across_domains(constraints, groups, failure_domain_map(),
+                          DomainKind::kRack,
+                          config_.settings.domains.spread_k);
+  }
+
   switch (strategy) {
     case Strategy::kStatic:
     case Strategy::kSemiStatic:
     case Strategy::kStochastic: {
       std::optional<StaticPlan> plan;
       if (strategy == Strategy::kStatic)
-        plan = plan_static(vms_, config_.settings);
+        plan = plan_static(vms_, config_.settings, constraints);
       else if (strategy == Strategy::kSemiStatic)
-        plan = plan_semi_static(vms_, config_.settings);
+        plan = plan_semi_static(vms_, config_.settings, constraints);
       else
-        plan = plan_stochastic(vms_, config_.settings);
+        plan = plan_stochastic(vms_, config_.settings, constraints);
       if (!plan) return std::nullopt;
       rec.schedule = {plan->placement};
       rec.provisioned_hosts = plan->hosts_used;
       return rec;
     }
     case Strategy::kDynamic: {
-      auto plan = plan_dynamic(vms_, config_.settings);
+      auto plan = plan_dynamic(vms_, config_.settings, constraints);
       if (!plan) return std::nullopt;
       rec.schedule = std::move(plan->per_interval);
       rec.provisioned_hosts = plan->max_active_hosts;
@@ -78,8 +98,8 @@ ConsolidationEngine::recommend(Strategy strategy) const {
       break;
     }
     case Strategy::kHybrid: {
-      auto plan =
-          plan_hybrid(vms_, config_.settings, config_.hybrid_fraction);
+      auto plan = plan_hybrid(vms_, config_.settings, config_.hybrid_fraction,
+                              constraints);
       if (!plan) return std::nullopt;
       rec.provisioned_hosts = plan->provisioned_hosts();
       rec.total_migrations = plan->total_migrations;

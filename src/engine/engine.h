@@ -18,6 +18,7 @@
 #include "core/migration_scheduler.h"
 #include "core/study.h"
 #include "monitoring/pipeline.h"
+#include "topology/failure_domains.h"
 
 namespace vmcw {
 
@@ -40,6 +41,11 @@ class ConsolidationEngine {
     StudySettings settings;   ///< Table 3 parameters
     double hybrid_fraction = 0.25;
     std::uint64_t monitoring_seed = 1;
+    /// Seed the failure-domain map (rack / PDU assignment) derives from
+    /// when settings.domains.spread is on or a fault plan wants correlated
+    /// outages; keyed separately from monitoring so neither perturbs the
+    /// other.
+    std::uint64_t topology_seed = 1;
   };
 
   ConsolidationEngine() : ConsolidationEngine(Config{}) {}
@@ -68,8 +74,16 @@ class ConsolidationEngine {
 
   /// Steps 2-5: size, place and (for dynamic variants) check execution of
   /// the requested strategy, all on the warehouse view. Requires
-  /// observe(). Returns std::nullopt when planning fails.
+  /// observe(). Returns std::nullopt when planning fails. When
+  /// settings.domains.spread is on, application spread rules (at most
+  /// ceil(n/k) replicas per rack) are compiled against failure_domain_map()
+  /// and honored by every strategy.
   std::optional<Recommendation> recommend(Strategy strategy) const;
+
+  /// The failure-domain map planning and fault generation share: derived
+  /// from the target pool shape, settings.domains, and topology_seed.
+  /// Requires observe() (the estate size bounds the materialized table).
+  FailureDomainMap failure_domain_map() const;
 
   /// Replay the *ground truth* against a recommendation's schedule — the
   /// emulator step the paper uses to compare algorithms.

@@ -39,6 +39,9 @@ Datacenter reconstruct_datacenter(const Datacenter& truth,
   for (const auto& server : truth.servers) {
     ServerTrace rebuilt;
     rebuilt.id = server.id;
+    // Asset-inventory metadata (CMDB), not telemetry: carried through the
+    // rebuild verbatim so domain-aware planning knows app membership.
+    rebuilt.app = server.app;
     rebuilt.spec = server.spec;
     rebuilt.klass = server.klass;
     TimeSeries cpu_pct =

@@ -54,6 +54,7 @@ std::vector<SweepCellResult> SweepDriver::run(
         ConsolidationEngine::Config config;
         config.settings = cell.settings;
         config.monitoring_seed = root.fork("monitoring")();
+        config.topology_seed = root.fork("topology")();
         ConsolidationEngine engine(std::move(config));
         engine.observe(estate);
 
@@ -73,8 +74,17 @@ std::vector<SweepCellResult> SweepDriver::run(
           std::size_t host_bound = 0;
           for (const auto& p : recommendation->schedule)
             host_bound = std::max(host_bound, p.host_index_bound());
+          // Correlated faults need the same failure-domain map planning
+          // saw; with zero domain rates the plan is byte-identical with or
+          // without it, so only build the map when a rate asks for it.
+          const bool correlated =
+              cell.faults.rack_outages_per_month > 0.0 ||
+              cell.faults.power_domain_outages_per_month > 0.0;
+          FailureDomainMap topology;
+          if (correlated) topology = engine.failure_domain_map();
           const FaultPlan plan = FaultPlan::generate(
-              cell.faults, host_bound, cell.settings, root.fork("chaos")());
+              cell.faults, host_bound, cell.settings, root.fork("chaos")(),
+              correlated ? &topology : nullptr);
           out.robustness =
               engine.evaluate_under_faults(*recommendation, plan, cell.chaos);
           out.report = out.robustness.emulation;

@@ -36,7 +36,10 @@ struct SweepCell {
   /// plan under a FaultPlan derived from fork("chaos") of the cell seed and
   /// fills SweepCellResult::robustness; `report` is then the faulted
   /// replay's emulation. The default spec injects nothing, and the cell is
-  /// bit-identical to a pre-chaos run.
+  /// bit-identical to a pre-chaos run. Rack / power-domain rates draw
+  /// correlated outages against the failure-domain map the engine derives
+  /// from fork("topology") of the cell seed — the same map
+  /// settings.domains.spread compiles placement rules against.
   FaultSpec faults;
   ChaosOptions chaos;
 };

@@ -1,0 +1,176 @@
+#include "topology/failure_domains.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/rng.h"
+
+namespace vmcw {
+
+const char* to_string(DomainKind kind) noexcept {
+  switch (kind) {
+    case DomainKind::kRack:
+      return "rack";
+    case DomainKind::kPowerDomain:
+      return "power-domain";
+  }
+  return "?";
+}
+
+FailureDomainMap FailureDomainMap::generate(const HostPool& pool,
+                                            std::size_t materialized_hosts,
+                                            const TopologySpec& spec,
+                                            std::uint64_t seed) {
+  FailureDomainMap map;
+  map.hosts_per_rack_ = std::max<std::size_t>(spec.hosts_per_rack, 1);
+  map.racks_per_power_domain_ =
+      std::max<std::size_t>(spec.racks_per_power_domain, 1);
+  const Rng root(seed);
+  // PDU rotation: where the first power-domain boundary falls in the rack
+  // row. Same estate shape, different seed -> different blast domains.
+  const auto rotation = static_cast<std::size_t>(
+      root.fork("topology/power")
+          .uniform_int(0,
+                       static_cast<std::int64_t>(map.racks_per_power_domain_) -
+                           1));
+  const auto power_of_rack = [&](std::size_t rack) {
+    return static_cast<std::int32_t>((rack + rotation) /
+                                     map.racks_per_power_domain_);
+  };
+
+  // Hosts are dealt class by class; a class never shares a rack with
+  // another hardware generation, and its first rack starts partially
+  // occupied (the "installation phase" — estates rarely begin at a rack
+  // boundary).
+  std::size_t rack = 0;
+  std::size_t slots_left = 0;  // forces a fresh rack for the first class
+  const bool unlimited = !pool.is_bounded();
+  std::size_t bounded_hosts = 0;
+  for (std::size_t c = 0; c + (unlimited ? 1 : 0) < pool.class_count(); ++c)
+    bounded_hosts += pool.host_class(c).count;
+  const std::size_t target = pool.is_bounded()
+                                 ? pool.max_hosts()
+                                 : std::max(materialized_hosts, bounded_hosts);
+
+  std::size_t host = 0;
+  for (std::size_t c = 0; c < pool.class_count(); ++c) {
+    const HostClass& klass = pool.host_class(c);
+    const auto phase = static_cast<std::size_t>(
+        root.fork("topology/class-" + std::to_string(c))
+            .uniform_int(0,
+                         static_cast<std::int64_t>(map.hosts_per_rack_) - 1));
+    // Every class opens a fresh rack, keeping generations physically
+    // separate even when the previous class ended at a rack boundary.
+    if (host != 0) ++rack;
+    slots_left = map.hosts_per_rack_ - phase;
+    const std::size_t count =
+        klass.count == HostClass::kUnlimited ? target - host : klass.count;
+    for (std::size_t i = 0; i < count; ++i, ++host) {
+      if (slots_left == 0) {
+        ++rack;
+        slots_left = map.hosts_per_rack_;
+      }
+      map.rack_.push_back(static_cast<std::int32_t>(rack));
+      map.power_.push_back(power_of_rack(rack));
+      --slots_left;
+    }
+  }
+
+  if (unlimited) {
+    // Extend the table into the unlimited class until a host that opens a
+    // fresh rack at a fresh power-domain boundary, then switch to affine
+    // extrapolation: every later host's domains follow from pure
+    // arithmetic, so a map materialized for 50 hosts and one for 500 agree
+    // everywhere they overlap.
+    while (slots_left != 0 ||
+           (rack + 1 + rotation) % map.racks_per_power_domain_ != 0) {
+      if (slots_left == 0) {
+        ++rack;
+        slots_left = map.hosts_per_rack_;
+      }
+      map.rack_.push_back(static_cast<std::int32_t>(rack));
+      map.power_.push_back(power_of_rack(rack));
+      --slots_left;
+    }
+    map.has_tail_ = true;
+    map.tail_base_ = map.rack_.size();
+    map.tail_rack0_ = static_cast<std::int32_t>(rack + 1);
+    map.tail_power0_ = power_of_rack(rack + 1);
+  }
+  return map;
+}
+
+void FailureDomainMap::assign(std::size_t host, std::size_t rack,
+                              std::size_t power_domain) {
+  if (rack_.size() <= host) {
+    rack_.resize(host + 1, kNoDomain);
+    power_.resize(host + 1, kNoDomain);
+  }
+  rack_[host] = static_cast<std::int32_t>(rack);
+  power_[host] = static_cast<std::int32_t>(power_domain);
+}
+
+std::int32_t FailureDomainMap::rack_of(std::size_t host) const noexcept {
+  if (host < rack_.size()) return rack_[host];
+  if (!has_tail_) return kNoDomain;
+  return tail_rack0_ +
+         static_cast<std::int32_t>((host - tail_base_) / hosts_per_rack_);
+}
+
+std::int32_t FailureDomainMap::power_domain_of(
+    std::size_t host) const noexcept {
+  if (host < power_.size()) return power_[host];
+  if (!has_tail_) return kNoDomain;
+  return tail_power0_ +
+         static_cast<std::int32_t>((host - tail_base_) /
+                                   (hosts_per_rack_ *
+                                    racks_per_power_domain_));
+}
+
+std::int32_t FailureDomainMap::domain_of(std::size_t host,
+                                         DomainKind kind) const noexcept {
+  return kind == DomainKind::kRack ? rack_of(host) : power_domain_of(host);
+}
+
+std::size_t FailureDomainMap::rack_count() const noexcept {
+  std::int32_t max_id = kNoDomain;
+  for (const auto r : rack_) max_id = std::max(max_id, r);
+  return max_id == kNoDomain ? 0 : static_cast<std::size_t>(max_id) + 1;
+}
+
+std::size_t FailureDomainMap::power_domain_count() const noexcept {
+  std::int32_t max_id = kNoDomain;
+  for (const auto p : power_) max_id = std::max(max_id, p);
+  return max_id == kNoDomain ? 0 : static_cast<std::size_t>(max_id) + 1;
+}
+
+std::size_t FailureDomainMap::domain_count(DomainKind kind) const noexcept {
+  return kind == DomainKind::kRack ? rack_count() : power_domain_count();
+}
+
+std::vector<std::size_t> FailureDomainMap::hosts_in(
+    DomainKind kind, std::size_t domain) const {
+  const auto& table = kind == DomainKind::kRack ? rack_ : power_;
+  std::vector<std::size_t> hosts;
+  for (std::size_t h = 0; h < table.size(); ++h)
+    if (table[h] == static_cast<std::int32_t>(domain)) hosts.push_back(h);
+  return hosts;
+}
+
+DomainLookup FailureDomainMap::lookup(DomainKind kind) const {
+  DomainLookup lut;
+  lut.table = kind == DomainKind::kRack ? rack_ : power_;
+  if (has_tail_) {
+    lut.tail_base = tail_base_;
+    if (kind == DomainKind::kRack) {
+      lut.tail_first_domain = tail_rack0_;
+      lut.tail_hosts_per_domain = hosts_per_rack_;
+    } else {
+      lut.tail_first_domain = tail_power0_;
+      lut.tail_hosts_per_domain = hosts_per_rack_ * racks_per_power_domain_;
+    }
+  }
+  return lut;
+}
+
+}  // namespace vmcw

@@ -1,0 +1,110 @@
+// Failure-domain topology: which hosts die together.
+//
+// The paper's Section 7 caveat — consolidation "comes with ... a higher
+// risk of SLA violations" — is understated for real incidents: outages are
+// correlated. A rack loses its ToR switch and every blade in it vanishes
+// at once; a PDU trips and several racks go dark together. Dense packing
+// makes this *worse*, because a consolidated application now fits inside
+// one such blast domain. A FailureDomainMap assigns every host index to a
+// rack and a power domain, so the chaos layer can inject correlated
+// outages and the planners can spread replicas across domains.
+//
+// Derived maps are pure functions of (pool classes, TopologySpec, seed):
+// hosts are dealt into racks class by class — a hardware class is racked
+// contiguously and never shares a rack with another generation — and
+// racks into power domains in adjacent runs. The keyed seed sets the
+// installation phase (how full the first rack of each class already is)
+// and the PDU rotation (where the first power-domain boundary falls), so
+// two estates with the same shape still get distinct topologies. For a
+// pool whose last class is unlimited the assignment extends formulaically
+// to any host index, so unbounded packers need no materialized table.
+//
+// Scripted maps (assign()) serve tests and drills; hosts never assigned
+// have no domain (kNoDomain) and are ignored by spread constraints and
+// correlated fault generation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/constraints.h"
+#include "core/host_pool.h"
+
+namespace vmcw {
+
+/// Physical shape knobs for derived maps.
+struct TopologySpec {
+  std::size_t hosts_per_rack = 8;
+  std::size_t racks_per_power_domain = 4;
+};
+
+/// Which failure-domain layer a lookup or constraint refers to.
+enum class DomainKind {
+  kRack,         ///< one ToR switch / rack PDU
+  kPowerDomain,  ///< one distribution circuit feeding several racks
+};
+
+const char* to_string(DomainKind kind) noexcept;
+
+class FailureDomainMap {
+ public:
+  static constexpr std::int32_t kNoDomain = -1;
+
+  /// An empty map: script it with assign() for targeted tests.
+  FailureDomainMap() = default;
+
+  /// Derive the topology for `pool`. `materialized_hosts` bounds the
+  /// explicit table for unlimited pools (bounded pools materialize
+  /// max_hosts()); lookups beyond it extrapolate along the unlimited
+  /// class's rack sequence, so the same (pool, spec, seed) always yields
+  /// the same domain for a host no matter how many were materialized.
+  static FailureDomainMap generate(const HostPool& pool,
+                                   std::size_t materialized_hosts,
+                                   const TopologySpec& spec,
+                                   std::uint64_t seed);
+
+  /// Script one host's domains (tests/drills). Extends the map as needed.
+  void assign(std::size_t host, std::size_t rack, std::size_t power_domain);
+
+  bool empty() const noexcept { return rack_.empty() && !has_tail_; }
+  /// Hosts with an explicit (non-extrapolated) assignment.
+  std::size_t materialized_hosts() const noexcept { return rack_.size(); }
+
+  /// Domain of a host, kNoDomain when unassigned and not extrapolable.
+  std::int32_t rack_of(std::size_t host) const noexcept;
+  std::int32_t power_domain_of(std::size_t host) const noexcept;
+  std::int32_t domain_of(std::size_t host, DomainKind kind) const noexcept;
+
+  /// 1 + the highest domain id over materialized hosts (extrapolated tail
+  /// hosts excluded — domain ids there are unbounded by design).
+  std::size_t rack_count() const noexcept;
+  std::size_t power_domain_count() const noexcept;
+  std::size_t domain_count(DomainKind kind) const noexcept;
+
+  /// Materialized hosts belonging to one domain, ascending.
+  std::vector<std::size_t> hosts_in(DomainKind kind,
+                                    std::size_t domain) const;
+
+  /// Total host->domain lookup for ConstraintSet compilation (carries the
+  /// extrapolation tail, so spread constraints bind on any host index an
+  /// unbounded packer may open).
+  DomainLookup lookup(DomainKind kind) const;
+
+ private:
+  std::vector<std::int32_t> rack_;   ///< per materialized host
+  std::vector<std::int32_t> power_;  ///< per materialized host
+
+  // Extrapolation past the table (unlimited trailing pool class): host
+  // tail_base_ + i lies in rack tail_rack0_ + i / hosts_per_rack_, and
+  // tail racks map to power domains in runs of racks_per_power_domain_
+  // starting exactly at a domain boundary (generate() aligns tail_base_).
+  bool has_tail_ = false;
+  std::size_t tail_base_ = 0;
+  std::int32_t tail_rack0_ = 0;
+  std::int32_t tail_power0_ = 0;
+  std::size_t hosts_per_rack_ = 1;
+  std::size_t racks_per_power_domain_ = 1;
+};
+
+}  // namespace vmcw

@@ -1,0 +1,46 @@
+#include "topology/spread.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+namespace vmcw {
+
+std::vector<std::vector<std::size_t>> app_replica_groups(
+    std::span<const VmWorkload> vms) {
+  std::vector<std::vector<std::size_t>> groups;
+  std::unordered_map<std::string, std::size_t> index;
+  for (std::size_t vm = 0; vm < vms.size(); ++vm) {
+    if (vms[vm].app.empty()) {
+      groups.push_back({vm});
+      continue;
+    }
+    const auto [it, inserted] = index.emplace(vms[vm].app, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(vm);
+  }
+  return groups;
+}
+
+void spread_across_domains(
+    ConstraintSet& constraints,
+    std::span<const std::vector<std::size_t>> app_groups,
+    const FailureDomainMap& map, DomainKind kind, std::size_t k) {
+  if (k < 2 || map.empty()) return;
+  const DomainLookup lookup = map.lookup(kind);
+  // A bounded map cannot spread wider than it has domains.
+  const std::size_t known_domains = map.domain_count(kind);
+  const bool bounded = lookup.tail_first_domain < 0;
+  for (const auto& group : app_groups) {
+    const std::size_t n = group.size();
+    if (n < 2) continue;
+    std::size_t k_eff = std::min(k, n);
+    if (bounded && known_domains > 0) k_eff = std::min(k_eff, known_domains);
+    if (k_eff < 2) continue;
+    const std::size_t cap = (n + k_eff - 1) / k_eff;
+    if (cap >= n) continue;  // would constrain nothing
+    constraints.add_domain_spread(group, lookup, cap);
+  }
+}
+
+}  // namespace vmcw

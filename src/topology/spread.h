@@ -1,0 +1,41 @@
+// Domain-aware placement: compile "spread each application across k
+// failure domains" into a ConstraintSet.
+//
+// Dense packing puts all replicas of an application inside one rack's
+// blast domain; the fix used in production placement systems is a spread
+// rule — no more than ceil(n/k) of an app's n VMs may share one failure
+// domain, so a single rack or PDU outage never takes more than ~1/k of the
+// app. The rule compiles into ConstraintSet's domain-spread primitive (the
+// domain-level generalization of anti_affinity), which every packer — FFD,
+// PCP, dynamic, hybrid — already honors through allows()/allows_group()
+// without modification.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/constraints.h"
+#include "core/vm.h"
+#include "topology/failure_domains.h"
+
+namespace vmcw {
+
+/// Application replica groups over a fleet: VMs sharing a VmWorkload::app
+/// label form one group, in first-appearance order; VMs without a label
+/// are singleton groups (nothing to spread).
+std::vector<std::vector<std::size_t>> app_replica_groups(
+    std::span<const VmWorkload> vms);
+
+/// Compile one spread rule per multi-VM group into `constraints`: at most
+/// ceil(n/k) of a group's n members per `kind` domain of `map`. k is
+/// clamped to the group size and — for maps without an extrapolation tail
+/// — to the number of known domains, so the compiled set stays
+/// structurally satisfiable. Groups of one VM and k < 2 compile to
+/// nothing.
+void spread_across_domains(
+    ConstraintSet& constraints,
+    std::span<const std::vector<std::size_t>> app_groups,
+    const FailureDomainMap& map, DomainKind kind, std::size_t k);
+
+}  // namespace vmcw

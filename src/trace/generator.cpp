@@ -266,6 +266,7 @@ Datacenter generate_datacenter(const WorkloadSpec& spec, std::uint64_t seed) {
     Rng server_rng = master.fork(plan.id);
     dc.servers[i] = generate_server(spec, plan.klass, plan.id, server_rng,
                                     &apps[plan.app]);
+    dc.servers[i].app = spec.name + "-app-" + std::to_string(plan.app);
   });
   return dc;
 }

@@ -25,6 +25,7 @@ const char* to_string(WorkloadClass klass) noexcept;
 
 struct ServerTrace {
   std::string id;
+  std::string app;  ///< owning application label; empty when unknown
   ServerSpec spec;
   WorkloadClass klass = WorkloadClass::kWeb;
   TimeSeries cpu_util;  ///< fraction of this server's CPU capacity, [0, 1]

@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "chaos/fault_plan.h"
@@ -13,6 +16,8 @@
 #include "runtime/sweep.h"
 #include "runtime/thread_pool.h"
 #include "test_helpers.h"
+#include "topology/failure_domains.h"
+#include "util/rng.h"
 
 namespace vmcw {
 namespace {
@@ -113,6 +118,183 @@ TEST(FaultPlan, IntensityZeroInjectsNothing) {
   EXPECT_EQ(plan.stale_interval_count(), 0u);
   EXPECT_FALSE(plan.migration_attempt_fails(0, 0, 0));
   EXPECT_EQ(plan.migration_slowdown(0, 0), 1.0);
+}
+
+TEST(FaultPlan, GeneratedScheduleMatchesPreTopologyBaseline) {
+  // Golden pin, captured before the failure-domain layer existed: the
+  // per-host and monitoring streams must stay byte-identical now that the
+  // generator also knows about domain streams and validation.
+  const auto settings = small_settings();
+  const auto plan =
+      FaultPlan::generate(FaultSpec::at_intensity(1.0), 32, settings, 7);
+  std::string outage_string;
+  char buf[128];
+  for (const auto& o : plan.outages()) {
+    std::snprintf(buf, sizeof buf, "%zu:%zu:%zu;", o.host, o.down_from,
+                  o.up_at);
+    outage_string += buf;
+  }
+  EXPECT_EQ(plan.outages().size(), 6u);
+  EXPECT_EQ(hash64(outage_string), 0xd61325a0d2dcbc2cULL);
+  std::string stale_bitmap;
+  for (const auto v : plan.stale_intervals()) stale_bitmap += v ? '1' : '0';
+  EXPECT_EQ(plan.stale_interval_count(), 8u);
+  EXPECT_EQ(hash64(stale_bitmap), 0xfece26af1ed96089ULL);
+  // Generated host outages are uncorrelated by definition.
+  for (const auto& o : plan.outages()) {
+    EXPECT_EQ(o.cause, OutageCause::kHost);
+    EXPECT_EQ(o.domain, -1);
+  }
+}
+
+TEST(FaultPlan, ZeroDomainRatesIgnoreTopology) {
+  // Passing a topology without any domain rate must change nothing: the
+  // domain streams are keyed forks, never drawn unless a rate asks.
+  const auto settings = small_settings();
+  const auto spec = FaultSpec::at_intensity(1.0);
+  FailureDomainMap map =
+      FailureDomainMap::generate(HostPool::uniform(settings.target), 32,
+                                 TopologySpec{}, 5);
+  const auto without = FaultPlan::generate(spec, 32, settings, 7);
+  const auto with = FaultPlan::generate(spec, 32, settings, 7, &map);
+  EXPECT_EQ(without.outages(), with.outages());
+  EXPECT_EQ(without.stale_intervals(), with.stale_intervals());
+}
+
+TEST(FaultPlan, DomainOutagesAreSynchronizedAcrossMembers) {
+  const auto settings = small_settings();
+  FailureDomainMap map;
+  // Two racks of three hosts, one power domain each.
+  for (std::size_t h = 0; h < 6; ++h) map.assign(h, h / 3, h / 3);
+  FaultSpec spec;
+  spec.rack_outages_per_month = 40.0;  // dense enough to hit the window
+  spec.domain_outage_hours_min = 2;
+  spec.domain_outage_hours_max = 5;
+  const auto plan = FaultPlan::generate(spec, 6, settings, 11);
+  ASSERT_TRUE(plan.outages().empty());  // no topology, no domain faults
+  const auto with = FaultPlan::generate(spec, 6, settings, 11, &map);
+  ASSERT_FALSE(with.outages().empty());
+  // Every outage is rack-caused, and each (domain, start) hits all three
+  // members with one shared window.
+  std::map<std::pair<std::int32_t, std::size_t>, std::vector<HostOutage>>
+      incidents;
+  for (const auto& o : with.outages()) {
+    EXPECT_EQ(o.cause, OutageCause::kRack);
+    incidents[{o.domain, o.down_from}].push_back(o);
+  }
+  for (const auto& [key, members] : incidents) {
+    EXPECT_EQ(members.size(), 3u) << "rack " << key.first;
+    for (const auto& o : members) {
+      EXPECT_EQ(o.up_at, members[0].up_at);
+      EXPECT_EQ(static_cast<std::int32_t>(o.host / 3), key.first);
+    }
+  }
+}
+
+TEST(FaultPlan, DomainStreamsAreIndependentOfSiblingDomains) {
+  // Adding a rack must not perturb the outage schedule of the racks that
+  // were already there (keyed fork per domain).
+  const auto settings = small_settings();
+  FaultSpec spec;
+  spec.rack_outages_per_month = 40.0;
+  FailureDomainMap two_racks, three_racks;
+  for (std::size_t h = 0; h < 8; ++h) two_racks.assign(h, h / 4, 0);
+  for (std::size_t h = 0; h < 12; ++h) three_racks.assign(h, h / 4, 0);
+  const auto a = FaultPlan::generate(spec, 8, settings, 11, &two_racks);
+  const auto b = FaultPlan::generate(spec, 12, settings, 11, &three_racks);
+  std::vector<HostOutage> prefix;
+  for (const auto& o : b.outages())
+    if (o.host < 8) prefix.push_back(o);
+  EXPECT_EQ(a.outages(), prefix);
+}
+
+TEST(FaultPlan, ValidationClampsNegativeRates) {
+  FaultSpec spec;
+  spec.host_crashes_per_month = -3.0;
+  spec.migration_failure_rate = -0.5;
+  spec.migration_slowdown_rate = -1.0;
+  spec.monitoring_gap_rate = -0.25;
+  spec.rack_outages_per_month = -2.0;
+  spec.power_domain_outages_per_month = -7.0;
+  const FaultSpec v = spec.validated();
+  EXPECT_EQ(v.host_crashes_per_month, 0.0);
+  EXPECT_EQ(v.migration_failure_rate, 0.0);
+  EXPECT_EQ(v.migration_slowdown_rate, 0.0);
+  EXPECT_EQ(v.monitoring_gap_rate, 0.0);
+  EXPECT_EQ(v.rack_outages_per_month, 0.0);
+  EXPECT_EQ(v.power_domain_outages_per_month, 0.0);
+  // A hostile spec degrades to "inject nothing", not to a corrupt plan.
+  const auto plan =
+      FaultPlan::generate(spec, 16, testing::small_settings(), 3);
+  EXPECT_TRUE(plan.outages().empty());
+  EXPECT_EQ(plan.stale_interval_count(), 0u);
+}
+
+TEST(FaultPlan, ValidationOrdersInvertedRebootBounds) {
+  FaultSpec spec;
+  spec.reboot_hours_min = 10;
+  spec.reboot_hours_max = 2;
+  spec.domain_outage_hours_min = 9;
+  spec.domain_outage_hours_max = 0;
+  const FaultSpec v = spec.validated();
+  EXPECT_EQ(v.reboot_hours_min, 10u);
+  EXPECT_EQ(v.reboot_hours_max, 10u);
+  EXPECT_EQ(v.domain_outage_hours_min, 9u);
+  EXPECT_EQ(v.domain_outage_hours_max, 9u);
+  // Every generated outage then lasts exactly the pinned duration.
+  spec.host_crashes_per_month = 20.0;
+  const auto plan =
+      FaultPlan::generate(spec, 16, testing::small_settings(), 3);
+  ASSERT_FALSE(plan.outages().empty());
+  for (const auto& o : plan.outages()) EXPECT_EQ(o.up_at - o.down_from, 10u);
+}
+
+TEST(FaultPlan, ValidationClampsSlowdownBelowOne) {
+  FaultSpec spec;
+  spec.migration_slowdown_rate = 1.0;
+  spec.migration_slowdown_max = 0.5;  // would *speed up* migrations
+  EXPECT_EQ(spec.validated().migration_slowdown_max, 1.0);
+  const auto plan =
+      FaultPlan::generate(spec, 4, testing::small_settings(), 3);
+  for (std::size_t vm = 0; vm < 8; ++vm)
+    EXPECT_EQ(plan.migration_slowdown(vm, 2), 1.0);
+}
+
+TEST(FaultPlan, OverlappingOutagesMergeIntoOne) {
+  // An independent crash inside an existing outage window is one
+  // continuous outage — capacity lost must not double-count.
+  FaultPlan plan;
+  plan.add_outage(3, 100, 104);
+  plan.add_outage(3, 102, 106);
+  ASSERT_EQ(plan.outages().size(), 1u);
+  EXPECT_EQ(plan.outages()[0].host, 3u);
+  EXPECT_EQ(plan.outages()[0].down_from, 100u);
+  EXPECT_EQ(plan.outages()[0].up_at, 106u);
+  // A contained window disappears entirely.
+  plan.add_outage(3, 101, 103);
+  ASSERT_EQ(plan.outages().size(), 1u);
+  EXPECT_EQ(plan.outages()[0].up_at, 106u);
+  // Back-to-back windows stay distinct crashes.
+  plan.add_outage(3, 106, 108);
+  EXPECT_EQ(plan.outages().size(), 2u);
+  // Other hosts are untouched.
+  plan.add_outage(4, 101, 103);
+  EXPECT_EQ(plan.outages().size(), 3u);
+}
+
+TEST(FaultPlan, ScriptedDomainOutageHitsEveryMember) {
+  FailureDomainMap map;
+  for (std::size_t h = 0; h < 6; ++h) map.assign(h, h / 3, 0);
+  FaultPlan plan;
+  plan.add_domain_outage(map, DomainKind::kRack, 1, 200, 204);
+  ASSERT_EQ(plan.outages().size(), 3u);
+  for (const auto& o : plan.outages()) {
+    EXPECT_GE(o.host, 3u);
+    EXPECT_EQ(o.down_from, 200u);
+    EXPECT_EQ(o.up_at, 204u);
+    EXPECT_EQ(o.cause, OutageCause::kRack);
+    EXPECT_EQ(o.domain, 1);
+  }
 }
 
 TEST(FaultPlan, ScriptedFaultsWork) {
@@ -449,6 +631,135 @@ TEST(ChaosDeterminism, SweepIdenticalAtAnyThreadCount) {
       EXPECT_EQ(fp, reference) << "at " << threads << " threads";
   }
   EXPECT_FALSE(reference.empty());
+}
+
+TEST(ChaosDeterminism, SweepFingerprintMatchesPreTopologyBaseline) {
+  // Golden pin captured before the failure-domain layer: an uncorrelated
+  // fault sweep must produce byte-identical robustness counters now.
+  std::vector<WorkloadSpec> specs{scaled_down(banking_spec(), 40, 168)};
+  const StudySettings settings[] = {small_settings()};
+  const Strategy strategies[] = {Strategy::kSemiStatic, Strategy::kDynamic};
+  const std::uint64_t seeds[] = {42};
+  auto cells = SweepDriver::grid(specs, settings, strategies, seeds);
+  for (auto& cell : cells) cell.faults = FaultSpec::at_intensity(1.0);
+  const auto results = SweepDriver().run(cells);
+  EXPECT_EQ(chaos_fingerprint(results),
+            "0|1|0|0|0|0|0|13|0|0x0p+0|0x1.bf0fdec326006p+13;"
+            "1|1|0|0|122|36|0|13|0|0x0p+0|0x1.2ccfdec326005p+13;");
+}
+
+TEST(ChaosDeterminism, FailedEvacuationIdenticalAtAnyThreadCount) {
+  // The zero-headroom crash path (failed evacuation, stranded VMs, SLA
+  // window accounting) must not depend on the worker count either.
+  const auto settings = small_settings();
+  const auto vms = one_vm_per_host(3, settings);
+  Placement p(vms.size());
+  for (std::size_t vm = 0; vm < vms.size(); ++vm) p.assign(vm, 0);
+  const std::vector<Placement> schedule{p};
+  FaultPlan plan;
+  const std::size_t crash_hour = settings.eval_begin() + 2;
+  plan.add_outage(0, crash_hour, crash_hour + 4);
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    ScopedPoolOverride scope(pool);
+    const auto rob = replay_under_faults(vms, schedule, settings, false, plan);
+    EXPECT_EQ(rob.failed_evacuations, 1u) << threads << " threads";
+    EXPECT_EQ(rob.vm_downtime_hours, 3u * 4u) << threads << " threads";
+    for (const auto hours : rob.vm_down_hours) EXPECT_EQ(hours, 4u);
+    ASSERT_EQ(rob.sla_violation_intervals.size(), 1u) << threads << " threads";
+    EXPECT_EQ(rob.sla_violation_intervals[0].first, crash_hour);
+    EXPECT_EQ(rob.sla_violation_intervals[0].second, crash_hour + 4);
+    EXPECT_EQ(rob.max_vms_down_simultaneously, 3u);
+  }
+}
+
+// Extends chaos_fingerprint with the incident-level counters the
+// correlated axis adds (count, worst recovery, blast radius, peak down).
+std::string incident_fingerprint(const std::vector<SweepCellResult>& results) {
+  std::string fp = chaos_fingerprint(results);
+  char buffer[128];
+  for (const auto& r : results) {
+    const auto& rob = r.robustness;
+    std::snprintf(buffer, sizeof(buffer), "%zu|%a|%a|%zu;",
+                  rob.incidents.size(), rob.worst_incident_recovery_hours,
+                  rob.max_app_blast_radius, rob.max_vms_down_simultaneously);
+    fp += buffer;
+  }
+  return fp;
+}
+
+TEST(ChaosDeterminism, CorrelatedSweepIdenticalAtAnyThreadCount) {
+  // Rack outages + domain-aware spread exercise the full new path:
+  // fork("topology") map, per-domain outage streams, spread-constrained
+  // planning, and incident accounting — all bit-identical at any
+  // VMCW_THREADS.
+  std::vector<WorkloadSpec> specs{scaled_down(banking_spec(), 40, 168)};
+  StudySettings with_spread = small_settings();
+  with_spread.domains.spread = true;
+  const StudySettings settings[] = {small_settings(), with_spread};
+  const Strategy strategies[] = {Strategy::kSemiStatic, Strategy::kDynamic};
+  const std::uint64_t seeds[] = {42};
+  auto cells = SweepDriver::grid(specs, settings, strategies, seeds);
+  // small_settings evaluates only 48 h; a realistic monthly rate would
+  // leave most racks incident-free, so use a drill-level rate that puts
+  // ~2 incidents in every rack's window.
+  for (auto& cell : cells) {
+    cell.faults.rack_outages_per_month = 30.0;
+    cell.faults.domain_outage_hours_min = 2;
+    cell.faults.domain_outage_hours_max = 6;
+  }
+
+  std::string reference;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    ScopedPoolOverride scope(pool);
+    const auto results = SweepDriver(&pool).run(cells);
+    ASSERT_EQ(results.size(), cells.size());
+    for (const auto& r : results) ASSERT_TRUE(r.planned) << r.index;
+    // The correlated rates must actually produce incidents somewhere.
+    std::size_t incidents = 0;
+    for (const auto& r : results) incidents += r.robustness.incidents.size();
+    EXPECT_GT(incidents, 0u);
+    const std::string fp = incident_fingerprint(results);
+    if (reference.empty())
+      reference = fp;
+    else
+      EXPECT_EQ(fp, reference) << "at " << threads << " threads";
+  }
+  EXPECT_FALSE(reference.empty());
+}
+
+TEST(ChaosDeterminism, IncidentRecordsChargeDomainOutages) {
+  // One scripted rack outage over a packed placement: the replay must
+  // produce exactly one incident with full blast accounting.
+  const auto settings = small_settings();
+  auto vms = one_vm_per_host(4, settings);
+  for (auto& vm : vms) vm.app = "app-a";  // one app, four replicas
+  FailureDomainMap map;
+  for (std::size_t h = 0; h < 8; ++h) map.assign(h, h / 2, 0);
+  // Replicas packed pairwise: rack 0 holds hosts {0,1} = two replicas.
+  Placement p(vms.size());
+  for (std::size_t vm = 0; vm < vms.size(); ++vm)
+    p.assign(vm, static_cast<std::int32_t>(vm));
+  const std::vector<Placement> schedule{p};
+  FaultPlan plan;
+  const std::size_t hour = settings.eval_begin() + 3;
+  plan.add_domain_outage(map, DomainKind::kRack, 0, hour, hour + 4);
+  const auto rob = replay_under_faults(vms, schedule, settings, false, plan);
+  ASSERT_EQ(rob.incidents.size(), 1u);
+  const IncidentRecord& incident = rob.incidents[0];
+  EXPECT_EQ(incident.cause, OutageCause::kRack);
+  EXPECT_EQ(incident.domain, 0);
+  EXPECT_EQ(incident.start_hour, hour);
+  EXPECT_EQ(incident.hosts_lost, 2u);
+  EXPECT_EQ(incident.vms_affected, 2u);
+  // Two of four replicas inside the blast domain.
+  EXPECT_DOUBLE_EQ(incident.max_app_blast_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(rob.max_app_blast_radius, 0.5);
+  EXPECT_GT(rob.worst_incident_recovery_hours, 0.0);
+  EXPECT_EQ(rob.worst_incident_recovery_hours,
+            incident.recovery_hours);
 }
 
 TEST(ChaosDeterminism, FaultedSweepActuallyInjects) {

@@ -139,6 +139,94 @@ TEST(ConstraintSet, StructurallyInfeasibleCases) {
   }
 }
 
+// Helper: hosts 0..5 in domains {0,0,1,1,2,2}; hosts past the table are
+// unknown unless a tail is set.
+DomainLookup paired_domains() {
+  DomainLookup lookup;
+  lookup.table = {0, 0, 1, 1, 2, 2};
+  return lookup;
+}
+
+TEST(DomainLookup, TableTailAndOffset) {
+  DomainLookup lookup = paired_domains();
+  EXPECT_EQ(lookup.domain_of(0), 0);
+  EXPECT_EQ(lookup.domain_of(5), 2);
+  EXPECT_EQ(lookup.domain_of(6), -1);  // past the table, no tail
+  EXPECT_EQ(lookup.domain_of(-1), -1);
+  lookup.tail_base = 6;
+  lookup.tail_first_domain = 3;
+  lookup.tail_hosts_per_domain = 2;
+  EXPECT_EQ(lookup.domain_of(6), 3);
+  EXPECT_EQ(lookup.domain_of(7), 3);
+  EXPECT_EQ(lookup.domain_of(8), 4);
+  lookup.host_offset = 4;  // sub-problem host 0 is fleet host 4
+  EXPECT_EQ(lookup.domain_of(0), 2);
+  EXPECT_EQ(lookup.domain_of(2), 3);
+}
+
+TEST(ConstraintSet, DomainSpreadBlocksOverfilledDomain) {
+  ConstraintSet cs;
+  cs.add_domain_spread({0, 1, 2}, paired_domains(), 1);
+  EXPECT_FALSE(cs.empty());
+  Placement p(3);
+  p.assign(0, 0);  // domain 0
+  // Host 1 shares domain 0: blocked. Host 2 is domain 1: fine.
+  EXPECT_FALSE(cs.allows(1, 1, p));
+  EXPECT_TRUE(cs.allows(1, 2, p));
+  // A VM outside the rule is unconstrained.
+  EXPECT_TRUE(cs.allows(5, 1, p));
+  p.assign(1, 2);
+  // Both domains 0 and 1 now hold one member; domain 2 is the only slot.
+  EXPECT_FALSE(cs.allows(2, 1, p));
+  EXPECT_FALSE(cs.allows(2, 3, p));
+  EXPECT_TRUE(cs.allows(2, 4, p));
+  // Hosts with unknown domain are never constrained.
+  EXPECT_TRUE(cs.allows(2, 9, p));
+}
+
+TEST(ConstraintSet, DomainSpreadCountsGroupsAsOne) {
+  // An affinity group landing together counts every member against the
+  // domain cap at once.
+  ConstraintSet cs;
+  cs.add_domain_spread({0, 1, 2}, paired_domains(), 2);
+  Placement p(3);
+  // Group {0,1} onto host 0 (domain 0, cap 2): allowed.
+  EXPECT_TRUE(cs.allows_group({0, 1}, 0, p));
+  // Group {0,1,2} would put 3 members into domain 0: blocked.
+  EXPECT_FALSE(cs.allows_group({0, 1, 2}, 0, p));
+  p.assign(0, 1);  // domain 0 holds one member already
+  EXPECT_FALSE(cs.allows_group({1, 2}, 0, p));
+  EXPECT_TRUE(cs.allows_group({1, 2}, 2, p));
+}
+
+TEST(ConstraintSet, DomainSpreadSatisfiedBy) {
+  ConstraintSet cs;
+  cs.add_domain_spread({0, 1, 2}, paired_domains(), 1);
+  Placement ok(3);
+  ok.assign(0, 0);
+  ok.assign(1, 2);
+  ok.assign(2, 4);
+  EXPECT_TRUE(cs.satisfied_by(ok));
+  Placement bad = ok;
+  bad.assign(2, 1);  // domains {0, 1, 0}: cap 1 violated
+  EXPECT_FALSE(cs.satisfied_by(bad));
+}
+
+TEST(ConstraintSet, DomainSpreadStructuralFeasibility) {
+  // Pins forcing 2 members into one domain under cap 1 are structurally
+  // infeasible regardless of capacity.
+  ConstraintSet cs;
+  cs.add_domain_spread({0, 1}, paired_domains(), 1);
+  cs.pin(0, 0);
+  cs.pin(1, 1);  // same domain as host 0
+  EXPECT_FALSE(cs.structurally_feasible());
+  ConstraintSet ok;
+  ok.add_domain_spread({0, 1}, paired_domains(), 1);
+  ok.pin(0, 0);
+  ok.pin(1, 2);
+  EXPECT_TRUE(ok.structurally_feasible());
+}
+
 TEST(Placement, Accounting) {
   Placement p(5);
   EXPECT_EQ(p.placed_count(), 0u);

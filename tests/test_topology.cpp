@@ -1,0 +1,246 @@
+// Tests for the failure-domain topology layer: derived and scripted
+// FailureDomainMaps, the DomainLookup bridge into core constraints, and
+// the compilation of per-application spread rules.
+
+#include "topology/failure_domains.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/host_pool.h"
+#include "topology/spread.h"
+
+namespace vmcw {
+namespace {
+
+ServerSpec spec_named(const char* model) {
+  ServerSpec s;
+  s.model = model;
+  s.cpu_rpe2 = 100;
+  s.memory_mb = 1000;
+  s.idle_watts = 50;
+  s.peak_watts = 100;
+  return s;
+}
+
+VmWorkload vm_of_app(const std::string& app) {
+  VmWorkload vm;
+  vm.app = app;
+  return vm;
+}
+
+TEST(FailureDomainMap, EmptyMapKnowsNothing) {
+  const FailureDomainMap map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.rack_of(0), FailureDomainMap::kNoDomain);
+  EXPECT_EQ(map.power_domain_of(7), FailureDomainMap::kNoDomain);
+  EXPECT_EQ(map.rack_count(), 0u);
+  EXPECT_TRUE(map.hosts_in(DomainKind::kRack, 0).empty());
+}
+
+TEST(FailureDomainMap, ScriptedAssignments) {
+  FailureDomainMap map;
+  map.assign(0, 2, 1);
+  map.assign(5, 2, 1);
+  map.assign(3, 0, 0);
+  EXPECT_FALSE(map.empty());
+  EXPECT_EQ(map.rack_of(0), 2);
+  EXPECT_EQ(map.rack_of(5), 2);
+  EXPECT_EQ(map.rack_of(3), 0);
+  EXPECT_EQ(map.power_domain_of(5), 1);
+  // Hosts never assigned have no domain, including gaps inside the table
+  // and indices past it.
+  EXPECT_EQ(map.rack_of(1), FailureDomainMap::kNoDomain);
+  EXPECT_EQ(map.rack_of(100), FailureDomainMap::kNoDomain);
+  EXPECT_EQ(map.rack_count(), 3u);       // ids 0..2
+  EXPECT_EQ(map.power_domain_count(), 2u);
+  const std::vector<std::size_t> rack2 = {0, 5};
+  EXPECT_EQ(map.hosts_in(DomainKind::kRack, 2), rack2);
+  EXPECT_TRUE(map.hosts_in(DomainKind::kRack, 1).empty());
+}
+
+TEST(FailureDomainMap, GenerateIsDeterministic) {
+  const auto pool = HostPool::uniform(spec_named("uniform"));
+  const TopologySpec spec;
+  const auto a = FailureDomainMap::generate(pool, 64, spec, 17);
+  const auto b = FailureDomainMap::generate(pool, 64, spec, 17);
+  for (std::size_t h = 0; h < 64; ++h) {
+    EXPECT_EQ(a.rack_of(h), b.rack_of(h));
+    EXPECT_EQ(a.power_domain_of(h), b.power_domain_of(h));
+  }
+}
+
+TEST(FailureDomainMap, SeedVariesThePhase) {
+  // The keyed seed sets installation phase and PDU rotation; over a
+  // handful of seeds at least two topologies must differ.
+  const auto pool = HostPool::uniform(spec_named("uniform"));
+  const TopologySpec spec;
+  std::set<std::string> fingerprints;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto map = FailureDomainMap::generate(pool, 32, spec, seed);
+    std::string fp;
+    for (std::size_t h = 0; h < 32; ++h) {
+      fp += std::to_string(map.rack_of(h)) + ":";
+      fp += std::to_string(map.power_domain_of(h)) + ";";
+    }
+    fingerprints.insert(fp);
+  }
+  EXPECT_GT(fingerprints.size(), 1u);
+}
+
+TEST(FailureDomainMap, GeneratedMapsRespectTheShape) {
+  const HostPool pool({{spec_named("old"), 13},
+                       {spec_named("new"), HostClass::kUnlimited}});
+  const TopologySpec spec{.hosts_per_rack = 4, .racks_per_power_domain = 3};
+  const auto map = FailureDomainMap::generate(pool, 40, spec, 23);
+  std::map<std::int32_t, std::vector<std::size_t>> rack_members;
+  std::map<std::int32_t, std::set<std::int32_t>> power_racks;
+  std::map<std::int32_t, std::set<std::string>> rack_models;
+  for (std::size_t h = 0; h < 40; ++h) {
+    const std::int32_t rack = map.rack_of(h);
+    ASSERT_NE(rack, FailureDomainMap::kNoDomain) << h;
+    rack_members[rack].push_back(h);
+    power_racks[map.power_domain_of(h)].insert(rack);
+    rack_models[rack].insert(pool.spec_of(h).model);
+  }
+  for (const auto& [rack, members] : rack_members) {
+    // Racks hold at most hosts_per_rack contiguous hosts.
+    EXPECT_LE(members.size(), spec.hosts_per_rack) << "rack " << rack;
+    EXPECT_EQ(members.back() - members.front() + 1, members.size())
+        << "rack " << rack << " not contiguous";
+    // A rack never mixes hardware generations.
+    EXPECT_EQ(rack_models[rack].size(), 1u) << "rack " << rack;
+  }
+  for (const auto& [pd, racks] : power_racks)
+    EXPECT_LE(racks.size(), spec.racks_per_power_domain) << "pd " << pd;
+  // Each rack feeds from exactly one power domain.
+  std::map<std::int32_t, std::int32_t> rack_pd;
+  for (std::size_t h = 0; h < 40; ++h) {
+    const auto [it, inserted] =
+        rack_pd.emplace(map.rack_of(h), map.power_domain_of(h));
+    EXPECT_EQ(it->second, map.power_domain_of(h)) << "host " << h;
+  }
+}
+
+TEST(FailureDomainMap, MaterializedSizeDoesNotChangeAnyHost) {
+  // The extrapolation tail makes the assignment a pure function of
+  // (pool, spec, seed): materializing 50 or 500 hosts must agree
+  // everywhere, including far past the smaller table.
+  const HostPool pool({{spec_named("old"), 10},
+                       {spec_named("new"), HostClass::kUnlimited}});
+  const TopologySpec spec{.hosts_per_rack = 6, .racks_per_power_domain = 2};
+  const auto small = FailureDomainMap::generate(pool, 50, spec, 41);
+  const auto big = FailureDomainMap::generate(pool, 500, spec, 41);
+  for (std::size_t h = 0; h < 500; ++h) {
+    EXPECT_EQ(small.rack_of(h), big.rack_of(h)) << h;
+    EXPECT_EQ(small.power_domain_of(h), big.power_domain_of(h)) << h;
+  }
+}
+
+TEST(FailureDomainMap, LookupMatchesDirectQueries) {
+  const auto pool = HostPool::uniform(spec_named("uniform"));
+  const TopologySpec spec{.hosts_per_rack = 5, .racks_per_power_domain = 3};
+  const auto map = FailureDomainMap::generate(pool, 30, spec, 7);
+  for (const DomainKind kind : {DomainKind::kRack, DomainKind::kPowerDomain}) {
+    const DomainLookup lookup = map.lookup(kind);
+    for (std::size_t h = 0; h < 200; ++h)
+      EXPECT_EQ(lookup.domain_of(static_cast<std::int32_t>(h)),
+                map.domain_of(h, kind))
+          << to_string(kind) << " host " << h;
+  }
+}
+
+TEST(FailureDomainMap, LookupHostOffsetShiftsTheFrame) {
+  const auto pool = HostPool::uniform(spec_named("uniform"));
+  const auto map = FailureDomainMap::generate(pool, 24, TopologySpec{}, 7);
+  DomainLookup shifted = map.lookup(DomainKind::kRack);
+  shifted.host_offset = 10;
+  for (std::size_t h = 0; h < 100; ++h)
+    EXPECT_EQ(shifted.domain_of(static_cast<std::int32_t>(h)),
+              map.rack_of(h + 10))
+        << h;
+}
+
+TEST(AppReplicaGroups, GroupsByLabelInFirstAppearanceOrder) {
+  const std::vector<VmWorkload> vms = {vm_of_app("a"), vm_of_app("b"),
+                                       vm_of_app("a"), vm_of_app(""),
+                                       vm_of_app("b"), vm_of_app("a")};
+  const auto groups = app_replica_groups(vms);
+  const std::vector<std::vector<std::size_t>> expected = {
+      {0, 2, 5}, {1, 4}, {3}};
+  EXPECT_EQ(groups, expected);
+}
+
+TEST(SpreadAcrossDomains, CompilesCeilingCaps) {
+  FailureDomainMap map;
+  for (std::size_t h = 0; h < 12; ++h) map.assign(h, h / 3, 0);
+  ConstraintSet cs;
+  const std::vector<std::vector<std::size_t>> groups = {
+      {0, 1, 2, 3, 4}, {5, 6}, {7}};
+  spread_across_domains(cs, groups, map, DomainKind::kRack, 2);
+  // Five replicas over k=2 domains -> cap ceil(5/2)=3; the pair gets cap
+  // ceil(2/2)=1; the singleton compiles to nothing.
+  ASSERT_EQ(cs.spread_rules().size(), 2u);
+  EXPECT_EQ(cs.spread_rules()[0].vms, groups[0]);
+  EXPECT_EQ(cs.spread_rules()[0].cap, 3u);
+  EXPECT_EQ(cs.spread_rules()[1].vms, groups[1]);
+  EXPECT_EQ(cs.spread_rules()[1].cap, 1u);
+}
+
+TEST(SpreadAcrossDomains, ClampsKToGroupAndKnownDomains) {
+  // Bounded map with only 2 racks: k=10 must clamp to 2, not demand more
+  // domains than exist.
+  FailureDomainMap map;
+  for (std::size_t h = 0; h < 8; ++h) map.assign(h, h / 4, 0);
+  ConstraintSet cs;
+  const std::vector<std::vector<std::size_t>> groups = {{0, 1, 2, 3}};
+  spread_across_domains(cs, groups, map, DomainKind::kRack, 10);
+  ASSERT_EQ(cs.spread_rules().size(), 1u);
+  EXPECT_EQ(cs.spread_rules()[0].cap, 2u);  // ceil(4/2)
+}
+
+TEST(SpreadAcrossDomains, SkipsVacuousRules) {
+  FailureDomainMap map;
+  for (std::size_t h = 0; h < 8; ++h) map.assign(h, h / 4, 0);
+  ConstraintSet cs;
+  // A pair over k clamped to 2 known domains -> cap 1 < 2: real rule.
+  // But with a single known domain the rule would be cap >= n: skipped.
+  FailureDomainMap one_rack;
+  for (std::size_t h = 0; h < 8; ++h) one_rack.assign(h, 0, 0);
+  const std::vector<std::vector<std::size_t>> groups = {{0, 1}};
+  spread_across_domains(cs, groups, one_rack, DomainKind::kRack, 4);
+  EXPECT_TRUE(cs.spread_rules().empty());
+  // k < 2 and empty maps are no-ops too.
+  spread_across_domains(cs, groups, map, DomainKind::kRack, 1);
+  spread_across_domains(cs, groups, FailureDomainMap{}, DomainKind::kRack, 2);
+  EXPECT_TRUE(cs.spread_rules().empty());
+}
+
+TEST(SpreadAcrossDomains, CompiledRulesBindThroughTheConstraintSet) {
+  // End to end: a 4-replica app over an 8-host / 4-rack map with k=4 must
+  // land one replica per rack.
+  const auto pool = HostPool::uniform(spec_named("uniform"));
+  const TopologySpec spec{.hosts_per_rack = 2, .racks_per_power_domain = 2};
+  const auto map = FailureDomainMap::generate(pool, 8, spec, 3);
+  ConstraintSet cs;
+  const std::vector<std::vector<std::size_t>> groups = {{0, 1, 2, 3}};
+  spread_across_domains(cs, groups, map, DomainKind::kRack, 4);
+  ASSERT_EQ(cs.spread_rules().size(), 1u);
+  EXPECT_EQ(cs.spread_rules()[0].cap, 1u);
+
+  Placement placement(4);
+  placement.assign(0, 0);
+  // Same rack as host 0 -> blocked for every other replica.
+  const std::int32_t rack0 = map.rack_of(0);
+  for (std::int32_t h = 0; h < 16; ++h) {
+    const bool same_rack = map.rack_of(static_cast<std::size_t>(h)) == rack0;
+    EXPECT_EQ(cs.allows(1, h, placement), !same_rack) << "host " << h;
+  }
+}
+
+}  // namespace
+}  // namespace vmcw
