@@ -16,6 +16,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "common.h"
@@ -27,7 +28,11 @@ using namespace vmcw;
 int main(int argc, char** argv) {
   bench::print_header("Chaos resilience",
                       "Strategy robustness vs injected fault intensity");
-  const int servers = argc > 1 ? std::atoi(argv[1]) : 40;
+  // Two independent sweeps, two journals (…_intensity.bin / …_corr.bin):
+  // a SIGKILLed run restarted with --resume replays finished cells from
+  // both and recomputes only the remainder, byte-identically.
+  const bench::BenchOptions opts = bench::parse_options(argc, argv, 40);
+  const int servers = opts.servers;
 
   std::vector<WorkloadSpec> specs;
   for (const auto& preset : all_workload_specs())
@@ -51,13 +56,15 @@ int main(int argc, char** argv) {
   std::printf("grid: %zu cells (%d servers per estate)\n\n", cells.size(),
               servers);
 
-  const auto results = SweepDriver().run(cells);
+  const auto results =
+      SweepDriver().run(cells, bench::sweep_options(opts, "intensity"));
 
   std::vector<RobustnessRow> rows;
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     if (!r.planned) {
-      std::printf("cell %zu (%s) failed to plan\n", i, r.workload.c_str());
+      std::printf("cell %zu (%s) failed to plan: %s\n", i, r.workload.c_str(),
+                  to_string(r.status));
       continue;
     }
     RobustnessRow row;
@@ -68,7 +75,8 @@ int main(int argc, char** argv) {
     if (cell_intensity[i] == 0.0) row.report.emulation = r.report;
     rows.push_back(std::move(row));
   }
-  std::printf("%s", render_robustness_report(rows).c_str());
+  std::string dat = render_robustness_report(rows);
+  std::printf("%s", dat.c_str());
 
   // Sanity: the harder intensities must actually exercise the machinery.
   std::size_t retries = 0, stale = 0, crashes = 0, fault_counters_at_zero = 0;
@@ -121,40 +129,60 @@ int main(int argc, char** argv) {
           corr_cells.push_back(std::move(cell));
           corr_meta.push_back({spread, rate});
         }
-  const auto corr_results = SweepDriver().run(corr_cells);
+  const auto corr_results =
+      SweepDriver().run(corr_cells, bench::sweep_options(opts, "corr"));
 
-  std::printf("\n## Correlated rack outages: domain-aware spread off vs on\n\n");
-  std::printf("%-10s %-12s %6s %7s %6s %10s %11s %10s %10s %6s\n", "Workload",
-              "Strategy", "rate", "spread", "incid", "recovery_h", "max_blast",
-              "vm_down_h", "peak_down", "hosts");
+  char line[160];
+  std::string corr_dat =
+      "\n## Correlated rack outages: domain-aware spread off vs on\n\n";
+  std::snprintf(line, sizeof(line),
+                "%-10s %-12s %6s %7s %6s %10s %11s %10s %10s %6s\n", "Workload",
+                "Strategy", "rate", "spread", "incid", "recovery_h",
+                "max_blast", "vm_down_h", "peak_down", "hosts");
+  corr_dat += line;
   double blast_off = 0, blast_on = 0, recovery_off = 0, recovery_on = 0;
   std::size_t down_off = 0, down_on = 0, corr_planned = 0;
   for (std::size_t i = 0; i < corr_results.size(); ++i) {
     const auto& r = corr_results[i];
     if (!r.planned) {
-      std::printf("cell %zu (%s) failed to plan\n", i, r.workload.c_str());
+      std::snprintf(line, sizeof(line), "cell %zu (%s) failed to plan: %s\n",
+                    i, r.workload.c_str(), to_string(r.status));
+      corr_dat += line;
       continue;
     }
     ++corr_planned;
     const RobustnessReport& rob = r.robustness;
-    std::printf("%-10s %-12s %6.1f %7s %6zu %10.1f %10.1f%% %10zu %10zu %6zu\n",
-                r.workload.c_str(), to_string(r.strategy),
-                corr_meta[i].rate, corr_meta[i].spread ? "on" : "off",
-                rob.incidents.size(), rob.worst_incident_recovery_hours,
-                100.0 * rob.max_app_blast_radius, rob.vm_downtime_hours,
-                rob.max_vms_down_simultaneously, r.provisioned_hosts);
+    std::snprintf(line, sizeof(line),
+                  "%-10s %-12s %6.1f %7s %6zu %10.1f %10.1f%% %10zu %10zu %6zu\n",
+                  r.workload.c_str(), to_string(r.strategy),
+                  corr_meta[i].rate, corr_meta[i].spread ? "on" : "off",
+                  rob.incidents.size(), rob.worst_incident_recovery_hours,
+                  100.0 * rob.max_app_blast_radius, rob.vm_downtime_hours,
+                  rob.max_vms_down_simultaneously, r.provisioned_hosts);
+    corr_dat += line;
     (corr_meta[i].spread ? blast_on : blast_off) += rob.max_app_blast_radius;
     (corr_meta[i].spread ? recovery_on : recovery_off) +=
         rob.worst_incident_recovery_hours;
     (corr_meta[i].spread ? down_on : down_off) +=
         rob.max_vms_down_simultaneously;
   }
-  std::printf("\naggregates (summed over %zu cells per arm):\n", corr_planned / 2);
-  std::printf("  app blast radius   off %.2f  ->  on %.2f\n", blast_off,
-              blast_on);
-  std::printf("  worst recovery (h) off %.1f  ->  on %.1f\n", recovery_off,
-              recovery_on);
-  std::printf("  peak VMs down      off %zu  ->  on %zu\n", down_off, down_on);
+  std::snprintf(line, sizeof(line), "\naggregates (summed over %zu cells per arm):\n",
+                corr_planned / 2);
+  corr_dat += line;
+  std::snprintf(line, sizeof(line), "  app blast radius   off %.2f  ->  on %.2f\n",
+                blast_off, blast_on);
+  corr_dat += line;
+  std::snprintf(line, sizeof(line), "  worst recovery (h) off %.1f  ->  on %.1f\n",
+                recovery_off, recovery_on);
+  corr_dat += line;
+  std::snprintf(line, sizeof(line), "  peak VMs down      off %zu  ->  on %zu\n",
+                down_off, down_on);
+  corr_dat += line;
+  std::printf("%s", corr_dat.c_str());
+  dat += corr_dat;
+  // The figure artifact goes to chaos_resilience.dat through the atomic
+  // temp + rename path: a kill mid-write leaves the previous complete file.
+  bench::write_dat(dat);
   if (corr_planned == 0) {
     std::printf("FAIL: no correlated-outage cell planned\n");
     return 1;

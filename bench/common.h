@@ -14,6 +14,7 @@
 
 #include "analysis/burstiness.h"
 #include "core/study.h"
+#include "runtime/sweep.h"
 #include "runtime/telemetry.h"
 #include "runtime/thread_pool.h"
 #include "trace/generator.h"
@@ -22,6 +23,44 @@
 #include "util/table.h"
 
 namespace vmcw::bench {
+
+/// Command-line knobs shared by the sweep-backed benches:
+///   [servers]              positional: servers per estate (0 = full scale)
+///   --resume               replay this bench's cell journal and compute
+///                          only the cells a previous (killed) run did not
+///                          finish; output is byte-identical to a clean run
+///   --journal=PATH         override the journal path (default: next to the
+///                          telemetry sidecar, journal_<slug>[_<suffix>].bin)
+///   --no-journal           disable journaling entirely
+///   --cell-deadline=SECS   per-cell watchdog; a cell past the deadline is
+///                          reported timed_out without aborting its siblings
+struct BenchOptions {
+  int servers = 0;
+  bool resume = false;
+  bool journal = true;
+  std::string journal_override;
+  double cell_deadline_seconds = 0;
+};
+
+inline BenchOptions parse_options(int argc, char** argv,
+                                  int default_servers = 0) {
+  BenchOptions opts;
+  opts.servers = default_servers;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--resume")
+      opts.resume = true;
+    else if (arg == "--no-journal")
+      opts.journal = false;
+    else if (arg.rfind("--journal=", 0) == 0)
+      opts.journal_override = arg.substr(10);
+    else if (arg.rfind("--cell-deadline=", 0) == 0)
+      opts.cell_deadline_seconds = std::atof(arg.c_str() + 16);
+    else if (!arg.empty() && arg[0] != '-')
+      opts.servers = std::atoi(arg.c_str());
+  }
+  return opts;
+}
 
 /// Generate all four data centers at full Table 2 scale (or a scale
 /// override from the command line: argv[1] = servers per DC). Fleets are
@@ -65,6 +104,11 @@ inline std::string& telemetry_path() {
   return path;
 }
 
+inline std::string& output_slug() {
+  static std::string slug;
+  return slug;
+}
+
 inline void dump_telemetry() {
   if (!telemetry_path().empty())
     MetricsRegistry::global().dump_json(telemetry_path());
@@ -72,23 +116,64 @@ inline void dump_telemetry() {
 
 }  // namespace detail
 
+inline std::string slugify(const char* name) {
+  std::string slug;
+  for (const char* c = name; *c; ++c)
+    slug += std::isalnum(static_cast<unsigned char>(*c))
+                ? static_cast<char>(std::tolower(static_cast<unsigned char>(*c)))
+                : '_';
+  return slug;
+}
+
 inline void print_header(const char* figure, const char* caption) {
   std::printf("==============================================================\n");
   std::printf("%s — %s\n", figure, caption);
   std::printf("==============================================================\n");
+  detail::output_slug() = slugify(figure);
   // Dump per-phase telemetry as JSON next to this bench's output when the
   // process exits (sidecar only — tables on stdout stay byte-identical at
   // any thread count). Disable with VMCW_TELEMETRY=0.
   const char* env = std::getenv("VMCW_TELEMETRY");
   if (env && env[0] == '0') return;
-  std::string slug;
-  for (const char* c = figure; *c; ++c)
-    slug += std::isalnum(static_cast<unsigned char>(*c))
-                ? static_cast<char>(std::tolower(static_cast<unsigned char>(*c)))
-                : '_';
   const bool fresh = detail::telemetry_path().empty();
-  detail::telemetry_path() = "telemetry_" + slug + ".json";
+  detail::telemetry_path() = "telemetry_" + detail::output_slug() + ".json";
   if (fresh) std::atexit(&detail::dump_telemetry);
+}
+
+/// SweepOptions for this bench's durable sweep: journal next to the
+/// telemetry sidecar (journal_<slug>[_<suffix>].bin), resume/deadline from
+/// the command line. Benches with several independent sweeps distinguish
+/// their journals by `suffix`.
+inline SweepOptions sweep_options(const BenchOptions& opts,
+                                  const char* suffix = nullptr) {
+  SweepOptions sweep;
+  if (opts.journal) {
+    if (!opts.journal_override.empty()) {
+      sweep.journal_path = opts.journal_override;
+      if (suffix != nullptr) {
+        sweep.journal_path += '_';
+        sweep.journal_path += suffix;
+      }
+    } else {
+      sweep.journal_path = "journal_" + detail::output_slug();
+      if (suffix != nullptr) {
+        sweep.journal_path += '_';
+        sweep.journal_path += suffix;
+      }
+      sweep.journal_path += ".bin";
+    }
+  }
+  sweep.resume = opts.resume;
+  sweep.cell_deadline_seconds = opts.cell_deadline_seconds;
+  return sweep;
+}
+
+/// Write this bench's figure/table payload to <slug>.dat through the same
+/// temp + rename path the telemetry sidecar uses, so a killed bench never
+/// leaves a truncated artifact on disk.
+inline bool write_dat(const std::string& content) {
+  if (detail::output_slug().empty()) return false;
+  return write_file_atomic(detail::output_slug() + ".dat", content);
 }
 
 /// "(a) Banking"-style label as the paper's sub-figures use.

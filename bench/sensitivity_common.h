@@ -2,10 +2,15 @@
 // consolidation as a function of the utilization bound U (1-U of each
 // host's CPU and memory is reserved for live migration), with the
 // U-independent Semi-Static and Stochastic requirements as reference lines.
+//
+// The grid runs through the durable SweepDriver: two reference cells plus
+// one Dynamic cell per bound, each journaled as it finishes, so a killed
+// figure resumes with --resume and recomputes only the missing bounds.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "common.h"
 
@@ -16,49 +21,83 @@ inline int run_sensitivity_bench(const char* figure,
                                  const char* paper_note, int argc,
                                  char** argv) {
   print_header(figure, "Performance vs utilization bound");
-  const int servers = argc > 1 ? std::atoi(argv[1]) : 0;
+  const BenchOptions opts = parse_options(argc, argv);
   WorkloadSpec spec = workload_spec_by_name(workload_name);
-  if (servers > 0) spec = scaled_down(spec, servers, spec.hours);
-  const Datacenter dc = generate_datacenter(spec, kStudySeed);
-  std::printf("workload: %s (%zu servers)\n\n", dc.industry.c_str(),
-              dc.servers.size());
+  if (opts.servers > 0) spec = scaled_down(spec, opts.servers, spec.hours);
+  std::printf("workload: %s (%d servers)\n\n", spec.industry.c_str(),
+              spec.num_servers);
 
   const std::vector<double> bounds{0.60, 0.65, 0.70, 0.75, 0.80,
                                    0.85, 0.90, 0.95, 1.00};
-  const auto result = sensitivity_sweep(dc, baseline_settings(), bounds);
+  // Cells 0-1 are the U-independent references; cell 2+i is Dynamic at
+  // bounds[i]. One grid, one journal: a resumed run replays whatever the
+  // interrupted one finished.
+  std::vector<SweepCell> cells;
+  {
+    SweepCell cell;
+    cell.spec = spec;
+    cell.settings = baseline_settings();
+    cell.seed = kStudySeed;
+    cell.strategy = Strategy::kSemiStatic;
+    cells.push_back(cell);
+    cell.strategy = Strategy::kStochastic;
+    cells.push_back(cell);
+    cell.strategy = Strategy::kDynamic;
+    for (const double bound : bounds) {
+      cell.settings.dynamic_utilization_bound = bound;
+      cells.push_back(cell);
+    }
+  }
+  const auto results = SweepDriver().run(cells, sweep_options(opts));
+  for (const auto& r : results) {
+    if (!r.planned) {
+      std::printf("FAIL: cell %zu (%s) did not plan: %s\n", r.index,
+                  to_string(r.strategy), to_string(r.status));
+      return 1;
+    }
+  }
+  const std::size_t semi_static_hosts = results[0].provisioned_hosts;
+  const std::size_t stochastic_hosts = results[1].provisioned_hosts;
 
   TextTable table({"utilization bound U", "Dynamic hosts",
                    "vs Semi-Static", "vs Stochastic"});
-  for (const auto& point : result.dynamic_points) {
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    const std::size_t dynamic_hosts = results[2 + i].provisioned_hosts;
     table.add_row(
-        {fmt(point.utilization_bound, 2),
-         std::to_string(point.dynamic_hosts),
-         fmt(static_cast<double>(point.dynamic_hosts) /
-                 static_cast<double>(result.semi_static_hosts),
+        {fmt(bounds[i], 2), std::to_string(dynamic_hosts),
+         fmt(static_cast<double>(dynamic_hosts) /
+                 static_cast<double>(semi_static_hosts),
              3),
-         fmt(static_cast<double>(point.dynamic_hosts) /
-                 static_cast<double>(result.stochastic_hosts),
+         fmt(static_cast<double>(dynamic_hosts) /
+                 static_cast<double>(stochastic_hosts),
              3)});
   }
-  std::printf("%s", table.str().c_str());
-  std::printf("\nreference lines: Semi-Static = %zu hosts, Stochastic = %zu "
-              "hosts (independent of U)\n",
-              result.semi_static_hosts, result.stochastic_hosts);
+  std::string out = table.str();
+  out += "\nreference lines: Semi-Static = " +
+         std::to_string(semi_static_hosts) +
+         " hosts, Stochastic = " + std::to_string(stochastic_hosts) +
+         " hosts (independent of U)\n";
 
   // Where does Dynamic cross the Stochastic line?
   double crossover = -1.0;
-  for (const auto& point : result.dynamic_points) {
-    if (point.dynamic_hosts <= result.stochastic_hosts) {
-      crossover = point.utilization_bound;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (results[2 + i].provisioned_hosts <= stochastic_hosts) {
+      crossover = bounds[i];
       break;
     }
   }
-  if (crossover > 0)
-    std::printf("Dynamic matches Stochastic at U >= %.2f "
-                "(reservation <= %.0f%%)\n",
-                crossover, (1.0 - crossover) * 100.0);
-  else
-    std::printf("Dynamic never reaches the Stochastic line in this sweep\n");
+  if (crossover > 0) {
+    char line[128];
+    std::snprintf(line, sizeof(line),
+                  "Dynamic matches Stochastic at U >= %.2f "
+                  "(reservation <= %.0f%%)\n",
+                  crossover, (1.0 - crossover) * 100.0);
+    out += line;
+  } else {
+    out += "Dynamic never reaches the Stochastic line in this sweep\n";
+  }
+  std::printf("%s", out.c_str());
+  write_dat(out);
 
   std::printf("\npaper: %s\n", paper_note);
   return 0;

@@ -7,6 +7,7 @@
 #include <tuple>
 #include <unordered_map>
 
+#include "runtime/cancellation.h"
 #include "runtime/telemetry.h"
 
 namespace vmcw {
@@ -49,6 +50,7 @@ RobustnessReport replay_under_faults(std::span<const VmWorkload> vms,
   // order — so the reports are bit-identical by construction.
   if (!plan.any()) {
     for (std::size_t k = 0; k < intervals; ++k) {
+      cancellation_point();
       const Placement& placement =
           schedule.size() == 1 ? schedule[0]
                                : schedule[std::min(k, schedule.size() - 1)];
@@ -105,6 +107,9 @@ RobustnessReport replay_under_faults(std::span<const VmWorkload> vms,
   bool dirty = true;  // `actual` mutated since the accumulator last saw it
 
   for (std::size_t k = 0; k < intervals; ++k) {
+    // Same cancellation cadence as the fault-free loop: one check per
+    // consolidation interval.
+    cancellation_point();
     const std::size_t hour0 =
         settings.eval_begin() + k * settings.interval_hours;
 

@@ -64,16 +64,29 @@ void ConstraintSet::forbid(std::size_t vm, std::int32_t host) {
   forbidden_.emplace_back(vm, host);
 }
 
-void ConstraintSet::add_domain_spread(std::vector<std::size_t> vms,
-                                      DomainLookup domains, std::size_t cap) {
+void ConstraintSet::add_domain_spread(
+    std::vector<std::size_t> vms, DomainLookup domains, std::size_t cap,
+    std::vector<std::pair<std::int32_t, std::size_t>> preplaced) {
   if (vms.empty()) return;
   const std::size_t max_vm = *std::max_element(vms.begin(), vms.end());
   ensure_size(max_vm);
   if (spread_of_vm_.size() <= max_vm) spread_of_vm_.resize(max_vm + 1);
   const auto rule_index = static_cast<std::uint32_t>(spread_.size());
   for (const std::size_t vm : vms) spread_of_vm_[vm].push_back(rule_index);
-  spread_.push_back(SpreadRule{std::move(vms), std::move(domains), cap});
+  spread_.push_back(SpreadRule{std::move(vms), std::move(domains), cap,
+                               std::move(preplaced)});
 }
+
+namespace {
+
+/// Baseline members committed to `domain` outside this sub-problem.
+std::size_t preplaced_in(const SpreadRule& rule, std::int32_t domain) noexcept {
+  for (const auto& [d, count] : rule.preplaced)
+    if (d == domain) return count;
+  return 0;
+}
+
+}  // namespace
 
 std::vector<std::vector<std::size_t>> ConstraintSet::affinity_groups() const {
   std::map<std::size_t, std::vector<std::size_t>> by_root;
@@ -109,7 +122,9 @@ bool ConstraintSet::allows(std::size_t vm, std::int32_t host,
       const SpreadRule& rule = spread_[r];
       const std::int32_t d = rule.domains.domain_of(host);
       if (d < 0) continue;  // unknown domain: unconstrained
-      if (placed_in_same_domain(rule, vm, d, partial) + 1 > rule.cap)
+      if (preplaced_in(rule, d) + placed_in_same_domain(rule, vm, d, partial) +
+              1 >
+          rule.cap)
         return false;
     }
   }
@@ -149,7 +164,7 @@ bool ConstraintSet::allows_group(const std::vector<std::size_t>& group,
     if (in_group == 0) continue;  // the group cannot change this rule
     const std::int32_t d = rule.domains.domain_of(host);
     if (d < 0) continue;
-    std::size_t members = in_group;
+    std::size_t members = in_group + preplaced_in(rule, d);
     for (const std::size_t vm : rule.vms) {
       if (std::find(group.begin(), group.end(), vm) != group.end()) continue;
       if (vm < partial.vm_count() && partial.is_placed(vm) &&
@@ -189,7 +204,7 @@ bool ConstraintSet::satisfied_by(const Placement& placement) const noexcept {
       if (vm >= placement.vm_count() || !placement.is_placed(vm)) continue;
       const std::int32_t d = rule.domains.domain_of(placement.host_of(vm));
       if (d < 0) continue;
-      std::size_t members = 0;
+      std::size_t members = preplaced_in(rule, d);
       for (const std::size_t other : rule.vms) {
         if (other >= placement.vm_count() || !placement.is_placed(other))
           continue;
@@ -231,7 +246,7 @@ bool ConstraintSet::structurally_feasible() const {
       if (host == Placement::kUnplaced) continue;
       const std::int32_t d = rule.domains.domain_of(host);
       if (d < 0) continue;
-      std::size_t pinned_here = 0;
+      std::size_t pinned_here = preplaced_in(rule, d);
       for (const std::size_t other : rule.vms) {
         const std::int32_t other_host = pinned_host(other);
         if (other_host != Placement::kUnplaced &&

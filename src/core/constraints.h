@@ -52,6 +52,12 @@ struct SpreadRule {
   std::vector<std::size_t> vms;
   DomainLookup domains;
   std::size_t cap = 1;
+  /// Per-domain counts of group members already committed *outside* this
+  /// sub-problem (hybrid plans its two sides separately; the side planned
+  /// second must count the first side's occupancy or a group split across
+  /// both sides can admit up to 2x its cap in one domain). The cap is
+  /// enforced jointly: preplaced + placed here + candidate <= cap.
+  std::vector<std::pair<std::int32_t, std::size_t>> preplaced;
 };
 
 class ConstraintSet {
@@ -70,8 +76,11 @@ class ConstraintSet {
   void pin(std::size_t vm, std::int32_t host);
   void forbid(std::size_t vm, std::int32_t host);
   /// At most `cap` of `vms` on hosts sharing one domain of `domains`.
-  void add_domain_spread(std::vector<std::size_t> vms, DomainLookup domains,
-                         std::size_t cap);
+  /// `preplaced` seeds per-domain baseline counts of members committed
+  /// outside this sub-problem (see SpreadRule::preplaced).
+  void add_domain_spread(
+      std::vector<std::size_t> vms, DomainLookup domains, std::size_t cap,
+      std::vector<std::pair<std::int32_t, std::size_t>> preplaced = {});
   const std::vector<SpreadRule>& spread_rules() const noexcept {
     return spread_;
   }

@@ -15,21 +15,56 @@ namespace {
 /// index, or kNotOnSide), and the side's host indices are shifted against
 /// the merged fleet by `host_offset` (0 for the stochastic block, the
 /// stochastic host count for the dynamic block).
+///
+/// The cap is joint across the split: when the other side is already
+/// planned (`old_to_other` + `other_placement`, host indices unshifted
+/// against the merged fleet), its members' per-domain occupancy seeds the
+/// side rule's preplaced baseline. Without the baseline a group split
+/// across both sides could admit up to 2x its cap in one domain — each
+/// side alone under cap, jointly over it.
 constexpr std::size_t kNotOnSide = static_cast<std::size_t>(-1);
 
-ConstraintSet side_spread_rules(const ConstraintSet& constraints,
-                                const std::vector<std::size_t>& old_to_side,
-                                std::int32_t host_offset) {
+ConstraintSet side_spread_rules(
+    const ConstraintSet& constraints,
+    const std::vector<std::size_t>& old_to_side, std::int32_t host_offset,
+    const std::vector<std::size_t>* old_to_other = nullptr,
+    const Placement* other_placement = nullptr) {
   ConstraintSet side;
   for (const SpreadRule& rule : constraints.spread_rules()) {
     std::vector<std::size_t> members;
     for (const std::size_t vm : rule.vms)
       if (vm < old_to_side.size() && old_to_side[vm] != kNotOnSide)
         members.push_back(old_to_side[vm]);
-    if (members.size() < 2 || rule.cap >= members.size()) continue;
+    if (members.empty()) continue;
+
+    std::vector<std::pair<std::int32_t, std::size_t>> preplaced;
+    if (old_to_other != nullptr && other_placement != nullptr) {
+      for (const std::size_t vm : rule.vms) {
+        if (vm >= old_to_other->size()) continue;
+        const std::size_t j = (*old_to_other)[vm];
+        if (j == kNotOnSide || j >= other_placement->vm_count() ||
+            !other_placement->is_placed(j))
+          continue;
+        const std::int32_t d =
+            rule.domains.domain_of(other_placement->host_of(j));
+        if (d < 0) continue;
+        const auto it = std::find_if(
+            preplaced.begin(), preplaced.end(),
+            [d](const auto& entry) { return entry.first == d; });
+        if (it == preplaced.end())
+          preplaced.emplace_back(d, 1);
+        else
+          ++it->second;
+      }
+    }
+    // With no baseline, a side holding <= cap members can never exceed the
+    // cap on its own; only then is the rule droppable.
+    if (preplaced.empty() && (members.size() < 2 || rule.cap >= members.size()))
+      continue;
     DomainLookup domains = rule.domains;
     domains.host_offset += host_offset;
-    side.add_domain_spread(std::move(members), std::move(domains), rule.cap);
+    side.add_domain_spread(std::move(members), std::move(domains), rule.cap,
+                           std::move(preplaced));
   }
   return side;
 }
@@ -107,9 +142,13 @@ std::optional<HybridPlan> plan_hybrid(std::span<const VmWorkload> vms,
 
   DynamicPlan dynamic_plan;
   if (!dynamic_vms.empty()) {
+    // The dynamic side counts the stochastic side's per-domain occupancy
+    // as a preplaced baseline, so the spread cap binds jointly across the
+    // split (stochastic hosts are unshifted against the merged fleet).
     const ConstraintSet dynamic_cs = side_spread_rules(
         constraints, old_to_dynamic,
-        static_cast<std::int32_t>(plan.stochastic_hosts));
+        static_cast<std::int32_t>(plan.stochastic_hosts), &old_to_stochastic,
+        &stochastic_plan->placement);
     auto planned = plan_dynamic(dynamic_vms, settings, dynamic_cs);
     if (!planned) return std::nullopt;
     dynamic_plan = std::move(*planned);

@@ -63,13 +63,19 @@ ConsolidationEngine::recommend(Strategy strategy) const {
   Recommendation rec;
   rec.strategy = strategy;
 
-  // Domain-aware planning: compile each application's spread rule once;
-  // every strategy below honors the resulting ConstraintSet.
+  // Domain-aware planning: compile each application's spread rules once;
+  // every strategy below honors the resulting ConstraintSet. Both layers
+  // of the topology are compiled — rack spread bounds the blast radius of
+  // a ToR/rack outage, power-domain spread bounds a feed failure (which a
+  // rack rule alone cannot: k racks may share one power domain).
   ConstraintSet constraints;
   if (config_.settings.domains.spread) {
     const auto groups = app_replica_groups(vms_);
-    spread_across_domains(constraints, groups, failure_domain_map(),
-                          DomainKind::kRack,
+    const FailureDomainMap topology = failure_domain_map();
+    spread_across_domains(constraints, groups, topology, DomainKind::kRack,
+                          config_.settings.domains.spread_k);
+    spread_across_domains(constraints, groups, topology,
+                          DomainKind::kPowerDomain,
                           config_.settings.domains.spread_k);
   }
 

@@ -1,0 +1,55 @@
+#include "runtime/cancellation.h"
+
+namespace vmcw {
+
+namespace {
+
+thread_local CancellationToken tl_ambient;
+
+}  // namespace
+
+bool CancellationToken::cancelled() const noexcept {
+  if (!state_) return false;
+  if (state_->cancelled.load(std::memory_order_relaxed)) return true;
+  return state_->has_deadline &&
+         std::chrono::steady_clock::now() >= state_->deadline;
+}
+
+bool CancellationToken::timed_out() const noexcept {
+  return state_ != nullptr && state_->has_deadline &&
+         std::chrono::steady_clock::now() >= state_->deadline;
+}
+
+void CancellationToken::check() const {
+  if (!state_) return;
+  if (state_->has_deadline &&
+      std::chrono::steady_clock::now() >= state_->deadline)
+    throw CancelledError(/*timed_out=*/true);
+  if (state_->cancelled.load(std::memory_order_relaxed))
+    throw CancelledError(/*timed_out=*/false);
+}
+
+CancellationSource CancellationSource::with_deadline(double deadline_seconds) {
+  CancellationSource source;
+  if (deadline_seconds > 0) {
+    source.state_->has_deadline = true;
+    source.state_->deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(deadline_seconds));
+  }
+  return source;
+}
+
+CancellationScope::CancellationScope(CancellationToken token) noexcept
+    : previous_(std::move(tl_ambient)) {
+  tl_ambient = std::move(token);
+}
+
+CancellationScope::~CancellationScope() { tl_ambient = std::move(previous_); }
+
+const CancellationToken& CancellationScope::current() noexcept {
+  return tl_ambient;
+}
+
+}  // namespace vmcw

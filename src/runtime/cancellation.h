@@ -1,0 +1,130 @@
+// Cooperative cancellation: per-cell watchdogs for the durable sweep
+// runtime.
+//
+// A sweep cell that hangs — a pathological estate, an emulation loop fed a
+// degenerate schedule — must not hold the whole grid hostage, but killing a
+// thread mid-cell would poison shared state (the pool, the metrics
+// registry, malloc arenas). Cancellation here is therefore cooperative: a
+// CancellationSource owns a flag plus an optional wall-clock deadline, work
+// observes it through CancellationToken at natural safe points (interval
+// boundaries in the emulator and fault replay loops), and an exceeded
+// deadline surfaces as a CancelledError exception that unwinds the cell
+// cleanly while sibling cells keep running.
+//
+// The token travels two ways:
+//  - explicitly, by passing a CancellationToken down a call chain;
+//  - ambiently, via CancellationScope: an RAII guard that installs the
+//    token thread-locally. ThreadPool::submit captures the submitter's
+//    ambient token into every task, so a cell's nested parallel_for chunks
+//    inherit the cell's watchdog even when another worker steals them —
+//    and help-while-waiting restores the helper's own token afterwards.
+//
+// Cancellation never feeds into results: a cell either completes with
+// byte-identical output or is recorded as cancelled. Checking a token is a
+// relaxed atomic load plus (when a deadline is set) one steady_clock read.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+
+namespace vmcw {
+
+/// Thrown at a cancellation point once the watching source fired. Carries
+/// whether the cause was an exceeded deadline (timeout) or an explicit
+/// cancel().
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(bool timed_out)
+      : std::runtime_error(timed_out ? "cell deadline exceeded"
+                                     : "cancelled"),
+        timed_out_(timed_out) {}
+
+  bool timed_out() const noexcept { return timed_out_; }
+
+ private:
+  bool timed_out_ = false;
+};
+
+/// Observer half of a cancellation pair. Default-constructed tokens are
+/// null: never cancelled, free to copy and check. Tokens are cheap to copy
+/// (one shared_ptr).
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  bool valid() const noexcept { return state_ != nullptr; }
+
+  /// Has the source been cancelled or its deadline passed?
+  bool cancelled() const noexcept;
+
+  /// Was the deadline (if any) the reason? Meaningful once cancelled().
+  bool timed_out() const noexcept;
+
+  /// Throw CancelledError if cancelled. The cancellation point.
+  void check() const;
+
+ private:
+  friend class CancellationSource;
+  struct State {
+    std::atomic<bool> cancelled{false};
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+  };
+  explicit CancellationToken(std::shared_ptr<const State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<const State> state_;
+};
+
+/// Owner half: create one per unit of cancellable work (one sweep cell),
+/// hand its token() to the work, cancel() or let the deadline fire.
+class CancellationSource {
+ public:
+  /// A source with no deadline (cancel() only).
+  CancellationSource() : state_(std::make_shared<CancellationToken::State>()) {}
+
+  /// A source whose token reports cancelled once `deadline_seconds` of
+  /// wall-clock time elapse from construction. `deadline_seconds <= 0`
+  /// means no deadline.
+  static CancellationSource with_deadline(double deadline_seconds);
+
+  CancellationToken token() const noexcept {
+    return CancellationToken(state_);
+  }
+
+  void cancel() noexcept {
+    state_->cancelled.store(true, std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<CancellationToken::State> state_;
+};
+
+/// RAII guard installing `token` as the calling thread's ambient token for
+/// its lifetime; restores the previous ambient token on destruction. The
+/// thread pool re-installs the submitter's ambient token around every task,
+/// so nested parallelism inherits the watchdog of the cell that spawned it.
+class CancellationScope {
+ public:
+  explicit CancellationScope(CancellationToken token) noexcept;
+  ~CancellationScope();
+
+  CancellationScope(const CancellationScope&) = delete;
+  CancellationScope& operator=(const CancellationScope&) = delete;
+
+  /// The calling thread's ambient token (null when no scope is active).
+  static const CancellationToken& current() noexcept;
+
+ private:
+  CancellationToken previous_;
+};
+
+/// Check the ambient token; no-op without an active scope. Replay loops
+/// call this at interval boundaries — frequent enough that a stuck cell is
+/// caught within one interval of work, rare enough to stay off the hourly
+/// hot path.
+inline void cancellation_point() { CancellationScope::current().check(); }
+
+}  // namespace vmcw

@@ -1,11 +1,29 @@
 #include "runtime/sweep.h"
 
 #include <algorithm>
+#include <exception>
+#include <utility>
 
+#include "runtime/cancellation.h"
+#include "runtime/journal.h"
 #include "runtime/telemetry.h"
 #include "util/rng.h"
 
 namespace vmcw {
+
+const char* to_string(CellStatus status) noexcept {
+  switch (status) {
+    case CellStatus::kOk:
+      return "ok";
+    case CellStatus::kPlannerFailed:
+      return "planner_failed";
+    case CellStatus::kFailed:
+      return "failed";
+    case CellStatus::kTimedOut:
+      return "timed_out";
+  }
+  return "unknown";
+}
 
 std::vector<SweepCell> SweepDriver::grid(
     std::span<const WorkloadSpec> specs,
@@ -29,72 +47,189 @@ std::vector<SweepCell> SweepDriver::grid(
   return cells;
 }
 
+namespace {
+
+/// The pure compute core of one cell: everything it consumes derives from
+/// the cell itself, so the result is a function of `cell` alone.
+void compute_cell(const SweepCell& cell, SweepCellResult& out) {
+  // Every stream this cell consumes is a keyed fork of the cell
+  // seed: independent of sibling cells and of scheduling order.
+  const Rng root(cell.seed);
+  const Datacenter estate =
+      generate_datacenter(cell.spec, root.fork("estate")());
+  out.workload = estate.industry;
+
+  ConsolidationEngine::Config config;
+  config.settings = cell.settings;
+  config.monitoring_seed = root.fork("monitoring")();
+  config.topology_seed = root.fork("topology")();
+  ConsolidationEngine engine(std::move(config));
+  engine.observe(estate);
+
+  const auto recommendation = engine.recommend(cell.strategy);
+  if (!recommendation) {
+    out.status = CellStatus::kPlannerFailed;
+    return;
+  }
+  out.planned = true;
+  out.provisioned_hosts = recommendation->provisioned_hosts;
+  out.total_migrations = recommendation->total_migrations;
+  if (cell.faults.any()) {
+    // Fault schedule from the cell's own keyed stream: independent
+    // of sibling cells and of scheduling order, like every other
+    // stream the cell consumes.
+    std::size_t host_bound = 0;
+    for (const auto& p : recommendation->schedule)
+      host_bound = std::max(host_bound, p.host_index_bound());
+    // Correlated faults need the same failure-domain map planning
+    // saw; with zero domain rates the plan is byte-identical with or
+    // without it, so only build the map when a rate asks for it.
+    const bool correlated = cell.faults.rack_outages_per_month > 0.0 ||
+                            cell.faults.power_domain_outages_per_month > 0.0;
+    FailureDomainMap topology;
+    if (correlated) topology = engine.failure_domain_map();
+    const FaultPlan plan = FaultPlan::generate(
+        cell.faults, host_bound, cell.settings, root.fork("chaos")(),
+        correlated ? &topology : nullptr);
+    out.robustness =
+        engine.evaluate_under_faults(*recommendation, plan, cell.chaos);
+    out.report = out.robustness.emulation;
+  } else {
+    out.report = engine.evaluate(*recommendation);
+  }
+}
+
+/// Run one cell's attempt loop: watchdog scope, retry budget, journaling of
+/// consumed attempts and the terminal outcome. Never throws; every outcome
+/// lands in `out` so sibling cells are untouched.
+void run_cell(const SweepCell& cell, std::size_t index,
+              const SweepOptions& options, int attempts_already_used,
+              SweepJournal* journal, SweepCellResult& out) {
+  Stopwatch cell_span("sweep.cell_seconds");
+  out = SweepCellResult{};
+  out.index = index;
+  out.strategy = cell.strategy;
+  out.seed = cell.seed;
+
+  const int max_attempts = std::max(1, options.max_attempts);
+  int attempt = attempts_already_used;
+  for (;;) {
+    ++attempt;
+    out.attempts = static_cast<std::uint32_t>(attempt);
+    out.status = CellStatus::kOk;
+    out.error.clear();
+    out.planned = false;
+    out.report = EmulationReport{};
+    out.robustness = RobustnessReport{};
+    out.provisioned_hosts = 0;
+    out.total_migrations = 0;
+    try {
+      // The watchdog is an ambient token: the pool's submit() wrapper
+      // carries it into any nested parallel_for chunks this cell spawns,
+      // and the emulator/replay loops poll it at interval boundaries.
+      CancellationSource watchdog =
+          options.cell_deadline_seconds > 0
+              ? CancellationSource::with_deadline(options.cell_deadline_seconds)
+              : CancellationSource();
+      CancellationScope scope(watchdog.token());
+      if (options.cell_hook) options.cell_hook(cell, index, attempt);
+      compute_cell(cell, out);
+    } catch (const CancelledError& e) {
+      out.status = e.timed_out() ? CellStatus::kTimedOut : CellStatus::kFailed;
+      out.error = e.what();
+    } catch (const std::exception& e) {
+      out.status = CellStatus::kFailed;
+      out.error = e.what();
+    } catch (...) {
+      out.status = CellStatus::kFailed;
+      out.error = "unknown exception";
+    }
+    if (out.status != CellStatus::kOk) {
+      // Whatever the attempt computed before it unwound is partial; the
+      // contract says a non-ok cell reports planned == false and
+      // default-constructed reports (workload naming is kept for logs).
+      out.planned = false;
+      out.provisioned_hosts = 0;
+      out.total_migrations = 0;
+      out.report = EmulationReport{};
+      out.robustness = RobustnessReport{};
+    }
+
+    if (out.status == CellStatus::kOk) {
+      MetricsRegistry::global().add_counter("sweep.cells_done");
+      break;
+    }
+    if (out.status == CellStatus::kPlannerFailed) {
+      // Deterministic outcome: retrying would recompute the same refusal.
+      MetricsRegistry::global().add_counter("sweep.cells_failed");
+      break;
+    }
+    MetricsRegistry::global().add_counter(
+        out.status == CellStatus::kTimedOut ? "sweep.cells_timed_out"
+                                            : "sweep.cells_failed");
+    if (attempt >= max_attempts) break;
+    // Budget left: journal the consumed attempt (so a resumed sweep keeps
+    // the same count) and go again.
+    MetricsRegistry::global().add_counter("sweep.cells_retried");
+    if (journal != nullptr)
+      journal->append_failed_attempt(index, attempt, out.status, out.error);
+  }
+
+  out.wall_seconds = cell_span.stop();
+  if (journal != nullptr) journal->append_result(out);
+}
+
+}  // namespace
+
 std::vector<SweepCellResult> SweepDriver::run(
     std::span<const SweepCell> cells) const {
+  return run(cells, SweepOptions{});
+}
+
+std::vector<SweepCellResult> SweepDriver::run(
+    std::span<const SweepCell> cells, const SweepOptions& options) const {
   std::vector<SweepCellResult> results(cells.size());
   Stopwatch sweep_span("sweep.wall_seconds");
   MetricsRegistry::global().add_counter("sweep.cells", cells.size());
+
+  // Open the journal (if any) and replay what a previous run finished.
+  SweepJournal journal;
+  std::vector<bool> replayed(cells.size(), false);
+  std::vector<int> attempts_used(cells.size(), 0);
+  if (!options.journal_path.empty()) {
+    const std::uint64_t hash = sweep_grid_hash(cells);
+    SweepJournal::Recovery recovery =
+        journal.open(options.journal_path, hash, cells.size(), options.resume);
+    if (recovery.stale)
+      MetricsRegistry::global().add_counter("sweep.journal.stale_discarded");
+    if (recovery.torn_tail)
+      MetricsRegistry::global().add_counter("sweep.journal.torn_tail_bytes",
+                                            recovery.bytes_discarded);
+    for (SweepCellResult& replay : recovery.results) {
+      const std::size_t i = replay.index;
+      results[i] = std::move(replay);
+      replayed[i] = true;
+    }
+    for (const auto& [index, attempts] : recovery.attempts_used)
+      attempts_used[index] = attempts;
+    MetricsRegistry::global().add_counter("sweep.journal.cells_replayed",
+                                          recovery.results.size());
+  }
+
+  SweepJournal* journal_ptr = journal.is_open() ? &journal : nullptr;
   parallel_for(
       0, cells.size(),
       [&](std::size_t i) {
-        Stopwatch cell_span("sweep.cell_seconds");
-        const SweepCell& cell = cells[i];
-        SweepCellResult& out = results[i];
-        out.index = i;
-        out.strategy = cell.strategy;
-        out.seed = cell.seed;
-
-        // Every stream this cell consumes is a keyed fork of the cell
-        // seed: independent of sibling cells and of scheduling order.
-        const Rng root(cell.seed);
-        const Datacenter estate =
-            generate_datacenter(cell.spec, root.fork("estate")());
-        out.workload = estate.industry;
-
-        ConsolidationEngine::Config config;
-        config.settings = cell.settings;
-        config.monitoring_seed = root.fork("monitoring")();
-        config.topology_seed = root.fork("topology")();
-        ConsolidationEngine engine(std::move(config));
-        engine.observe(estate);
-
-        const auto recommendation = engine.recommend(cell.strategy);
-        if (!recommendation) {
-          MetricsRegistry::global().add_counter("sweep.cells_failed");
-          out.wall_seconds = cell_span.stop();
-          return;
-        }
-        out.planned = true;
-        out.provisioned_hosts = recommendation->provisioned_hosts;
-        out.total_migrations = recommendation->total_migrations;
-        if (cell.faults.any()) {
-          // Fault schedule from the cell's own keyed stream: independent
-          // of sibling cells and of scheduling order, like every other
-          // stream the cell consumes.
-          std::size_t host_bound = 0;
-          for (const auto& p : recommendation->schedule)
-            host_bound = std::max(host_bound, p.host_index_bound());
-          // Correlated faults need the same failure-domain map planning
-          // saw; with zero domain rates the plan is byte-identical with or
-          // without it, so only build the map when a rate asks for it.
-          const bool correlated =
-              cell.faults.rack_outages_per_month > 0.0 ||
-              cell.faults.power_domain_outages_per_month > 0.0;
-          FailureDomainMap topology;
-          if (correlated) topology = engine.failure_domain_map();
-          const FaultPlan plan = FaultPlan::generate(
-              cell.faults, host_bound, cell.settings, root.fork("chaos")(),
-              correlated ? &topology : nullptr);
-          out.robustness =
-              engine.evaluate_under_faults(*recommendation, plan, cell.chaos);
-          out.report = out.robustness.emulation;
-        } else {
-          out.report = engine.evaluate(*recommendation);
-        }
-        MetricsRegistry::global().add_counter("sweep.cells_done");
-        out.wall_seconds = cell_span.stop();
+        if (replayed[i]) return;
+        run_cell(cells[i], i, options, attempts_used[i], journal_ptr,
+                 results[i]);
       },
       pool_, /*grain=*/1);
+  if (journal_ptr != nullptr)
+    MetricsRegistry::global().add_counter(
+        "sweep.journal.cells_appended",
+        cells.size() - static_cast<std::size_t>(std::count(
+                           replayed.begin(), replayed.end(), true)));
   return results;
 }
 

@@ -114,16 +114,13 @@ std::string MetricsRegistry::to_json() const {
   return out.str();
 }
 
-bool MetricsRegistry::dump_json(const std::string& path) const {
-  // Write-then-rename so a reader (or a crash mid-dump) never sees a
-  // truncated sidecar: the file at `path` is either the previous complete
-  // dump or the new one.
+bool write_file_atomic(const std::string& path, std::string_view content) {
   const std::string tmp = path + ".tmp";
   std::FILE* file = std::fopen(tmp.c_str(), "w");
   if (!file) return false;
-  const std::string json = to_json();
-  const std::size_t written = std::fwrite(json.data(), 1, json.size(), file);
-  if (written != json.size() || std::fflush(file) != 0) {
+  const std::size_t written =
+      std::fwrite(content.data(), 1, content.size(), file);
+  if (written != content.size() || std::fflush(file) != 0) {
     std::fclose(file);
     std::remove(tmp.c_str());
     return false;
@@ -137,6 +134,10 @@ bool MetricsRegistry::dump_json(const std::string& path) const {
     return false;
   }
   return true;
+}
+
+bool MetricsRegistry::dump_json(const std::string& path) const {
+  return write_file_atomic(path, to_json());
 }
 
 void MetricsRegistry::clear() {

@@ -20,6 +20,13 @@
 
 namespace vmcw {
 
+/// Write `content` to `path` through a `.tmp` sibling + rename(2), so a
+/// reader — or a crash mid-write — never observes a truncated file: `path`
+/// is either its previous complete content or the new one. Returns false
+/// on I/O failure (the temp file is cleaned up). Telemetry sidecars and
+/// bench figure/table outputs all write through this.
+bool write_file_atomic(const std::string& path, std::string_view content);
+
 /// Thread-safe registry of named counters and histograms.
 class MetricsRegistry {
  public:

@@ -212,6 +212,35 @@ TEST(ConstraintSet, DomainSpreadSatisfiedBy) {
   EXPECT_FALSE(cs.satisfied_by(bad));
 }
 
+TEST(ConstraintSet, DomainSpreadPreplacedBaselineCountsTowardTheCap) {
+  // Members committed outside the sub-problem (hybrid's other side) are a
+  // per-domain baseline: the cap binds jointly, not per side.
+  ConstraintSet cs;
+  cs.add_domain_spread({0, 1, 2}, paired_domains(), 2,
+                       /*preplaced=*/{{0, 2}, {1, 1}});
+  Placement p(3);
+  // Domain 0 already holds 2 members elsewhere: hosts 0-1 are full.
+  EXPECT_FALSE(cs.allows(0, 0, p));
+  EXPECT_FALSE(cs.allows(0, 1, p));
+  // Domain 1 holds 1 of 2: one local member fits, a pair does not.
+  EXPECT_TRUE(cs.allows(0, 2, p));
+  EXPECT_FALSE(cs.allows_group({0, 1}, 2, p));
+  // Domain 2 has no baseline: a pair fits, then it is full.
+  EXPECT_TRUE(cs.allows_group({0, 1}, 4, p));
+  p.assign(0, 4);
+  p.assign(1, 5);
+  EXPECT_FALSE(cs.allows(2, 4, p));
+  // Validation applies the same joint arithmetic.
+  Placement full(3);
+  full.assign(0, 2);  // domain 1: 1 + 1 = cap
+  full.assign(1, 4);
+  full.assign(2, 5);  // domain 2: 2 = cap
+  EXPECT_TRUE(cs.satisfied_by(full));
+  Placement over = full;
+  over.assign(0, 1);  // domain 0: 2 preplaced + 1 > cap
+  EXPECT_FALSE(cs.satisfied_by(over));
+}
+
 TEST(ConstraintSet, DomainSpreadStructuralFeasibility) {
   // Pins forcing 2 members into one domain under cap 1 are structurally
   // infeasible regardless of capacity.

@@ -141,6 +141,44 @@ TEST(HybridPlan, FullFractionIsPureDynamic) {
   EXPECT_EQ(hybrid->max_dynamic_hosts, dynamic->max_active_hosts);
 }
 
+TEST(HybridPlan, SpreadCapBindsJointlyAcrossTheSplit) {
+  // One replica group of four, two flat VMs (stochastic side) and two
+  // bursty-predictable VMs (dynamic side), racks of two hosts, cap 2.
+  // Each side alone holds exactly cap members, so per-side enforcement
+  // would drop the rule on both sides and let all four land in rack 0
+  // (stochastic host 0 + dynamic host offset 1 share the rack) — 2x the
+  // cap. The dynamic side must count the stochastic side's occupancy.
+  std::vector<VmWorkload> vms{
+      constant_vm("stoch-a", 100, 1024, 168),
+      constant_vm("stoch-b", 100, 1024, 168),
+      diurnal_vm("dyn-a", 100, 8.0, 168),
+      diurnal_vm("dyn-b", 100, 8.0, 168),
+  };
+  DomainLookup racks_of_two;
+  racks_of_two.tail_base = 0;
+  racks_of_two.tail_first_domain = 0;
+  racks_of_two.tail_hosts_per_domain = 2;
+  ConstraintSet cs;
+  cs.add_domain_spread({0, 1, 2, 3}, racks_of_two, 2);
+
+  const auto settings = small_settings();
+  const auto plan = plan_hybrid(vms, settings, 0.5, cs);
+  ASSERT_TRUE(plan.has_value());
+  std::size_t dynamic_members = 0;
+  for (std::size_t vm = 0; vm < vms.size(); ++vm)
+    dynamic_members += plan->is_dynamic[vm];
+  ASSERT_EQ(dynamic_members, 2u);  // the bursty pair, as engineered
+  EXPECT_TRUE(plan->is_dynamic[2]);
+  EXPECT_TRUE(plan->is_dynamic[3]);
+
+  for (const auto& placement : plan->per_interval) {
+    ASSERT_EQ(placement.placed_count(), vms.size());
+    // The parent rule judges the merged placement: at most 2 of the 4 in
+    // any one rack, jointly across both sides of the split.
+    EXPECT_TRUE(cs.satisfied_by(placement));
+  }
+}
+
 TEST(HybridPlan, MergedScheduleEmulates) {
   const auto vms = small_fleet(60);
   const auto settings = small_settings();

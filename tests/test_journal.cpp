@@ -1,0 +1,382 @@
+// Durable sweep execution: crash-safe journal, resume byte-identity,
+// per-cell failure isolation, watchdog timeouts, and retry accounting.
+
+#include "runtime/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runtime/sweep.h"
+#include "runtime/telemetry.h"
+#include "runtime/thread_pool.h"
+#include "test_helpers.h"
+#include "trace/presets.h"
+
+namespace vmcw {
+namespace {
+
+using testing::small_settings;
+
+/// Two estates x two strategies x two seeds, with fault injection on so
+/// the journal round-trips the full RobustnessReport (incidents, SLA
+/// windows, per-VM downtime) and not just the fault-free fields.
+std::vector<SweepCell> faulted_grid() {
+  const WorkloadSpec specs[] = {
+      scaled_down(banking_spec(), 16, 168),
+      scaled_down(airlines_spec(), 16, 168),
+  };
+  StudySettings settings = small_settings();
+  settings.domains.spread = true;
+  const StudySettings all_settings[] = {settings};
+  const Strategy strategies[] = {Strategy::kSemiStatic, Strategy::kDynamic};
+  const std::uint64_t seeds[] = {7, 99};
+  auto cells = SweepDriver::grid(specs, all_settings, strategies, seeds);
+  for (auto& cell : cells) {
+    cell.faults = FaultSpec::at_intensity(0.5);
+    cell.faults.rack_outages_per_month = 20.0;
+    cell.faults.domain_outage_hours_min = 2;
+    cell.faults.domain_outage_hours_max = 6;
+  }
+  return cells;
+}
+
+void expect_reports_equal(const EmulationReport& a, const EmulationReport& b) {
+  EXPECT_EQ(a.eval_hours, b.eval_hours);
+  EXPECT_EQ(a.intervals, b.intervals);
+  EXPECT_EQ(a.provisioned_hosts, b.provisioned_hosts);
+  EXPECT_EQ(a.active_hosts_per_interval, b.active_hosts_per_interval);
+  EXPECT_EQ(a.host_avg_cpu_util, b.host_avg_cpu_util);
+  EXPECT_EQ(a.host_peak_cpu_util, b.host_peak_cpu_util);
+  EXPECT_EQ(a.cpu_contention_samples, b.cpu_contention_samples);
+  EXPECT_EQ(a.mem_contention_samples, b.mem_contention_samples);
+  EXPECT_EQ(a.hours_with_contention, b.hours_with_contention);
+  EXPECT_EQ(a.vm_contention_hours, b.vm_contention_hours);
+  EXPECT_EQ(a.total_vm_contention_hours, b.total_vm_contention_hours);
+  EXPECT_EQ(a.energy_wh, b.energy_wh);  // bit-exact, not approximate
+}
+
+void expect_robustness_equal(const RobustnessReport& a,
+                             const RobustnessReport& b) {
+  expect_reports_equal(a.emulation, b.emulation);
+  EXPECT_EQ(a.host_crashes, b.host_crashes);
+  EXPECT_EQ(a.capacity_lost_host_hours, b.capacity_lost_host_hours);
+  EXPECT_EQ(a.stale_intervals, b.stale_intervals);
+  EXPECT_EQ(a.migration_attempts, b.migration_attempts);
+  EXPECT_EQ(a.failed_migration_attempts, b.failed_migration_attempts);
+  EXPECT_EQ(a.migration_retries, b.migration_retries);
+  EXPECT_EQ(a.migrations_completed, b.migrations_completed);
+  EXPECT_EQ(a.migrations_deferred, b.migrations_deferred);
+  EXPECT_EQ(a.evacuations, b.evacuations);
+  EXPECT_EQ(a.failed_evacuations, b.failed_evacuations);
+  EXPECT_EQ(a.vm_downtime_hours, b.vm_downtime_hours);
+  EXPECT_EQ(a.vm_down_hours, b.vm_down_hours);
+  EXPECT_EQ(a.max_vms_down_simultaneously, b.max_vms_down_simultaneously);
+  ASSERT_EQ(a.incidents.size(), b.incidents.size());
+  for (std::size_t i = 0; i < a.incidents.size(); ++i) {
+    EXPECT_EQ(a.incidents[i].cause, b.incidents[i].cause);
+    EXPECT_EQ(a.incidents[i].domain, b.incidents[i].domain);
+    EXPECT_EQ(a.incidents[i].start_hour, b.incidents[i].start_hour);
+    EXPECT_EQ(a.incidents[i].hosts_lost, b.incidents[i].hosts_lost);
+    EXPECT_EQ(a.incidents[i].vms_affected, b.incidents[i].vms_affected);
+    EXPECT_EQ(a.incidents[i].vms_stranded, b.incidents[i].vms_stranded);
+    EXPECT_EQ(a.incidents[i].recovery_hours, b.incidents[i].recovery_hours);
+    EXPECT_EQ(a.incidents[i].max_app_blast_fraction,
+              b.incidents[i].max_app_blast_fraction);
+  }
+  EXPECT_EQ(a.worst_incident_recovery_hours, b.worst_incident_recovery_hours);
+  EXPECT_EQ(a.max_app_blast_radius, b.max_app_blast_radius);
+  EXPECT_EQ(a.sla_violation_intervals, b.sla_violation_intervals);
+}
+
+/// Everything except wall_seconds, which the determinism contract excludes
+/// (a replayed cell carries the original cell's wall time).
+void expect_results_equal(const SweepCellResult& a, const SweepCellResult& b) {
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(a.workload, b.workload);
+  EXPECT_EQ(a.strategy, b.strategy);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.planned, b.planned);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.error, b.error);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.provisioned_hosts, b.provisioned_hosts);
+  EXPECT_EQ(a.total_migrations, b.total_migrations);
+  expect_reports_equal(a.report, b.report);
+  expect_robustness_equal(a.robustness, b.robustness);
+}
+
+struct TempFile {
+  explicit TempFile(std::string name) : path(std::move(name)) {
+    std::remove(path.c_str());
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+TEST(SweepGridHash, DetectsEveryKindOfGridEdit) {
+  const auto cells = faulted_grid();
+  const std::uint64_t base = sweep_grid_hash(cells);
+  EXPECT_EQ(base, sweep_grid_hash(faulted_grid()));  // stable across builds
+
+  auto edited = faulted_grid();
+  edited[2].seed += 1;
+  EXPECT_NE(base, sweep_grid_hash(edited));
+
+  edited = faulted_grid();
+  edited[0].strategy = Strategy::kStochastic;
+  EXPECT_NE(base, sweep_grid_hash(edited));
+
+  edited = faulted_grid();
+  edited[1].settings.dynamic_utilization_bound += 0.01;
+  EXPECT_NE(base, sweep_grid_hash(edited));
+
+  edited = faulted_grid();
+  edited[3].faults.rack_outages_per_month += 1.0;
+  EXPECT_NE(base, sweep_grid_hash(edited));
+
+  edited = faulted_grid();
+  edited[0].spec.target_avg_cpu_util *= 1.5;
+  EXPECT_NE(base, sweep_grid_hash(edited));
+
+  // Reordering and resizing are edits too.
+  edited = faulted_grid();
+  std::swap(edited[0], edited[1]);
+  EXPECT_NE(base, sweep_grid_hash(edited));
+  edited = faulted_grid();
+  edited.pop_back();
+  EXPECT_NE(base, sweep_grid_hash(edited));
+}
+
+TEST(SweepJournal, RoundTripsEveryResultField) {
+  const auto cells = faulted_grid();
+  const auto reference = SweepDriver().run(cells);
+
+  TempFile journal_file("test_journal_roundtrip.bin");
+  SweepOptions options;
+  options.journal_path = journal_file.path;
+  const auto journaled = SweepDriver().run(cells, options);
+  ASSERT_EQ(journaled.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    expect_results_equal(journaled[i], reference[i]);
+
+  // Resume against the complete journal: every cell replays, none
+  // recomputes, and the replayed bytes equal the originals.
+  options.resume = true;
+  const std::uint64_t replayed_before =
+      MetricsRegistry::global().counter("sweep.journal.cells_replayed");
+  const auto resumed = SweepDriver().run(cells, options);
+  EXPECT_EQ(
+      MetricsRegistry::global().counter("sweep.journal.cells_replayed"),
+      replayed_before + cells.size());
+  ASSERT_EQ(resumed.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    expect_results_equal(resumed[i], reference[i]);
+}
+
+TEST(SweepJournal, KilledSweepResumesByteIdenticalAtAnyThreadCount) {
+  const auto cells = faulted_grid();
+  const auto reference = SweepDriver().run(cells);
+
+  // A complete journal to carve kill points from.
+  TempFile full_journal("test_journal_resume_full.bin");
+  SweepOptions options;
+  options.journal_path = full_journal.path;
+  (void)SweepDriver().run(cells, options);
+  const auto full_size = std::filesystem::file_size(full_journal.path);
+
+  // SIGKILL simulation: truncate the journal at an arbitrary byte — the
+  // tail record is torn exactly as a crash mid-write would leave it. The
+  // resumed run must replay the intact prefix, recompute the rest, and be
+  // byte-identical to the uninterrupted reference at any thread count.
+  const double kill_points[] = {0.35, 0.6, 0.85};
+  const std::size_t threads[] = {1, 2, 8};
+  for (std::size_t k = 0; k < 3; ++k) {
+    TempFile partial("test_journal_resume_partial_" + std::to_string(k) +
+                     ".bin");
+    std::filesystem::copy_file(
+        full_journal.path, partial.path,
+        std::filesystem::copy_options::overwrite_existing);
+    std::filesystem::resize_file(
+        partial.path,
+        static_cast<std::uintmax_t>(kill_points[k] *
+                                    static_cast<double>(full_size)));
+
+    ThreadPool pool(threads[k]);
+    ScopedPoolOverride scope(pool);
+    SweepOptions resume = options;
+    resume.journal_path = partial.path;
+    resume.resume = true;
+    const auto resumed = SweepDriver(&pool).run(cells, resume);
+    ASSERT_EQ(resumed.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i)
+      expect_results_equal(resumed[i], reference[i]);
+  }
+}
+
+TEST(SweepJournal, StaleJournalFromEditedGridIsDiscarded) {
+  auto cells = faulted_grid();
+  TempFile journal_file("test_journal_stale.bin");
+  SweepOptions options;
+  options.journal_path = journal_file.path;
+  (void)SweepDriver().run(cells, options);
+
+  // Edit the grid the way a user would between runs: one knob, one cell.
+  cells[1].seed = 1234;
+  const auto reference = SweepDriver().run(cells);
+
+  options.resume = true;
+  const std::uint64_t stale_before =
+      MetricsRegistry::global().counter("sweep.journal.stale_discarded");
+  const auto resumed = SweepDriver().run(cells, options);
+  EXPECT_EQ(
+      MetricsRegistry::global().counter("sweep.journal.stale_discarded"),
+      stale_before + 1);
+  ASSERT_EQ(resumed.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    expect_results_equal(resumed[i], reference[i]);
+}
+
+TEST(SweepJournal, GarbageTailIsTruncatedNotTrusted) {
+  const auto cells = faulted_grid();
+  TempFile journal_file("test_journal_garbage.bin");
+  SweepOptions options;
+  options.journal_path = journal_file.path;
+  const auto reference = SweepDriver().run(cells, options);
+
+  {
+    std::FILE* f = std::fopen(journal_file.path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const char garbage[] = "\x01garbage-that-is-not-a-record";
+    std::fwrite(garbage, 1, sizeof(garbage), f);
+    std::fclose(f);
+  }
+
+  options.resume = true;
+  const auto resumed = SweepDriver().run(cells, options);
+  ASSERT_EQ(resumed.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    expect_results_equal(resumed[i], reference[i]);
+}
+
+TEST(SweepIsolation, ThrowingCellFailsInItsSlotWithoutPerturbingSiblings) {
+  const auto cells = faulted_grid();
+  const auto reference = SweepDriver().run(cells);
+
+  const std::size_t victim = 2;
+  SweepOptions options;
+  options.cell_hook = [victim](const SweepCell&, std::size_t index, int) {
+    if (index == victim) throw std::runtime_error("injected cell failure");
+  };
+  const auto results = SweepDriver().run(cells, options);
+  ASSERT_EQ(results.size(), reference.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i == victim) {
+      EXPECT_EQ(results[i].status, CellStatus::kFailed);
+      EXPECT_FALSE(results[i].planned);
+      EXPECT_EQ(results[i].error, "injected cell failure");
+      EXPECT_EQ(results[i].attempts, 1u);
+    } else {
+      expect_results_equal(results[i], reference[i]);
+    }
+  }
+}
+
+TEST(SweepIsolation, TimedOutCellsReportWithoutHangingTheSweep) {
+  const auto cells = faulted_grid();
+  SweepOptions options;
+  // A deadline no real cell can meet: every cell must cancel cooperatively
+  // at its first interval boundary — deterministically, at every thread
+  // count — and the sweep itself must still return all slots.
+  options.cell_deadline_seconds = 1e-9;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    ScopedPoolOverride scope(pool);
+    const auto results = SweepDriver(&pool).run(cells, options);
+    ASSERT_EQ(results.size(), cells.size());
+    for (const auto& r : results) {
+      EXPECT_EQ(r.status, CellStatus::kTimedOut) << r.index;
+      EXPECT_FALSE(r.planned);
+      EXPECT_EQ(r.attempts, 1u);
+      EXPECT_FALSE(r.error.empty());
+    }
+  }
+}
+
+TEST(SweepRetry, TransientFailuresRetryUpToBudgetAndSucceed) {
+  const auto cells = faulted_grid();
+  const auto reference = SweepDriver().run(cells);
+
+  const std::size_t flaky = 1;
+  SweepOptions options;
+  options.max_attempts = 3;
+  options.cell_hook = [flaky](const SweepCell&, std::size_t index,
+                              int attempt) {
+    if (index == flaky && attempt < 3)
+      throw std::runtime_error("transient failure");
+  };
+  const auto results = SweepDriver().run(cells, options);
+  ASSERT_EQ(results.size(), reference.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i == flaky) {
+      EXPECT_EQ(results[i].status, CellStatus::kOk);
+      EXPECT_EQ(results[i].attempts, 3u);
+      // The third attempt computes exactly what a first-try cell would.
+      expect_reports_equal(results[i].report, reference[i].report);
+    } else {
+      EXPECT_EQ(results[i].attempts, 1u);
+      expect_results_equal(results[i], reference[i]);
+    }
+  }
+}
+
+TEST(SweepRetry, ResumeContinuesTheJournaledAttemptCount) {
+  const auto cells = faulted_grid();
+  const std::size_t victim = 0;
+
+  // Simulate a sweep that consumed one attempt of the victim cell and was
+  // then killed before its terminal record: the journal holds exactly one
+  // kAttemptFailed record.
+  TempFile journal_file("test_journal_attempts.bin");
+  {
+    SweepJournal journal;
+    const auto recovery =
+        journal.open(journal_file.path, sweep_grid_hash(cells), cells.size(),
+                     /*resume=*/false);
+    EXPECT_TRUE(recovery.results.empty());
+    journal.append_failed_attempt(victim, 1, CellStatus::kFailed,
+                                  "attempt from the killed run");
+    journal.close();
+  }
+
+  // The resumed sweep must continue at attempt 2, not restart at 1: with
+  // max_attempts=2 and a hook that always throws, the cell exhausts its
+  // budget on the very next try.
+  SweepOptions options;
+  options.journal_path = journal_file.path;
+  options.resume = true;
+  options.max_attempts = 2;
+  options.cell_hook = [victim](const SweepCell&, std::size_t index, int) {
+    if (index == victim) throw std::runtime_error("still failing");
+  };
+  const auto results = SweepDriver().run(cells, options);
+  EXPECT_EQ(results[victim].status, CellStatus::kFailed);
+  EXPECT_EQ(results[victim].attempts, 2u);
+
+  // Terminal failures are terminal: resuming again — even with a hook that
+  // would now succeed — replays the journaled failure instead of silently
+  // granting a fresh budget.
+  SweepOptions replay = options;
+  replay.cell_hook = nullptr;
+  const auto replayed = SweepDriver().run(cells, replay);
+  EXPECT_EQ(replayed[victim].status, CellStatus::kFailed);
+  EXPECT_EQ(replayed[victim].attempts, 2u);
+  EXPECT_EQ(replayed[victim].error, "still failing");
+}
+
+}  // namespace
+}  // namespace vmcw
