@@ -88,7 +88,7 @@ FaultPlan FaultPlan::generate(const FaultSpec& raw_spec,
   FaultPlan plan;
   const FaultSpec spec = raw_spec.validated();
   plan.spec_ = spec;
-  const Rng root(seed);
+  const Rng root(seed);  // vmcw-lint: allow(rng-construction) root of the fault plan
   plan.migration_seed_ = root.fork("chaos/migrations")();
   plan.hashed_migration_faults_ = true;
 

@@ -269,11 +269,13 @@ RobustnessReport replay_under_faults(std::span<const VmWorkload> vms,
   // inside one incident's footprint. Applications of one VM are excluded
   // (their share is trivially total).
   if (!rob.incidents.empty()) {
+    // app_size is lookup-only; hit is folded over below, so it must have a
+    // deterministic iteration order.
     std::unordered_map<std::string, std::size_t> app_size;
     for (const auto& vm : vms)
       if (!vm.app.empty()) ++app_size[vm.app];
     for (std::size_t inc = 0; inc < rob.incidents.size(); ++inc) {
-      std::unordered_map<std::string, std::size_t> hit;
+      std::map<std::string, std::size_t> hit;
       for (const std::size_t vm : incident_vms[inc])
         if (!vms[vm].app.empty()) ++hit[vms[vm].app];
       double worst = 0;

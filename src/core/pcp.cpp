@@ -1,7 +1,7 @@
 #include "core/pcp.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <map>
 
 #include "analysis/correlation.h"
 
@@ -35,7 +35,9 @@ namespace {
 /// Incrementally maintained host envelope.
 struct HostEnvelope {
   ResourceVector body_sum;
-  std::unordered_map<std::size_t, ResourceVector> cluster_tails;
+  // Ordered map: provisioned()/provisioned_with() fold over the entries,
+  // and envelope math must not depend on hash iteration order.
+  std::map<std::size_t, ResourceVector> cluster_tails;
 
   ResourceVector provisioned() const {
     ResourceVector worst_tail;

@@ -17,7 +17,7 @@ DataWarehouse collect_datacenter(const Datacenter& truth,
   // server id, so running them across the pool is bit-identical to the
   // serial order. The warehouse is not concurrent; ingest stays serial and
   // in estate order.
-  const Rng root(seed);
+  const Rng root(seed);  // vmcw-lint: allow(rng-construction) root of monitoring collection
   std::vector<std::vector<MetricSample>> sampled(truth.servers.size());
   parallel_for(0, truth.servers.size(), [&](std::size_t i) {
     const auto& server = truth.servers[i];

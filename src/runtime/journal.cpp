@@ -469,6 +469,11 @@ std::uint64_t sweep_grid_hash(std::span<const SweepCell> cells) {
 SweepJournal::~SweepJournal() { close(); }
 
 void SweepJournal::close() {
+  MutexLock lk(mutex_);
+  close_locked();
+}
+
+void SweepJournal::close_locked() {
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
@@ -479,7 +484,10 @@ SweepJournal::Recovery SweepJournal::open(const std::string& path,
                                           std::uint64_t grid_hash,
                                           std::size_t cell_count,
                                           bool resume) {
-  close();
+  // open() runs before the journal is shared with worker threads, but
+  // holding the lock throughout keeps fd_'s guard unconditional.
+  MutexLock lk(mutex_);
+  close_locked();
   Recovery rec;
   fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
   if (fd_ < 0)
@@ -559,7 +567,7 @@ fresh:
   rec.results.clear();
   rec.attempts_used.clear();
   if (::ftruncate(fd_, 0) != 0 || ::lseek(fd_, 0, SEEK_SET) < 0) {
-    close();
+    close_locked();
     return rec;  // journaling disabled; the sweep still runs
   }
   ByteWriter header;
@@ -568,7 +576,7 @@ fresh:
   header.u64(grid_hash);
   header.u64(cell_count);
   if (!write_all(fd_, header.bytes().data(), header.bytes().size())) {
-    close();
+    close_locked();
     return rec;
   }
   ::fdatasync(fd_);
@@ -577,7 +585,6 @@ fresh:
 
 void SweepJournal::append_record(std::uint8_t kind,
                                  const std::vector<std::uint8_t>& payload) {
-  if (fd_ < 0) return;
   ByteWriter frame;
   frame.u8(kind);
   frame.u64(payload.size());
@@ -585,11 +592,12 @@ void SweepJournal::append_record(std::uint8_t kind,
   std::vector<std::uint8_t> record = frame.bytes();
   record.insert(record.end(), payload.begin(), payload.end());
 
-  std::lock_guard<std::mutex> lk(*mutex_);
+  MutexLock lk(mutex_);
+  if (fd_ < 0) return;
   if (!write_all(fd_, record.data(), record.size())) {
     // A failed append (disk full) must not corrupt what is already
     // durable: stop journaling, keep computing.
-    close();
+    close_locked();
     return;
   }
   ::fdatasync(fd_);

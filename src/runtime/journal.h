@@ -30,14 +30,13 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "runtime/sweep.h"
+#include "util/thread_annotations.h"
 
 namespace vmcw {
 
@@ -74,9 +73,12 @@ class SweepJournal {
   /// header. Throws std::runtime_error only when the path cannot be
   /// created at all.
   Recovery open(const std::string& path, std::uint64_t grid_hash,
-                std::size_t cell_count, bool resume);
+                std::size_t cell_count, bool resume) VMCW_EXCLUDES(mutex_);
 
-  bool is_open() const noexcept { return fd_ >= 0; }
+  bool is_open() const VMCW_EXCLUDES(mutex_) {
+    MutexLock lk(mutex_);
+    return fd_ >= 0;
+  }
 
   /// Append a terminal record for one cell. Thread-safe; the record is a
   /// single write() followed by fdatasync, so a crash leaves either no
@@ -87,13 +89,16 @@ class SweepJournal {
   void append_failed_attempt(std::size_t index, int attempt,
                              CellStatus status, const std::string& error);
 
-  void close();
+  void close() VMCW_EXCLUDES(mutex_);
 
  private:
-  void append_record(std::uint8_t kind, const std::vector<std::uint8_t>& payload);
+  void append_record(std::uint8_t kind,
+                     const std::vector<std::uint8_t>& payload)
+      VMCW_EXCLUDES(mutex_);
+  void close_locked() VMCW_REQUIRES(mutex_);
 
-  int fd_ = -1;
-  std::unique_ptr<std::mutex> mutex_ = std::make_unique<std::mutex>();
+  mutable Mutex mutex_;
+  int fd_ VMCW_GUARDED_BY(mutex_) = -1;
 };
 
 }  // namespace vmcw

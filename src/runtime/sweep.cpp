@@ -54,7 +54,7 @@ namespace {
 void compute_cell(const SweepCell& cell, SweepCellResult& out) {
   // Every stream this cell consumes is a keyed fork of the cell
   // seed: independent of sibling cells and of scheduling order.
-  const Rng root(cell.seed);
+  const Rng root(cell.seed);  // vmcw-lint: allow(rng-construction) root of this sweep cell
   const Datacenter estate =
       generate_datacenter(cell.spec, root.fork("estate")());
   out.workload = estate.industry;

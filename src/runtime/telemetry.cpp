@@ -37,7 +37,7 @@ MetricsRegistry& MetricsRegistry::global() {
 }
 
 void MetricsRegistry::add_counter(std::string_view name, std::uint64_t delta) {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lk(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end())
     counters_.emplace(std::string(name), delta);
@@ -46,7 +46,7 @@ void MetricsRegistry::add_counter(std::string_view name, std::uint64_t delta) {
 }
 
 void MetricsRegistry::observe(std::string_view name, double value) {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lk(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end())
     it = histograms_.emplace(std::string(name), Histogram{}).first;
@@ -64,20 +64,20 @@ void MetricsRegistry::observe(std::string_view name, double value) {
 }
 
 std::uint64_t MetricsRegistry::counter(std::string_view name) const {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lk(mutex_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 MetricsRegistry::Histogram MetricsRegistry::histogram(
     std::string_view name) const {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lk(mutex_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? Histogram{} : it->second;
 }
 
 std::string MetricsRegistry::to_json() const {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lk(mutex_);
   std::ostringstream out;
   out << "{\n  \"counters\": {";
   bool first = true;
@@ -141,7 +141,7 @@ bool MetricsRegistry::dump_json(const std::string& path) const {
 }
 
 void MetricsRegistry::clear() {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lk(mutex_);
   counters_.clear();
   histograms_.clear();
 }

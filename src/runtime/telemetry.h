@@ -14,9 +14,10 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "util/thread_annotations.h"
 
 namespace vmcw {
 
@@ -63,9 +64,11 @@ class MetricsRegistry {
   void clear();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::uint64_t, std::less<>> counters_;
-  std::map<std::string, Histogram, std::less<>> histograms_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_
+      VMCW_GUARDED_BY(mutex_);
+  std::map<std::string, Histogram, std::less<>> histograms_
+      VMCW_GUARDED_BY(mutex_);
 };
 
 /// RAII wall-clock span: records elapsed seconds into a registry histogram

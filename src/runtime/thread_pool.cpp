@@ -32,7 +32,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     stop_ = true;
   }
   wake_.notify_all();
@@ -70,14 +70,14 @@ void ThreadPool::submit(std::function<void()> task) {
   }
   if (tl_pool == this) {
     Worker& own = *workers_[tl_index];
-    std::lock_guard<std::mutex> lk(own.mutex);
+    MutexLock lk(own.mutex);
     own.tasks.push_back(std::move(task));
   } else {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     queue_.push_back(std::move(task));
   }
   {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     ++epoch_;
   }
   wake_.notify_one();
@@ -97,7 +97,7 @@ bool ThreadPool::pop_task(std::size_t preferred, std::function<void()>& out) {
   // Own deque first, newest-first: keeps nested fork/join cache-warm.
   if (preferred < n) {
     Worker& own = *workers_[preferred];
-    std::lock_guard<std::mutex> lk(own.mutex);
+    MutexLock lk(own.mutex);
     if (!own.tasks.empty()) {
       out = std::move(own.tasks.back());
       own.tasks.pop_back();
@@ -105,7 +105,7 @@ bool ThreadPool::pop_task(std::size_t preferred, std::function<void()>& out) {
     }
   }
   {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     if (!queue_.empty()) {
       out = std::move(queue_.front());
       queue_.pop_front();
@@ -117,7 +117,7 @@ bool ThreadPool::pop_task(std::size_t preferred, std::function<void()>& out) {
     const std::size_t victim = (preferred + 1 + off) % n;
     if (victim == preferred) continue;
     Worker& other = *workers_[victim];
-    std::lock_guard<std::mutex> lk(other.mutex);
+    MutexLock lk(other.mutex);
     if (!other.tasks.empty()) {
       out = std::move(other.tasks.front());
       other.tasks.pop_front();
@@ -129,12 +129,12 @@ bool ThreadPool::pop_task(std::size_t preferred, std::function<void()>& out) {
 
 void ThreadPool::run_task(std::function<void()>& task) {
   {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     ++executing_;
   }
   task();
   {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     --executing_;
     ++epoch_;  // completions re-wake sleepers: a finished task may unblock
                // the shutdown drain or have spawned work into its deque
@@ -149,19 +149,17 @@ void ThreadPool::worker_loop(std::size_t index) {
   for (;;) {
     std::uint64_t seen;
     {
-      std::lock_guard<std::mutex> lk(mutex_);
+      MutexLock lk(mutex_);
       seen = epoch_;
     }
     while (pop_task(index, task)) {
       run_task(task);
       task = nullptr;
     }
-    std::unique_lock<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     if (epoch_ != seen) continue;  // raced with a submit: rescan
     if (stop_ && executing_ == 0) return;
-    wake_.wait(lk, [&] {
-      return (stop_ && executing_ == 0) || epoch_ != seen;
-    });
+    while (!((stop_ && executing_ == 0) || epoch_ != seen)) wake_.wait(mutex_);
     if (epoch_ == seen) return;  // stop with nothing left to drain
   }
 }
@@ -186,41 +184,43 @@ TaskGroup::~TaskGroup() {
 
 void TaskGroup::run(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     ++pending_;
     ++queued_;
   }
   pool_.submit([this, task = std::move(task)]() mutable {
     {
-      std::lock_guard<std::mutex> lk(mutex_);
+      MutexLock lk(mutex_);
       --queued_;
     }
     try {
       task();
     } catch (...) {
-      std::lock_guard<std::mutex> lk(mutex_);
+      MutexLock lk(mutex_);
       if (!error_) error_ = std::current_exception();
     }
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     if (--pending_ == 0) done_.notify_all();
   });
 }
 
 void TaskGroup::wait() {
-  std::unique_lock<std::mutex> lk(mutex_);
-  while (pending_ > 0) {
-    if (queued_ > 0) {
-      // Group tasks are still sitting in a queue: help instead of sleeping
-      // (the helper may pick up unrelated tasks too — still progress).
-      lk.unlock();
-      pool_.try_run_one();
-      lk.lock();
-    } else {
-      // Every remaining task is in flight on some other thread; it will
-      // notify on completion.
-      done_.wait(lk, [&] { return pending_ == 0 || queued_ > 0; });
+  for (;;) {
+    {
+      MutexLock lk(mutex_);
+      if (pending_ == 0) break;
+      if (queued_ == 0) {
+        // Every remaining task is in flight on some other thread; it will
+        // notify on completion.
+        while (pending_ > 0 && queued_ == 0) done_.wait(mutex_);
+        continue;
+      }
     }
+    // Group tasks are still sitting in a queue: help instead of sleeping
+    // (the helper may pick up unrelated tasks too — still progress).
+    pool_.try_run_one();
   }
+  MutexLock lk(mutex_);
   if (error_) {
     std::exception_ptr error = error_;
     error_ = nullptr;

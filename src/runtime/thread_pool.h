@@ -21,15 +21,15 @@
 // environment variable, falling back to std::thread::hardware_concurrency.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace vmcw {
 
@@ -59,31 +59,34 @@ class ThreadPool {
   /// external threads to the shared injection queue. The submitter's
   /// ambient CancellationScope token (if any) is captured and re-installed
   /// around the task, so nested parallel work inherits its cell's watchdog.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) VMCW_EXCLUDES(mutex_);
 
   /// Pop and execute one pending task if any is available anywhere.
   /// Used by waiters to help instead of blocking.
-  bool try_run_one();
+  bool try_run_one() VMCW_EXCLUDES(mutex_);
 
  private:
   struct Worker {
-    std::mutex mutex;
-    std::deque<std::function<void()>> tasks;
+    Mutex mutex;
+    std::deque<std::function<void()>> tasks VMCW_GUARDED_BY(mutex);
   };
 
   void worker_loop(std::size_t index);
-  bool pop_task(std::size_t preferred, std::function<void()>& out);
-  void run_task(std::function<void()>& task);
+  bool pop_task(std::size_t preferred, std::function<void()>& out)
+      VMCW_EXCLUDES(mutex_);
+  void run_task(std::function<void()>& task) VMCW_EXCLUDES(mutex_);
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 
-  std::mutex mutex_;  ///< guards queue_, epoch_, executing_, stop_
-  std::condition_variable wake_;
-  std::deque<std::function<void()>> queue_;  ///< external injection queue
-  std::uint64_t epoch_ = 0;  ///< bumped on every submit/completion
-  std::size_t executing_ = 0;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar wake_;
+  /// External injection queue.
+  std::deque<std::function<void()>> queue_ VMCW_GUARDED_BY(mutex_);
+  /// Bumped on every submit/completion.
+  std::uint64_t epoch_ VMCW_GUARDED_BY(mutex_) = 0;
+  std::size_t executing_ VMCW_GUARDED_BY(mutex_) = 0;
+  bool stop_ VMCW_GUARDED_BY(mutex_) = false;
 };
 
 /// Swap ThreadPool::global() for the lifetime of this object — lets tests
@@ -115,19 +118,21 @@ class TaskGroup {
   TaskGroup(const TaskGroup&) = delete;
   TaskGroup& operator=(const TaskGroup&) = delete;
 
-  void run(std::function<void()> task);
+  void run(std::function<void()> task) VMCW_EXCLUDES(mutex_);
 
   /// Block (helping the pool) until every task ran; rethrow the first
   /// exception thrown by any task.
-  void wait();
+  void wait() VMCW_EXCLUDES(mutex_);
 
  private:
   ThreadPool& pool_;
-  std::mutex mutex_;
-  std::condition_variable done_;
-  std::size_t pending_ = 0;  ///< submitted, not yet finished
-  std::size_t queued_ = 0;   ///< submitted, not yet started
-  std::exception_ptr error_;
+  Mutex mutex_;
+  CondVar done_;
+  /// Submitted, not yet finished.
+  std::size_t pending_ VMCW_GUARDED_BY(mutex_) = 0;
+  /// Submitted, not yet started.
+  std::size_t queued_ VMCW_GUARDED_BY(mutex_) = 0;
+  std::exception_ptr error_ VMCW_GUARDED_BY(mutex_);
 };
 
 /// Run body(i) for every i in [begin, end) across the pool. Chunks of

@@ -25,7 +25,7 @@ FailureDomainMap FailureDomainMap::generate(const HostPool& pool,
   map.hosts_per_rack_ = std::max<std::size_t>(spec.hosts_per_rack, 1);
   map.racks_per_power_domain_ =
       std::max<std::size_t>(spec.racks_per_power_domain, 1);
-  const Rng root(seed);
+  const Rng root(seed);  // vmcw-lint: allow(rng-construction) root of the topology assignment
   // PDU rotation: where the first power-domain boundary falls in the rack
   // row. Same estate shape, different seed -> different blast domains.
   const auto rotation = static_cast<std::size_t>(

@@ -212,7 +212,7 @@ Datacenter generate_datacenter(const WorkloadSpec& spec, std::uint64_t seed) {
   dc.name = spec.name;
   dc.industry = spec.industry;
 
-  Rng root(seed);
+  Rng root(seed);  // vmcw-lint: allow(rng-construction) root of estate generation
   Rng master = root.fork(spec.name + "/" + spec.industry);
   Rng fleet_rng = master.fork("fleet-events");
   const std::vector<double> fleet_bursts = generate_fleet_events(spec, fleet_rng);

@@ -1,0 +1,108 @@
+// Clang Thread Safety Analysis annotations + capability-annotated mutex.
+//
+// The determinism contract (bit-identical results at any VMCW_THREADS) is
+// enforced dynamically by the 1/2/8-thread pin tests and the TSan CI job;
+// this header adds the *static* half: every lock-protected structure in the
+// runtime declares which mutex guards it, and a clang build with
+// -Werror=thread-safety refuses to compile an access that doesn't hold the
+// right lock. GCC builds see empty macros — annotations cost nothing and
+// change nothing at runtime.
+//
+// Conventions (see DESIGN.md §5d):
+//  - every member a mutex protects carries VMCW_GUARDED_BY(that mutex);
+//  - private helpers that assume the lock is already held carry
+//    VMCW_REQUIRES(mutex) instead of re-locking;
+//  - public entry points that take the lock themselves carry
+//    VMCW_EXCLUDES(mutex) so a re-entrant call is a compile error;
+//  - condition-variable waits go through CondVar::wait(Mutex&), which
+//    REQUIRES the mutex — the unlock/relock inside wait is invisible to the
+//    analysis, which is the standard (sound for our use) treatment.
+//
+// Use vmcw::Mutex + vmcw::MutexLock, not std::mutex + std::lock_guard, for
+// any new shared state: libstdc++'s types carry no capability attributes,
+// so the analysis cannot see through them.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define VMCW_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define VMCW_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define VMCW_CAPABILITY(x) VMCW_THREAD_ANNOTATION(capability(x))
+#define VMCW_SCOPED_CAPABILITY VMCW_THREAD_ANNOTATION(scoped_lockable)
+#define VMCW_GUARDED_BY(x) VMCW_THREAD_ANNOTATION(guarded_by(x))
+#define VMCW_PT_GUARDED_BY(x) VMCW_THREAD_ANNOTATION(pt_guarded_by(x))
+#define VMCW_REQUIRES(...) \
+  VMCW_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define VMCW_EXCLUDES(...) VMCW_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define VMCW_ACQUIRE(...) \
+  VMCW_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define VMCW_RELEASE(...) \
+  VMCW_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define VMCW_TRY_ACQUIRE(...) \
+  VMCW_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define VMCW_RETURN_CAPABILITY(x) VMCW_THREAD_ANNOTATION(lock_returned(x))
+#define VMCW_NO_THREAD_SAFETY_ANALYSIS \
+  VMCW_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace vmcw {
+
+/// std::mutex with a capability attribute, so clang's analysis can track
+/// which locks are held. Satisfies BasicLockable — a CondVar (below) waits
+/// on it directly.
+class VMCW_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() VMCW_ACQUIRE() { mutex_.lock(); }
+  void unlock() VMCW_RELEASE() { mutex_.unlock(); }
+  bool try_lock() VMCW_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Scoped lock over Mutex (std::lock_guard is opaque to the analysis).
+class VMCW_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) VMCW_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() VMCW_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable that waits on a vmcw::Mutex. wait() REQUIRES the
+/// mutex: callers re-check their predicate in an explicit loop (exactly
+/// what std::condition_variable::wait(lock, pred) expands to), which keeps
+/// guarded reads inside annotated scope instead of inside an unannotatable
+/// lambda.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mutex`, sleep until notified, re-acquire.
+  /// Spurious wakeups are possible — always wait in a predicate loop.
+  void wait(Mutex& mutex) VMCW_REQUIRES(mutex) { cv_.wait(mutex); }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace vmcw

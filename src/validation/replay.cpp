@@ -69,7 +69,7 @@ std::vector<ReplayPoint> ReplayDriver::replay(const VmWorkload& vm,
 VmWorkload make_validation_trace(std::size_t hours, std::uint64_t seed) {
   VmWorkload vm;
   vm.id = "validation";
-  Rng rng(seed);
+  Rng rng(seed);  // vmcw-lint: allow(rng-construction) root of validation replay
   std::vector<double> cpu(hours), mem(hours);
   for (std::size_t t = 0; t < hours; ++t) {
     const double phase =
@@ -87,7 +87,8 @@ VmWorkload make_validation_trace(std::size_t hours, std::uint64_t seed) {
 ValidationReport validate_emulator(const SyntheticApp& app,
                                    const VmWorkload& trace, std::size_t begin,
                                    std::size_t len, std::uint64_t seed) {
-  ReplayDriver driver(app, MicroBenchmark{}, Rng(seed));
+  ReplayDriver driver(app, MicroBenchmark{},
+                      Rng(seed));  // vmcw-lint: allow(rng-construction) root of the driver harness
   const auto points = driver.replay(trace, begin, len);
 
   ValidationReport report;

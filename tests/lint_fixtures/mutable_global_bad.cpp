@@ -1,0 +1,16 @@
+// Fixture: each declaration here is shared mutable state and must trigger.
+#include <atomic>
+
+int g_counter = 0;                         // line 4: namespace-scope
+static double g_scale = 1.0;               // line 5: static
+thread_local int tl_depth = 0;             // line 6: thread_local
+std::atomic<int> g_flag{0};                // line 7: brace-init global
+
+namespace nested {
+int g_inner = 7;                           // line 10: inside namespace
+}
+
+int bump() {
+  static int calls = 0;                    // line 14: function-local static
+  return ++calls + g_counter;
+}

@@ -1,0 +1,18 @@
+// Fixture: constants, functions and locals must all pass.
+#include <string>
+
+constexpr int kAnswer = 42;
+const double kScale = 1.5;
+static const char* const kName = "vmcw";
+static constexpr double kPi = 3.14159;
+
+namespace detail {
+inline constexpr int kInner = 1;
+}
+
+int add(int a, int b) {
+  int local = a + b;  // plain locals are fine
+  return local + kAnswer;
+}
+
+std::string greet(const std::string& who) { return "hi " + who; }

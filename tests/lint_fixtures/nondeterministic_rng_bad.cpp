@@ -1,0 +1,9 @@
+// Fixture: every construct here must trigger nondeterministic-rng.
+#include <random>
+
+int entropy() {
+  std::random_device rd;            // line 5: random_device
+  std::mt19937 engine(rd());        // line 6: <random> engine
+  srand(42);                        // line 7: srand
+  return rand() % 10;               // line 8: rand()
+}

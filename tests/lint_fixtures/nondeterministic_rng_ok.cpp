@@ -1,0 +1,8 @@
+// Fixture: determinism-contract-compliant randomness must pass.
+#include "util/rng.h"
+
+double sample(vmcw::Rng& parent) {
+  vmcw::Rng stream = parent.fork("sample");
+  double brand = 0.25;  // idents containing 'rand' are not rand()
+  return stream.uniform() + brand;
+}

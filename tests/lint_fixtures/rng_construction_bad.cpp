@@ -1,0 +1,9 @@
+// Fixture: constructing Rng from raw seeds outside util/rng must trigger.
+#include <cstdint>
+#include "util/rng.h"
+
+double draw(std::uint64_t seed) {
+  vmcw::Rng rng(seed);                    // line 6: raw-seed construction
+  vmcw::Rng copy = vmcw::Rng(seed + 1);   // line 7: temporary
+  return rng.uniform() + copy.uniform();
+}

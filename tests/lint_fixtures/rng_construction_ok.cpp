@@ -1,0 +1,12 @@
+// Fixture: forked streams, references and declarations must pass.
+#include "util/rng.h"
+
+namespace vmcw {
+Rng make_child(const Rng& parent);  // declaration returning Rng is fine
+
+double walk(Rng& parent) {
+  Rng child = parent.fork("walk");      // keyed fork: the sanctioned path
+  Rng grand = child.fork();             // sequential fork
+  return grand.uniform();
+}
+}  // namespace vmcw

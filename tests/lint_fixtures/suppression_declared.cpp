@@ -1,0 +1,9 @@
+// Fixture: an inline suppression declared in the config must silence the
+// violation entirely.
+#include <cstdint>
+#include "util/rng.h"
+
+double root_draw(std::uint64_t seed) {
+  vmcw::Rng root(seed);  // vmcw-lint: allow(rng-construction) fixture root
+  return root.uniform();
+}

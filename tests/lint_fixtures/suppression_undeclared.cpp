@@ -1,0 +1,8 @@
+// Fixture: an inline suppression NOT declared in the config must surface
+// as undeclared-suppression (and still silence the original rule).
+#include <cstdlib>
+
+int sneaky() {
+  srand(1);  // vmcw-lint: allow(nondeterministic-rng) not in config
+  return 0;
+}

@@ -1,0 +1,6 @@
+// Fixture: a suppression that matches nothing must surface as
+// unused-suppression so stale escapes get deleted.
+int honest() {
+  // vmcw-lint: allow(wall-clock) nothing here reads a clock
+  return 1;
+}

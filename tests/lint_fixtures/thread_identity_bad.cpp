@@ -1,0 +1,11 @@
+// Fixture: observing thread identity / count must trigger.
+#include <cstdlib>
+#include <thread>
+
+unsigned shards() {
+  auto id = std::this_thread::get_id();                  // line 6
+  (void)id;
+  const char* env = std::getenv("VMCW_THREADS");         // line 8
+  if (env) return 2;
+  return std::thread::hardware_concurrency();            // line 10
+}

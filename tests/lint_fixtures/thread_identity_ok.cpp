@@ -1,0 +1,7 @@
+// Fixture: sizing work from the task index, not the thread, is the
+// contract-compliant pattern.
+#include <cstddef>
+
+std::size_t slot_for(std::size_t task_index, std::size_t stride) {
+  return task_index * stride;
+}

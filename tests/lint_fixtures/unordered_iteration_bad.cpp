@@ -1,0 +1,9 @@
+// Fixture: range-for over an unordered container must trigger.
+#include <string>
+#include <unordered_map>
+
+double total(const std::unordered_map<std::string, double>& weights) {
+  double sum = 0;
+  for (const auto& [name, w] : weights) sum += w;  // line 7
+  return sum;
+}

@@ -1,0 +1,12 @@
+// Fixture: lookups into unordered containers are fine; iterating an
+// ordered map is fine.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+double pick(const std::unordered_map<std::string, double>& index,
+            const std::map<std::string, double>& ordered) {
+  double sum = index.count("a") ? index.at("a") : 0;
+  for (const auto& [name, w] : ordered) sum += w;
+  return sum;
+}

@@ -1,0 +1,11 @@
+// Fixture: wall-clock reads in result-affecting code must trigger.
+#include <chrono>
+#include <ctime>
+
+long stamp() {
+  auto now = std::chrono::system_clock::now();        // line 6
+  auto mono = std::chrono::steady_clock::now();       // line 7
+  std::time_t t = std::time(nullptr);                 // line 8
+  (void)now; (void)mono;
+  return static_cast<long>(t);
+}

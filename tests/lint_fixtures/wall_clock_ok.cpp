@@ -1,0 +1,5 @@
+// Fixture: simulated time is fine — only real clock reads are banned.
+long simulated_hours(long intervals, long hours_per_interval) {
+  long sim_time = intervals * hours_per_interval;  // 'time' in a name is ok
+  return sim_time;
+}

@@ -1,0 +1,826 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_set>  // vmcw-lint is not itself result-affecting code
+
+namespace vmcw::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer. Comments, string/char literals and preprocessor directives are
+// consumed (a banned identifier inside an #include or a string is not a
+// violation — except the "VMCW_THREADS" literal, which rule thread-identity
+// wants to see, so string tokens keep their text).
+// ---------------------------------------------------------------------------
+
+enum class Tok { kIdent, kNumber, kString, kPunct };
+
+struct Token {
+  Tok kind;
+  std::string_view text;
+  std::size_t line;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::vector<Token> tokenize(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0, line = 1;
+  const std::size_t n = src.size();
+  bool line_has_token = false;  // anything but whitespace seen on this line
+
+  auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? src[i + k] : '\0';
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      line_has_token = false;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: '#' as the first non-space character of a
+    // line swallows the directive, honoring backslash continuations.
+    if (c == '#' && !line_has_token) {
+      while (i < n && src[i] != '\n') {
+        if (src[i] == '\\' && peek(1) == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    line_has_token = true;
+    if (c == '/' && peek(1) == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      i += 2;
+      while (i < n && !(src[i] == '*' && peek(1) == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = std::min(n, i + 2);
+      continue;
+    }
+    // Raw string literal R"delim( ... )delim"
+    if (c == 'R' && peek(1) == '"') {
+      std::size_t d = i + 2;
+      while (d < n && src[d] != '(' && src[d] != '"') ++d;
+      if (d < n && src[d] == '(') {
+        const std::string closer =
+            ")" + std::string(src.substr(i + 2, d - (i + 2))) + "\"";
+        const std::size_t start = d + 1;
+        const std::size_t end = src.find(closer, start);
+        const std::size_t stop = end == std::string_view::npos
+                                     ? n
+                                     : end + closer.size();
+        out.push_back({Tok::kString,
+                       src.substr(start, (end == std::string_view::npos
+                                              ? n
+                                              : end) -
+                                             start),
+                       line});
+        for (std::size_t k = i; k < stop; ++k)
+          if (src[k] == '\n') ++line;
+        i = stop;
+        continue;
+      }
+    }
+    if (c == '"') {
+      const std::size_t start = ++i;
+      while (i < n && src[i] != '"') {
+        if (src[i] == '\\') ++i;
+        if (i < n && src[i] == '\n') ++line;
+        ++i;
+      }
+      out.push_back({Tok::kString, src.substr(start, i - start), line});
+      if (i < n) ++i;
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      while (i < n && src[i] != '\'') {
+        if (src[i] == '\\') ++i;
+        ++i;
+      }
+      if (i < n) ++i;
+      continue;
+    }
+    if (ident_start(c)) {
+      const std::size_t start = i;
+      while (i < n && ident_char(src[i])) ++i;
+      out.push_back({Tok::kIdent, src.substr(start, i - start), line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const std::size_t start = i;
+      while (i < n && (ident_char(src[i]) || src[i] == '.' ||
+                       ((src[i] == '+' || src[i] == '-') && i > start &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                         src[i - 1] == 'p' || src[i - 1] == 'P'))))
+        ++i;
+      out.push_back({Tok::kNumber, src.substr(start, i - start), line});
+      continue;
+    }
+    // Multi-character operators we care to keep atomic.
+    static constexpr std::array<std::string_view, 18> kOps = {
+        "::", "->", "<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=",
+        "&&", "||", "+=", "-=",  "*=", "/=", "|=", "&="};
+    std::string_view matched;
+    for (const std::string_view op : kOps) {
+      if (src.substr(i, op.size()) == op) {
+        matched = op;
+        break;
+      }
+    }
+    if (!matched.empty()) {
+      out.push_back({Tok::kPunct, src.substr(i, matched.size()), line});
+      i += matched.size();
+      continue;
+    }
+    out.push_back({Tok::kPunct, src.substr(i, 1), line});
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Small token helpers.
+// ---------------------------------------------------------------------------
+
+bool is(const Token& t, std::string_view text) { return t.text == text; }
+
+std::string_view prev_text(const std::vector<Token>& toks, std::size_t i) {
+  return i == 0 ? std::string_view{} : toks[i - 1].text;
+}
+
+std::string_view next_text(const std::vector<Token>& toks, std::size_t i) {
+  return i + 1 < toks.size() ? toks[i + 1].text : std::string_view{};
+}
+
+/// Index just past the matching closer for the opener at `open` (which must
+/// be '(', '[', '{' or '<'). For '<', '>>' counts as two closers. Returns
+/// toks.size() when unbalanced.
+std::size_t skip_group(const std::vector<Token>& toks, std::size_t open) {
+  const std::string_view o = toks[open].text;
+  const bool angle = o == "<";
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    const std::string_view t = toks[i].text;
+    if (angle) {
+      if (t == "<") ++depth;
+      else if (t == ">") --depth;
+      else if (t == ">>") depth -= 2;
+      else if (t == ";" || t == "{") return toks.size();  // not a template
+      if (depth <= 0) return i + 1;
+    } else {
+      if (t == "(" || t == "[" || t == "{") ++depth;
+      else if (t == ")" || t == "]" || t == "}") --depth;
+      if (depth == 0) return i + 1;
+    }
+  }
+  return toks.size();
+}
+
+// ---------------------------------------------------------------------------
+// Rules.
+// ---------------------------------------------------------------------------
+
+constexpr std::string_view kRuleRng = "nondeterministic-rng";
+constexpr std::string_view kRuleClock = "wall-clock";
+constexpr std::string_view kRuleUnordered = "unordered-iteration";
+constexpr std::string_view kRuleThread = "thread-identity";
+constexpr std::string_view kRuleGlobal = "mutable-global";
+constexpr std::string_view kRuleRngCtor = "rng-construction";
+constexpr std::string_view kRuleUndeclared = "undeclared-suppression";
+constexpr std::string_view kRuleUnused = "unused-suppression";
+
+void add(std::vector<Violation>& out, std::string_view file, std::size_t line,
+         std::string_view rule, std::string message) {
+  out.push_back({std::string(file), line, std::string(rule),
+                 std::move(message)});
+}
+
+/// Concatenate string-ish pieces with append (gcc 12's -Wrestrict
+/// false-positives on `const char* + std::string&&` chains).
+template <typename... Parts>
+std::string cat(Parts&&... parts) {
+  std::string out;
+  (out.append(parts), ...);
+  return out;
+}
+
+bool member_access(std::string_view prev) {
+  return prev == "." || prev == "->";
+}
+
+/// nondeterministic-rng: banned identifiers and C rand calls.
+void rule_nondeterministic_rng(const std::vector<Token>& toks,
+                               std::string_view file,
+                               std::vector<Violation>& out) {
+  static const std::set<std::string_view> kBanned = {
+      "random_device", "srand",   "srandom",       "drand48",
+      "lrand48",       "mrand48", "erand48",       "rand_r",
+      "random_shuffle"};
+  static const std::set<std::string_view> kEngines = {
+      "mt19937",      "mt19937_64",   "default_random_engine",
+      "minstd_rand",  "minstd_rand0", "knuth_b",
+      "ranlux24",     "ranlux48",     "ranlux24_base",
+      "ranlux48_base"};
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent) continue;
+    const std::string_view t = toks[i].text;
+    if (kBanned.count(t)) {
+      add(out, file, toks[i].line, kRuleRng,
+          cat("'", t,
+              "' is nondeterministic; derive randomness from a keyed "
+              "Rng::fork stream"));
+    } else if (kEngines.count(t)) {
+      add(out, file, toks[i].line, kRuleRng,
+          cat("<random> engine '", t,
+              "' bypasses util/rng.h; all streams must come from Rng"));
+    } else if (t == "rand" && next_text(toks, i) == "(" &&
+               !member_access(prev_text(toks, i))) {
+      add(out, file, toks[i].line, kRuleRng,
+          "rand() is nondeterministic across platforms and seeds globally; "
+          "use a forked Rng");
+    }
+  }
+}
+
+/// wall-clock: clock reads in result-affecting code.
+void rule_wall_clock(const std::vector<Token>& toks, std::string_view file,
+                     std::vector<Violation>& out) {
+  static const std::set<std::string_view> kBanned = {
+      "system_clock", "steady_clock", "high_resolution_clock",
+      "gettimeofday", "clock_gettime", "timespec_get",
+      "localtime",    "localtime_r",  "gmtime",
+      "gmtime_r",     "strftime",     "ctime",
+      "mktime"};
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent) continue;
+    const std::string_view t = toks[i].text;
+    if (kBanned.count(t)) {
+      add(out, file, toks[i].line, kRuleClock,
+          cat("wall-clock read '", t,
+              "' in result-affecting code; time may only flow into "
+              "telemetry or watchdogs (allowlisted files)"));
+    } else if ((t == "time" || t == "clock") && next_text(toks, i) == "(" &&
+               !member_access(prev_text(toks, i))) {
+      add(out, file, toks[i].line, kRuleClock,
+          cat(t, "() reads the wall clock; results must not depend on "
+                 "when they ran"));
+    }
+  }
+}
+
+/// thread-identity: results must not observe which/how many threads run.
+void rule_thread_identity(const std::vector<Token>& toks,
+                          std::string_view file,
+                          std::vector<Violation>& out) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (tok.kind == Tok::kString) {
+      if (tok.text.find("VMCW_THREADS") != std::string_view::npos)
+        add(out, file, tok.line, kRuleThread,
+            "\"VMCW_THREADS\" read outside the thread pool; thread count "
+            "must never reach result code");
+      continue;
+    }
+    if (tok.kind != Tok::kIdent) continue;
+    if (tok.text == "get_id" && i >= 2 && is(toks[i - 1], "::") &&
+        is(toks[i - 2], "this_thread")) {
+      add(out, file, tok.line, kRuleThread,
+          "this_thread::get_id() makes results depend on scheduling");
+    } else if (tok.text == "hardware_concurrency") {
+      add(out, file, tok.line, kRuleThread,
+          "hardware_concurrency() outside the thread pool; sizing "
+          "decisions belong to ThreadPool::default_concurrency");
+    } else if (tok.text == "VMCW_THREADS") {
+      add(out, file, tok.line, kRuleThread,
+          "VMCW_THREADS consulted outside the thread pool");
+    }
+  }
+}
+
+/// unordered-iteration: range-for over a container declared unordered in
+/// this file.
+void rule_unordered_iteration(const std::vector<Token>& toks,
+                              std::string_view file,
+                              std::vector<Violation>& out) {
+  static const std::set<std::string_view> kUnordered = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent || !kUnordered.count(toks[i].text))
+      continue;
+    std::size_t j = i + 1;
+    if (j < toks.size() && is(toks[j], "<")) j = skip_group(toks, j);
+    while (j < toks.size() &&
+           (is(toks[j], "&") || is(toks[j], "*") || is(toks[j], "&&")))
+      ++j;
+    if (j < toks.size() && toks[j].kind == Tok::kIdent &&
+        next_text(toks, j) != "(")  // skip function return types
+      names.insert(toks[j].text);
+  }
+  if (names.empty()) return;
+
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!(toks[i].kind == Tok::kIdent && is(toks[i], "for") &&
+          is(toks[i + 1], "(")))
+      continue;
+    const std::size_t close = skip_group(toks, i + 1);
+    // Find the range-for ':' at paren depth 1.
+    int depth = 0;
+    std::size_t colon = 0;
+    for (std::size_t j = i + 1; j < close; ++j) {
+      const std::string_view t = toks[j].text;
+      if (t == "(" || t == "[" || t == "{") ++depth;
+      else if (t == ")" || t == "]" || t == "}") --depth;
+      else if (t == ":" && depth == 1) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == 0) continue;
+    for (std::size_t j = colon + 1; j + 1 < close; ++j) {
+      if (toks[j].kind == Tok::kIdent && names.count(toks[j].text)) {
+        add(out, file, toks[i].line, kRuleUnordered,
+            cat("iterating unordered container '", toks[j].text,
+                "'; hash order is nondeterministic across platforms — use "
+                "an ordered container or sort first"));
+        break;
+      }
+    }
+  }
+}
+
+/// rng-construction: Rng objects outside util/rng must come from fork().
+void rule_rng_construction(const std::vector<Token>& toks,
+                           std::string_view file,
+                           std::vector<Violation>& out) {
+  // Do the parenthesized tokens look like a parameter list (declaration)
+  // rather than constructor arguments? Two adjacent identifiers — a type
+  // followed by a parameter name — or parameter-ish keywords decide.
+  auto param_list_like = [&](std::size_t open) {
+    const std::size_t close = skip_group(toks, open);
+    for (std::size_t j = open + 1; j + 1 < close; ++j) {
+      const Token& t = toks[j];
+      if (t.kind == Tok::kIdent &&
+          (t.text == "const" || t.text == "auto" || t.text == "class" ||
+           t.text == "struct" || t.text == "typename"))
+        return true;
+      if (t.kind == Tok::kIdent && toks[j + 1].kind == Tok::kIdent)
+        return true;
+    }
+    return false;
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent || !is(toks[i], "Rng")) continue;
+    const std::string_view prev = prev_text(toks, i);
+    if (prev == "class" || prev == "struct" || prev == "." || prev == "->")
+      continue;
+    const std::string_view next = next_text(toks, i);
+    std::size_t report = toks[i].line;
+    if (next == "(") {
+      // Direct temporary `Rng(seed)` vs constructor declaration `Rng(...)`
+      // inside class Rng (allowlisted file) — parameter lists pass.
+      const std::size_t open = i + 1;
+      if (param_list_like(open)) continue;
+      const std::size_t close = skip_group(toks, open);
+      if (close - open <= 2) {
+        // `Rng()` — flag only in expression position.
+        if (!(prev == "return" || prev == "=" || prev == "(" ||
+              prev == "," || prev == "{"))
+          continue;
+      }
+      add(out, file, report, kRuleRngCtor,
+          "direct Rng construction; derive this stream from a keyed "
+          "fork of its parent (root streams: suppress inline + declare "
+          "in the lint config)");
+    } else if (next == "{") {
+      add(out, file, report, kRuleRngCtor,
+          "direct Rng construction; derive this stream from a keyed "
+          "fork of its parent");
+    } else if (i + 2 < toks.size() && toks[i + 1].kind == Tok::kIdent &&
+               (is(toks[i + 2], "(") || is(toks[i + 2], "{"))) {
+      // `Rng name(args)` / `Rng name{args}` — a declaration with
+      // constructor arguments, unless the parens are a parameter list
+      // (then it declares a function returning Rng).
+      const std::size_t open = i + 2;
+      if (is(toks[open], "(")) {
+        const std::size_t close = skip_group(toks, open);
+        if (close - open <= 2 || param_list_like(open)) continue;
+      }
+      add(out, file, toks[i + 1].line, kRuleRngCtor,
+          cat("Rng '", toks[i + 1].text,
+              "' constructed from a raw seed; derive it from a keyed "
+              "fork of its parent"));
+    }
+  }
+}
+
+/// mutable-global: non-const globals, statics and thread_locals.
+void rule_mutable_global(const std::vector<Token>& toks,
+                         std::string_view file,
+                         std::vector<Violation>& out) {
+  enum class Scope { kNamespace, kType, kFunc };
+  std::vector<Scope> scopes;  // implicit global namespace at bottom
+  auto at_namespace = [&] {
+    return std::all_of(scopes.begin(), scopes.end(),
+                       [](Scope s) { return s == Scope::kNamespace; });
+  };
+  auto in_type = [&] {
+    return !scopes.empty() && scopes.back() == Scope::kType;
+  };
+
+  std::size_t stmt = 0;  // first token of the current statement
+
+  auto contains = [&](std::size_t lo, std::size_t hi, std::string_view w) {
+    for (std::size_t j = lo; j < hi; ++j)
+      if (toks[j].kind == Tok::kIdent && toks[j].text == w) return true;
+    return false;
+  };
+
+  // Classify and maybe flag the declaration statement [lo, hi).
+  auto check_decl = [&](std::size_t lo, std::size_t hi) {
+    if (lo >= hi) return;
+    const bool is_static = contains(lo, hi, "static");
+    const bool is_tls = contains(lo, hi, "thread_local");
+    if (!at_namespace() && !is_static && !is_tls) return;
+    if (in_type() && !is_static) return;  // plain members are fine
+    for (const std::string_view skip :
+         {"using", "typedef", "friend", "static_assert", "extern",
+          "template", "operator", "enum", "class", "struct", "union",
+          "namespace", "concept", "requires", "return", "if", "goto"})
+      if (contains(lo, hi, skip)) return;
+    if (contains(lo, hi, "const") || contains(lo, hi, "constexpr") ||
+        contains(lo, hi, "constinit"))
+      return;
+    // A '(' before any '=' means a function declaration/definition.
+    bool has_ident = false;
+    for (std::size_t j = lo; j < hi; ++j) {
+      if (is(toks[j], "(")) return;
+      if (is(toks[j], "=")) break;
+      if (toks[j].kind == Tok::kIdent) has_ident = true;
+    }
+    if (!has_ident) return;
+    const char* what = is_tls ? "thread_local variable"
+                      : is_static ? "static variable"
+                                  : "namespace-scope variable";
+    add(out, file, toks[lo].line, kRuleGlobal,
+        cat("mutable ", what,
+            "; shared mutable state breaks deterministic replay — make it "
+            "const, pass it explicitly, or allowlist it with a "
+            "justification"));
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const std::string_view t = toks[i].text;
+    if (t == ";") {
+      check_decl(stmt, i);
+      stmt = i + 1;
+    } else if (t == "}") {
+      if (!scopes.empty()) scopes.pop_back();
+      stmt = i + 1;
+    } else if (t == "{") {
+      // Classify the scope this brace opens from its statement prefix.
+      const std::size_t lo = stmt;
+      int paren_depth = 0;
+      bool fn = false;
+      for (std::size_t j = lo; j < i; ++j) {
+        if (is(toks[j], "(")) {
+          ++paren_depth;
+          fn = true;
+        } else if (is(toks[j], ")")) {
+          --paren_depth;
+        }
+      }
+      if (paren_depth > 0) {
+        // A brace inside an open paren (`predictor = {}` default argument,
+        // a braced call argument): an expression, not a scope — skip it,
+        // the statement continues.
+        const std::size_t close = skip_group(toks, i);
+        i = close == 0 ? i : close - 1;
+        continue;
+      }
+      if (contains(lo, i, "namespace") ||
+          (contains(lo, i, "extern") && !fn)) {
+        scopes.push_back(Scope::kNamespace);
+      } else if (!fn && (contains(lo, i, "class") ||
+                         contains(lo, i, "struct") ||
+                         contains(lo, i, "union") ||
+                         contains(lo, i, "enum"))) {
+        scopes.push_back(Scope::kType);
+      } else if (i > lo &&
+                 (is(toks[i - 1], "=") ||
+                  (!fn && (toks[i - 1].kind == Tok::kIdent ||
+                           is(toks[i - 1], ">"))))) {
+        // Brace initializer of a declaration (`std::atomic<T> g{...};`):
+        // not a scope — skip it, the declaration ends at the ';'.
+        const std::size_t close = skip_group(toks, i);
+        check_decl(lo, i);
+        i = close == toks.size() ? close - 1 : close - 1;
+        // The init braces were part of the statement; resume after them.
+        stmt = i + 1;
+        // Consume a trailing ';' if present.
+        if (i + 1 < toks.size() && is(toks[i + 1], ";")) {
+          ++i;
+          stmt = i + 1;
+        }
+      } else {
+        scopes.push_back(Scope::kFunc);
+      }
+      if (!(stmt > i)) stmt = i + 1;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions: `// vmcw-lint: allow(rule[, rule...])` on the violating
+// line, or on a standalone comment line directly above it.
+// ---------------------------------------------------------------------------
+
+struct Suppression {
+  std::size_t comment_line;  ///< where the comment sits (for reporting)
+  std::string rule;
+  bool used = false;
+};
+
+void scan_suppressions(std::string_view content,
+                       std::map<std::size_t, std::vector<std::size_t>>& by_line,
+                       std::vector<Suppression>& all) {
+  std::size_t line = 1;
+  std::size_t pos = 0;
+  while (pos <= content.size()) {
+    const std::size_t eol = content.find('\n', pos);
+    const std::string_view text =
+        content.substr(pos, eol == std::string_view::npos ? content.size() - pos
+                                                          : eol - pos);
+    const std::size_t mark = text.find("vmcw-lint:");
+    if (mark != std::string_view::npos) {
+      const std::size_t open = text.find("allow(", mark);
+      const std::size_t close =
+          open == std::string_view::npos ? std::string_view::npos
+                                         : text.find(')', open);
+      if (open != std::string_view::npos && close != std::string_view::npos) {
+        std::string_view rules =
+            text.substr(open + 6, close - (open + 6));
+        const std::size_t comment = text.find("//");
+        const bool standalone =
+            comment != std::string_view::npos &&
+            text.find_first_not_of(" \t") == comment;
+        std::size_t p = 0;
+        while (p < rules.size()) {
+          std::size_t q = rules.find(',', p);
+          if (q == std::string_view::npos) q = rules.size();
+          std::string rule(rules.substr(p, q - p));
+          rule.erase(0, rule.find_first_not_of(" \t"));
+          const std::size_t last = rule.find_last_not_of(" \t");
+          rule.erase(last == std::string::npos ? 0 : last + 1);
+          if (!rule.empty()) {
+            all.push_back({line, rule, false});
+            by_line[line].push_back(all.size() - 1);
+            if (standalone) by_line[line + 1].push_back(all.size() - 1);
+          }
+          p = q + 1;
+        }
+      }
+    }
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+    ++line;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public interface.
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string>& rule_names() {
+  static const std::vector<std::string> kNames = {
+      std::string(kRuleRng),      std::string(kRuleClock),
+      std::string(kRuleUnordered), std::string(kRuleThread),
+      std::string(kRuleGlobal),   std::string(kRuleRngCtor)};
+  return kNames;
+}
+
+bool glob_match(std::string_view pattern, std::string_view text) {
+  // Iterative '*' glob (no character classes needed).
+  std::size_t p = 0, t = 0, star = std::string_view::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == text[t] || pattern[p] == '?')) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+bool Config::parse(std::string_view text, Config& out, std::string* error) {
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string line(text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos));
+    ++line_no;
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream in(line);
+    std::string kind;
+    if (!(in >> kind)) continue;
+    if (kind != "allow" && kind != "allow-inline") {
+      if (error)
+        *error = "config line " + std::to_string(line_no) +
+                 ": unknown directive '" + kind + "'";
+      return false;
+    }
+    Entry entry;
+    std::string dashes;
+    if (!(in >> entry.pattern >> entry.rule >> dashes) || dashes != "--") {
+      if (error)
+        *error = "config line " + std::to_string(line_no) +
+                 ": expected '<kind> <path-glob> <rule> -- <justification>'";
+      return false;
+    }
+    std::getline(in, entry.reason);
+    entry.reason.erase(0, entry.reason.find_first_not_of(" \t"));
+    if (entry.reason.empty()) {
+      if (error)
+        *error = "config line " + std::to_string(line_no) +
+                 ": every allowlist entry needs a justification";
+      return false;
+    }
+    const auto& names = rule_names();
+    if (std::find(names.begin(), names.end(), entry.rule) == names.end()) {
+      if (error)
+        *error = "config line " + std::to_string(line_no) +
+                 ": unknown rule '" + entry.rule + "'";
+      return false;
+    }
+    (kind == "allow" ? out.allow : out.allow_inline)
+        .push_back(std::move(entry));
+  }
+  return true;
+}
+
+bool Config::allows(std::string_view file, std::string_view rule) const {
+  for (const Entry& e : allow)
+    if (e.rule == rule && glob_match(e.pattern, file)) return true;
+  return false;
+}
+
+bool Config::allows_inline(std::string_view file,
+                           std::string_view rule) const {
+  for (const Entry& e : allow_inline)
+    if (e.rule == rule && glob_match(e.pattern, file)) return true;
+  return false;
+}
+
+std::vector<Violation> lint_file(std::string_view path,
+                                 std::string_view content,
+                                 const Config& config) {
+  const std::vector<Token> toks = tokenize(content);
+
+  std::vector<Violation> raw;
+  rule_nondeterministic_rng(toks, path, raw);
+  rule_wall_clock(toks, path, raw);
+  rule_unordered_iteration(toks, path, raw);
+  rule_thread_identity(toks, path, raw);
+  rule_mutable_global(toks, path, raw);
+  rule_rng_construction(toks, path, raw);
+
+  std::map<std::size_t, std::vector<std::size_t>> suppress_by_line;
+  std::vector<Suppression> suppressions;
+  scan_suppressions(content, suppress_by_line, suppressions);
+
+  std::vector<Violation> kept;
+  for (Violation& v : raw) {
+    if (config.allows(path, v.rule)) continue;
+    bool suppressed = false;
+    const auto it = suppress_by_line.find(v.line);
+    if (it != suppress_by_line.end()) {
+      for (const std::size_t s : it->second) {
+        if (suppressions[s].rule == v.rule) {
+          suppressions[s].used = true;
+          suppressed = true;
+        }
+      }
+    }
+    if (!suppressed) kept.push_back(std::move(v));
+  }
+
+  // Inline suppressions are only legal when the checked-in config declares
+  // them — and a suppression that no longer suppresses anything must be
+  // deleted, so stale escapes can't accumulate.
+  std::set<std::pair<std::size_t, std::string>> seen;
+  for (const Suppression& s : suppressions) {
+    if (!seen.insert({s.comment_line, s.rule}).second) continue;
+    if (s.used && !config.allows_inline(path, s.rule)) {
+      add(kept, path, s.comment_line, kRuleUndeclared,
+          cat("inline suppression of '", s.rule,
+              "' is not declared in the lint config; add an allow-inline "
+              "entry with a justification"));
+    } else if (!s.used) {
+      add(kept, path, s.comment_line, kRuleUnused,
+          cat("suppression of '", s.rule,
+              "' matches no violation on this line; delete it"));
+    }
+  }
+
+  std::sort(kept.begin(), kept.end(), [](const Violation& a,
+                                         const Violation& b) {
+    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+  });
+  return kept;
+}
+
+std::vector<Violation> lint_paths(const std::string& root,
+                                  const std::vector<std::string>& paths,
+                                  const Config& config, std::string* error) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  const fs::path base(root);
+  for (const std::string& p : paths) {
+    const fs::path full = base / p;
+    std::error_code ec;
+    if (fs::is_directory(full, ec)) {
+      for (fs::recursive_directory_iterator it(full, ec), end;
+           it != end && !ec; it.increment(ec)) {
+        if (!it->is_regular_file()) continue;
+        const std::string ext = it->path().extension().string();
+        if (ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc")
+          files.push_back(it->path());
+      }
+    } else if (fs::is_regular_file(full, ec)) {
+      files.push_back(full);
+    } else {
+      if (error) *error = "no such file or directory: " + full.string();
+      return {};
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Violation> out;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      if (error) *error = "cannot read " + file.string();
+      return {};
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string rel = file.lexically_normal()
+                                .lexically_relative(base.lexically_normal())
+                                .generic_string();
+    const std::string content = buffer.str();
+    const bool escapes_root = rel.empty() || rel.starts_with("..");
+    std::vector<Violation> file_violations = lint_file(
+        escapes_root ? file.generic_string() : rel, content, config);
+    out.insert(out.end(), std::make_move_iterator(file_violations.begin()),
+               std::make_move_iterator(file_violations.end()));
+  }
+  return out;
+}
+
+}  // namespace vmcw::lint

@@ -1,0 +1,92 @@
+// vmcw_lint: a tokenizer-level checker for the determinism contract.
+//
+// The dynamic half of the contract (1/2/8-thread pin tests, TSan) catches a
+// violation only when a test happens to exercise it; this tool makes the
+// contract's *sources* of nondeterminism grep-proofly illegal across src/.
+// It deliberately works on tokens, not an AST: no libclang dependency, runs
+// in milliseconds as a ctest, and the rules it enforces are lexical by
+// nature (a banned identifier is banned wherever it appears).
+//
+// Rules (each violation names its rule; see DESIGN.md §5d for rationale):
+//   nondeterministic-rng  std::random_device, rand/srand/*rand48, and the
+//                         <random> engines — all randomness flows through
+//                         util/rng.h's keyed xoshiro streams.
+//   wall-clock            system/steady/high_resolution_clock, time(),
+//                         gettimeofday & friends in result-affecting code;
+//                         telemetry/cancellation are allowlisted.
+//   unordered-iteration   range-for over a container declared as
+//                         unordered_{map,set,multimap,multiset} in the same
+//                         file — hash order must never reach results.
+//   thread-identity       this_thread::get_id, hardware_concurrency, or a
+//                         "VMCW_THREADS" read outside the thread pool —
+//                         results must not branch on who or how many.
+//   mutable-global        non-const namespace-scope / static / thread_local
+//                         variables: shared mutable state breaks replay.
+//   rng-construction      direct Rng construction outside util/rng —
+//                         streams must derive from a forked parent; the
+//                         handful of root-of-scenario seeds are suppressed
+//                         inline and declared in the config.
+//
+// Suppressions: a line (or the standalone comment line above it) may carry
+//   // vmcw-lint: allow(rule) reason...
+// Every inline suppression must be backed by an `allow-inline` config entry
+// for (file, rule) — an undeclared or unused suppression is itself a
+// violation, so the checked-in config is the complete allowlist.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vmcw::lint {
+
+struct Violation {
+  std::string file;  ///< repo-relative path, as passed to lint_file
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Names of the contract rules, in reporting order.
+const std::vector<std::string>& rule_names();
+
+/// Parsed allowlist config. Line format (one entry per line):
+///   allow <path-glob> <rule> -- <justification>
+///   allow-inline <path-glob> <rule> -- <justification>
+/// `#` starts a comment; the justification is mandatory. Globs use `*`
+/// (matches any run of characters, including '/').
+struct Config {
+  struct Entry {
+    std::string pattern;
+    std::string rule;
+    std::string reason;
+  };
+  std::vector<Entry> allow;         ///< whole-file exemptions for a rule
+  std::vector<Entry> allow_inline;  ///< files allowed inline suppressions
+
+  /// Parse config text; on syntax error returns false and sets *error.
+  static bool parse(std::string_view text, Config& out, std::string* error);
+
+  bool allows(std::string_view file, std::string_view rule) const;
+  bool allows_inline(std::string_view file, std::string_view rule) const;
+};
+
+/// `*`-glob match (case-sensitive, `*` crosses '/').
+bool glob_match(std::string_view pattern, std::string_view text);
+
+/// Lint one file's content. `path` is the repo-relative path used for
+/// allowlist matching and reporting.
+std::vector<Violation> lint_file(std::string_view path,
+                                 std::string_view content,
+                                 const Config& config);
+
+/// Lint every *.h / *.cpp under `paths` (files or directories), resolved
+/// relative to `root`; reported paths are root-relative. Directories are
+/// walked in sorted order so output is stable.
+std::vector<Violation> lint_paths(const std::string& root,
+                                  const std::vector<std::string>& paths,
+                                  const Config& config,
+                                  std::string* error);
+
+}  // namespace vmcw::lint

@@ -1,0 +1,82 @@
+// vmcw_lint CLI. Exit status 0 = clean, 1 = violations, 2 = usage/IO error.
+//
+//   vmcw_lint --config=tools/vmcw_lint/vmcw_lint.conf --root=. src
+//
+// Runs as the `vmcw_lint_src` ctest; CI also runs it against an injected
+// violation to prove the gate fails when it should.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: vmcw_lint [--config=FILE] [--root=DIR] "
+               "[--list-rules] PATH...\n"
+               "Lints *.h/*.cpp under each PATH (relative to --root) "
+               "against the determinism contract.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_path;
+  std::string root = ".";
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--config=", 0) == 0) {
+      config_path = arg.substr(9);
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg == "--list-rules") {
+      for (const std::string& rule : vmcw::lint::rule_names())
+        std::printf("%s\n", rule.c_str());
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return usage();
+
+  vmcw::lint::Config config;
+  if (!config_path.empty()) {
+    std::ifstream in(config_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "vmcw_lint: cannot read config %s\n",
+                   config_path.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string error;
+    if (!vmcw::lint::Config::parse(buffer.str(), config, &error)) {
+      std::fprintf(stderr, "vmcw_lint: %s\n", error.c_str());
+      return 2;
+    }
+  }
+
+  std::string error;
+  const std::vector<vmcw::lint::Violation> violations =
+      vmcw::lint::lint_paths(root, paths, config, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "vmcw_lint: %s\n", error.c_str());
+    return 2;
+  }
+  for (const vmcw::lint::Violation& v : violations)
+    std::printf("%s:%zu: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(),
+                v.message.c_str());
+  if (!violations.empty()) {
+    std::fprintf(stderr, "vmcw_lint: %zu violation(s)\n", violations.size());
+    return 1;
+  }
+  return 0;
+}
