@@ -26,6 +26,7 @@
 using namespace vmcw;
 
 int main(int argc, char** argv) {
+  const bench::WallTimer timer;
   bench::print_header("Chaos resilience",
                       "Strategy robustness vs injected fault intensity");
   // Two independent sweeps, two journals (…_intensity.bin / …_corr.bin):
@@ -193,6 +194,13 @@ int main(int argc, char** argv) {
     std::printf("FAIL: spread did not reduce aggregate app blast radius\n");
     return 1;
   }
+  const double wall = timer.seconds();
+  const double total_cells =
+      static_cast<double>(results.size() + corr_results.size());
+  bench::write_bench_json("chaos_resilience", wall, "cells_per_sec",
+                          wall > 0 ? total_cells / wall : 0,
+                          {{"cells", total_cells},
+                           {"servers_per_estate", static_cast<double>(servers)}});
   std::printf("telemetry sidecar: telemetry_chaos_resilience.json\n");
   return 0;
 }

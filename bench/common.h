@@ -5,7 +5,10 @@
 // paper's figures all describe the same four data centers.
 #pragma once
 
+#include <sys/resource.h>
+
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <span>
@@ -174,6 +177,57 @@ inline SweepOptions sweep_options(const BenchOptions& opts,
 inline bool write_dat(const std::string& content) {
   if (detail::output_slug().empty()) return false;
   return write_file_atomic(detail::output_slug() + ".dat", content);
+}
+
+/// Wall-clock stopwatch for the machine-readable bench sidecars. Lives in
+/// bench/ (not src/) on purpose: the determinism lint bans wall clocks in
+/// library code, but a bench measuring itself is exactly what they are for.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Extra key/value pairs for write_bench_json.
+struct BenchMetric {
+  std::string name;
+  double value = 0;
+};
+
+inline std::string json_number(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+/// Machine-readable result sidecar BENCH_<name>.json: wall time, one named
+/// rate metric (decisions/sec, cells/sec, ...), peak RSS, plus any extras.
+/// Written via the same atomic temp+rename path as the other sidecars.
+/// Numbers here are measurements, not determinism-checked output — CI
+/// compares the .dat tables and decision logs, never these.
+inline bool write_bench_json(const std::string& name, double wall_seconds,
+                             const std::string& rate_metric, double rate,
+                             const std::vector<BenchMetric>& extras = {}) {
+  long peak_rss_kb = 0;
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) peak_rss_kb = usage.ru_maxrss;
+
+  std::string json = "{\n";
+  json += "  \"bench\": \"" + name + "\",\n";
+  json += "  \"wall_seconds\": " + json_number(wall_seconds) + ",\n";
+  json += "  \"" + rate_metric + "\": " + json_number(rate) + ",\n";
+  for (const BenchMetric& extra : extras)
+    json += "  \"" + extra.name + "\": " + json_number(extra.value) + ",\n";
+  json += "  \"peak_rss_kb\": " + json_number(static_cast<double>(peak_rss_kb)) +
+          "\n}\n";
+  return write_file_atomic("BENCH_" + name + ".json", json);
 }
 
 /// "(a) Banking"-style label as the paper's sub-figures use.

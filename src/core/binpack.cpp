@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/admission.h"
+
 namespace vmcw {
 
 namespace {
@@ -38,21 +40,7 @@ std::optional<PackResult> ffd_pack(std::span<const ResourceVector> sizes,
 
   // Affinity groups become super-items placed atomically.
   const ConstraintSet& cs = constraints;
-  auto groups = cs.affinity_groups();
-  std::vector<bool> covered(n, false);
-  for (const auto& g : groups)
-    for (std::size_t vm : g)
-      if (vm < n) covered[vm] = true;
-  for (std::size_t vm = 0; vm < n; ++vm)
-    if (!covered[vm]) groups.push_back({vm});
-  // Drop group members beyond the item range (constraints on unknown VMs).
-  for (auto& g : groups)
-    g.erase(std::remove_if(g.begin(), g.end(),
-                           [n](std::size_t vm) { return vm >= n; }),
-            g.end());
-  groups.erase(std::remove_if(groups.begin(), groups.end(),
-                              [](const auto& g) { return g.empty(); }),
-               groups.end());
+  const auto groups = placement_groups(n, cs);
 
   std::vector<ResourceVector> group_sizes(groups.size());
   for (std::size_t g = 0; g < groups.size(); ++g)
@@ -63,25 +51,6 @@ std::optional<PackResult> ffd_pack(std::span<const ResourceVector> sizes,
 
   Placement placement(n);
   std::vector<ResourceVector> host_load;
-
-  auto try_host = [&](std::size_t g, std::size_t host) {
-    if (!(group_sizes[g] + host_load[host])
-             .fits_within(pool.capacity_of(host, utilization_bound)))
-      return false;
-    if (!cs.allows_group(groups[g], static_cast<std::int32_t>(host),
-                         placement))
-      return false;
-    for (std::size_t vm : groups[g])
-      placement.assign(vm, static_cast<std::int32_t>(host));
-    host_load[host] += group_sizes[g];
-    return true;
-  };
-  auto open_next_host = [&]() {
-    const std::size_t host = host_load.size();
-    if (!pool.valid_host(host)) return false;
-    host_load.emplace_back();
-    return true;
-  };
 
   // Pinned groups go first: their host is not negotiable, so it must be
   // claimed before free groups can fill it.
@@ -94,32 +63,19 @@ std::optional<PackResult> ffd_pack(std::span<const ResourceVector> sizes,
   }
   for (std::size_t g = 0; g < groups.size(); ++g) {
     if (group_pin[g] == Placement::kUnplaced) continue;
-    const auto pin = static_cast<std::size_t>(group_pin[g]);
-    if (!pool.valid_host(pin)) return std::nullopt;
-    while (host_load.size() <= pin) host_load.emplace_back();
-    if (!try_host(g, pin)) return std::nullopt;
+    if (!admit_group_at(groups[g], group_sizes[g],
+                        static_cast<std::size_t>(group_pin[g]), host_load,
+                        pool, utilization_bound, cs, placement))
+      return std::nullopt;
   }
 
+  // Free groups first-fit through the shared single-admission path — the
+  // same code the online daemon admits one VM at a time through.
   for (std::size_t g : order) {
     if (group_pin[g] != Placement::kUnplaced) continue;  // already placed
-    bool placed = false;
-    for (std::size_t host = 0; host < host_load.size() && !placed; ++host)
-      placed = try_host(g, host);
-    while (!placed) {
-      if (!open_next_host()) return std::nullopt;  // bounded pool exhausted
-      const std::size_t host = host_load.size() - 1;
-      placed = try_host(g, host);
-      if (!placed) {
-        // An empty host rejected the group. If the rejection was capacity
-        // (not a finite constraint) and we are already in the trailing
-        // unlimited class, every later host is identical: fail instead of
-        // looping forever. Bounded classes are simply skipped.
-        const bool fits_capacity = group_sizes[g].fits_within(
-            pool.capacity_of(host, utilization_bound));
-        if (!fits_capacity && pool.in_unlimited_class(host))
-          return std::nullopt;
-      }
-    }
+    if (!admit_group(groups[g], group_sizes[g], host_load, pool,
+                     utilization_bound, cs, placement))
+      return std::nullopt;  // pool exhausted or the group fits nowhere
   }
 
   PackResult result{std::move(placement), 0};

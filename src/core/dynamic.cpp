@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/admission.h"
 #include "core/binpack.h"
 
 namespace vmcw {
@@ -15,20 +16,7 @@ class GroupModel {
  public:
   GroupModel(std::span<const VmWorkload> vms, const ConstraintSet& constraints)
       : vms_(vms), constraints_(constraints) {
-    groups_ = constraints.affinity_groups();
-    std::vector<bool> covered(vms.size(), false);
-    for (const auto& g : groups_)
-      for (std::size_t vm : g)
-        if (vm < vms.size()) covered[vm] = true;
-    for (std::size_t vm = 0; vm < vms.size(); ++vm)
-      if (!covered[vm]) groups_.push_back({vm});
-    for (auto& g : groups_)
-      g.erase(std::remove_if(g.begin(), g.end(),
-                             [&](std::size_t vm) { return vm >= vms.size(); }),
-              g.end());
-    groups_.erase(std::remove_if(groups_.begin(), groups_.end(),
-                                 [](const auto& g) { return g.empty(); }),
-                  groups_.end());
+    groups_ = placement_groups(vms.size(), constraints);
 
     pinned_.resize(groups_.size(), Placement::kUnplaced);
     for (std::size_t g = 0; g < groups_.size(); ++g)

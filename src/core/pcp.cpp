@@ -4,6 +4,7 @@
 #include <map>
 
 #include "analysis/correlation.h"
+#include "core/admission.h"
 
 namespace vmcw {
 
@@ -91,20 +92,7 @@ std::optional<PackResult> pcp_pack(std::span<const StochasticItem> items,
     worst_case[i] = items[i].body + items[i].tail;
 
   // Affinity groups placed atomically (same mechanics as ffd_pack).
-  auto groups = constraints.affinity_groups();
-  std::vector<bool> covered(n, false);
-  for (const auto& g : groups)
-    for (std::size_t vm : g)
-      if (vm < n) covered[vm] = true;
-  for (std::size_t vm = 0; vm < n; ++vm)
-    if (!covered[vm]) groups.push_back({vm});
-  for (auto& g : groups)
-    g.erase(std::remove_if(g.begin(), g.end(),
-                           [n](std::size_t vm) { return vm >= n; }),
-            g.end());
-  groups.erase(std::remove_if(groups.begin(), groups.end(),
-                              [](const auto& g) { return g.empty(); }),
-               groups.end());
+  const auto groups = placement_groups(n, constraints);
 
   std::vector<ResourceVector> group_worst(groups.size());
   for (std::size_t g = 0; g < groups.size(); ++g)

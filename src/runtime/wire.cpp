@@ -1,0 +1,32 @@
+#include "runtime/wire.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace vmcw::wire {
+
+bool read_all(int fd, std::vector<std::uint8_t>& out) {
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) return false;
+  out.resize(static_cast<std::size_t>(st.st_size));
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n = ::pread(fd, out.data() + off, out.size() - off,
+                              static_cast<off_t>(off));
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::write(fd, data + off, size - off);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace vmcw::wire

@@ -1,0 +1,43 @@
+// Deterministic churn generator: synthetic telemetry streams for the
+// daemon's tests, benches and CI smoke runs.
+//
+// Produces the frame sequence a fleet of collection agents would emit over
+// `ticks` consolidation intervals: an initial VM population, per-tick
+// demand samples (diurnal base + per-VM noise), Poisson-ish arrivals,
+// random departures, optional agent blackouts (to drive the controller's
+// degraded mode), and one Flush per tick. All randomness forks from a
+// single root Rng(seed), so the same options always produce the same
+// frames — and therefore, through the daemon, the same decision log.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "service/controller.h"
+#include "service/protocol.h"
+
+namespace vmcw::service {
+
+struct ChurnOptions {
+  std::size_t agents = 8;        ///< telemetry collectors, round-robin VMs
+  std::size_t initial_vms = 48;  ///< population arriving at tick 1
+  std::size_t ticks = 24;
+  std::size_t apps = 6;  ///< replica-group labels drawn per arrival
+  double arrivals_per_tick = 1.0;
+  double departure_prob = 0.01;  ///< per live VM per tick
+  /// Per agent per tick: probability its delta is dropped (simulated
+  /// collector blackout). With stale_after exceeded this puts the
+  /// controller in degraded mode.
+  double blackout_prob = 0.0;
+  /// Mean demand as a fraction of one pool host's capacity.
+  double mean_host_fraction = 0.12;
+  std::uint64_t seed = 1;
+};
+
+/// The full frame stream: Hello (carrying fleet_config_hash(config)),
+/// then per tick Heartbeat / arrivals / departures / telemetry deltas /
+/// Flush, then Shutdown.
+std::vector<Frame> generate_churn(const ChurnOptions& options,
+                                  const ControllerConfig& config);
+
+}  // namespace vmcw::service

@@ -1,0 +1,123 @@
+#include "service/daemon.h"
+
+#include <stdexcept>
+
+namespace vmcw::service {
+
+namespace {
+
+void count_batch(DaemonStats& stats, const DecisionBatchFrame& batch) {
+  ++stats.batches;
+  if (batch.degraded) ++stats.degraded_ticks;
+  for (const Decision& d : batch.decisions) {
+    switch (d.action) {
+      case DecisionAction::kAdmit:
+        ++stats.admits;
+        break;
+      case DecisionAction::kMigrate:
+        ++stats.migrations;
+        break;
+      case DecisionAction::kHold:
+        ++stats.holds;
+        break;
+    }
+  }
+}
+
+std::size_t count_batches(const std::vector<Frame>& frames) {
+  std::size_t n = 0;
+  for (const Frame& frame : frames)
+    if (std::holds_alternative<DecisionBatchFrame>(frame)) ++n;
+  return n;
+}
+
+}  // namespace
+
+Daemon::Daemon(ControllerConfig config, Options options)
+    : config_(config),
+      options_(std::move(options)),
+      fleet_hash_(fleet_config_hash(config_)),
+      controller_(std::move(config)) {}
+
+Daemon::OpenResult Daemon::open() {
+  OpenResult result;
+  const FrameLog::Recovery wal =
+      wal_.open(options_.wal_path, fleet_hash_, options_.resume);
+  const FrameLog::Recovery decisions =
+      decisions_.open(options_.decisions_path, fleet_hash_, options_.resume);
+  result.wal_stale = wal.stale;
+  result.decisions_stale = decisions.stale;
+  result.frames_recovered = wal.frames.size();
+  result.batches_recovered = count_batches(decisions.frames);
+
+  // Re-apply the recovered input, recomputing every decision batch but
+  // appending only the ones the crash lost: the resumed decision log is
+  // byte-identical to an uninterrupted run.
+  batches_skipped_ = result.batches_recovered;
+  for (const Frame& frame : wal.frames) apply(frame, /*emit=*/true);
+  return result;
+}
+
+DecisionBatchFrame Daemon::ingest(const Frame& frame) {
+  wal_.append(frame, options_.durable);
+  return apply(frame, /*emit=*/true);
+}
+
+DecisionBatchFrame Daemon::apply(const Frame& frame, bool emit) {
+  ++stats_.frames;
+  if (const auto* flush = std::get_if<FlushFrame>(&frame)) {
+    DecisionBatchFrame batch = controller_.tick(flush->tick);
+    if (batches_skipped_ > 0)
+      --batches_skipped_;  // already durable from before the crash
+    else if (emit)
+      decisions_.append(batch, options_.durable);
+    count_batch(stats_, batch);
+    return batch;
+  }
+  controller_.apply(frame);
+  return DecisionBatchFrame{};
+}
+
+void Daemon::close() {
+  wal_.sync();
+  decisions_.sync();
+  wal_.close();
+  decisions_.close();
+}
+
+DaemonStats replay_wal(const std::string& wal_path,
+                       const std::string& decisions_path,
+                       const ControllerConfig& config, bool resume,
+                       bool durable) {
+  const WalContents wal = read_frame_log(wal_path);
+  const std::uint64_t fleet_hash = fleet_config_hash(config);
+  if (wal.fleet_hash != fleet_hash)
+    throw std::runtime_error(
+        "replay_wal: WAL was recorded for a different fleet configuration");
+
+  IncrementalController controller(config);
+  FrameLog decisions;
+  const FrameLog::Recovery recovered =
+      decisions.open(decisions_path, fleet_hash, resume);
+  std::size_t skip = count_batches(recovered.frames);
+
+  DaemonStats stats;
+  for (const Frame& frame : wal.frames) {
+    ++stats.frames;
+    if (const auto* flush = std::get_if<FlushFrame>(&frame)) {
+      DecisionBatchFrame batch = controller.tick(flush->tick);
+      if (skip > 0)
+        --skip;
+      else
+        decisions.append(batch, durable);
+      count_batch(stats, batch);
+    } else {
+      controller.apply(frame);
+    }
+  }
+  decisions.sync();
+  decisions.close();
+  return stats;
+}
+
+}  // namespace vmcw::service

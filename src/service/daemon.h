@@ -1,0 +1,98 @@
+// The online consolidation daemon: WAL-first frame ingestion around the
+// incremental controller.
+//
+// Two modes share one code path:
+//
+//  - live: ingest() appends each frame to the telemetry WAL (fdatasync'd)
+//    *before* the controller sees it; a Flush frame additionally runs the
+//    controller tick and appends the DecisionBatch to the decision log
+//    before reporting it. Socket ingestion is a thin producer in front of
+//    ingest() — the WAL, not the socket, is the source of truth.
+//  - replay: replay_wal() feeds a recorded WAL's frames through the same
+//    apply/tick sequence. Because live mode is WAL-first, the decision
+//    log of a replay is byte-identical to the live session's.
+//
+// Resume after a crash: the decision log's intact prefix (K batches) is
+// recovered, the input frames are re-applied recomputing every batch, and
+// the first K recomputed batches are skipped instead of re-appended — the
+// resumed log is byte-identical to an uninterrupted run. Both logs carry
+// the fleet-config hash, so a stream is never resumed against a different
+// fleet shape.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/controller.h"
+#include "service/telemetry_log.h"
+
+namespace vmcw::service {
+
+/// Running decision totals, updated per emitted batch.
+struct DaemonStats {
+  std::size_t frames = 0;   ///< input frames applied (Flush included)
+  std::size_t batches = 0;  ///< DecisionBatch frames emitted
+  std::size_t admits = 0;
+  std::size_t migrations = 0;
+  std::size_t holds = 0;
+  std::size_t degraded_ticks = 0;
+};
+
+class Daemon {
+ public:
+  struct Options {
+    std::string wal_path;        ///< telemetry WAL (input side)
+    std::string decisions_path;  ///< decision log (output side)
+    bool resume = false;  ///< recover both logs instead of truncating
+    bool durable = true;  ///< fdatasync each append (off: bulk benching)
+  };
+
+  struct OpenResult {
+    std::size_t frames_recovered = 0;   ///< input frames re-applied
+    std::size_t batches_recovered = 0;  ///< decision batches kept durable
+    bool wal_stale = false;
+    bool decisions_stale = false;
+  };
+
+  Daemon(ControllerConfig config, Options options);
+
+  /// Open both logs; with resume, re-apply the recovered input frames
+  /// (recomputing decision batches, skipping the append of the ones
+  /// already durable). The controller afterwards sits exactly where the
+  /// crashed session left it.
+  OpenResult open();
+
+  /// WAL-first ingestion of one frame. Flush frames run the controller
+  /// tick and append the batch to the decision log. Requires open().
+  DecisionBatchFrame ingest(const Frame& frame);
+
+  void close();
+
+  const IncrementalController& controller() const noexcept {
+    return controller_;
+  }
+  const DaemonStats& stats() const noexcept { return stats_; }
+
+ private:
+  DecisionBatchFrame apply(const Frame& frame, bool emit);
+
+  ControllerConfig config_;
+  Options options_;
+  std::uint64_t fleet_hash_ = 0;
+  IncrementalController controller_;
+  FrameLog wal_;
+  FrameLog decisions_;
+  std::size_t batches_skipped_ = 0;  ///< recovered batches left to skip
+  DaemonStats stats_;
+};
+
+/// Replay a recorded WAL end to end, writing (or with resume, completing)
+/// the decision log at `decisions_path`. The input WAL is opened read-only
+/// and never modified. Throws std::runtime_error when the WAL cannot be
+/// read or was recorded for a different fleet configuration.
+DaemonStats replay_wal(const std::string& wal_path,
+                       const std::string& decisions_path,
+                       const ControllerConfig& config, bool resume,
+                       bool durable = true);
+
+}  // namespace vmcw::service

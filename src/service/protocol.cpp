@@ -1,0 +1,270 @@
+#include "service/protocol.h"
+
+#include <stdexcept>
+
+#include "runtime/wire.h"
+
+namespace vmcw::service {
+
+namespace {
+
+using wire::ByteReader;
+using wire::ByteWriter;
+using wire::fnv1a64;
+
+void encode_payload(const HelloFrame& f, ByteWriter& w) {
+  w.u32(f.version);
+  w.u64(f.fleet_hash);
+  w.str(f.peer);
+}
+
+void encode_payload(const HeartbeatFrame& f, ByteWriter& w) { w.u64(f.tick); }
+
+void encode_payload(const FlushFrame& f, ByteWriter& w) { w.u64(f.tick); }
+
+void encode_payload(const ShutdownFrame& f, ByteWriter& w) { w.u64(f.tick); }
+
+void encode_payload(const HostTelemetryDeltaFrame& f, ByteWriter& w) {
+  w.u64(f.tick);
+  w.u64(f.agent);
+  w.u64(f.samples.size());
+  for (const VmSample& s : f.samples) {
+    w.u64(s.vm);
+    w.f64(s.cpu_rpe2);
+    w.f64(s.memory_mb);
+  }
+}
+
+void encode_payload(const VmArrivalFrame& f, ByteWriter& w) {
+  w.u64(f.tick);
+  w.u64(f.vm);
+  w.str(f.app);
+  w.f64(f.cpu_rpe2);
+  w.f64(f.memory_mb);
+}
+
+void encode_payload(const VmDepartureFrame& f, ByteWriter& w) {
+  w.u64(f.tick);
+  w.u64(f.vm);
+}
+
+void encode_payload(const DecisionBatchFrame& f, ByteWriter& w) {
+  w.u64(f.tick);
+  w.u8(f.degraded ? 1 : 0);
+  w.u64(f.decisions.size());
+  for (const Decision& d : f.decisions) {
+    w.u64(d.vm);
+    w.u8(static_cast<std::uint8_t>(d.action));
+    w.u8(static_cast<std::uint8_t>(d.reason));
+    w.i32(d.from);
+    w.i32(d.to);
+  }
+}
+
+HelloFrame decode_hello(ByteReader& r) {
+  HelloFrame f;
+  f.version = r.u32();
+  f.fleet_hash = r.u64();
+  f.peer = r.str();
+  return f;
+}
+
+HostTelemetryDeltaFrame decode_telemetry(ByteReader& r) {
+  HostTelemetryDeltaFrame f;
+  f.tick = r.u64();
+  f.agent = r.u64();
+  const std::uint64_t n = r.u64();
+  f.samples.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    VmSample s;
+    s.vm = r.u64();
+    s.cpu_rpe2 = r.f64();
+    s.memory_mb = r.f64();
+    f.samples.push_back(s);
+  }
+  return f;
+}
+
+VmArrivalFrame decode_arrival(ByteReader& r) {
+  VmArrivalFrame f;
+  f.tick = r.u64();
+  f.vm = r.u64();
+  f.app = r.str();
+  f.cpu_rpe2 = r.f64();
+  f.memory_mb = r.f64();
+  return f;
+}
+
+VmDepartureFrame decode_departure(ByteReader& r) {
+  VmDepartureFrame f;
+  f.tick = r.u64();
+  f.vm = r.u64();
+  return f;
+}
+
+DecisionBatchFrame decode_batch(ByteReader& r) {
+  DecisionBatchFrame f;
+  f.tick = r.u64();
+  f.degraded = r.u8() != 0;
+  const std::uint64_t n = r.u64();
+  f.decisions.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Decision d;
+    d.vm = r.u64();
+    d.action = static_cast<DecisionAction>(r.u8());
+    d.reason = static_cast<DecisionReason>(r.u8());
+    if (d.action > DecisionAction::kMigrate ||
+        d.reason > DecisionReason::kStaleTelemetry)
+      throw std::runtime_error("protocol: unknown decision tag");
+    d.from = r.i32();
+    d.to = r.i32();
+    f.decisions.push_back(d);
+  }
+  return f;
+}
+
+Frame decode_payload(FrameKind kind, ByteReader& r) {
+  switch (kind) {
+    case FrameKind::kHello:
+      return decode_hello(r);
+    case FrameKind::kHeartbeat:
+      return HeartbeatFrame{r.u64()};
+    case FrameKind::kFlush:
+      return FlushFrame{r.u64()};
+    case FrameKind::kShutdown:
+      return ShutdownFrame{r.u64()};
+    case FrameKind::kHostTelemetryDelta:
+      return decode_telemetry(r);
+    case FrameKind::kVmArrival:
+      return decode_arrival(r);
+    case FrameKind::kVmDeparture:
+      return decode_departure(r);
+    case FrameKind::kDecisionBatch:
+      return decode_batch(r);
+  }
+  throw std::runtime_error("protocol: unknown frame kind");
+}
+
+}  // namespace
+
+const char* to_string(FrameKind kind) noexcept {
+  switch (kind) {
+    case FrameKind::kHello:
+      return "hello";
+    case FrameKind::kHeartbeat:
+      return "heartbeat";
+    case FrameKind::kFlush:
+      return "flush";
+    case FrameKind::kShutdown:
+      return "shutdown";
+    case FrameKind::kHostTelemetryDelta:
+      return "host-telemetry-delta";
+    case FrameKind::kVmArrival:
+      return "vm-arrival";
+    case FrameKind::kVmDeparture:
+      return "vm-departure";
+    case FrameKind::kDecisionBatch:
+      return "decision-batch";
+  }
+  return "?";
+}
+
+const char* to_string(DecisionAction action) noexcept {
+  switch (action) {
+    case DecisionAction::kHold:
+      return "hold";
+    case DecisionAction::kAdmit:
+      return "admit";
+    case DecisionAction::kMigrate:
+      return "migrate";
+  }
+  return "?";
+}
+
+const char* to_string(DecisionReason reason) noexcept {
+  switch (reason) {
+    case DecisionReason::kAdmitted:
+      return "admitted";
+    case DecisionReason::kContention:
+      return "contention";
+    case DecisionReason::kUnderutilization:
+      return "underutilization";
+    case DecisionReason::kNoCapacity:
+      return "no-capacity";
+    case DecisionReason::kStaleTelemetry:
+      return "stale-telemetry";
+  }
+  return "?";
+}
+
+FrameKind frame_kind(const Frame& frame) noexcept {
+  return std::visit(
+      [](const auto& f) {
+        using T = std::decay_t<decltype(f)>;
+        if constexpr (std::is_same_v<T, HelloFrame>) return FrameKind::kHello;
+        if constexpr (std::is_same_v<T, HeartbeatFrame>)
+          return FrameKind::kHeartbeat;
+        if constexpr (std::is_same_v<T, FlushFrame>) return FrameKind::kFlush;
+        if constexpr (std::is_same_v<T, ShutdownFrame>)
+          return FrameKind::kShutdown;
+        if constexpr (std::is_same_v<T, HostTelemetryDeltaFrame>)
+          return FrameKind::kHostTelemetryDelta;
+        if constexpr (std::is_same_v<T, VmArrivalFrame>)
+          return FrameKind::kVmArrival;
+        if constexpr (std::is_same_v<T, VmDepartureFrame>)
+          return FrameKind::kVmDeparture;
+        if constexpr (std::is_same_v<T, DecisionBatchFrame>)
+          return FrameKind::kDecisionBatch;
+      },
+      frame);
+}
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  ByteWriter payload;
+  std::visit([&](const auto& f) { encode_payload(f, payload); }, frame);
+  const std::vector<std::uint8_t>& body = payload.bytes();
+
+  ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(frame_kind(frame)));
+  out.u64(body.size());
+  out.u64(fnv1a64(body.data(), body.size()));
+  std::vector<std::uint8_t> bytes = out.bytes();
+  bytes.insert(bytes.end(), body.begin(), body.end());
+  return bytes;
+}
+
+DecodedFrame decode_frame(const std::uint8_t* data, std::size_t size) {
+  if (size < kFrameHeaderSize)
+    throw std::runtime_error("protocol: short frame header");
+  const std::uint8_t raw_kind = data[0];
+  if (raw_kind < static_cast<std::uint8_t>(FrameKind::kHello) ||
+      raw_kind > static_cast<std::uint8_t>(FrameKind::kDecisionBatch))
+    throw std::runtime_error("protocol: unknown frame kind");
+  const std::uint64_t length = wire::load_u64(data + 1);
+  const std::uint64_t checksum = wire::load_u64(data + 9);
+  if (size - kFrameHeaderSize < length)
+    throw std::runtime_error("protocol: torn frame");
+  const std::uint8_t* body = data + kFrameHeaderSize;
+  if (fnv1a64(body, length) != checksum)
+    throw std::runtime_error("protocol: frame checksum mismatch");
+
+  ByteReader reader(body, static_cast<std::size_t>(length));
+  DecodedFrame decoded{decode_payload(static_cast<FrameKind>(raw_kind), reader),
+                       kFrameHeaderSize + static_cast<std::size_t>(length)};
+  if (!reader.exhausted())
+    throw std::runtime_error("protocol: trailing payload bytes");
+  return decoded;
+}
+
+std::vector<Frame> decode_frames(const std::vector<std::uint8_t>& bytes) {
+  std::vector<Frame> frames;
+  std::size_t at = 0;
+  while (at < bytes.size()) {
+    DecodedFrame d = decode_frame(bytes.data() + at, bytes.size() - at);
+    frames.push_back(std::move(d.frame));
+    at += d.consumed;
+  }
+  return frames;
+}
+
+}  // namespace vmcw::service

@@ -1,0 +1,167 @@
+#include "service/telemetry_log.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "runtime/wire.h"
+
+namespace vmcw::service {
+
+namespace {
+
+using wire::ByteWriter;
+using wire::fnv1a64;
+using wire::load_u32;
+using wire::load_u64;
+using wire::read_all;
+using wire::write_all;
+
+constexpr char kMagic[8] = {'V', 'M', 'C', 'W', 'T', 'W', 'L', '1'};
+constexpr std::uint32_t kVersion = 1;
+// magic + version + fleet-config hash.
+constexpr std::size_t kHeaderSize = 8 + 4 + 8;
+
+/// Scan the intact frame prefix of a WAL byte image. Returns the offset of
+/// the first byte past the last intact frame; frames decoded on the way
+/// are appended to `frames`.
+std::size_t scan_frames(const std::vector<std::uint8_t>& bytes,
+                        std::vector<Frame>& frames) {
+  std::size_t off = kHeaderSize;
+  while (off < bytes.size()) {
+    try {
+      DecodedFrame d = decode_frame(bytes.data() + off, bytes.size() - off);
+      frames.push_back(std::move(d.frame));
+      off += d.consumed;
+    } catch (const std::exception&) {
+      break;  // a frame decodes cleanly or it is the torn tail
+    }
+  }
+  return off;
+}
+
+bool header_matches(const std::vector<std::uint8_t>& bytes,
+                    std::uint64_t fleet_hash) {
+  return bytes.size() >= kHeaderSize &&
+         std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0 &&
+         load_u32(bytes.data() + 8) == kVersion &&
+         load_u64(bytes.data() + 12) == fleet_hash;
+}
+
+std::vector<std::uint8_t> encode_header(std::uint64_t fleet_hash) {
+  ByteWriter header;
+  for (const char c : kMagic) header.u8(static_cast<std::uint8_t>(c));
+  header.u32(kVersion);
+  header.u64(fleet_hash);
+  return header.bytes();
+}
+
+}  // namespace
+
+FrameLog::~FrameLog() { close(); }
+
+void FrameLog::close() {
+  MutexLock lk(mutex_);
+  close_locked();
+}
+
+void FrameLog::close_locked() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+FrameLog::Recovery FrameLog::open(const std::string& path,
+                                  std::uint64_t fleet_hash, bool resume) {
+  // open() runs before the log is shared with other threads, but holding
+  // the lock throughout keeps fd_'s guard unconditional.
+  MutexLock lk(mutex_);
+  close_locked();
+  Recovery rec;
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) throw std::runtime_error("FrameLog: cannot open " + path);
+
+  std::vector<std::uint8_t> bytes;
+  const bool readable = read_all(fd_, bytes);
+
+  if (resume && readable && header_matches(bytes, fleet_hash)) {
+    const std::size_t off = scan_frames(bytes, rec.frames);
+    if (off < bytes.size()) {
+      rec.torn_tail = true;
+      rec.bytes_discarded = bytes.size() - off;
+      if (::ftruncate(fd_, static_cast<off_t>(off)) != 0) {
+        // Cannot trim the torn tail: appending would interleave with
+        // garbage, so fall back to a fresh log.
+        rec.frames.clear();
+        rec.torn_tail = false;
+        rec.bytes_discarded = 0;
+        goto fresh;
+      }
+    }
+    rec.content_hash = fnv1a64(bytes.data(), off);
+    ::lseek(fd_, 0, SEEK_END);
+    return rec;
+  }
+
+fresh:
+  // Not resuming, no log yet, or a stale one (the fleet shape changed
+  // since it was written): start clean. Stale frames are never mixed in.
+  rec.stale = resume && readable && !bytes.empty();
+  rec.frames.clear();
+  if (::ftruncate(fd_, 0) != 0 || ::lseek(fd_, 0, SEEK_SET) < 0) {
+    close_locked();
+    throw std::runtime_error("FrameLog: cannot rewrite " + path);
+  }
+  const std::vector<std::uint8_t> header = encode_header(fleet_hash);
+  if (!write_all(fd_, header.data(), header.size())) {
+    close_locked();
+    throw std::runtime_error("FrameLog: cannot write header of " + path);
+  }
+  ::fdatasync(fd_);
+  rec.content_hash = fnv1a64(header.data(), header.size());
+  return rec;
+}
+
+void FrameLog::append(const Frame& frame, bool sync) {
+  const std::vector<std::uint8_t> record = encode_frame(frame);
+  MutexLock lk(mutex_);
+  if (fd_ < 0) return;
+  if (!write_all(fd_, record.data(), record.size())) {
+    // A failed append (disk full) must not corrupt what is already
+    // durable: stop logging rather than interleave a partial frame.
+    close_locked();
+    return;
+  }
+  if (sync) ::fdatasync(fd_);
+}
+
+void FrameLog::sync() {
+  MutexLock lk(mutex_);
+  if (fd_ >= 0) ::fdatasync(fd_);
+}
+
+WalContents read_frame_log(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) throw std::runtime_error("read_frame_log: cannot open " + path);
+  std::vector<std::uint8_t> bytes;
+  const bool readable = read_all(fd, bytes);
+  ::close(fd);
+  if (!readable)
+    throw std::runtime_error("read_frame_log: cannot read " + path);
+  if (bytes.size() < kHeaderSize ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0 ||
+      load_u32(bytes.data() + 8) != kVersion)
+    throw std::runtime_error("read_frame_log: not a frame WAL: " + path);
+
+  WalContents wal;
+  wal.fleet_hash = load_u64(bytes.data() + 12);
+  const std::size_t off = scan_frames(bytes, wal.frames);
+  wal.torn_tail = off < bytes.size();
+  wal.content_hash = fnv1a64(bytes.data(), off);
+  return wal;
+}
+
+}  // namespace vmcw::service

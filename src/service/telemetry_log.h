@@ -1,0 +1,95 @@
+// Telemetry write-ahead log: the durable frame stream under the daemon.
+//
+// The daemon is WAL-first: a frame is appended (and fdatasync'd) *before*
+// the controller sees it, so a live session and a replay of its WAL feed
+// the controller the exact same frame sequence — which, with a
+// deterministic controller, makes live and replay decisions bit-identical.
+// The decision log is the same format pointed at the output side: every
+// DecisionBatch the controller emits is appended before it is reported, so
+// a SIGKILL between any two batches leaves a resumable prefix.
+//
+// The format extends the sweep-journal idiom (runtime/journal) to an
+// open-ended stream: a header binds the file to one fleet configuration
+// (magic + version + fleet-config hash), and each record is one protocol
+// frame — already kind/length/checksum framed by service/protocol — written
+// with a single write(). Recovery at open():
+//  - header missing/unreadable or fleet hash mismatch: the log is *stale*
+//    (the fleet shape changed); it is truncated and rewritten. Resuming
+//    never mixes streams across fleet configurations.
+//  - a torn tail (partial frame from a crash, or a checksum mismatch): the
+//    tail is truncated away and every intact frame before it is returned.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/protocol.h"
+#include "util/thread_annotations.h"
+
+namespace vmcw::service {
+
+/// Append-side handle on a frame WAL (telemetry input or decision output).
+class FrameLog {
+ public:
+  /// What open() recovered from an existing log.
+  struct Recovery {
+    std::vector<Frame> frames;  ///< intact frames, in append order
+    bool stale = false;         ///< existing log was for a different fleet
+    bool torn_tail = false;     ///< trailing partial/corrupt frame dropped
+    std::size_t bytes_discarded = 0;  ///< size of the discarded tail
+    /// FNV-1a 64 over the valid byte range (header + intact frames) as
+    /// recovered; replaying these bytes reproduces the stream exactly.
+    std::uint64_t content_hash = 0;
+  };
+
+  FrameLog() = default;
+  ~FrameLog();
+
+  FrameLog(const FrameLog&) = delete;
+  FrameLog& operator=(const FrameLog&) = delete;
+
+  /// Open (creating if needed) the log at `path` bound to `fleet_hash`.
+  /// With `resume`, an existing matching log's intact frames are
+  /// recovered; without it — or when the log is stale or unreadable — the
+  /// file is rewritten with a fresh header. Throws std::runtime_error only
+  /// when the path cannot be created at all.
+  Recovery open(const std::string& path, std::uint64_t fleet_hash,
+                bool resume) VMCW_EXCLUDES(mutex_);
+
+  bool is_open() const VMCW_EXCLUDES(mutex_) {
+    MutexLock lk(mutex_);
+    return fd_ >= 0;
+  }
+
+  /// Append one frame as a single write(). With `sync` (the default) the
+  /// record is fdatasync'd before returning — the WAL-first guarantee;
+  /// bulk producers (the churn generator) batch with sync=false and call
+  /// sync() once at the end.
+  void append(const Frame& frame, bool sync = true) VMCW_EXCLUDES(mutex_);
+
+  void sync() VMCW_EXCLUDES(mutex_);
+  void close() VMCW_EXCLUDES(mutex_);
+
+ private:
+  void close_locked() VMCW_REQUIRES(mutex_);
+
+  mutable Mutex mutex_;
+  int fd_ VMCW_GUARDED_BY(mutex_) = -1;
+};
+
+/// A recorded WAL, read without modifying the file (replay mode).
+struct WalContents {
+  std::uint64_t fleet_hash = 0;  ///< binding hash from the header
+  std::vector<Frame> frames;     ///< intact frames, in append order
+  bool torn_tail = false;        ///< file ends in a partial/corrupt frame
+  /// FNV-1a 64 over the valid byte range (header + intact frames).
+  std::uint64_t content_hash = 0;
+};
+
+/// Read a frame WAL read-only. Throws std::runtime_error when the file
+/// cannot be read or its header is not a frame WAL; a torn tail is not an
+/// error (the intact prefix is returned with torn_tail set).
+WalContents read_frame_log(const std::string& path);
+
+}  // namespace vmcw::service

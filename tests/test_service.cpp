@@ -1,0 +1,447 @@
+// Online service layer: protocol round-trips, WAL recovery, and the
+// daemon's determinism contract — decision logs byte-identical across
+// thread counts, live vs replay, and SIGKILL-style crash + resume.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "engine/engine.h"
+#include "hardware/catalog.h"
+#include "runtime/thread_pool.h"
+#include "service/churn.h"
+#include "service/controller.h"
+#include "service/daemon.h"
+#include "service/protocol.h"
+#include "service/telemetry_log.h"
+#include "test_helpers.h"
+#include "trace/generator.h"
+#include "trace/presets.h"
+
+namespace vmcw::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_dir(const char* name) {
+  const fs::path dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// One frame of every kind, with non-default values in every field.
+std::vector<Frame> sample_frames() {
+  return {
+      HelloFrame{kProtocolVersion, 0xfeedface, "producer-a"},
+      HeartbeatFrame{7},
+      FlushFrame{8},
+      ShutdownFrame{9},
+      HostTelemetryDeltaFrame{
+          4, 2, {VmSample{11, 1.5, 2048.0}, VmSample{12, 0.25, 512.5}}},
+      VmArrivalFrame{3, 42, "web-tier", 2.75, 4096.0},
+      VmDepartureFrame{5, 42},
+      DecisionBatchFrame{
+          6,
+          true,
+          {Decision{42, DecisionAction::kAdmit, DecisionReason::kAdmitted, -1,
+                    3},
+           Decision{11, DecisionAction::kMigrate, DecisionReason::kContention,
+                    3, 9},
+           Decision{12, DecisionAction::kHold, DecisionReason::kStaleTelemetry,
+                    1, 1}}},
+  };
+}
+
+/// The small churn stream the WAL/daemon tests share: arrivals,
+/// departures and agent blackouts over 8 ticks.
+std::vector<Frame> small_churn() {
+  ChurnOptions churn;
+  churn.agents = 4;
+  churn.initial_vms = 24;
+  churn.ticks = 8;
+  churn.arrivals_per_tick = 1.5;
+  churn.departure_prob = 0.05;
+  churn.blackout_prob = 0.2;
+  churn.mean_host_fraction = 0.3;
+  churn.seed = 11;
+  return generate_churn(churn, ControllerConfig{});
+}
+
+void write_wal(const std::string& path, const std::vector<Frame>& frames) {
+  FrameLog wal;
+  wal.open(path, fleet_config_hash(ControllerConfig{}), /*resume=*/false);
+  for (const Frame& frame : frames) wal.append(frame, /*sync=*/false);
+  wal.sync();
+}
+
+// ---------------------------------------------------------------- protocol
+
+TEST(Protocol, RoundTripsEveryFrameKind) {
+  for (const Frame& frame : sample_frames()) {
+    const auto bytes = encode_frame(frame);
+    ASSERT_GE(bytes.size(), kFrameHeaderSize);
+    const DecodedFrame decoded = decode_frame(bytes.data(), bytes.size());
+    EXPECT_EQ(decoded.consumed, bytes.size());
+    EXPECT_EQ(decoded.frame, frame) << to_string(frame_kind(frame));
+    // Encoding is pure: decode-then-re-encode is byte-identical.
+    EXPECT_EQ(encode_frame(decoded.frame), bytes);
+  }
+}
+
+TEST(Protocol, DecodesConcatenatedStream) {
+  const auto frames = sample_frames();
+  std::vector<std::uint8_t> bytes;
+  for (const Frame& frame : frames) {
+    const auto one = encode_frame(frame);
+    bytes.insert(bytes.end(), one.begin(), one.end());
+  }
+  EXPECT_EQ(decode_frames(bytes), frames);
+}
+
+TEST(Protocol, RejectsTruncatedFrame) {
+  const auto bytes = encode_frame(VmArrivalFrame{1, 2, "app", 1.0, 2.0});
+  for (const std::size_t cut :
+       {std::size_t{0}, std::size_t{1}, kFrameHeaderSize - 1,
+        kFrameHeaderSize, bytes.size() - 1}) {
+    EXPECT_THROW(decode_frame(bytes.data(), cut), std::runtime_error)
+        << "cut at " << cut;
+  }
+}
+
+TEST(Protocol, RejectsCorruptPayload) {
+  auto bytes = encode_frame(HostTelemetryDeltaFrame{
+      1, 2, {VmSample{3, 4.0, 5.0}}});
+  bytes[kFrameHeaderSize + 2] ^= 0x40;  // flip a payload bit
+  EXPECT_THROW(decode_frame(bytes.data(), bytes.size()), std::runtime_error);
+}
+
+TEST(Protocol, RejectsUnknownKind) {
+  auto bytes = encode_frame(HeartbeatFrame{1});
+  bytes[0] = 0x7f;
+  EXPECT_THROW(decode_frame(bytes.data(), bytes.size()), std::runtime_error);
+}
+
+// --------------------------------------------------------------- frame WAL
+
+TEST(FrameLog, RecoversIntactPrefixAndTruncatesTornTail) {
+  const std::string dir = temp_dir("vmcw_service_torn");
+  const std::string path = dir + "/torn.wal";
+  const auto frames = sample_frames();
+  write_wal(path, frames);
+
+  // Simulate a crash mid-append: a partial frame at the tail.
+  const std::string intact = file_bytes(path);
+  const auto partial = encode_frame(FlushFrame{99});
+  std::string torn = intact;
+  torn.append(reinterpret_cast<const char*>(partial.data()),
+              partial.size() - 5);
+  write_bytes(path, torn);
+
+  FrameLog log;
+  const auto recovery =
+      log.open(path, fleet_config_hash(ControllerConfig{}), /*resume=*/true);
+  EXPECT_FALSE(recovery.stale);
+  EXPECT_TRUE(recovery.torn_tail);
+  EXPECT_EQ(recovery.bytes_discarded, partial.size() - 5);
+  EXPECT_EQ(recovery.frames, frames);
+  // The torn tail is gone from disk; appending continues cleanly.
+  log.append(FlushFrame{100});
+  log.close();
+  const auto contents = read_frame_log(path);
+  EXPECT_FALSE(contents.torn_tail);
+  ASSERT_EQ(contents.frames.size(), frames.size() + 1);
+  EXPECT_EQ(contents.frames.back(), Frame{FlushFrame{100}});
+}
+
+TEST(FrameLog, StaleOnFleetHashMismatch) {
+  const std::string dir = temp_dir("vmcw_service_stale");
+  const std::string path = dir + "/stale.wal";
+  write_wal(path, sample_frames());
+
+  FrameLog log;
+  const auto recovery = log.open(path, /*fleet_hash=*/0xdead, /*resume=*/true);
+  EXPECT_TRUE(recovery.stale);
+  EXPECT_TRUE(recovery.frames.empty());
+  log.close();
+  // The file was rewritten for the new fleet shape.
+  EXPECT_EQ(read_frame_log(path).fleet_hash, 0xdeadu);
+}
+
+TEST(FrameLog, ReadMatchesRecovery) {
+  const std::string dir = temp_dir("vmcw_service_read");
+  const std::string path = dir + "/read.wal";
+  const auto frames = small_churn();
+  write_wal(path, frames);
+
+  const WalContents contents = read_frame_log(path);
+  EXPECT_EQ(contents.fleet_hash, fleet_config_hash(ControllerConfig{}));
+  EXPECT_EQ(contents.frames, frames);
+  EXPECT_FALSE(contents.torn_tail);
+
+  FrameLog log;
+  const auto recovery =
+      log.open(path, fleet_config_hash(ControllerConfig{}), /*resume=*/true);
+  EXPECT_EQ(recovery.frames, frames);
+  EXPECT_EQ(recovery.content_hash, contents.content_hash);
+}
+
+// ----------------------------------------------------------- determinism
+
+TEST(Daemon, ReplayByteIdenticalAcrossThreadCounts) {
+  const std::string dir = temp_dir("vmcw_service_threads");
+  const std::string wal = dir + "/churn.wal";
+  write_wal(wal, small_churn());
+
+  std::string reference;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const std::string decisions =
+        dir + "/decisions_" + std::to_string(threads);
+    ThreadPool pool(threads);
+    ScopedPoolOverride scope(pool);
+    const DaemonStats stats = replay_wal(wal, decisions, ControllerConfig{},
+                                         /*resume=*/false, /*durable=*/false);
+    EXPECT_GT(stats.batches, 0u);
+    EXPECT_GT(stats.admits, 0u);
+    const std::string bytes = file_bytes(decisions);
+    ASSERT_FALSE(bytes.empty());
+    if (reference.empty())
+      reference = bytes;
+    else
+      EXPECT_EQ(bytes, reference) << "at " << threads << " threads";
+  }
+}
+
+TEST(Daemon, CrashAndResumeByteIdentical) {
+  const std::string dir = temp_dir("vmcw_service_resume");
+  const std::string wal = dir + "/churn.wal";
+  write_wal(wal, small_churn());
+
+  const std::string full_path = dir + "/decisions_full";
+  replay_wal(wal, full_path, ControllerConfig{}, /*resume=*/false,
+             /*durable=*/false);
+  const std::string full = file_bytes(full_path);
+  ASSERT_GT(full.size(), kFrameHeaderSize);
+
+  // A SIGKILL can land anywhere: mid-header, mid-frame, or between
+  // frames. Resuming from any prefix must complete to the same bytes.
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    ScopedPoolOverride scope(pool);
+    for (const std::size_t cut :
+         {std::size_t{5}, full.size() / 3, full.size() / 2,
+          full.size() - 3}) {
+      const std::string crashed =
+          dir + "/decisions_cut" + std::to_string(cut) + "_t" +
+          std::to_string(threads);
+      write_bytes(crashed, full.substr(0, cut));
+      replay_wal(wal, crashed, ControllerConfig{}, /*resume=*/true,
+                 /*durable=*/false);
+      EXPECT_EQ(file_bytes(crashed), full)
+          << "cut at " << cut << ", " << threads << " threads";
+    }
+  }
+}
+
+TEST(Daemon, LiveIngestMatchesReplay) {
+  const std::string dir = temp_dir("vmcw_service_live");
+  const auto frames = small_churn();
+
+  Daemon::Options options;
+  options.wal_path = dir + "/live.wal";
+  options.decisions_path = dir + "/decisions_live";
+  options.durable = false;
+  Daemon daemon(ControllerConfig{}, options);
+  const auto opened = daemon.open();
+  EXPECT_EQ(opened.frames_recovered, 0u);
+  for (const Frame& frame : frames) daemon.ingest(frame);
+  daemon.close();
+
+  // The live session's WAL replays to the exact same decision bytes.
+  const std::string replayed = dir + "/decisions_replay";
+  const DaemonStats stats =
+      replay_wal(options.wal_path, replayed, ControllerConfig{},
+                 /*resume=*/false, /*durable=*/false);
+  EXPECT_EQ(stats.batches, daemon.stats().batches);
+  const std::string live_bytes = file_bytes(options.decisions_path);
+  ASSERT_FALSE(live_bytes.empty());
+  EXPECT_EQ(live_bytes, file_bytes(replayed));
+}
+
+// ------------------------------------------------------------- controller
+
+TEST(Controller, StaleTelemetryHoldsAndDegrades) {
+  IncrementalController controller{ControllerConfig{}};
+  const ServerSpec spec = hs23_elite_blade();
+  const double cpu = spec.cpu_rpe2 * 0.3;
+  const double mem = spec.memory_mb * 0.3;
+
+  controller.apply(HelloFrame{kProtocolVersion, 0, "test"});
+  controller.apply(VmArrivalFrame{1, 101, "", cpu, mem});
+  const auto tick1 = controller.tick(1);
+  ASSERT_EQ(tick1.decisions.size(), 1u);
+  EXPECT_EQ(tick1.decisions[0].action, DecisionAction::kAdmit);
+  const std::int32_t host = controller.host_of(101);
+  ASSERT_NE(host, -1);
+
+  // Within stale_after (default 2) ticks of its last sample: no holds.
+  EXPECT_FALSE(controller.tick(2).degraded);
+  EXPECT_FALSE(controller.tick(3).degraded);
+
+  // One past the deadline: hold + degraded, and the VM's host is frozen —
+  // a newcomer that would first-fit onto it must land elsewhere.
+  controller.apply(VmArrivalFrame{4, 202, "", cpu, mem});
+  const auto tick4 = controller.tick(4);
+  EXPECT_TRUE(tick4.degraded);
+  EXPECT_TRUE(controller.last_tick_degraded());
+  bool stale_hold = false;
+  for (const Decision& d : tick4.decisions)
+    if (d.vm == 101 && d.action == DecisionAction::kHold &&
+        d.reason == DecisionReason::kStaleTelemetry && d.from == host)
+      stale_hold = true;
+  EXPECT_TRUE(stale_hold);
+  ASSERT_NE(controller.host_of(202), -1);
+  EXPECT_NE(controller.host_of(202), host);
+
+  // Fresh telemetry clears the degradation.
+  controller.apply(
+      HostTelemetryDeltaFrame{5, 0, {VmSample{101, cpu, mem}}});
+  EXPECT_FALSE(controller.tick(5).degraded);
+}
+
+TEST(Controller, HoldsWithoutCapacityAndRetriesFifo) {
+  ControllerConfig config;
+  config.pool = HostPool({HostClass{hs23_elite_blade(), 1}});
+  IncrementalController controller{config};
+  const ServerSpec spec = hs23_elite_blade();
+
+  controller.apply(
+      VmArrivalFrame{1, 1, "", spec.cpu_rpe2 * 0.6, spec.memory_mb * 0.6});
+  controller.apply(
+      VmArrivalFrame{1, 2, "", spec.cpu_rpe2 * 0.5, spec.memory_mb * 0.5});
+  const auto tick1 = controller.tick(1);
+  ASSERT_EQ(tick1.decisions.size(), 2u);
+  EXPECT_EQ(tick1.decisions[0].vm, 1u);
+  EXPECT_EQ(tick1.decisions[0].action, DecisionAction::kAdmit);
+  EXPECT_EQ(tick1.decisions[1].vm, 2u);
+  EXPECT_EQ(tick1.decisions[1].action, DecisionAction::kHold);
+  EXPECT_EQ(tick1.decisions[1].reason, DecisionReason::kNoCapacity);
+
+  // Still queued next tick; admitted once the first VM departs.
+  const auto tick2 = controller.tick(2);
+  ASSERT_EQ(tick2.decisions.size(), 1u);
+  EXPECT_EQ(tick2.decisions[0].action, DecisionAction::kHold);
+  controller.apply(VmDepartureFrame{2, 1});
+  const auto tick3 = controller.tick(3);
+  ASSERT_EQ(tick3.decisions.size(), 1u);
+  EXPECT_EQ(tick3.decisions[0].vm, 2u);
+  EXPECT_EQ(tick3.decisions[0].action, DecisionAction::kAdmit);
+}
+
+TEST(Controller, AdmissionHonorsDomainSpread) {
+  ControllerConfig config;
+  config.domains.spread = true;
+  config.domains.spread_k = 2;
+  config.domains.hosts_per_rack = 1;
+  config.domains.racks_per_power_domain = 2;
+  IncrementalController controller{config};
+  const ServerSpec spec = hs23_elite_blade();
+  const double cpu = spec.cpu_rpe2 * 0.1;
+  const double mem = spec.memory_mb * 0.1;
+
+  // Two replicas of one app, small enough to share a host — the rack and
+  // power-feed spread rules must still split them across both layers.
+  controller.apply(VmArrivalFrame{1, 1, "web", cpu, mem});
+  controller.apply(VmArrivalFrame{1, 2, "web", cpu, mem});
+  controller.tick(1);
+  const std::int32_t a = controller.host_of(1);
+  const std::int32_t b = controller.host_of(2);
+  ASSERT_NE(a, -1);
+  ASSERT_NE(b, -1);
+  EXPECT_NE(a, b);  // different racks (1 host per rack)
+  EXPECT_NE(a / 2, b / 2);  // different power feeds (2 racks per feed)
+}
+
+TEST(Controller, RejectsMismatchedHello) {
+  IncrementalController controller{ControllerConfig{}};
+  EXPECT_THROW(
+      controller.apply(HelloFrame{kProtocolVersion + 1, 0, "peer"}),
+      std::runtime_error);
+  EXPECT_THROW(controller.apply(HelloFrame{kProtocolVersion, 0x1234, "peer"}),
+               std::runtime_error);
+  // A matching hash (or 0 = unchecked) is accepted.
+  controller.apply(
+      HelloFrame{kProtocolVersion, fleet_config_hash(ControllerConfig{}), ""});
+}
+
+}  // namespace
+}  // namespace vmcw::service
+
+// ----------------------------------------------------- engine entry points
+
+namespace vmcw {
+namespace {
+
+TEST(EngineOnline, AdmitOneVmLeavesResidentsInPlace) {
+  const auto spec = scaled_down(banking_spec(), 24, 168);
+  ConsolidationEngine::Config config;
+  config.settings = testing::small_settings();
+  ConsolidationEngine engine(config);
+  engine.observe(generate_datacenter(spec, 42));
+
+  const auto rec = engine.recommend(Strategy::kSemiStatic);
+  ASSERT_TRUE(rec.has_value());
+  const Placement& residents = rec->schedule.back();
+  const std::size_t n = residents.vm_count();
+
+  const VmWorkload newcomer = testing::constant_vm("newcomer", 0.5, 512, 168);
+  const auto admission = engine.admit_one_vm(*rec, newcomer);
+  ASSERT_TRUE(admission.has_value());
+  ASSERT_EQ(admission->placement.vm_count(), n + 1);
+  EXPECT_EQ(admission->placement.host_of(n),
+            static_cast<std::int32_t>(admission->host));
+  for (std::size_t vm = 0; vm < n; ++vm)
+    EXPECT_EQ(admission->placement.host_of(vm), residents.host_of(vm));
+}
+
+TEST(EngineOnline, PartialReplanAccountsItsMoves) {
+  const auto spec = scaled_down(banking_spec(), 24, 168);
+  ConsolidationEngine::Config config;
+  config.settings = testing::small_settings();
+  ConsolidationEngine engine(config);
+  engine.observe(generate_datacenter(spec, 42));
+
+  auto rec = engine.recommend(Strategy::kSemiStatic);
+  ASSERT_TRUE(rec.has_value());
+  const std::size_t migrations_before = rec->total_migrations;
+
+  const RepairOutcome outcome =
+      engine.partial_replan(*rec, /*hour=*/0, /*drain_below=*/0.5);
+  EXPECT_EQ(rec->total_migrations,
+            migrations_before + outcome.repair_moves.size() +
+                outcome.drain_moves.size());
+  // Every VM is still placed after the in-place repair.
+  const Placement& placed = rec->schedule.back();
+  for (std::size_t vm = 0; vm < placed.vm_count(); ++vm)
+    EXPECT_NE(placed.host_of(vm), Placement::kUnplaced);
+}
+
+}  // namespace
+}  // namespace vmcw

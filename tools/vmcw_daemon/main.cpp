@@ -1,0 +1,135 @@
+// vmcw_daemon: the online consolidation daemon's CLI.
+//
+// Two modes:
+//
+//   vmcw_daemon --gen-wal PATH [--hosts N] [--vms N] [--ticks N] [--seed S]
+//       Generate a deterministic churn WAL at PATH (the stream a fleet of
+//       collection agents would emit). --hosts maps to the number of
+//       telemetry collectors; --vms to the initial population.
+//
+//   vmcw_daemon --wal PATH --replay [--decisions PATH] [--resume]
+//       Replay a recorded WAL through the incremental controller, writing
+//       the decision log (default: PATH.decisions). With --resume, the
+//       decision log's intact prefix survives a crash: recomputed batches
+//       are skipped instead of re-appended, so a resumed log is
+//       byte-identical to an uninterrupted run.
+//
+// All output on stdout is deterministic: the same WAL always prints the
+// same stats and writes the same decision log bytes, at any VMCW_THREADS.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "service/churn.h"
+#include "service/daemon.h"
+#include "service/telemetry_log.h"
+
+using namespace vmcw;
+using namespace vmcw::service;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  vmcw_daemon --gen-wal PATH [--hosts N] [--vms N] [--ticks N]\n"
+      "              [--blackouts P] [--seed S]\n"
+      "  vmcw_daemon --wal PATH --replay [--decisions PATH] [--resume]\n");
+  return 2;
+}
+
+int gen_wal(const std::string& path, const ChurnOptions& churn) {
+  const ControllerConfig config;
+  const auto frames = generate_churn(churn, config);
+  FrameLog wal;
+  wal.open(path, fleet_config_hash(config), /*resume=*/false);
+  for (const Frame& frame : frames) wal.append(frame, /*sync=*/false);
+  wal.sync();
+  wal.close();
+  std::printf("wrote %zu frames to %s (vms=%zu ticks=%zu seed=%llu)\n",
+              frames.size(), path.c_str(), churn.initial_vms, churn.ticks,
+              static_cast<unsigned long long>(churn.seed));
+  return 0;
+}
+
+int replay(const std::string& wal_path, const std::string& decisions_path,
+           bool resume) {
+  const ControllerConfig config;
+  const DaemonStats stats =
+      replay_wal(wal_path, decisions_path, config, resume);
+  std::printf("replayed %zu frames: %zu batches, %zu admits, "
+              "%zu migrations, %zu holds, %zu degraded ticks\n",
+              stats.frames, stats.batches, stats.admits, stats.migrations,
+              stats.holds, stats.degraded_ticks);
+  std::printf("decision log: %s\n", decisions_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string gen_path, wal_path, decisions_path;
+  bool do_replay = false, resume = false;
+  ChurnOptions churn;
+  churn.blackout_prob = 0.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--gen-wal") {
+      const char* v = value();
+      if (!v) return usage();
+      gen_path = v;
+    } else if (arg == "--wal") {
+      const char* v = value();
+      if (!v) return usage();
+      wal_path = v;
+    } else if (arg == "--decisions") {
+      const char* v = value();
+      if (!v) return usage();
+      decisions_path = v;
+    } else if (arg == "--hosts") {
+      const char* v = value();
+      if (!v) return usage();
+      churn.agents = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--vms") {
+      const char* v = value();
+      if (!v) return usage();
+      churn.initial_vms = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--ticks") {
+      const char* v = value();
+      if (!v) return usage();
+      churn.ticks = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--blackouts") {
+      const char* v = value();
+      if (!v) return usage();
+      churn.blackout_prob = std::atof(v);
+    } else if (arg == "--seed") {
+      const char* v = value();
+      if (!v) return usage();
+      churn.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--replay") {
+      do_replay = true;
+    } else if (arg == "--resume") {
+      resume = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return usage();
+    }
+  }
+
+  try {
+    if (!gen_path.empty()) return gen_wal(gen_path, churn);
+    if (do_replay && !wal_path.empty()) {
+      if (decisions_path.empty()) decisions_path = wal_path + ".decisions";
+      return replay(wal_path, decisions_path, resume);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vmcw_daemon: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
