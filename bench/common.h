@@ -211,10 +211,17 @@ inline std::string json_number(double value) {
 /// rate metric (decisions/sec, cells/sec, ...), peak RSS, plus any extras.
 /// Written via the same atomic temp+rename path as the other sidecars.
 /// Numbers here are measurements, not determinism-checked output — CI
-/// compares the .dat tables and decision logs, never these.
+/// compares the .dat tables and decision logs, never these (the perf gate
+/// compares them with a tolerance band, tools/bench_gate).
+///
+/// `peak_rss_ceiling_kb` > 0 makes a memory budget binding: exceeding it
+/// is a hard bench failure (stderr diagnostic + false return; callers exit
+/// non-zero), not a number someone has to notice in the sidecar. The
+/// violating sidecar is still written first so the evidence survives.
 inline bool write_bench_json(const std::string& name, double wall_seconds,
                              const std::string& rate_metric, double rate,
-                             const std::vector<BenchMetric>& extras = {}) {
+                             const std::vector<BenchMetric>& extras = {},
+                             long peak_rss_ceiling_kb = 0) {
   long peak_rss_kb = 0;
   rusage usage{};
   if (getrusage(RUSAGE_SELF, &usage) == 0) peak_rss_kb = usage.ru_maxrss;
@@ -225,9 +232,19 @@ inline bool write_bench_json(const std::string& name, double wall_seconds,
   json += "  \"" + rate_metric + "\": " + json_number(rate) + ",\n";
   for (const BenchMetric& extra : extras)
     json += "  \"" + extra.name + "\": " + json_number(extra.value) + ",\n";
+  if (peak_rss_ceiling_kb > 0)
+    json += "  \"peak_rss_ceiling_kb\": " +
+            json_number(static_cast<double>(peak_rss_ceiling_kb)) + ",\n";
   json += "  \"peak_rss_kb\": " + json_number(static_cast<double>(peak_rss_kb)) +
           "\n}\n";
-  return write_file_atomic("BENCH_" + name + ".json", json);
+  const bool wrote = write_file_atomic("BENCH_" + name + ".json", json);
+  if (peak_rss_ceiling_kb > 0 && peak_rss_kb > peak_rss_ceiling_kb) {
+    std::fprintf(stderr,
+                 "BENCH FAIL %s: peak RSS %ld kB exceeds ceiling %ld kB\n",
+                 name.c_str(), peak_rss_kb, peak_rss_ceiling_kb);
+    return false;
+  }
+  return wrote;
 }
 
 /// "(a) Banking"-style label as the paper's sub-figures use.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "runtime/thread_pool.h"
+#include "scale/capacity_index.h"
 
 namespace vmcw {
 
@@ -53,6 +54,7 @@ std::optional<std::size_t> admit_group(const std::vector<std::size_t>& group,
                                        const ConstraintSet& constraints,
                                        Placement& placement,
                                        const AdmissionOptions& options) {
+  CapacityIndex* index = options.index;
   auto try_host = [&](std::size_t host) {
     if (static_cast<std::int32_t>(host) == options.exclude_host) return false;
     if (frozen_at(options.frozen_hosts, host)) return false;
@@ -65,17 +67,43 @@ std::optional<std::size_t> admit_group(const std::vector<std::size_t>& group,
     for (std::size_t vm : group)
       placement.assign(vm, static_cast<std::int32_t>(host));
     host_load[host] += group_size;
+    if (index) index->set_load(host, host_load[host]);
     return true;
   };
 
-  for (std::size_t host = 0; host < host_load.size(); ++host)
-    if (try_host(host)) return host;
+  if (index) {
+    // Indexed first-fit: enumerate only hosts whose (slack-padded) free
+    // capacity covers the group. try_host re-applies the exact predicates,
+    // so a filtered candidate failing there just advances the cursor —
+    // identical to the linear scan rejecting that host.
+    std::size_t from = 0;
+    while (from < host_load.size()) {
+      const std::size_t host = index->first_fit(group_size, from);
+      if (host == CapacityIndex::npos || host >= host_load.size()) break;
+      if (try_host(host)) return host;
+      from = host + 1;
+    }
+  } else {
+    for (std::size_t host = 0; host < host_load.size(); ++host)
+      if (try_host(host)) return host;
+  }
 
   if (!options.open_new_hosts) return std::nullopt;
+  // A pinned group can only land on its pin. Opening hosts past that index
+  // can never help (allows_group rejects every other host), so probing
+  // stops there instead of walking an unbounded pool forever.
+  std::int32_t pin = Placement::kUnplaced;
+  for (std::size_t vm : group) {
+    pin = constraints.pinned_host(vm);
+    if (pin != Placement::kUnplaced) break;
+  }
   while (true) {
     const std::size_t host = host_load.size();
+    if (pin != Placement::kUnplaced && host > static_cast<std::size_t>(pin))
+      return std::nullopt;
     if (!pool.valid_host(host)) return std::nullopt;  // bounded pool exhausted
     host_load.emplace_back();
+    if (index) index->push_host(pool.capacity_of(host, utilization_bound));
     if (try_host(host)) return host;
     // An empty host rejected the group. If the rejection was capacity (not
     // a finite constraint) and we are already in the trailing unlimited
@@ -103,9 +131,14 @@ bool admit_group_at(const std::vector<std::size_t>& group,
                     const ResourceVector& group_size, std::size_t host,
                     std::vector<ResourceVector>& host_load,
                     const HostPool& pool, double utilization_bound,
-                    const ConstraintSet& constraints, Placement& placement) {
+                    const ConstraintSet& constraints, Placement& placement,
+                    CapacityIndex* index) {
   if (!pool.valid_host(host)) return false;
-  while (host_load.size() <= host) host_load.emplace_back();
+  while (host_load.size() <= host) {
+    if (index)
+      index->push_host(pool.capacity_of(host_load.size(), utilization_bound));
+    host_load.emplace_back();
+  }
   if (!(group_size + host_load[host])
            .fits_within(pool.capacity_of(host, utilization_bound)))
     return false;
@@ -115,6 +148,7 @@ bool admit_group_at(const std::vector<std::size_t>& group,
   for (std::size_t vm : group)
     placement.assign(vm, static_cast<std::int32_t>(host));
   host_load[host] += group_size;
+  if (index) index->set_load(host, host_load[host]);
   return true;
 }
 
@@ -124,10 +158,16 @@ RepairOutcome repair_and_drain(std::span<const ResourceVector> sizes,
                                const HostPool& pool, double utilization_bound,
                                double drain_below,
                                const ConstraintSet& constraints,
-                               std::span<const std::uint8_t> frozen_hosts) {
+                               std::span<const std::uint8_t> frozen_hosts,
+                               CapacityIndex* index) {
   RepairOutcome out;
   const std::size_t n = placement.vm_count();
   const std::size_t scanned_hosts = host_load.size();
+  // Every direct host_load mutation below pairs with a sync; admit_one
+  // maintains the index for the mutations it makes itself.
+  auto sync = [&](std::size_t host) {
+    if (index) index->set_load(host, host_load[host]);
+  };
 
   // Movable = alone in its affinity group and not pinned; everything else
   // stays where the batch planner put it.
@@ -195,15 +235,18 @@ RepairOutcome repair_and_drain(std::span<const ResourceVector> sizes,
       }
       placement.unassign(victim);
       host_load[host] -= sizes[victim];
+      sync(host);
       AdmissionOptions options;
       options.exclude_host = static_cast<std::int32_t>(host);
       options.frozen_hosts = frozen_hosts;
+      options.index = index;
       const auto target = admit_one(victim, sizes[victim], host_load, pool,
                                     utilization_bound, constraints, placement,
                                     options);
       if (!target) {  // nowhere to go: keep the VM, report the host stuck
         placement.assign(victim, static_cast<std::int32_t>(host));
         host_load[host] += sizes[victim];
+        sync(host);
         out.unresolved_hosts.push_back(host);
         break;
       }
@@ -250,15 +293,18 @@ RepairOutcome repair_and_drain(std::span<const ResourceVector> sizes,
     for (std::size_t vm : order) {
       placement.unassign(vm);
       host_load[host] -= sizes[vm];
+      sync(host);
       AdmissionOptions options;
       options.frozen_hosts = drain_frozen;
       options.open_new_hosts = false;
+      options.index = index;
       const auto target = admit_one(vm, sizes[vm], host_load, pool,
                                     utilization_bound, constraints, placement,
                                     options);
       if (!target) {
         placement.assign(vm, static_cast<std::int32_t>(host));
         host_load[host] += sizes[vm];
+        sync(host);
         complete = false;
         break;
       }
@@ -270,6 +316,8 @@ RepairOutcome repair_and_drain(std::span<const ResourceVector> sizes,
         placement.assign(it->vm, it->from);
         host_load[static_cast<std::size_t>(it->to)] -= sizes[it->vm];
         host_load[static_cast<std::size_t>(it->from)] += sizes[it->vm];
+        sync(static_cast<std::size_t>(it->to));
+        sync(static_cast<std::size_t>(it->from));
       }
       continue;
     }

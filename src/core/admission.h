@@ -24,6 +24,8 @@
 
 namespace vmcw {
 
+class CapacityIndex;  // scale/capacity_index.h
+
 /// Knobs for admit_one / admit_group beyond capacity and constraints.
 struct AdmissionOptions {
   /// Host excluded as a target (e.g. the source of an eviction).
@@ -35,6 +37,14 @@ struct AdmissionOptions {
   /// Allow opening hosts beyond host_load.size() (up to the pool bound).
   /// Draining turns this off: relocating onto a fresh host frees nothing.
   bool open_new_hosts = true;
+  /// Optional free-capacity index over exactly the hosts in `host_load`
+  /// (index->size() == host_load.size(), leaves derived from the same
+  /// bound-scaled capacities and loads). When set, candidate hosts are
+  /// enumerated in O(log n) through the index instead of a linear scan —
+  /// every candidate is still re-tested with the exact capacity/constraint
+  /// predicates, so placements are identical. Admission keeps the index in
+  /// sync with every host_load mutation it makes (including opened hosts).
+  CapacityIndex* index = nullptr;
 };
 
 /// First-fit an affinity group (a single VM is the singleton group) into
@@ -65,12 +75,15 @@ std::optional<std::size_t> admit_one(std::size_t vm,
                                      const AdmissionOptions& options = {});
 
 /// Pinned admission: the group goes on exactly `host` or nowhere.
-/// `host_load` is extended up to the pin when needed.
+/// `host_load` is extended up to the pin when needed. When `index` is set
+/// it is kept in sync (opened hosts pushed, the pinned host's load
+/// refreshed on success).
 bool admit_group_at(const std::vector<std::size_t>& group,
                     const ResourceVector& group_size, std::size_t host,
                     std::vector<ResourceVector>& host_load,
                     const HostPool& pool, double utilization_bound,
-                    const ConstraintSet& constraints, Placement& placement);
+                    const ConstraintSet& constraints, Placement& placement,
+                    CapacityIndex* index = nullptr);
 
 /// The affinity groups of a ConstraintSet extended to cover all `n` VMs
 /// (uncovered VMs become singletons), with out-of-range members dropped.
@@ -116,13 +129,16 @@ struct RepairOutcome {
 /// are skipped as sources and never receive VMs — the daemon freezes hosts
 /// whose telemetry went stale. `sizes[vm]` is each VM's current demand
 /// estimate; `placement` and `host_load` must agree and are updated in
-/// place.
+/// place. An optional `index` (in sync with `host_load` on entry, see
+/// AdmissionOptions::index) accelerates every re-admission's target search
+/// and is kept in sync with each eviction/relocation/rollback.
 RepairOutcome repair_and_drain(std::span<const ResourceVector> sizes,
                                Placement& placement,
                                std::vector<ResourceVector>& host_load,
                                const HostPool& pool, double utilization_bound,
                                double drain_below,
                                const ConstraintSet& constraints,
-                               std::span<const std::uint8_t> frozen_hosts = {});
+                               std::span<const std::uint8_t> frozen_hosts = {},
+                               CapacityIndex* index = nullptr);
 
 }  // namespace vmcw

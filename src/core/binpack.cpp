@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/admission.h"
+#include "scale/capacity_index.h"
 
 namespace vmcw {
 
@@ -51,6 +52,10 @@ std::optional<PackResult> ffd_pack(std::span<const ResourceVector> sizes,
 
   Placement placement(n);
   std::vector<ResourceVector> host_load;
+  // Free-capacity index over the open hosts: admission enumerates target
+  // candidates in O(log n) instead of scanning the fleet, with placements
+  // identical to the scan (capacity_index.h states the argument).
+  CapacityIndex index;
 
   // Pinned groups go first: their host is not negotiable, so it must be
   // claimed before free groups can fill it.
@@ -65,16 +70,18 @@ std::optional<PackResult> ffd_pack(std::span<const ResourceVector> sizes,
     if (group_pin[g] == Placement::kUnplaced) continue;
     if (!admit_group_at(groups[g], group_sizes[g],
                         static_cast<std::size_t>(group_pin[g]), host_load,
-                        pool, utilization_bound, cs, placement))
+                        pool, utilization_bound, cs, placement, &index))
       return std::nullopt;
   }
 
   // Free groups first-fit through the shared single-admission path — the
   // same code the online daemon admits one VM at a time through.
+  AdmissionOptions options;
+  options.index = &index;
   for (std::size_t g : order) {
     if (group_pin[g] != Placement::kUnplaced) continue;  // already placed
     if (!admit_group(groups[g], group_sizes[g], host_load, pool,
-                     utilization_bound, cs, placement))
+                     utilization_bound, cs, placement, options))
       return std::nullopt;  // pool exhausted or the group fits nowhere
   }
 

@@ -46,6 +46,23 @@ ResourceVector HostPool::capacity_of(std::size_t host,
   return ResourceVector{spec.cpu_rpe2, spec.memory_mb} * utilization_bound;
 }
 
+HostPool HostPool::slice(std::size_t begin, std::size_t end) const {
+  if (begin >= end || !valid_host(begin) || (end != kUnbounded && end > 0 && !valid_host(end - 1)))
+    throw std::invalid_argument("HostPool::slice: bad range");
+  std::vector<HostClass> classes;
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    const std::size_t class_lo = class_begin_[i];
+    const std::size_t class_hi = classes_[i].count == HostClass::kUnlimited
+                                     ? kUnbounded
+                                     : class_lo + classes_[i].count;
+    const std::size_t lo = std::max(class_lo, begin);
+    const std::size_t hi = std::min(class_hi, end);
+    if (lo >= hi) continue;
+    classes.push_back(HostClass{classes_[i].spec, hi - lo});
+  }
+  return HostPool(std::move(classes));
+}
+
 ResourceVector HostPool::reference_capacity(
     double utilization_bound) const noexcept {
   ResourceVector best;

@@ -70,6 +70,12 @@ class HostPool {
     return classes_[i];
   }
 
+  /// Sub-pool covering global host indices [begin, end): host i of the
+  /// slice has the spec of host begin + i here. Used by sharded emulation,
+  /// where each shard evaluates its host range against a local pool.
+  /// Requires begin < end and every index in range valid.
+  HostPool slice(std::size_t begin, std::size_t end) const;
+
  private:
   std::vector<HostClass> classes_;
   std::vector<std::size_t> class_begin_;  ///< first host index per class

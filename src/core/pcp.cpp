@@ -5,6 +5,7 @@
 
 #include "analysis/correlation.h"
 #include "core/admission.h"
+#include "scale/capacity_index.h"
 
 namespace vmcw {
 
@@ -102,6 +103,26 @@ std::optional<PackResult> pcp_pack(std::span<const StochasticItem> items,
   Placement placement(n);
   std::vector<HostEnvelope> hosts;
 
+  // Skip-filter over envelope headroom. The leaf for a host stores
+  // capacity - provisioned(host); a group is queried with its body sum.
+  // Sound because fits_on implies the group's final envelope fits, and
+  // that envelope exceeds provisioned(host) by at least the body sum (the
+  // worst tail only grows when items are added) — so any host fits_on
+  // would accept has headroom >= body sum and survives the filter. Hosts
+  // the filter skips are hosts fits_on must reject, and every surviving
+  // candidate is re-tested with fits_on exactly.
+  CapacityIndex index;
+  std::vector<ResourceVector> group_body(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g)
+    for (std::size_t vm : groups[g]) group_body[g] += items[vm].body;
+  auto open_host = [&]() {
+    hosts.emplace_back();
+    index.push_host(capacity);
+  };
+  auto refresh_host = [&](std::size_t host) {
+    index.set_load(host, hosts[host].provisioned());
+  };
+
   auto fits_on = [&](std::size_t g, std::size_t host) {
     HostEnvelope trial = hosts[host];
     for (std::size_t vm : groups[g]) {
@@ -129,26 +150,33 @@ std::optional<PackResult> pcp_pack(std::span<const StochasticItem> items,
   }
   for (std::size_t g = 0; g < groups.size(); ++g) {
     if (group_pin[g] == Placement::kUnplaced) continue;
-    while (hosts.size() <= static_cast<std::size_t>(group_pin[g]))
-      hosts.emplace_back();
+    while (hosts.size() <= static_cast<std::size_t>(group_pin[g])) open_host();
     if (!fits_on(g, static_cast<std::size_t>(group_pin[g])))
       return std::nullopt;
     place_on(g, static_cast<std::size_t>(group_pin[g]));
+    refresh_host(static_cast<std::size_t>(group_pin[g]));
   }
 
   for (std::size_t g : order) {
     if (group_pin[g] != Placement::kUnplaced) continue;  // already placed
     bool placed = false;
-    for (std::size_t host = 0; host < hosts.size() && !placed; ++host) {
+    std::size_t from = 0;
+    while (from < hosts.size()) {
+      const std::size_t host = index.first_fit(group_body[g], from);
+      if (host == CapacityIndex::npos || host >= hosts.size()) break;
       if (fits_on(g, host)) {
         place_on(g, host);
+        refresh_host(host);
         placed = true;
+        break;
       }
+      from = host + 1;
     }
     if (!placed) {
-      hosts.emplace_back();
+      open_host();
       if (!fits_on(g, hosts.size() - 1)) return std::nullopt;
       place_on(g, hosts.size() - 1);
+      refresh_host(hosts.size() - 1);
     }
   }
 

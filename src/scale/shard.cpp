@@ -1,0 +1,162 @@
+#include "scale/shard.h"
+
+#include <algorithm>
+
+#include "runtime/cancellation.h"
+#include "runtime/thread_pool.h"
+
+namespace vmcw {
+
+std::vector<std::size_t> plan_shards(const FailureDomainMap& domains,
+                                     std::size_t host_bound,
+                                     const ShardingOptions& options) {
+  std::vector<std::size_t> edges{0};
+  if (host_bound == 0) {
+    edges.push_back(0);
+    return edges;
+  }
+  const std::size_t max_shards = std::max<std::size_t>(1, options.max_shards);
+  // Greedy walk: once the open shard reaches the even-split target, close
+  // it at the next domain boundary. Cutting only where the domain id
+  // changes keeps every failure domain whole inside one shard.
+  const std::size_t target = (host_bound + max_shards - 1) / max_shards;
+  std::size_t open_since = 0;
+  for (std::size_t host = 1; host < host_bound; ++host) {
+    if (edges.size() == max_shards) break;  // last shard takes the rest
+    if (host - open_since < target) continue;
+    if (domains.domain_of(host - 1, options.boundary) ==
+        domains.domain_of(host, options.boundary))
+      continue;
+    edges.push_back(host);
+    open_since = host;
+  }
+  edges.push_back(host_bound);
+  return edges;
+}
+
+EmulationReport emulate_sharded(std::span<const VmWorkload> vms,
+                                std::span<const Placement> schedule,
+                                const StudySettings& settings,
+                                bool power_off_empty_hosts,
+                                const HostPool& pool,
+                                const FailureDomainMap& domains,
+                                const ShardingOptions& options) {
+  EmulationReport merged;
+  merged.eval_hours = settings.eval_hours;
+  merged.intervals = settings.intervals();
+  if (schedule.empty() || settings.intervals() == 0) return merged;
+
+  std::size_t host_bound = 0;
+  for (const auto& p : schedule)
+    host_bound = std::max(host_bound, p.host_index_bound());
+  if (host_bound == 0) {
+    // Nothing placed anywhere: the unsharded replay is already trivial.
+    return emulate(vms, schedule, settings, power_off_empty_hosts, pool);
+  }
+
+  const auto edges = plan_shards(domains, host_bound, options);
+  const std::size_t shards = edges.size() - 1;
+  const std::size_t intervals = settings.intervals();
+  const std::size_t hours = intervals * settings.interval_hours;
+
+  struct ShardResult {
+    EmulationReport report;
+    std::vector<std::uint8_t> hour_contended;
+    std::vector<std::uint32_t> hour_cpu_samples;
+    std::vector<std::uint32_t> hour_mem_samples;
+  };
+  std::vector<ShardResult> results(shards);
+
+  // One task per shard, each writing only its own slot: bit-identical at
+  // any VMCW_THREADS because the shard plan above never consults the pool.
+  parallel_for(0, shards, [&](std::size_t s) {
+    const std::size_t lo = edges[s];
+    const std::size_t hi = edges[s + 1];
+
+    // The schedule restricted to this shard's hosts, remapped to local
+    // indices so the accumulator's dense per-host state is O(hi - lo).
+    std::vector<Placement> local;
+    local.reserve(schedule.size());
+    for (const Placement& p : schedule) {
+      Placement lp(p.vm_count());
+      for (std::size_t vm = 0; vm < p.vm_count(); ++vm) {
+        if (!p.is_placed(vm)) continue;
+        const auto h = static_cast<std::size_t>(p.host_of(vm));
+        if (h >= lo && h < hi)
+          lp.assign(vm, static_cast<std::int32_t>(h - lo));
+      }
+      local.push_back(std::move(lp));
+    }
+
+    const HostPool local_pool = pool.slice(lo, hi);
+    EmulationAccumulator acc(vms, settings, power_off_empty_hosts, local_pool,
+                             hi - lo);
+    ShardResult& r = results[s];
+    r.hour_contended.assign(hours, 0);
+    r.hour_cpu_samples.assign(hours, 0);
+    r.hour_mem_samples.assign(hours, 0);
+    std::size_t hour_index = 0;
+    for (std::size_t k = 0; k < intervals; ++k) {
+      cancellation_point();
+      const Placement& lp =
+          local.size() == 1 ? local[0] : local[std::min(k, local.size() - 1)];
+      acc.begin_interval(lp);
+      const std::size_t interval_begin =
+          settings.eval_begin() + k * settings.interval_hours;
+      for (std::size_t dt = 0; dt < settings.interval_hours; ++dt) {
+        const auto out = acc.step_hour(interval_begin + dt);
+        r.hour_contended[hour_index] = out.contention ? 1 : 0;
+        r.hour_cpu_samples[hour_index] = out.cpu_samples;
+        r.hour_mem_samples[hour_index] = out.mem_samples;
+        ++hour_index;
+      }
+    }
+    r.report = acc.finish();
+  });
+
+  // Sequential fold in ascending shard order (the deterministic total
+  // order; see the header for why each field's merge restores the global
+  // emulator's layout exactly).
+  merged.active_hosts_per_interval.assign(intervals, 0);
+  merged.vm_contention_hours.assign(vms.size(), 0);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const EmulationReport& r = results[s].report;
+    for (std::size_t k = 0; k < intervals; ++k)
+      merged.active_hosts_per_interval[k] += r.active_hosts_per_interval[k];
+    merged.host_avg_cpu_util.insert(merged.host_avg_cpu_util.end(),
+                                    r.host_avg_cpu_util.begin(),
+                                    r.host_avg_cpu_util.end());
+    merged.host_peak_cpu_util.insert(merged.host_peak_cpu_util.end(),
+                                     r.host_peak_cpu_util.begin(),
+                                     r.host_peak_cpu_util.end());
+    for (std::size_t vm = 0; vm < vms.size(); ++vm)
+      merged.vm_contention_hours[vm] += r.vm_contention_hours[vm];
+    merged.total_vm_contention_hours += r.total_vm_contention_hours;
+    merged.energy_wh += r.energy_wh;
+  }
+  for (const std::size_t active : merged.active_hosts_per_interval)
+    merged.provisioned_hosts = std::max(merged.provisioned_hosts, active);
+
+  // Interleave the per-shard (hour, host)-ordered sample streams back into
+  // one globally (hour, host)-ordered stream: hour-major, shard-minor, and
+  // within a shard-hour the shard's own emission order.
+  std::vector<std::size_t> cpu_cursor(shards, 0);
+  std::vector<std::size_t> mem_cursor(shards, 0);
+  for (std::size_t hour = 0; hour < hours; ++hour) {
+    bool contended = false;
+    for (std::size_t s = 0; s < shards; ++s) {
+      const ShardResult& r = results[s];
+      contended = contended || r.hour_contended[hour] != 0;
+      for (std::uint32_t i = 0; i < r.hour_cpu_samples[hour]; ++i)
+        merged.cpu_contention_samples.push_back(
+            r.report.cpu_contention_samples[cpu_cursor[s]++]);
+      for (std::uint32_t i = 0; i < r.hour_mem_samples[hour]; ++i)
+        merged.mem_contention_samples.push_back(
+            r.report.mem_contention_samples[mem_cursor[s]++]);
+    }
+    if (contended) ++merged.hours_with_contention;
+  }
+  return merged;
+}
+
+}  // namespace vmcw

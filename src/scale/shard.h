@@ -1,0 +1,82 @@
+// Sharded emulation: replay the fleet as independent failure-domain shards.
+//
+// The emulator walks every host of the fleet every hour; at fleet scale
+// that single serial walk dominates evaluation time. But hosts only
+// interact through *placement* (a VM's demand lands on exactly one host),
+// so any partition of the host index space splits the replay into
+// independent sub-problems: each shard replays the schedule restricted to
+// its own host range against a sliced pool, and the per-shard reports fold
+// back into exactly the global report. The partition follows the
+// `src/topology/` failure-domain map — cut lines fall only on domain
+// boundaries, so a shard is a union of whole racks/power domains, the same
+// unit the decentralized-consolidation literature plans by (PAPERS.md,
+// arXiv 1706.06646).
+//
+// Determinism: the shard plan is a pure function of (domain map,
+// host bound, options) — never of VMCW_THREADS — each shard runs as one
+// ThreadPool task writing only its own pre-allocated slot, and the merge
+// is a sequential fold in ascending shard order. Reports are therefore
+// byte-identical at any thread count. Merge order restores the global
+// emulator's exact layouts:
+//
+//   active_hosts_per_interval — elementwise sum over shards (host sets
+//     are disjoint); provisioned_hosts is the max of the summed series,
+//     NOT the sum of per-shard maxima;
+//   host_avg/peak_cpu_util — concatenated in shard order, which is
+//     ascending global host order because shards are ascending ranges;
+//   contention samples — the global emulator emits (hour, host)-ordered
+//     samples; each shard's stream is interleaved back per hour using the
+//     per-hour sample counts HourOutcome reports;
+//   vm_contention_hours — elementwise integer sum (a VM accrues in
+//     whichever shard its host of the moment belongs to);
+//   energy_wh — summed in shard order (a fixed-order floating-point fold:
+//     deterministic, though grouped differently than the unsharded
+//     accumulation).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/emulator.h"
+#include "core/host_pool.h"
+#include "core/placement.h"
+#include "core/settings.h"
+#include "core/vm.h"
+#include "topology/failure_domains.h"
+
+namespace vmcw {
+
+struct ShardingOptions {
+  /// Upper bound on shard count. Fixed by the caller — deliberately not
+  /// derived from the thread count, so the shard plan (and with it every
+  /// byte of the merged report) is identical at any VMCW_THREADS. Each
+  /// shard carries O(vms) accumulator state, so this also caps peak
+  /// memory at max_shards * that.
+  std::size_t max_shards = 16;
+  /// Domain layer whose boundaries shard cuts must respect.
+  DomainKind boundary = DomainKind::kPowerDomain;
+};
+
+/// Shard edges over [0, host_bound): shard s covers hosts
+/// [edges[s], edges[s+1]). Cuts land only where the domain id of
+/// consecutive hosts changes (a shard never splits a failure domain);
+/// adjacent domains are coalesced until at most max_shards remain. With an
+/// empty/unassigned map there are no legal cuts and the plan is one shard.
+std::vector<std::size_t> plan_shards(const FailureDomainMap& domains,
+                                     std::size_t host_bound,
+                                     const ShardingOptions& options = {});
+
+/// emulate(), sharded: same inputs plus the domain map that keys the
+/// partition, same report — field-for-field equal to the unsharded replay
+/// except energy_wh, whose floating-point fold is grouped per shard (the
+/// value differs only by accumulation rounding).
+EmulationReport emulate_sharded(std::span<const VmWorkload> vms,
+                                std::span<const Placement> schedule,
+                                const StudySettings& settings,
+                                bool power_off_empty_hosts,
+                                const HostPool& pool,
+                                const FailureDomainMap& domains,
+                                const ShardingOptions& options = {});
+
+}  // namespace vmcw

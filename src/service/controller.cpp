@@ -6,6 +6,7 @@
 
 #include "core/admission.h"
 #include "runtime/wire.h"
+#include "scale/capacity_index.h"
 
 namespace vmcw::service {
 
@@ -185,6 +186,18 @@ DecisionBatchFrame IncrementalController::tick(std::uint64_t now) {
       host_load[static_cast<std::size_t>(host)] += sizes[vm];
   }
 
+  // Free-capacity index over the open hosts: admission and repair-drain
+  // below find targets in O(log n) instead of rescanning the fleet every
+  // decision (the dominant tick cost at fleet scale). Rebuilt per tick
+  // because envelopes move every tick anyway; the build is one O(n) pass.
+  CapacityIndex capacity_index;
+  capacity_index.reserve(host_load.size());
+  for (std::size_t host = 0; host < host_load.size(); ++host)
+    capacity_index.push_host(
+        config_.pool.capacity_of(host, config_.utilization_bound));
+  for (std::size_t host = 0; host < host_load.size(); ++host)
+    capacity_index.set_load(host, host_load[host]);
+
   // Degraded mode: hosts whose residents went silent are frozen out of
   // every placement change this tick.
   std::vector<std::size_t> stale;
@@ -206,6 +219,7 @@ DecisionBatchFrame IncrementalController::tick(std::uint64_t now) {
   for (const std::size_t vm : pending_) {
     AdmissionOptions options;
     options.frozen_hosts = frozen;
+    options.index = &capacity_index;
     const auto host =
         admit_one(vm, sizes[vm], host_load, config_.pool,
                   config_.utilization_bound, constraints_, placement, options);
@@ -231,7 +245,7 @@ DecisionBatchFrame IncrementalController::tick(std::uint64_t now) {
   // Threshold-triggered incremental re-plan of the unfrozen fleet.
   const RepairOutcome outcome = repair_and_drain(
       sizes, placement, host_load, config_.pool, config_.utilization_bound,
-      config_.drain_below, constraints_, frozen);
+      config_.drain_below, constraints_, frozen, &capacity_index);
   for (const PlacementMove& move : outcome.repair_moves) {
     vms_[move.vm].admitted = true;
     batch.decisions.push_back({vms_[move.vm].id, DecisionAction::kMigrate,

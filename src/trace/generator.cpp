@@ -126,6 +126,8 @@ std::vector<double> generate_mem_series(const MemClassParams& p,
   return mem;
 }
 
+}  // namespace
+
 /// Fleet-wide events land in business hours: market opens, promotions and
 /// breaking news surge when users are active — which is also when a
 /// consolidated host has the least headroom.
@@ -152,8 +154,6 @@ std::vector<double> generate_fleet_events(const WorkloadSpec& spec, Rng& rng) {
   }
   return train;
 }
-
-}  // namespace
 
 AppContext make_app_context(const WorkloadSpec& spec, WorkloadClass klass,
                             Rng& rng, std::span<const double> fleet_bursts) {

@@ -158,6 +158,12 @@ ServerTrace generate_server(const WorkloadSpec& spec, WorkloadClass klass,
                             const std::string& id, Rng& rng,
                             const AppContext* app = nullptr);
 
+/// The fleet-wide business-hours burst train every web-class app
+/// superimposes (see WorkloadSpec::fleet_burst_per_day). Exposed so
+/// streaming estate generation (scale/streaming_estate.h) can replay the
+/// exact draw `generate_datacenter` makes from `master.fork("fleet-events")`.
+std::vector<double> generate_fleet_events(const WorkloadSpec& spec, Rng& rng);
+
 /// Generate the whole fleet. Deterministic in (spec, seed).
 Datacenter generate_datacenter(const WorkloadSpec& spec, std::uint64_t seed);
 

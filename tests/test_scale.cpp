@@ -1,0 +1,522 @@
+// Tests for the fleet-scale planning subsystem (src/scale): the
+// CapacityIndex filter's equivalence with the linear first-fit scan,
+// streaming estate generation's byte-identity with the materialized
+// generator, and sharded emulation's merge identity — including at
+// VMCW_THREADS 1/2/8.
+
+#include "scale/capacity_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/admission.h"
+#include "core/binpack.h"
+#include "core/emulator.h"
+#include "core/settings.h"
+#include "runtime/thread_pool.h"
+#include "scale/shard.h"
+#include "scale/streaming_estate.h"
+#include "test_helpers.h"
+#include "topology/failure_domains.h"
+#include "trace/generator.h"
+#include "util/rng.h"
+
+namespace vmcw {
+namespace {
+
+using testing::small_fleet;
+using testing::small_settings;
+
+// ---------------------------------------------------------------------------
+// CapacityIndex: the filter must agree with the linear scan it replaces.
+
+/// Reference: first host >= from passing the exact capacity predicate.
+std::size_t linear_first_fit(const std::vector<ResourceVector>& capacity,
+                             const std::vector<ResourceVector>& load,
+                             const ResourceVector& need, std::size_t from) {
+  for (std::size_t h = from; h < capacity.size(); ++h)
+    if ((load[h] + need).fits_within(capacity[h])) return h;
+  return CapacityIndex::npos;
+}
+
+/// The caller-side protocol: index candidates re-tested exactly, advancing
+/// past false positives — the admission loop in miniature.
+std::size_t indexed_first_fit(const CapacityIndex& index,
+                              const std::vector<ResourceVector>& capacity,
+                              const std::vector<ResourceVector>& load,
+                              const ResourceVector& need, std::size_t from) {
+  while (from < capacity.size()) {
+    const std::size_t h = index.first_fit(need, from);
+    if (h == CapacityIndex::npos || h >= capacity.size())
+      return CapacityIndex::npos;
+    if ((load[h] + need).fits_within(capacity[h])) return h;
+    from = h + 1;
+  }
+  return CapacityIndex::npos;
+}
+
+TEST(CapacityIndex, MatchesLinearScanOnRandomFleets) {
+  Rng rng(2024);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t hosts = 1 + static_cast<std::size_t>(
+                                      rng.uniform_int(1, 200));
+    std::vector<ResourceVector> capacity(hosts);
+    std::vector<ResourceVector> load(hosts);
+    CapacityIndex index;
+    for (std::size_t h = 0; h < hosts; ++h) {
+      capacity[h] = {rng.uniform(100.0, 50000.0), rng.uniform(1000.0, 2e5)};
+      index.push_host(capacity[h]);
+      // Loads from empty to overfull, including exact-fit edges.
+      load[h] = {capacity[h].cpu_rpe2 * rng.uniform(0.0, 1.2),
+                 capacity[h].memory_mb * rng.uniform(0.0, 1.2)};
+      if (rng.bernoulli(0.1)) load[h] = capacity[h];  // exactly full
+      index.set_load(h, load[h]);
+    }
+    for (int trial = 0; trial < 200; ++trial) {
+      const ResourceVector need{rng.uniform(0.0, 60000.0),
+                                rng.uniform(0.0, 2.5e5)};
+      const std::size_t from =
+          static_cast<std::size_t>(rng.uniform_int(0, 2 * hosts)) / 2;
+      EXPECT_EQ(indexed_first_fit(index, capacity, load, need, from),
+                linear_first_fit(capacity, load, need, from))
+          << "round " << round << " trial " << trial;
+    }
+  }
+}
+
+TEST(CapacityIndex, StaysExactThroughPlaceEvictCycles) {
+  Rng rng(7);
+  const std::size_t hosts = 64;
+  std::vector<ResourceVector> capacity(hosts);
+  std::vector<ResourceVector> load(hosts);
+  CapacityIndex index;
+  for (std::size_t h = 0; h < hosts; ++h) {
+    capacity[h] = {10000.0, 65536.0};
+    index.push_host(capacity[h]);
+  }
+  for (int step = 0; step < 2000; ++step) {
+    const std::size_t h =
+        static_cast<std::size_t>(rng.uniform_int(0, hosts - 1));
+    const ResourceVector delta{rng.uniform(0.0, 4000.0),
+                               rng.uniform(0.0, 20000.0)};
+    if (rng.bernoulli(0.5)) {
+      load[h] = load[h] + delta;
+    } else {
+      load[h] = {std::max(0.0, load[h].cpu_rpe2 - delta.cpu_rpe2),
+                 std::max(0.0, load[h].memory_mb - delta.memory_mb)};
+    }
+    // set_load re-derives the leaf from the authoritative accumulator, so
+    // no drift accumulates over arbitrarily many cycles.
+    index.set_load(h, load[h]);
+    const ResourceVector need{rng.uniform(0.0, 12000.0),
+                              rng.uniform(0.0, 70000.0)};
+    EXPECT_EQ(indexed_first_fit(index, capacity, load, need, 0),
+              linear_first_fit(capacity, load, need, 0));
+  }
+}
+
+TEST(CapacityIndex, EmptyAndOutOfRangeQueries) {
+  CapacityIndex index;
+  EXPECT_EQ(index.first_fit({1.0, 1.0}), CapacityIndex::npos);
+  index.push_host({100.0, 100.0});
+  EXPECT_EQ(index.first_fit({1.0, 1.0}, 5), CapacityIndex::npos);
+  EXPECT_EQ(index.first_fit({1.0, 1.0}, 0), 0u);
+  EXPECT_EQ(index.first_fit({1000.0, 1.0}, 0), CapacityIndex::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Admission equivalence: the indexed path must produce the same placements
+// as the linear scan, decision for decision.
+
+std::string placement_fingerprint(const Placement& placement,
+                                  const std::vector<ResourceVector>& load) {
+  std::string fp;
+  char buffer[96];
+  for (std::size_t vm = 0; vm < placement.vm_count(); ++vm) {
+    std::snprintf(buffer, sizeof(buffer), "%d;", placement.host_of(vm));
+    fp += buffer;
+  }
+  for (const auto& l : load) {
+    std::snprintf(buffer, sizeof(buffer), "%a,%a;", l.cpu_rpe2, l.memory_mb);
+    fp += buffer;
+  }
+  return fp;
+}
+
+TEST(IndexedAdmission, MatchesLinearScanOnRandomSequences) {
+  const StudySettings settings;
+  const HostPool pool = HostPool::uniform(settings.target);
+  const double bound = settings.dynamic_utilization_bound;
+  Rng rng(99);
+  for (int round = 0; round < 10; ++round) {
+    const std::size_t n = 120;
+    std::vector<ResourceVector> sizes(n);
+    for (auto& s : sizes) {
+      s = {rng.uniform(10.0, settings.target.cpu_rpe2 * 0.7),
+           rng.uniform(100.0, settings.target.memory_mb * 0.7)};
+      // A few oversized items exercise the not-placeable path on both
+      // sides equally.
+      if (rng.bernoulli(0.02)) s.cpu_rpe2 = settings.target.cpu_rpe2 * 2;
+    }
+    ConstraintSet constraints(n);
+    for (int i = 0; i < 8; ++i) {
+      const auto a = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+      const auto b = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+      if (a != b) constraints.add_anti_affinity(a, b);
+    }
+    constraints.pin(static_cast<std::size_t>(rng.uniform_int(0, n - 1)), 3);
+
+    Placement linear_placement(n);
+    std::vector<ResourceVector> linear_load;
+    Placement indexed_placement(n);
+    std::vector<ResourceVector> indexed_load;
+    CapacityIndex index;
+    for (std::size_t vm = 0; vm < n; ++vm) {
+      AdmissionOptions linear_options;
+      const auto a = admit_one(vm, sizes[vm], linear_load, pool, bound,
+                               constraints, linear_placement, linear_options);
+      AdmissionOptions indexed_options;
+      indexed_options.index = &index;
+      const auto b = admit_one(vm, sizes[vm], indexed_load, pool, bound,
+                               constraints, indexed_placement,
+                               indexed_options);
+      ASSERT_EQ(a.has_value(), b.has_value()) << "vm " << vm;
+      if (a) {
+        EXPECT_EQ(*a, *b) << "vm " << vm;
+      }
+    }
+    EXPECT_EQ(placement_fingerprint(indexed_placement, indexed_load),
+              placement_fingerprint(linear_placement, linear_load));
+    EXPECT_EQ(index.size(), indexed_load.size());
+  }
+}
+
+TEST(IndexedAdmission, RespectsExcludeAndFrozenHosts) {
+  const StudySettings settings;
+  const HostPool pool = HostPool::uniform(settings.target);
+  const double bound = settings.dynamic_utilization_bound;
+  const std::size_t n = 40;
+  std::vector<ResourceVector> sizes(
+      n, {settings.target.cpu_rpe2 * 0.3, settings.target.memory_mb * 0.3});
+  const ConstraintSet constraints(n);
+  const std::vector<std::uint8_t> frozen{1, 0, 1, 0};
+
+  Placement linear_placement(n);
+  std::vector<ResourceVector> linear_load;
+  Placement indexed_placement(n);
+  std::vector<ResourceVector> indexed_load;
+  CapacityIndex index;
+  for (std::size_t vm = 0; vm < n; ++vm) {
+    AdmissionOptions linear_options;
+    linear_options.exclude_host = 1;
+    linear_options.frozen_hosts = frozen;
+    AdmissionOptions indexed_options = linear_options;
+    indexed_options.index = &index;
+    const auto a = admit_one(vm, sizes[vm], linear_load, pool, bound,
+                             constraints, linear_placement, linear_options);
+    const auto b = admit_one(vm, sizes[vm], indexed_load, pool, bound,
+                             constraints, indexed_placement, indexed_options);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(*a, *b);
+    EXPECT_NE(*a, 0u);
+    EXPECT_NE(*a, 1u);
+    EXPECT_NE(*a, 2u);
+  }
+  EXPECT_EQ(placement_fingerprint(indexed_placement, indexed_load),
+            placement_fingerprint(linear_placement, linear_load));
+}
+
+TEST(IndexedAdmission, RepairAndDrainMatchesLinearScan) {
+  const StudySettings settings;
+  const HostPool pool = HostPool::uniform(settings.target);
+  const double bound = settings.dynamic_utilization_bound;
+  Rng rng(4242);
+  const std::size_t n = 150;
+  std::vector<ResourceVector> sizes(n);
+  for (auto& s : sizes)
+    s = {rng.uniform(10.0, settings.target.cpu_rpe2 * 0.5),
+         rng.uniform(100.0, settings.target.memory_mb * 0.5)};
+  const ConstraintSet constraints(n);
+
+  // Cram VMs far past the bound so repair has real work, and leave a few
+  // nearly empty hosts so drain does too.
+  const std::size_t hosts = 30;
+  Placement placement(n);
+  std::vector<ResourceVector> load(hosts);
+  for (std::size_t vm = 0; vm < n; ++vm) {
+    const std::size_t host = vm < n - 3 ? vm % (hosts / 3) : hosts - 1 - vm % 3;
+    placement.assign(vm, static_cast<std::int32_t>(host));
+    load[host] = load[host] + sizes[vm];
+  }
+
+  Placement linear_placement = placement;
+  std::vector<ResourceVector> linear_load = load;
+  const auto linear = repair_and_drain(sizes, linear_placement, linear_load,
+                                       pool, bound, 0.2, constraints);
+
+  Placement indexed_placement = placement;
+  std::vector<ResourceVector> indexed_load = load;
+  CapacityIndex index;
+  for (std::size_t h = 0; h < indexed_load.size(); ++h) {
+    index.push_host(pool.capacity_of(h, bound));
+    index.set_load(h, indexed_load[h]);
+  }
+  const auto indexed =
+      repair_and_drain(sizes, indexed_placement, indexed_load, pool, bound,
+                       0.2, constraints, {}, &index);
+
+  EXPECT_FALSE(linear.repair_moves.empty());
+  ASSERT_EQ(indexed.repair_moves.size(), linear.repair_moves.size());
+  for (std::size_t i = 0; i < linear.repair_moves.size(); ++i) {
+    EXPECT_EQ(indexed.repair_moves[i].vm, linear.repair_moves[i].vm);
+    EXPECT_EQ(indexed.repair_moves[i].from, linear.repair_moves[i].from);
+    EXPECT_EQ(indexed.repair_moves[i].to, linear.repair_moves[i].to);
+  }
+  ASSERT_EQ(indexed.drain_moves.size(), linear.drain_moves.size());
+  for (std::size_t i = 0; i < linear.drain_moves.size(); ++i)
+    EXPECT_EQ(indexed.drain_moves[i].to, linear.drain_moves[i].to);
+  EXPECT_EQ(indexed.unresolved_hosts, linear.unresolved_hosts);
+  EXPECT_EQ(indexed.drained_hosts, linear.drained_hosts);
+  EXPECT_EQ(placement_fingerprint(indexed_placement, indexed_load),
+            placement_fingerprint(linear_placement, linear_load));
+}
+
+// ---------------------------------------------------------------------------
+// StreamingEstate: byte-identity with generate_datacenter, bounded cache.
+
+void expect_same_server(const ServerTrace& streamed, const ServerTrace& full,
+                        std::size_t index) {
+  EXPECT_EQ(streamed.id, full.id) << "server " << index;
+  EXPECT_EQ(streamed.app, full.app) << "server " << index;
+  EXPECT_EQ(streamed.klass, full.klass) << "server " << index;
+  EXPECT_EQ(streamed.spec.model, full.spec.model) << "server " << index;
+  ASSERT_EQ(streamed.cpu_util.size(), full.cpu_util.size());
+  ASSERT_EQ(streamed.mem_mb.size(), full.mem_mb.size());
+  for (std::size_t h = 0; h < full.cpu_util.size(); ++h) {
+    // Exact double equality: the streamed path replays the same draws.
+    ASSERT_EQ(streamed.cpu_util[h], full.cpu_util[h])
+        << "server " << index << " hour " << h;
+    ASSERT_EQ(streamed.mem_mb[h], full.mem_mb[h])
+        << "server " << index << " hour " << h;
+  }
+}
+
+TEST(StreamingEstate, ByteIdenticalToMaterializedGeneration) {
+  const WorkloadSpec spec = scaled_down(banking_spec(), 96, 72);
+  const Datacenter full = generate_datacenter(spec, 42);
+
+  StreamingEstate::Options options;
+  options.block_servers = 16;
+  options.max_resident_servers = 32;  // forces eviction mid-walk
+  StreamingEstate estate(spec, 42, options);
+
+  ASSERT_EQ(estate.server_count(), full.servers.size());
+  for (std::size_t i = 0; i < full.servers.size(); ++i)
+    expect_same_server(estate.server(i), full.servers[i], i);
+  // The forward walk evicted early blocks; walking backward regenerates
+  // them and must reproduce the same bytes again.
+  for (std::size_t i = full.servers.size(); i-- > 0;)
+    expect_same_server(estate.server(i), full.servers[i], i);
+  EXPECT_GT(estate.block_misses(), estate.server_count() / 16)
+      << "backward walk should have missed evicted blocks";
+}
+
+TEST(StreamingEstate, CacheStaysBounded) {
+  const WorkloadSpec spec = scaled_down(banking_spec(), 128, 48);
+  StreamingEstate::Options options;
+  options.block_servers = 16;
+  options.max_resident_servers = 48;
+  StreamingEstate estate(spec, 7, options);
+  for (std::size_t i = 0; i < estate.server_count(); ++i) {
+    estate.server(i);
+    EXPECT_LE(estate.resident_servers(), options.max_resident_servers);
+  }
+  EXPECT_EQ(estate.block_hits() + estate.block_misses(),
+            estate.server_count());
+  EXPECT_EQ(estate.servers_generated(),
+            estate.block_misses() * options.block_servers);
+}
+
+TEST(StreamingEstate, RepeatedAccessHitsCache) {
+  const WorkloadSpec spec = scaled_down(banking_spec(), 32, 48);
+  StreamingEstate estate(spec, 7);  // default cache holds everything
+  for (int pass = 0; pass < 3; ++pass)
+    for (std::size_t i = 0; i < estate.server_count(); ++i) estate.server(i);
+  EXPECT_EQ(estate.block_misses(), 1u);  // 32 servers, one 1024-block
+  EXPECT_EQ(estate.servers_generated(), 32u);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded emulation: merged reports equal the unsharded replay, at any
+// thread count.
+
+std::string report_fingerprint(const EmulationReport& r) {
+  std::string fp;
+  char buffer[64];
+  auto add = [&](double v) {
+    std::snprintf(buffer, sizeof(buffer), "%a;", v);
+    fp += buffer;
+  };
+  fp += std::to_string(r.eval_hours) + "|" + std::to_string(r.intervals) +
+        "|" + std::to_string(r.provisioned_hosts) + "|";
+  for (auto a : r.active_hosts_per_interval) fp += std::to_string(a) + ",";
+  for (double v : r.host_avg_cpu_util) add(v);
+  for (double v : r.host_peak_cpu_util) add(v);
+  for (double v : r.cpu_contention_samples) add(v);
+  for (double v : r.mem_contention_samples) add(v);
+  fp += "|" + std::to_string(r.hours_with_contention) + "|";
+  for (auto h : r.vm_contention_hours) fp += std::to_string(h) + ",";
+  fp += "|" + std::to_string(r.total_vm_contention_hours);
+  add(r.energy_wh);
+  return fp;
+}
+
+/// A packed scenario with real contention (VMs sized at mean demand, so
+/// bursts overload hosts) and a multi-interval schedule that moves VMs,
+/// plus a power-domain map of `hosts_per_domain`-host domains.
+struct ShardScenario {
+  std::vector<VmWorkload> vms;
+  std::vector<Placement> schedule;
+  StudySettings settings;
+  HostPool pool;
+  FailureDomainMap domains;
+
+  // 300 servers: the aggregate burst peak is several blades' worth of
+  // demand (60 servers' peak is only half a blade — contention would be
+  // impossible), so crammed packing below overloads hosts for real.
+  explicit ShardScenario(int servers = 300, std::size_t hosts_per_domain = 2)
+      : pool(HostPool::uniform(StudySettings{}.target)) {
+    settings = small_settings();
+    vms = small_fleet(servers);
+    const std::size_t n = vms.size();
+    std::vector<ResourceVector> sizes(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto cpu = vms[i].cpu_rpe2.samples();
+      const auto mem = vms[i].mem_mb.samples();
+      double cpu_sum = 0, mem_sum = 0;
+      for (double v : cpu) cpu_sum += v;
+      for (double v : mem) mem_sum += v;
+      // Pack by a small fraction of mean demand: the replayed demand then
+      // overloads hosts routinely, so contention-sample merging is
+      // genuinely exercised (both CPU bursts and steady memory pressure).
+      sizes[i] = {0.15 * cpu_sum / static_cast<double>(cpu.size()),
+                  0.15 * mem_sum / static_cast<double>(mem.size())};
+    }
+    const auto packed =
+        ffd_pack(sizes, pool, settings.static_utilization_bound,
+                 ConstraintSet(n));
+    Placement base = packed->placement;
+    // Second placement: rotate every VM one host to the right, so interval
+    // transitions exercise the per-interval rebuild in every shard.
+    const std::size_t bound = base.host_index_bound();
+    Placement rotated(n);
+    for (std::size_t vm = 0; vm < n; ++vm)
+      rotated.assign(vm, static_cast<std::int32_t>(
+                             (static_cast<std::size_t>(base.host_of(vm)) + 1) %
+                             (bound + 1)));
+    for (std::size_t i = 0; i < settings.intervals(); ++i)
+      schedule.push_back(i % 2 == 0 ? base : rotated);
+    for (std::size_t h = 0; h <= bound + 1; ++h)
+      domains.assign(h, /*rack=*/static_cast<std::int32_t>(h),
+                     /*power_domain=*/static_cast<std::int32_t>(
+                         h / hosts_per_domain));
+  }
+};
+
+TEST(ShardedEmulation, MatchesUnshardedReplay) {
+  ShardScenario s;
+  const EmulationReport whole =
+      emulate(s.vms, s.schedule, s.settings, true, s.pool);
+  ShardingOptions options;
+  options.max_shards = 4;
+  const EmulationReport sharded = emulate_sharded(
+      s.vms, s.schedule, s.settings, true, s.pool, s.domains, options);
+
+  // The scenario must actually exercise the merge paths.
+  ASSERT_FALSE(whole.cpu_contention_samples.empty());
+  ASSERT_GT(whole.total_vm_contention_hours, 0u);
+
+  EXPECT_EQ(sharded.eval_hours, whole.eval_hours);
+  EXPECT_EQ(sharded.intervals, whole.intervals);
+  EXPECT_EQ(sharded.provisioned_hosts, whole.provisioned_hosts);
+  EXPECT_EQ(sharded.active_hosts_per_interval,
+            whole.active_hosts_per_interval);
+  EXPECT_EQ(sharded.host_avg_cpu_util, whole.host_avg_cpu_util);
+  EXPECT_EQ(sharded.host_peak_cpu_util, whole.host_peak_cpu_util);
+  EXPECT_EQ(sharded.cpu_contention_samples, whole.cpu_contention_samples);
+  EXPECT_EQ(sharded.mem_contention_samples, whole.mem_contention_samples);
+  EXPECT_EQ(sharded.hours_with_contention, whole.hours_with_contention);
+  EXPECT_EQ(sharded.vm_contention_hours, whole.vm_contention_hours);
+  EXPECT_EQ(sharded.total_vm_contention_hours,
+            whole.total_vm_contention_hours);
+  // energy_wh is the one field whose floating-point fold is grouped per
+  // shard; equal up to accumulation rounding.
+  EXPECT_NEAR(sharded.energy_wh, whole.energy_wh,
+              1e-9 * std::abs(whole.energy_wh));
+}
+
+TEST(ShardedEmulation, SingleShardWhenNoDomainBoundaries) {
+  ShardScenario s;
+  const FailureDomainMap empty_map;
+  const EmulationReport whole =
+      emulate(s.vms, s.schedule, s.settings, true, s.pool);
+  const EmulationReport sharded =
+      emulate_sharded(s.vms, s.schedule, s.settings, true, s.pool, empty_map);
+  // One shard: even the energy fold is grouped identically.
+  EXPECT_EQ(report_fingerprint(sharded), report_fingerprint(whole));
+}
+
+TEST(ShardedEmulation, IdenticalAtAnyThreadCount) {
+  ShardScenario s;
+  ShardingOptions options;
+  options.max_shards = 8;
+  std::string reference;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    ScopedPoolOverride scope(pool);
+    const EmulationReport report = emulate_sharded(
+        s.vms, s.schedule, s.settings, true, s.pool, s.domains, options);
+    const std::string fp = report_fingerprint(report);
+    if (reference.empty())
+      reference = fp;
+    else
+      EXPECT_EQ(fp, reference) << "at " << threads << " threads";
+  }
+  EXPECT_FALSE(reference.empty());
+}
+
+TEST(ShardPlan, CutsOnlyAtDomainBoundaries) {
+  FailureDomainMap domains;
+  for (std::size_t h = 0; h < 100; ++h)
+    domains.assign(h, static_cast<std::int32_t>(h / 10),
+                   static_cast<std::int32_t>(h / 10));
+  ShardingOptions options;
+  options.max_shards = 4;
+  const auto edges = plan_shards(domains, 100, options);
+  ASSERT_GE(edges.size(), 2u);
+  EXPECT_EQ(edges.front(), 0u);
+  EXPECT_EQ(edges.back(), 100u);
+  EXPECT_LE(edges.size() - 1, options.max_shards);
+  EXPECT_GT(edges.size() - 1, 1u) << "boundaries exist, plan should use them";
+  for (std::size_t i = 1; i + 1 < edges.size(); ++i) {
+    EXPECT_NE(domains.domain_of(edges[i] - 1, options.boundary),
+              domains.domain_of(edges[i], options.boundary))
+        << "cut at " << edges[i] << " splits a domain";
+  }
+}
+
+TEST(ShardPlan, UnassignedMapYieldsOneShard) {
+  const FailureDomainMap domains;
+  const auto edges = plan_shards(domains, 50);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], 0u);
+  EXPECT_EQ(edges[1], 50u);
+}
+
+}  // namespace
+}  // namespace vmcw

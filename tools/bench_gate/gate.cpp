@@ -1,0 +1,146 @@
+#include "gate.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace vmcw::bench_gate {
+
+namespace {
+
+void skip_ws(const std::string& s, std::size_t& i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+}
+
+bool parse_string(const std::string& s, std::size_t& i, std::string& out) {
+  if (i >= s.size() || s[i] != '"') return false;
+  out.clear();
+  for (++i; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      out.push_back(s[++i]);
+    } else if (s[i] == '"') {
+      ++i;
+      return true;
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool parse_sidecar(const std::string& text, Sidecar& out) {
+  out = Sidecar{};
+  std::size_t i = 0;
+  skip_ws(text, i);
+  if (i >= text.size() || text[i] != '{') return false;
+  ++i;
+  while (true) {
+    skip_ws(text, i);
+    if (i < text.size() && text[i] == '}') return true;
+    std::string key;
+    if (!parse_string(text, i, key)) return false;
+    skip_ws(text, i);
+    if (i >= text.size() || text[i] != ':') return false;
+    ++i;
+    skip_ws(text, i);
+    if (i < text.size() && text[i] == '"') {
+      std::string value;
+      if (!parse_string(text, i, value)) return false;
+      if (key == "bench") out.bench = value;
+    } else {
+      char* end = nullptr;
+      const double value = std::strtod(text.c_str() + i, &end);
+      if (end == text.c_str() + i) return false;
+      i = static_cast<std::size_t>(end - text.c_str());
+      out.metrics[key] = value;
+    }
+    skip_ws(text, i);
+    if (i < text.size() && text[i] == ',') {
+      ++i;
+      continue;
+    }
+    skip_ws(text, i);
+    return i < text.size() && text[i] == '}';
+  }
+}
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+bool structural_key(const std::string& key) {
+  // Counters that define the run's scale and deterministic output. Two
+  // runs disagreeing on any of these are different experiments.
+  static const char* kStructural[] = {
+      "servers",      "frames",     "ticks",       "decisions",
+      "active_hosts", "resident_vms", "hosts_used", "cells",
+      "trace_hours",  "servers_per_estate", "blocks_generated",
+  };
+  for (const char* s : kStructural)
+    if (key == s) return true;
+  return false;
+}
+
+bool rate_key(const std::string& key) { return ends_with(key, "_per_sec"); }
+
+bool time_key(const std::string& key) {
+  return ends_with(key, "_ms") || ends_with(key, "_seconds") ||
+         ends_with(key, "_rss_kb");
+}
+
+Comparison compare(const Sidecar& baseline, const Sidecar& fresh,
+                   const GateOptions& options) {
+  Comparison out;
+  out.bench = baseline.bench;
+  char line[256];
+
+  // Comparability first: every structural counter present in both runs
+  // must agree exactly.
+  for (const auto& [key, base_value] : baseline.metrics) {
+    if (!structural_key(key)) continue;
+    const auto it = fresh.metrics.find(key);
+    if (it == fresh.metrics.end()) continue;
+    if (it->second != base_value) {
+      std::snprintf(line, sizeof(line),
+                    "%s: %s %.6g != baseline %.6g — different scale, skipped",
+                    baseline.bench.c_str(), key.c_str(), it->second,
+                    base_value);
+      out.lines.push_back(line);
+      out.verdict = Verdict::kSkippedScaleMismatch;
+      return out;
+    }
+  }
+
+  for (const auto& [key, base_value] : baseline.metrics) {
+    const auto it = fresh.metrics.find(key);
+    if (it == fresh.metrics.end()) continue;  // keys in both runs only
+    const double fresh_value = it->second;
+    if (rate_key(key)) {
+      const double floor = base_value * (1.0 - options.rate_tolerance);
+      const bool ok = fresh_value >= floor;
+      std::snprintf(line, sizeof(line), "%s: %s %.6g vs baseline %.6g %s",
+                    baseline.bench.c_str(), key.c_str(), fresh_value,
+                    base_value, ok ? "(ok)" : "REGRESSED");
+      out.lines.push_back(line);
+      if (!ok) out.verdict = Verdict::kFail;
+    } else if (time_key(key)) {
+      const double ceiling = base_value * (1.0 + options.time_tolerance);
+      const bool ok = fresh_value <= ceiling;
+      std::snprintf(line, sizeof(line), "%s: %s %.6g vs baseline %.6g %s",
+                    baseline.bench.c_str(), key.c_str(), fresh_value,
+                    base_value, ok ? "(ok)" : "REGRESSED");
+      out.lines.push_back(line);
+      if (!ok) out.verdict = Verdict::kFail;
+    }
+  }
+  return out;
+}
+
+}  // namespace vmcw::bench_gate

@@ -1,0 +1,75 @@
+// Perf-regression gate over BENCH_*.json sidecars.
+//
+// Every bench writes a flat JSON sidecar (bench/common.h::write_bench_json)
+// and the good numbers live under bench/baselines/. The gate compares a
+// directory of fresh sidecars against the baselines and fails CI when a
+// rate fell or a latency rose beyond a tolerance band — turning the
+// checked-in baselines from documentation into an enforced floor
+// (ROADMAP "perf trajectory").
+//
+// Comparison rules, keyed off the metric's name:
+//   *_per_sec                     higher is better: fail when
+//                                 fresh < baseline * (1 - rate_tolerance)
+//   *_ms / *_seconds / *_rss_kb   lower is better: fail when
+//                                 fresh > baseline * (1 + time_tolerance)
+//   structural counters (servers, frames, ticks, decisions, hosts, ...)
+//                                 must match exactly; a mismatch means the
+//                                 fresh run used a different scale, and
+//                                 comparing perf across scales is
+//                                 meaningless — the file is skipped with a
+//                                 note instead of producing a false verdict
+//   anything else                 informational only
+//
+// Tolerances default loose (rates may drop 40%, times may double) because
+// CI runners are noisy and shared; the gate exists to catch structural
+// regressions — an index disconnected, a fleet re-materialized — which
+// show up as multiples, not percentages.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vmcw::bench_gate {
+
+/// One parsed sidecar: flat string->double pairs plus the bench name.
+struct Sidecar {
+  std::string bench;
+  std::map<std::string, double> metrics;  ///< ordered: deterministic reports
+};
+
+/// Parse the flat JSON write_bench_json emits. Returns false on files that
+/// are not flat {"key": number|string} objects.
+bool parse_sidecar(const std::string& text, Sidecar& out);
+
+struct GateOptions {
+  double rate_tolerance = 0.4;  ///< allowed fractional drop of *_per_sec
+  double time_tolerance = 1.0;  ///< allowed fractional rise of *_ms/Seconds
+};
+
+enum class Verdict {
+  kPass,
+  kSkippedScaleMismatch,  ///< structural counters differ; not comparable
+  kFail,
+};
+
+struct Comparison {
+  std::string bench;
+  Verdict verdict = Verdict::kPass;
+  /// Human-readable per-metric lines ("decisions_per_sec 44635 -> 41000 ok").
+  std::vector<std::string> lines;
+};
+
+/// Is this key a structural counter that must match exactly for the two
+/// runs to be comparable?
+bool structural_key(const std::string& key);
+
+/// Is this key a rate (higher better) / a time-or-footprint (lower better)?
+bool rate_key(const std::string& key);
+bool time_key(const std::string& key);
+
+/// Compare one fresh sidecar against its baseline.
+Comparison compare(const Sidecar& baseline, const Sidecar& fresh,
+                   const GateOptions& options);
+
+}  // namespace vmcw::bench_gate
