@@ -1,0 +1,141 @@
+// Ingestion throughput bench: N collectors against one IngestServer over
+// a real Unix-domain socket.
+//
+// Generates a deterministic churn stream, partitions it across in-process
+// CollectorClients (real sockets, real framing, real acks — no chaos),
+// and times the whole delivery into a live daemon. The .dat artifact
+// carries only order-independent structural counts (frames, ticks,
+// collectors): decision *totals* depend on socket arrival order in serve
+// mode, so they stay out of the determinism-checked section. Wall-clock
+// numbers go to the BENCH_ingest_throughput.json sidecar for the perf
+// gate.
+//
+//   bench_ingest_throughput [vms] [ticks] [collectors]
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "common.h"
+#include "core/study.h"
+#include "service/churn.h"
+#include "service/collector.h"
+#include "service/daemon.h"
+#include "service/ingest.h"
+
+using namespace vmcw;
+using namespace vmcw::service;
+
+int main(int argc, char** argv) {
+  const bench::WallTimer total_timer;
+  bench::print_header("Ingest throughput",
+                      "Multi-collector socket delivery into the WAL");
+
+  ChurnOptions churn;
+  churn.initial_vms = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1]))
+                               : 4000;
+  churn.ticks = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 10;
+  const std::size_t collectors =
+      argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 4;
+  churn.agents = 16;
+  churn.apps = 12;
+  churn.arrivals_per_tick = static_cast<double>(churn.initial_vms) * 0.002;
+  churn.departure_prob = 0.001;
+  churn.mean_host_fraction = 0.45;
+  churn.blackout_prob = 0.0;
+  churn.seed = kStudySeed;
+
+  ControllerConfig config;
+  const auto frames = generate_churn(churn, config);
+  const auto parts = partition_stream(frames, collectors, churn.agents);
+  std::size_t to_deliver = 0;
+  for (const auto& part : parts) to_deliver += part.size();
+  std::printf("churn: %zu frames across %zu collectors (%zu messages)\n\n",
+              frames.size(), collectors, to_deliver);
+
+  // Socket in the temp dir (sun_path is 108 bytes; build trees run long),
+  // WAL artifacts next to the other bench outputs.
+  const std::string sock =
+      (std::filesystem::temp_directory_path() / "bench_ingest.sock").string();
+  Daemon::Options daemon_options;
+  daemon_options.wal_path = "bench_ingest_throughput.wal";
+  daemon_options.decisions_path = "bench_ingest_throughput.decisions";
+  daemon_options.durable = false;  // measure the pipeline, not fdatasync
+  Daemon daemon(config, daemon_options);
+  const auto opened = daemon.open();
+
+  IngestOptions ingest_options;
+  ingest_options.unix_path = sock;
+  ingest_options.expected_shutdowns = collectors;
+  IngestServer server(daemon, ingest_options);
+  server.start(opened.wal_frames);
+
+  const bench::WallTimer run_timer;
+  std::vector<std::thread> clients;
+  clients.reserve(collectors);
+  for (std::size_t i = 0; i < collectors; ++i) {
+    clients.emplace_back([&, i] {
+      CollectorOptions options;
+      options.unix_path = sock;
+      options.peer = "bench-collector-" + std::to_string(i);
+      options.fleet_hash = fleet_config_hash(config);
+      options.window = 64;
+      CollectorClient client(options);
+      client.run(parts[i]);
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.wait();
+  const double run_seconds = run_timer.seconds();
+  daemon.close();
+
+  const IngestStats in = server.stats();
+  const DaemonStats& stats = daemon.stats();
+  const double rate = run_seconds > 0
+                          ? static_cast<double>(in.messages_ingested) /
+                                run_seconds
+                          : 0;
+
+  // Deterministic section: structural counts only. Decision totals vary
+  // with socket arrival order (the WAL's replay identity is the contract
+  // there), so they are reported below but never determinism-checked.
+  std::string dat;
+  char line[160];
+  std::snprintf(line, sizeof(line), "frames            %zu\n", to_deliver);
+  dat += line;
+  std::snprintf(line, sizeof(line), "ticks             %zu\n", churn.ticks);
+  dat += line;
+  std::snprintf(line, sizeof(line), "collectors        %zu\n", collectors);
+  dat += line;
+  std::snprintf(line, sizeof(line), "shutdowns         %zu\n",
+                in.shutdowns_seen);
+  dat += line;
+  std::printf("%s", dat.c_str());
+  bench::write_dat(dat);
+
+  std::printf("\ningested %zu messages in %.3f s, %.0f frames/sec\n",
+              in.messages_ingested, run_seconds, rate);
+  std::printf("connections %zu, rejects %zu, backpressure stalls %zu\n",
+              in.connections_accepted, in.rejects_sent,
+              in.backpressure_stalls);
+  std::printf("decisions: %zu batches, %zu admits, %zu migrations\n",
+              stats.batches, stats.admits, stats.migrations);
+
+  bench::write_bench_json(
+      "ingest_throughput", total_timer.seconds(), "frames_per_sec", rate,
+      {{"frames", static_cast<double>(to_deliver)},
+       {"ticks", static_cast<double>(churn.ticks)},
+       {"collectors", static_cast<double>(collectors)},
+       {"batches", static_cast<double>(stats.batches)}});
+
+  if (in.messages_ingested != to_deliver || in.shutdowns_seen != collectors) {
+    std::printf("FAIL: delivery incomplete (%zu of %zu messages)\n",
+                in.messages_ingested, to_deliver);
+    return 1;
+  }
+  std::printf("telemetry sidecar: telemetry_ingest_throughput.json\n");
+  return 0;
+}

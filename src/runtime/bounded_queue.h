@@ -1,0 +1,124 @@
+// Bounded multi-producer queue with annotated locks.
+//
+// The ingestion front-end (service/ingest) moves decoded frames from the
+// socket poll loop to the single WAL writer through this queue; its bound
+// is the backpressure mechanism — when the WAL writer falls behind, the
+// queue fills, try_push fails, and the poll loop stops reading the slow
+// producer's socket instead of buffering without limit. The queue is
+// deliberately lock-based (one Mutex, two CondVars) rather than lock-free:
+// the WAL fsync dominates every push/pop by orders of magnitude, and the
+// annotated Mutex keeps the structure inside the -Werror=thread-safety
+// static layer like the rest of src/runtime (DESIGN.md §5d).
+//
+// Determinism note: pop order is FIFO over push order. Arrival order at
+// the queue is scheduling-dependent — which is exactly why the WAL, not
+// this queue, is the system's source of truth (DESIGN.md §8): whatever
+// order the writer serializes becomes *the* order, and every replay of
+// that WAL is byte-identical regardless of how the race went.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "util/thread_annotations.h"
+
+namespace vmcw {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking push. Returns false when the queue is full or closed —
+  /// the producer's signal to apply backpressure upstream (stop reading
+  /// the socket) rather than drop or buffer unboundedly.
+  bool try_push(T item) VMCW_EXCLUDES(mutex_) {
+    {
+      MutexLock lk(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking push; waits for room. Returns false only when the queue is
+  /// closed before the item could be enqueued.
+  bool push(T item) VMCW_EXCLUDES(mutex_) {
+    {
+      MutexLock lk(mutex_);
+      while (!closed_ && items_.size() >= capacity_) not_full_.wait(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop. Empty optional means the queue was closed and fully
+  /// drained — the consumer's shutdown signal.
+  std::optional<T> pop() VMCW_EXCLUDES(mutex_) {
+    std::optional<T> out;
+    {
+      MutexLock lk(mutex_);
+      while (!closed_ && items_.empty()) not_empty_.wait(mutex_);
+      if (items_.empty()) return out;  // closed and drained
+      out.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Non-blocking pop; empty optional when nothing is queued right now.
+  std::optional<T> try_pop() VMCW_EXCLUDES(mutex_) {
+    std::optional<T> out;
+    {
+      MutexLock lk(mutex_);
+      if (items_.empty()) return out;
+      out.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Close the queue: pending items remain poppable, new pushes fail, and
+  /// blocked producers/consumers wake.
+  void close() VMCW_EXCLUDES(mutex_) {
+    {
+      MutexLock lk(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const VMCW_EXCLUDES(mutex_) {
+    MutexLock lk(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const VMCW_EXCLUDES(mutex_) {
+    MutexLock lk(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable Mutex mutex_;
+  std::deque<T> items_ VMCW_GUARDED_BY(mutex_);
+  bool closed_ VMCW_GUARDED_BY(mutex_) = false;
+  CondVar not_empty_;
+  CondVar not_full_;
+};
+
+}  // namespace vmcw

@@ -1,5 +1,6 @@
 #include "runtime/wire.h"
 
+#include <cerrno>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -13,6 +14,7 @@ bool read_all(int fd, std::vector<std::uint8_t>& out) {
   while (off < out.size()) {
     const ssize_t n = ::pread(fd, out.data() + off, out.size() - off,
                               static_cast<off_t>(off));
+    if (n < 0 && errno == EINTR) continue;  // signal landed mid-read; retry
     if (n <= 0) return false;
     off += static_cast<std::size_t>(n);
   }
@@ -23,6 +25,10 @@ bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
   std::size_t off = 0;
   while (off < size) {
     const ssize_t n = ::write(fd, data + off, size - off);
+    // A signal (SIGCHLD from a collector fork, a profiler tick) can
+    // interrupt write() before any byte moved; a WAL append must survive
+    // that, not turn it into a torn record.
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return false;
     off += static_cast<std::size_t>(n);
   }

@@ -41,7 +41,7 @@ Daemon::Daemon(ControllerConfig config, Options options)
 
 Daemon::OpenResult Daemon::open() {
   OpenResult result;
-  const FrameLog::Recovery wal =
+  FrameLog::Recovery wal =
       wal_.open(options_.wal_path, fleet_hash_, options_.resume);
   const FrameLog::Recovery decisions =
       decisions_.open(options_.decisions_path, fleet_hash_, options_.resume);
@@ -55,6 +55,7 @@ Daemon::OpenResult Daemon::open() {
   // byte-identical to an uninterrupted run.
   batches_skipped_ = result.batches_recovered;
   for (const Frame& frame : wal.frames) apply(frame, /*emit=*/true);
+  result.wal_frames = std::move(wal.frames);
   return result;
 }
 

@@ -52,6 +52,11 @@ class Daemon {
     std::size_t batches_recovered = 0;  ///< decision batches kept durable
     bool wal_stale = false;
     bool decisions_stale = false;
+    /// The recovered input frames themselves. The ingestion front-end
+    /// seeds its duplicate filter from these: a collector resending a
+    /// frame that was durable before the crash must be acked, not
+    /// re-appended (exactly-once in the WAL across daemon restarts).
+    std::vector<Frame> wal_frames;
   };
 
   Daemon(ControllerConfig config, Options options);
@@ -72,6 +77,26 @@ class Daemon {
     return controller_;
   }
   const DaemonStats& stats() const noexcept { return stats_; }
+
+  /// Install I/O hooks on both logs (nullptr restores the real default);
+  /// how tests and the chaos harness inject write faults and fsync
+  /// stalls. Call before open().
+  void set_io_hooks(WalIoHooks* hooks) noexcept {
+    wal_.set_io_hooks(hooks);
+    decisions_.set_io_hooks(hooks);
+  }
+
+  /// Latency of the telemetry WAL's most recent fdatasync (seconds); what
+  /// the ingestion front-end's stall detector samples after each durable
+  /// append.
+  double last_fsync_seconds() const { return wal_.last_sync_seconds(); }
+
+  /// Re-fsync the telemetry WAL without appending anything: the shed
+  /// detector's recovery probe. While every incoming data frame is being
+  /// rejected, nothing would otherwise measure the disk, so the ingest
+  /// writer probes before each shed rejection and recovers the moment a
+  /// probe comes back under the recovery threshold.
+  void probe_wal() { wal_.sync(); }
 
  private:
   DecisionBatchFrame apply(const Frame& frame, bool emit);

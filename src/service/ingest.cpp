@@ -1,0 +1,551 @@
+#include "service/ingest.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "runtime/wire.h"
+
+namespace vmcw::service {
+
+namespace {
+
+/// One enveloped message needs the seq word plus the frame header before
+/// its total length is known.
+constexpr std::size_t kEnvelopeHeader = 8 + kFrameHeaderSize;
+
+/// Poll granularity: long enough to sleep, short enough that a stop
+/// request or a missed wake is picked up promptly.
+constexpr int kPollMillis = 50;
+
+int make_listener_unix(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("ingest: unix socket path too long: " + path);
+  const int fd =
+      ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw std::runtime_error("ingest: cannot create unix socket");
+  ::unlink(path.c_str());
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    ::close(fd);
+    throw std::runtime_error("ingest: cannot bind unix socket " + path);
+  }
+  return fd;
+}
+
+int make_listener_tcp(int port, int& bound_port) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw std::runtime_error("ingest: cannot create tcp socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // never a public interface
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    ::close(fd);
+    throw std::runtime_error("ingest: cannot bind tcp port " +
+                             std::to_string(port));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+  bound_port = static_cast<int>(ntohs(bound.sin_port));
+  return fd;
+}
+
+bool is_data_kind(FrameKind kind) noexcept {
+  return kind == FrameKind::kHostTelemetryDelta ||
+         kind == FrameKind::kVmArrival || kind == FrameKind::kVmDeparture;
+}
+
+bool is_control_kind(FrameKind kind) noexcept {
+  return kind == FrameKind::kHeartbeat || kind == FrameKind::kFlush ||
+         kind == FrameKind::kShutdown;
+}
+
+}  // namespace
+
+IngestServer::IngestServer(Daemon& daemon, IngestOptions options)
+    : daemon_(daemon),
+      options_(std::move(options)),
+      queue_(options_.queue_capacity) {}
+
+IngestServer::~IngestServer() {
+  stop();
+  wait();
+  for (const int fd : {unix_fd_, tcp_fd_, wake_rd_, wake_wr_})
+    if (fd >= 0) ::close(fd);
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+}
+
+void IngestServer::start(const std::vector<Frame>& recovered_frames) {
+  if (started_) throw std::logic_error("ingest: start() called twice");
+  if (options_.unix_path.empty() && options_.tcp_port < 0)
+    throw std::runtime_error("ingest: no listener configured");
+
+  if (!options_.unix_path.empty())
+    unix_fd_ = make_listener_unix(options_.unix_path);
+  if (options_.tcp_port >= 0)
+    tcp_fd_ = make_listener_tcp(options_.tcp_port, bound_tcp_port_);
+
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0)
+    throw std::runtime_error("ingest: cannot create wake pipe");
+  wake_rd_ = pipe_fds[0];
+  wake_wr_ = pipe_fds[1];
+
+  // Seed the duplicate filter: a frame already durable from before a
+  // crash is identified by its full encoding (pure, so equal frames hash
+  // equal). A multiset, because a stream may legitimately repeat an
+  // encoding and each durable copy licenses exactly one drop.
+  for (const Frame& frame : recovered_frames) {
+    const std::vector<std::uint8_t> bytes = encode_frame(frame);
+    ++dedup_[wire::fnv1a64(bytes.data(), bytes.size())];
+  }
+
+  started_ = true;
+  writer_thread_ = std::thread([this] { writer_loop(); });
+  poll_thread_ = std::thread([this] { poll_loop(); });
+}
+
+void IngestServer::wait() {
+  if (poll_thread_.joinable()) poll_thread_.join();
+  if (writer_thread_.joinable()) writer_thread_.join();
+}
+
+void IngestServer::stop() {
+  stop_.store(true);
+  queue_.close();
+  wake_poll();
+}
+
+IngestStats IngestServer::stats() const {
+  MutexLock lk(stats_mutex_);
+  return stats_;
+}
+
+bool IngestServer::shedding() const {
+  MutexLock lk(stats_mutex_);
+  return shedding_;
+}
+
+void IngestServer::wake_poll() const noexcept {
+  if (wake_wr_ < 0) return;
+  const std::uint8_t byte = 1;
+  // A full pipe already means a wake is pending; EAGAIN is success here.
+  [[maybe_unused]] const ssize_t n = ::write(wake_wr_, &byte, 1);
+}
+
+// ---------------------------------------------------------------------
+// Writer thread: the single consumer that owns WAL order.
+
+void IngestServer::respond(std::uint64_t conn, const Frame& frame,
+                           bool close) {
+  Response r{conn, encode_frame(frame), close};
+  {
+    MutexLock lk(response_mutex_);
+    responses_.push_back(std::move(r));
+  }
+  if (std::holds_alternative<RejectFrame>(frame)) {
+    MutexLock lk(stats_mutex_);
+    ++stats_.rejects_sent;
+  }
+}
+
+void IngestServer::update_shed_state() {
+  const double latency = daemon_.last_fsync_seconds();
+  MutexLock lk(stats_mutex_);
+  if (!shedding_ && latency >= options_.shed_fsync_seconds) {
+    shedding_ = true;
+    ++stats_.shed_entries;
+  } else if (shedding_ && latency <= options_.recover_fsync_seconds) {
+    shedding_ = false;
+  }
+}
+
+void IngestServer::process_item(IngressItem item) {
+  if (item.kind == IngressItem::Kind::kGone) {
+    sessions_.erase(item.conn);  // last_acked_ survives for the reconnect
+    return;
+  }
+
+  // Hello: handshake only, any time, never WAL'd. Re-syncs the session on
+  // a reconnect; the Ack tells the collector where to resend from.
+  if (const auto* hello = std::get_if<HelloFrame>(&item.frame)) {
+    if (hello->version != kProtocolVersion) {
+      respond(item.conn,
+              RejectFrame{item.seq, RejectCode::kBadHello,
+                          "protocol version mismatch"},
+              /*close=*/true);
+      return;
+    }
+    if (hello->fleet_hash != 0 &&
+        hello->fleet_hash != fleet_config_hash(daemon_.controller().config())) {
+      respond(item.conn,
+              RejectFrame{item.seq, RejectCode::kBadHello,
+                          "fleet config hash mismatch"},
+              /*close=*/true);
+      return;
+    }
+    Session& s = sessions_[item.conn];
+    s.peer = hello->peer;
+    s.synced = true;
+    // The collector resends from its first unacked message, so the
+    // session cursor is fully determined by the peer's durable history.
+    s.expected = last_acked_[s.peer] + 1;
+    respond(item.conn, AckFrame{last_acked_[s.peer]}, /*close=*/false);
+    return;
+  }
+
+  const auto it = sessions_.find(item.conn);
+  if (it == sessions_.end() || !it->second.synced) {
+    respond(item.conn,
+            RejectFrame{item.seq, RejectCode::kNoHello, "data before hello"},
+            /*close=*/true);
+    return;
+  }
+  Session& session = it->second;
+  std::uint64_t& last_acked = last_acked_[session.peer];
+
+  const FrameKind kind = frame_kind(item.frame);
+  if (!is_data_kind(kind) && !is_control_kind(kind)) {
+    // Decisions flow out of the daemon, Ack/Reject out of the server; a
+    // collector sending one is broken, not unlucky.
+    respond(item.conn,
+            RejectFrame{item.seq, RejectCode::kUnexpectedFrame,
+                        std::string("collectors never send ") +
+                            to_string(kind)},
+            /*close=*/true);
+    return;
+  }
+
+  if (item.seq <= last_acked) {
+    // Retransmission of something already durable: cumulative re-Ack.
+    {
+      MutexLock lk(stats_mutex_);
+      ++stats_.duplicates_dropped;
+    }
+    respond(item.conn, AckFrame{last_acked}, /*close=*/false);
+    return;
+  }
+
+  if (item.seq != session.expected) {
+    {
+      MutexLock lk(stats_mutex_);
+      ++stats_.out_of_order_rejects;
+    }
+    respond(item.conn,
+            RejectFrame{item.seq, RejectCode::kOutOfOrder,
+                        "resend from the last ack"},
+            /*close=*/false);
+    return;
+  }
+
+  if (is_data_kind(kind)) {
+    bool shed = false;
+    {
+      MutexLock lk(stats_mutex_);
+      shed = shedding_;
+    }
+    if (shed) {
+      // Nothing is appending while we shed, so nothing would re-measure
+      // the disk: probe it (an fsync with no append) and accept this
+      // frame after all if the stall has cleared.
+      daemon_.probe_wal();
+      update_shed_state();
+      MutexLock lk(stats_mutex_);
+      shed = shedding_;
+      if (shed) ++stats_.shed_rejects;
+    }
+    if (shed) {
+      // Heartbeat-only mode: the frame is neither appended nor acked, so
+      // the collector holds it and retries after backoff — nothing acked
+      // is ever shed, nothing shed is ever acked.
+      respond(item.conn,
+              RejectFrame{item.seq, RejectCode::kShedding,
+                          "wal stalled: heartbeat-only"},
+              /*close=*/false);
+      return;
+    }
+  }
+
+  // From here the message is accepted: durable (or known-durable), acked,
+  // and the session cursor advances.
+  const std::vector<std::uint8_t> encoding = encode_frame(item.frame);
+  const std::uint64_t hash = wire::fnv1a64(encoding.data(), encoding.size());
+  const auto dup = dedup_.find(hash);
+  if (dup != dedup_.end() && dup->second > 0) {
+    // Durable before the crash; ack without re-appending (exactly-once
+    // in the WAL across daemon restarts).
+    if (--dup->second == 0) dedup_.erase(dup);
+    MutexLock lk(stats_mutex_);
+    ++stats_.duplicates_dropped;
+  } else {
+    daemon_.ingest(item.frame);  // WAL-first: durable before applied
+    update_shed_state();
+    MutexLock lk(stats_mutex_);
+    ++stats_.messages_ingested;
+  }
+
+  last_acked = item.seq;
+  session.expected = item.seq + 1;
+  respond(item.conn, AckFrame{item.seq}, /*close=*/false);
+
+  if (kind == FrameKind::kShutdown) {
+    ++shutdowns_seen_;
+    {
+      MutexLock lk(stats_mutex_);
+      stats_.shutdowns_seen = shutdowns_seen_;
+    }
+    if (options_.expected_shutdowns > 0 &&
+        shutdowns_seen_ >= options_.expected_shutdowns)
+      queue_.close();  // drain what is queued, then the loop ends
+  }
+}
+
+void IngestServer::writer_loop() {
+  while (true) {
+    std::optional<IngressItem> item = queue_.pop();
+    if (!item.has_value()) break;  // closed and drained
+    process_item(std::move(*item));
+    wake_poll();
+  }
+  stop_.store(true);
+  wake_poll();
+}
+
+// ---------------------------------------------------------------------
+// Poll thread: accepts, reads, decodes, quarantines, transmits.
+
+void IngestServer::poll_loop() {
+  std::map<std::uint64_t, Conn> conns;
+  std::uint64_t next_conn_id = 1;
+
+  const auto quarantine = [&](std::uint64_t id, Conn& conn, RejectCode code,
+                              const char* detail) {
+    {
+      MutexLock lk(stats_mutex_);
+      if (code == RejectCode::kOversizedFrame)
+        ++stats_.oversized_frames;
+      else
+        ++stats_.corrupt_frames;
+      stats_.bytes_quarantined += conn.in.size();
+      ++stats_.rejects_sent;
+    }
+    // Framing is lost, so the response cannot name a trustworthy seq.
+    const std::vector<std::uint8_t> bytes =
+        encode_frame(RejectFrame{0, code, detail});
+    conn.out.insert(conn.out.end(), bytes.begin(), bytes.end());
+    conn.in.clear();
+    conn.want_close = true;
+    queue_.push(IngressItem{IngressItem::Kind::kGone, id, 0, Frame{}});
+  };
+
+  /// Decode as many complete messages as the buffer holds; stop at a torn
+  /// tail (wait for bytes), a quarantine (conn closing), or a full queue
+  /// (backpressure: stash the item and pause reads).
+  const auto drain_inbuf = [&](std::uint64_t id, Conn& conn) {
+    while (!conn.want_close && conn.in.size() >= kEnvelopeHeader) {
+      const std::uint64_t length = wire::load_u64(conn.in.data() + 8 + 1);
+      if (length > options_.max_frame_bytes) {
+        quarantine(id, conn, RejectCode::kOversizedFrame,
+                   "length field over the frame cap");
+        return;
+      }
+      const std::size_t total =
+          8 + kFrameHeaderSize + static_cast<std::size_t>(length);
+      if (conn.in.size() < total) return;  // torn: wait for more bytes
+      IngressItem item;
+      item.conn = id;
+      item.seq = wire::load_u64(conn.in.data());
+      try {
+        item.frame = decode_frame(conn.in.data() + 8, total - 8).frame;
+      } catch (const std::exception& e) {
+        quarantine(id, conn, RejectCode::kCorruptFrame, e.what());
+        return;
+      }
+      if (!queue_.try_push(item)) {
+        if (queue_.closed()) return;  // shutting down; drop on the floor
+        conn.stalled = std::move(item);
+        conn.has_stalled = true;
+        conn.paused = true;
+        MutexLock lk(stats_mutex_);
+        ++stats_.backpressure_stalls;
+        return;
+      }
+      conn.in.erase(conn.in.begin(),
+                    conn.in.begin() + static_cast<std::ptrdiff_t>(total));
+    }
+  };
+
+  const auto retry_stalled = [&](std::uint64_t id, Conn& conn) {
+    if (!conn.has_stalled) return;
+    if (!queue_.try_push(conn.stalled)) {
+      if (!queue_.closed()) return;  // still full; stay paused
+      conn.has_stalled = false;      // shutting down
+      conn.paused = false;
+      return;
+    }
+    const std::uint64_t length = wire::load_u64(conn.in.data() + 8 + 1);
+    const std::size_t total =
+        8 + kFrameHeaderSize + static_cast<std::size_t>(length);
+    conn.in.erase(conn.in.begin(),
+                  conn.in.begin() + static_cast<std::ptrdiff_t>(total));
+    conn.has_stalled = false;
+    conn.paused = false;
+    drain_inbuf(id, conn);
+  };
+
+  const auto flush_out = [&](Conn& conn) {
+    while (!conn.out.empty() && conn.fd >= 0) {
+      // MSG_NOSIGNAL: a peer that died mid-reply must surface as EPIPE,
+      // not kill the daemon with SIGPIPE.
+      const ssize_t n = ::send(conn.fd, conn.out.data(), conn.out.size(),
+                               MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;  // EAGAIN or a dead peer; poll decides which
+      conn.out.erase(conn.out.begin(), conn.out.begin() + n);
+    }
+  };
+
+  const auto dispatch_responses = [&] {
+    std::vector<Response> pending;
+    {
+      MutexLock lk(response_mutex_);
+      pending.swap(responses_);
+    }
+    for (Response& r : pending) {
+      const auto it = conns.find(r.conn);
+      if (it == conns.end()) continue;  // conn died before the reply
+      it->second.out.insert(it->second.out.end(), r.bytes.begin(),
+                            r.bytes.end());
+      if (r.close) it->second.want_close = true;
+      flush_out(it->second);
+    }
+  };
+
+  const auto close_conn = [&](std::uint64_t id, Conn& conn, bool notify) {
+    if (conn.fd >= 0) ::close(conn.fd);
+    conn.fd = -1;
+    if (notify)
+      queue_.push(IngressItem{IngressItem::Kind::kGone, id, 0, Frame{}});
+  };
+
+  while (!stop_.load()) {
+    std::vector<pollfd> fds;
+    std::vector<std::uint64_t> fd_conn;  // conn id per pollfd (0 = fixed)
+    fds.push_back(pollfd{wake_rd_, POLLIN, 0});
+    fd_conn.push_back(0);
+    if (unix_fd_ >= 0) {
+      fds.push_back(pollfd{unix_fd_, POLLIN, 0});
+      fd_conn.push_back(0);
+    }
+    if (tcp_fd_ >= 0) {
+      fds.push_back(pollfd{tcp_fd_, POLLIN, 0});
+      fd_conn.push_back(0);
+    }
+    for (const auto& [id, conn] : conns) {
+      short events = 0;
+      if (!conn.paused && !conn.want_close) events |= POLLIN;
+      if (!conn.out.empty()) events |= POLLOUT;
+      fds.push_back(pollfd{conn.fd, events, 0});
+      fd_conn.push_back(id);
+    }
+
+    const int ready = ::poll(fds.data(), fds.size(), kPollMillis);
+    if (ready < 0 && errno != EINTR) break;
+
+    // Wake pipe: writer produced responses and/or queue room.
+    if (fds[0].revents & POLLIN) {
+      std::uint8_t sink[64];
+      while (::read(wake_rd_, sink, sizeof(sink)) > 0) {
+      }
+    }
+    dispatch_responses();
+    for (auto& [id, conn] : conns) retry_stalled(id, conn);
+
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      if (fd_conn[i] == 0) {  // a listener
+        while (true) {
+          const int cfd =
+              ::accept4(fds[i].fd, nullptr, nullptr,
+                        SOCK_NONBLOCK | SOCK_CLOEXEC);
+          if (cfd < 0) break;
+          Conn conn;
+          conn.fd = cfd;
+          conns.emplace(next_conn_id++, std::move(conn));
+          MutexLock lk(stats_mutex_);
+          ++stats_.connections_accepted;
+        }
+        continue;
+      }
+
+      const auto it = conns.find(fd_conn[i]);
+      if (it == conns.end()) continue;
+      Conn& conn = it->second;
+      if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        flush_out(conn);
+        close_conn(it->first, conn, /*notify=*/true);
+        continue;
+      }
+      if (fds[i].revents & POLLOUT) flush_out(conn);
+      if (fds[i].revents & POLLIN) {
+        std::uint8_t buf[16384];
+        bool eof = false;
+        while (true) {
+          const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+          if (n < 0 && errno == EINTR) continue;
+          if (n < 0) break;  // EAGAIN
+          if (n == 0) {
+            eof = true;
+            break;
+          }
+          conn.in.insert(conn.in.end(), buf, buf + n);
+          if (conn.in.size() >= options_.max_frame_bytes) break;
+        }
+        drain_inbuf(it->first, conn);
+        if (eof) close_conn(it->first, conn, /*notify=*/true);
+      }
+      if (conn.fd >= 0 && conn.want_close && conn.out.empty())
+        close_conn(it->first, conn, /*notify=*/false);
+    }
+
+    for (auto it = conns.begin(); it != conns.end();)
+      it = it->second.fd < 0 ? conns.erase(it) : std::next(it);
+  }
+
+  // Final drain: the writer's last Acks (the Shutdown ones included) must
+  // reach their collectors before the sockets close.
+  for (int round = 0; round < 100; ++round) {
+    dispatch_responses();
+    bool pending = false;
+    {
+      MutexLock lk(response_mutex_);
+      pending = !responses_.empty();
+    }
+    for (auto& [id, conn] : conns) {
+      flush_out(conn);
+      pending = pending || !conn.out.empty();
+    }
+    if (!pending) break;
+    ::poll(nullptr, 0, 10);  // brief pause; peers drain their side
+  }
+  for (auto& [id, conn] : conns) close_conn(id, conn, /*notify=*/false);
+}
+
+}  // namespace vmcw::service

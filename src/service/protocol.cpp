@@ -48,6 +48,14 @@ void encode_payload(const VmDepartureFrame& f, ByteWriter& w) {
   w.u64(f.vm);
 }
 
+void encode_payload(const AckFrame& f, ByteWriter& w) { w.u64(f.seq); }
+
+void encode_payload(const RejectFrame& f, ByteWriter& w) {
+  w.u64(f.seq);
+  w.u8(static_cast<std::uint8_t>(f.code));
+  w.str(f.detail);
+}
+
 void encode_payload(const DecisionBatchFrame& f, ByteWriter& w) {
   w.u64(f.tick);
   w.u8(f.degraded ? 1 : 0);
@@ -102,6 +110,16 @@ VmDepartureFrame decode_departure(ByteReader& r) {
   return f;
 }
 
+RejectFrame decode_reject(ByteReader& r) {
+  RejectFrame f;
+  f.seq = r.u64();
+  f.code = static_cast<RejectCode>(r.u8());
+  if (f.code < RejectCode::kBadHello || f.code > RejectCode::kUnexpectedFrame)
+    throw std::runtime_error("protocol: unknown reject code");
+  f.detail = r.str();
+  return f;
+}
+
 DecisionBatchFrame decode_batch(ByteReader& r) {
   DecisionBatchFrame f;
   f.tick = r.u64();
@@ -141,6 +159,10 @@ Frame decode_payload(FrameKind kind, ByteReader& r) {
       return decode_departure(r);
     case FrameKind::kDecisionBatch:
       return decode_batch(r);
+    case FrameKind::kAck:
+      return AckFrame{r.u64()};
+    case FrameKind::kReject:
+      return decode_reject(r);
   }
   throw std::runtime_error("protocol: unknown frame kind");
 }
@@ -165,8 +187,36 @@ const char* to_string(FrameKind kind) noexcept {
       return "vm-departure";
     case FrameKind::kDecisionBatch:
       return "decision-batch";
+    case FrameKind::kAck:
+      return "ack";
+    case FrameKind::kReject:
+      return "reject";
   }
   return "?";
+}
+
+const char* to_string(RejectCode code) noexcept {
+  switch (code) {
+    case RejectCode::kBadHello:
+      return "bad-hello";
+    case RejectCode::kNoHello:
+      return "no-hello";
+    case RejectCode::kCorruptFrame:
+      return "corrupt-frame";
+    case RejectCode::kOversizedFrame:
+      return "oversized-frame";
+    case RejectCode::kOutOfOrder:
+      return "out-of-order";
+    case RejectCode::kShedding:
+      return "shedding";
+    case RejectCode::kUnexpectedFrame:
+      return "unexpected-frame";
+  }
+  return "?";
+}
+
+bool reject_is_transient(RejectCode code) noexcept {
+  return code == RejectCode::kShedding || code == RejectCode::kOutOfOrder;
 }
 
 const char* to_string(DecisionAction action) noexcept {
@@ -215,6 +265,9 @@ FrameKind frame_kind(const Frame& frame) noexcept {
           return FrameKind::kVmDeparture;
         if constexpr (std::is_same_v<T, DecisionBatchFrame>)
           return FrameKind::kDecisionBatch;
+        if constexpr (std::is_same_v<T, AckFrame>) return FrameKind::kAck;
+        if constexpr (std::is_same_v<T, RejectFrame>)
+          return FrameKind::kReject;
       },
       frame);
 }
@@ -238,7 +291,7 @@ DecodedFrame decode_frame(const std::uint8_t* data, std::size_t size) {
     throw std::runtime_error("protocol: short frame header");
   const std::uint8_t raw_kind = data[0];
   if (raw_kind < static_cast<std::uint8_t>(FrameKind::kHello) ||
-      raw_kind > static_cast<std::uint8_t>(FrameKind::kDecisionBatch))
+      raw_kind > static_cast<std::uint8_t>(FrameKind::kReject))
     throw std::runtime_error("protocol: unknown frame kind");
   const std::uint64_t length = wire::load_u64(data + 1);
   const std::uint64_t checksum = wire::load_u64(data + 9);

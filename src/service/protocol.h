@@ -12,7 +12,7 @@
 //
 // Layout of one frame on the wire / on disk:
 //
-//   kind     u8   FrameKind (1..8); anything else is a protocol error
+//   kind     u8   FrameKind (1..10); anything else is a protocol error
 //   length   u64  payload byte count
 //   checksum u64  FNV-1a 64 over the payload bytes
 //   payload  ...  typed fields, see encode_* in protocol.cpp
@@ -40,6 +40,9 @@ enum class FrameKind : std::uint8_t {
   kVmArrival = 6,
   kVmDeparture = 7,
   kDecisionBatch = 8,
+  // Ingestion session responses (server -> collector, never WAL'd):
+  kAck = 9,     ///< everything up to Ack::seq is durable in the WAL
+  kReject = 10, ///< typed refusal of one message (see RejectCode)
 };
 
 const char* to_string(FrameKind kind) noexcept;
@@ -154,10 +157,50 @@ struct DecisionBatchFrame {
   bool operator==(const DecisionBatchFrame&) const = default;
 };
 
+/// Why the ingestion server refused a message (service/ingest). Typed so
+/// a collector reacts by *kind* — resend-after-backoff for transient
+/// codes, reconnect for framing loss, give up for session errors — never
+/// by parsing a human string.
+enum class RejectCode : std::uint8_t {
+  kBadHello = 1,        ///< version/fleet-hash mismatch; session refused
+  kNoHello = 2,         ///< data before the session's Hello
+  kCorruptFrame = 3,    ///< checksum/decode failure; framing lost, conn drops
+  kOversizedFrame = 4,  ///< length field exceeds the server's frame cap
+  kOutOfOrder = 5,      ///< sequence gap; resend from the last Ack
+  kShedding = 6,        ///< WAL stalled: heartbeat-only mode, retry later
+  kUnexpectedFrame = 7, ///< a kind a collector must never send (decisions)
+};
+
+const char* to_string(RejectCode code) noexcept;
+
+/// Is a reject transient (resend the same messages after backoff) as
+/// opposed to a framing or session error (reconnect / give up)?
+bool reject_is_transient(RejectCode code) noexcept;
+
+/// Cumulative durability acknowledgement: every ingest message with
+/// seq <= `seq` has been appended and fsync'd into the telemetry WAL. An
+/// Ack is the *only* signal a collector may drop a buffered frame on.
+struct AckFrame {
+  std::uint64_t seq = 0;
+
+  bool operator==(const AckFrame&) const = default;
+};
+
+/// Typed refusal of ingest message `seq` (0 when the message could not
+/// even be framed). `detail` is for logs only; collectors dispatch on
+/// `code`.
+struct RejectFrame {
+  std::uint64_t seq = 0;
+  RejectCode code = RejectCode::kCorruptFrame;
+  std::string detail;
+
+  bool operator==(const RejectFrame&) const = default;
+};
+
 using Frame =
     std::variant<HelloFrame, HeartbeatFrame, FlushFrame, ShutdownFrame,
                  HostTelemetryDeltaFrame, VmArrivalFrame, VmDepartureFrame,
-                 DecisionBatchFrame>;
+                 DecisionBatchFrame, AckFrame, RejectFrame>;
 
 FrameKind frame_kind(const Frame& frame) noexcept;
 

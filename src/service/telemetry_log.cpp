@@ -3,9 +3,12 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 
+#include "runtime/telemetry.h"
 #include "runtime/wire.h"
 
 namespace vmcw::service {
@@ -58,7 +61,51 @@ std::vector<std::uint8_t> encode_header(std::uint64_t fleet_hash) {
   return header.bytes();
 }
 
+/// write_all through the hook surface: retries EINTR and short writes the
+/// same way wire::write_all does for the real fd path.
+bool write_all_hooked(WalIoHooks& hooks, int fd, const std::uint8_t* data,
+                      std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const long n = hooks.write_some(fd, data + off, size - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// fdatasync through the hook surface, retrying EINTR.
+int sync_hooked(WalIoHooks& hooks, int fd) {
+  int rc;
+  do {
+    rc = hooks.sync(fd);
+  } while (rc != 0 && errno == EINTR);
+  return rc;
+}
+
 }  // namespace
+
+long WalIoHooks::write_some(int fd, const std::uint8_t* data,
+                            std::size_t size) {
+  return static_cast<long>(::write(fd, data, size));
+}
+
+int WalIoHooks::sync(int fd) { return ::fdatasync(fd); }
+
+double WalIoHooks::now() {
+  // The one sanctioned wall-clock read of the service layer
+  // (vmcw_lint.conf): it times fsyncs for the observational latency
+  // metric and the ingest stall detector, never decision bytes.
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+WalIoHooks& default_wal_io_hooks() {
+  static WalIoHooks hooks;  // stateless: real write/fdatasync/clock
+  return hooks;
+}
 
 FrameLog::~FrameLog() { close(); }
 
@@ -129,18 +176,30 @@ void FrameLog::append(const Frame& frame, bool sync) {
   const std::vector<std::uint8_t> record = encode_frame(frame);
   MutexLock lk(mutex_);
   if (fd_ < 0) return;
-  if (!write_all(fd_, record.data(), record.size())) {
-    // A failed append (disk full) must not corrupt what is already
-    // durable: stop logging rather than interleave a partial frame.
+  if (!write_all_hooked(*hooks_, fd_, record.data(), record.size())) {
+    // A failed append (disk full, injected write error) must not corrupt
+    // what is already durable: stop logging rather than interleave a
+    // partial frame.
     close_locked();
     return;
   }
-  if (sync) ::fdatasync(fd_);
+  if (sync) sync_locked();
+}
+
+void FrameLog::sync_locked() {
+  if (fd_ < 0) return;
+  const double start = hooks_->now();
+  sync_hooked(*hooks_, fd_);
+  const double elapsed = hooks_->now() - start;
+  last_sync_seconds_ = elapsed;
+  // One measurement, two consumers: the telemetry sidecars and the
+  // ingestion front-end's WAL-stall detector (service/ingest).
+  MetricsRegistry::global().observe("service.wal_fsync_seconds", elapsed);
 }
 
 void FrameLog::sync() {
   MutexLock lk(mutex_);
-  if (fd_ >= 0) ::fdatasync(fd_);
+  sync_locked();
 }
 
 WalContents read_frame_log(const std::string& path) {

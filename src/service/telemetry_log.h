@@ -29,6 +29,33 @@
 
 namespace vmcw::service {
 
+/// Pluggable file-I/O + clock surface under FrameLog appends. The default
+/// implementation is the real thing (::write / ::fdatasync / a monotonic
+/// clock); the chaos layer substitutes hooks that inject partial writes,
+/// EINTR, write errors and fsync stalls on a deterministic schedule
+/// (chaos/io_faults), which is how the ingestion path's WAL-stall shedding
+/// is tested without a real slow disk. `now()` is the *only* sanctioned
+/// wall-clock read in the service layer (vmcw_lint.conf): it feeds the
+/// fsync-latency measurement, which is observational (metrics + the shed
+/// watermark) and never reaches decision bytes.
+class WalIoHooks {
+ public:
+  virtual ~WalIoHooks() = default;
+
+  /// write(2) semantics: bytes written, or -1 with errno set. May write
+  /// short; FrameLog retries short writes and EINTR.
+  virtual long write_some(int fd, const std::uint8_t* data, std::size_t size);
+
+  /// fdatasync(2) semantics: 0 on success, -1 with errno set.
+  virtual int sync(int fd);
+
+  /// Monotonic seconds; only used to measure sync() latency.
+  virtual double now();
+};
+
+/// The process-default hooks instance (real I/O).
+WalIoHooks& default_wal_io_hooks();
+
 /// Append-side handle on a frame WAL (telemetry input or decision output).
 class FrameLog {
  public:
@@ -65,17 +92,39 @@ class FrameLog {
   /// Append one frame as a single write(). With `sync` (the default) the
   /// record is fdatasync'd before returning — the WAL-first guarantee;
   /// bulk producers (the churn generator) batch with sync=false and call
-  /// sync() once at the end.
+  /// sync() once at the end. Interrupted (EINTR) and short writes are
+  /// retried; a hard write error closes the log rather than risk a torn
+  /// interleave. Every synced append's fsync latency is recorded into
+  /// MetricsRegistry ("service.wal_fsync_seconds") and kept readable via
+  /// last_sync_seconds() — one measurement shared by the telemetry
+  /// sidecars and the ingestion stall detector.
   void append(const Frame& frame, bool sync = true) VMCW_EXCLUDES(mutex_);
 
   void sync() VMCW_EXCLUDES(mutex_);
   void close() VMCW_EXCLUDES(mutex_);
 
+  /// Install I/O hooks (nullptr restores the real default). Call before
+  /// sharing the log across threads; the pointer itself is unguarded.
+  void set_io_hooks(WalIoHooks* hooks) noexcept {
+    hooks_ = hooks != nullptr ? hooks : &default_wal_io_hooks();
+  }
+
+  /// Latency of the most recent fdatasync (seconds); 0 before the first.
+  /// The ingestion front-end's WAL-stall detector reads this after every
+  /// durable append.
+  double last_sync_seconds() const VMCW_EXCLUDES(mutex_) {
+    MutexLock lk(mutex_);
+    return last_sync_seconds_;
+  }
+
  private:
   void close_locked() VMCW_REQUIRES(mutex_);
+  void sync_locked() VMCW_REQUIRES(mutex_);
 
   mutable Mutex mutex_;
   int fd_ VMCW_GUARDED_BY(mutex_) = -1;
+  double last_sync_seconds_ VMCW_GUARDED_BY(mutex_) = 0.0;
+  WalIoHooks* hooks_ = &default_wal_io_hooks();
 };
 
 /// A recorded WAL, read without modifying the file (replay mode).

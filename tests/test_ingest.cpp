@@ -1,0 +1,683 @@
+// Network ingestion front-end: the bounded ingress queue, the collector's
+// retry schedule, protocol decode under fuzzed input, the deterministic
+// I/O fault plan, the WAL's hooked I/O (EINTR, short writes, injected
+// fsync stalls), and the end-to-end contracts over real Unix sockets —
+// multi-collector chaos runs whose WAL replays byte-identical at any
+// thread count, WAL-stall shedding that never drops an acked frame, and
+// exactly-once WAL semantics across a daemon crash + resume.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "chaos/io_fault_hooks.h"
+#include "chaos/io_faults.h"
+#include "runtime/bounded_queue.h"
+#include "runtime/telemetry.h"
+#include "runtime/thread_pool.h"
+#include "service/churn.h"
+#include "service/collector.h"
+#include "service/daemon.h"
+#include "service/ingest.h"
+#include "service/protocol.h"
+#include "service/telemetry_log.h"
+#include "util/rng.h"
+
+namespace vmcw::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_dir(const char* name) {
+  const fs::path dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+/// The churn stream the socket tests deliver: small enough to run in
+/// milliseconds, busy enough to exercise arrivals, departures, telemetry
+/// and every tick-spine frame.
+std::vector<Frame> small_churn() {
+  ChurnOptions churn;
+  churn.agents = 4;
+  churn.initial_vms = 24;
+  churn.ticks = 8;
+  churn.arrivals_per_tick = 1.5;
+  churn.departure_prob = 0.05;
+  churn.blackout_prob = 0.0;
+  churn.mean_host_fraction = 0.3;
+  churn.seed = 11;
+  return generate_churn(churn, ControllerConfig{});
+}
+
+std::vector<Frame> sample_frames() {
+  return {
+      HelloFrame{kProtocolVersion, 0xfeedface, "producer-a"},
+      HeartbeatFrame{7},
+      FlushFrame{8},
+      ShutdownFrame{9},
+      HostTelemetryDeltaFrame{
+          4, 2, {VmSample{11, 1.5, 2048.0}, VmSample{12, 0.25, 512.5}}},
+      VmArrivalFrame{3, 42, "web-tier", 2.75, 4096.0},
+      VmDepartureFrame{5, 42},
+      DecisionBatchFrame{
+          6,
+          true,
+          {Decision{42, DecisionAction::kAdmit, DecisionReason::kAdmitted, -1,
+                    3}}},
+      AckFrame{12345},
+      RejectFrame{7, RejectCode::kShedding, "wal stalled"},
+  };
+}
+
+// ------------------------------------------------------------ BoundedQueue
+
+TEST(BoundedQueue, FifoWithBackpressureAtCapacity) {
+  BoundedQueue<int> q(3);
+  EXPECT_EQ(q.capacity(), 3u);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_TRUE(q.try_push(3));
+  // Full: the producer's signal to stop reading its socket.
+  EXPECT_FALSE(q.try_push(4));
+  EXPECT_EQ(q.size(), 3u);
+
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_TRUE(q.try_push(4));  // room again
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop().value(), 3);
+  EXPECT_EQ(q.pop().value(), 4);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BoundedQueue, CloseDrainsPendingThenSignalsShutdown) {
+  BoundedQueue<int> q(8);
+  EXPECT_TRUE(q.push(10));
+  EXPECT_TRUE(q.push(20));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.try_push(30));
+  EXPECT_FALSE(q.push(40));
+  // Pending items survive the close; then the empty optional ends the
+  // consumer loop.
+  EXPECT_EQ(q.pop().value(), 10);
+  EXPECT_EQ(q.pop().value(), 20);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> q(2);
+  std::optional<int> got = 99;
+  std::thread consumer([&] { got = q.pop(); });
+  q.close();
+  consumer.join();
+  EXPECT_FALSE(got.has_value());
+}
+
+// ----------------------------------------------------------------- backoff
+
+TEST(Backoff, DoublesUntilCapAndSaturates) {
+  EXPECT_EQ(reconnect_backoff_ms(0, 2, 200), 2u);
+  EXPECT_EQ(reconnect_backoff_ms(1, 2, 200), 4u);
+  EXPECT_EQ(reconnect_backoff_ms(2, 2, 200), 8u);
+  EXPECT_EQ(reconnect_backoff_ms(6, 2, 200), 128u);
+  EXPECT_EQ(reconnect_backoff_ms(7, 2, 200), 200u);  // 256 capped
+  EXPECT_EQ(reconnect_backoff_ms(1000, 2, 200), 200u);
+  // The shift saturates instead of overflowing into a tiny delay.
+  EXPECT_EQ(reconnect_backoff_ms(62, 2, 200), 200u);
+  EXPECT_EQ(reconnect_backoff_ms(63, ~0ULL, 500), 500u);
+  EXPECT_EQ(reconnect_backoff_ms(5, 0, 200), 0u);  // backoff disabled
+}
+
+// ----------------------------------------------------------- decode fuzzing
+
+/// Either decode_frame throws, or it returns a frame whose re-encoding is
+/// byte-identical to what it consumed. Nothing in between: no
+/// partially-understood input, ever.
+void expect_decode_total(const std::uint8_t* data, std::size_t size) {
+  DecodedFrame decoded;
+  try {
+    decoded = decode_frame(data, size);
+  } catch (const std::runtime_error&) {
+    return;  // rejected outright: fine
+  }
+  ASSERT_LE(decoded.consumed, size);
+  const std::vector<std::uint8_t> again = encode_frame(decoded.frame);
+  ASSERT_EQ(again.size(), decoded.consumed);
+  EXPECT_EQ(std::vector<std::uint8_t>(data, data + decoded.consumed), again);
+}
+
+TEST(ProtocolFuzz, TruncationsBitFlipsAndLengthLies) {
+  Rng rng(0x1060'57f0);
+  for (const Frame& frame : sample_frames()) {
+    const std::vector<std::uint8_t> good = encode_frame(frame);
+    // Every truncation point.
+    for (std::size_t cut = 0; cut < good.size(); ++cut) {
+      EXPECT_THROW(decode_frame(good.data(), cut), std::runtime_error)
+          << to_string(frame_kind(frame)) << " cut at " << cut;
+    }
+    // Random single-bit flips anywhere in the encoding.
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<std::uint8_t> bytes = good;
+      const auto at = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(bytes.size()) - 1));
+      bytes[at] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+      expect_decode_total(bytes.data(), bytes.size());
+    }
+    // Length-field lies: claim anything from 0 to far past the buffer.
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<std::uint8_t> bytes = good;
+      const auto lie = static_cast<std::uint64_t>(
+          rng.uniform_int(0, 1'000'000));
+      for (std::size_t b = 0; b < 8; ++b)
+        bytes[1 + b] = static_cast<std::uint8_t>(lie >> (8 * b));
+      expect_decode_total(bytes.data(), bytes.size());
+    }
+  }
+}
+
+TEST(ProtocolFuzz, RandomGarbageNeverDecodesPartially) {
+  Rng rng(0xbadc'0de5);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto size =
+        static_cast<std::size_t>(rng.uniform_int(0, 96));
+    std::vector<std::uint8_t> bytes(size);
+    for (auto& b : bytes)
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    expect_decode_total(bytes.data(), bytes.size());
+  }
+}
+
+// -------------------------------------------------------------- IoFaultPlan
+
+TEST(IoFaultPlan, SameSeedSameScheduleAnyQueryOrder) {
+  IoFaultSpec spec;
+  spec.disconnect_rate = 0.1;
+  spec.corrupt_rate = 0.1;
+  spec.partial_write_rate = 0.2;
+  spec.fsync_stall_rate = 0.15;
+  const IoFaultPlan a = IoFaultPlan::generate(spec, 42);
+  const IoFaultPlan b = IoFaultPlan::generate(spec, 42);
+  const IoFaultPlan c = IoFaultPlan::generate(spec, 43);
+
+  bool any_fault = false, differs = false;
+  for (std::uint64_t collector = 0; collector < 4; ++collector) {
+    for (std::uint64_t m = 0; m < 200; ++m) {
+      EXPECT_EQ(a.disconnect_after(collector, m),
+                b.disconnect_after(collector, m));
+      EXPECT_EQ(a.corrupt_message(collector, m),
+                b.corrupt_message(collector, m));
+      EXPECT_EQ(a.split_write(collector, m), b.split_write(collector, m));
+      EXPECT_EQ(a.corrupt_byte(collector, m, 64),
+                b.corrupt_byte(collector, m, 64));
+      any_fault = any_fault || a.disconnect_after(collector, m) ||
+                  a.corrupt_message(collector, m);
+      differs = differs || (a.disconnect_after(collector, m) !=
+                            c.disconnect_after(collector, m));
+    }
+  }
+  for (std::uint64_t append = 0; append < 400; ++append)
+    EXPECT_EQ(a.fsync_stall(append), b.fsync_stall(append));
+  EXPECT_TRUE(any_fault);
+  EXPECT_TRUE(differs);  // a different seed is a different schedule
+}
+
+TEST(IoFaultPlan, RatesApproximateProbabilities) {
+  IoFaultSpec spec;
+  spec.disconnect_rate = 0.3;
+  const IoFaultPlan plan = IoFaultPlan::generate(spec, 7);
+  std::size_t hits = 0;
+  const std::size_t trials = 20000;
+  for (std::uint64_t m = 0; m < trials; ++m)
+    if (plan.disconnect_after(0, m)) ++hits;
+  const double rate = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(rate, 0.3, 0.03);
+}
+
+TEST(IoFaultPlan, ValidatedClampsHostileKnobs) {
+  IoFaultSpec hostile;
+  hostile.disconnect_rate = 3.5;
+  hostile.corrupt_rate = -1.0;
+  hostile.fsync_stall_seconds = -4.0;
+  hostile.fsync_stall_appends = 0;
+  const IoFaultSpec sane = hostile.validated();
+  EXPECT_LE(sane.disconnect_rate, 1.0);
+  EXPECT_GE(sane.corrupt_rate, 0.0);
+  EXPECT_GE(sane.fsync_stall_seconds, 0.0);
+  EXPECT_GE(sane.fsync_stall_appends, 1u);
+}
+
+TEST(IoFaultPlan, ScriptedFaultsOnAnEmptyPlan) {
+  IoFaultPlan plan;  // clean pipes
+  EXPECT_FALSE(plan.disconnect_after(0, 5));
+  EXPECT_EQ(plan.fsync_stall(3), 0.0);
+
+  plan.force_disconnect(1, 7);
+  plan.force_corrupt(0, 2);
+  plan.force_stall_window(10, 4, 0.25);
+
+  EXPECT_TRUE(plan.disconnect_after(1, 7));
+  EXPECT_FALSE(plan.disconnect_after(1, 8));
+  EXPECT_FALSE(plan.disconnect_after(0, 7));
+  EXPECT_TRUE(plan.corrupt_message(0, 2));
+  EXPECT_FALSE(plan.corrupt_message(0, 3));
+  EXPECT_EQ(plan.fsync_stall(9), 0.0);
+  for (std::uint64_t append = 10; append < 14; ++append)
+    EXPECT_EQ(plan.fsync_stall(append), 0.25) << "append " << append;
+  EXPECT_EQ(plan.fsync_stall(14), 0.0);
+}
+
+TEST(IoFaultPlan, SplitPointsStayInteriorAndCorruptBytesInRange) {
+  IoFaultSpec spec;
+  spec.partial_write_rate = 1.0;
+  spec.corrupt_rate = 1.0;
+  const IoFaultPlan plan = IoFaultPlan::generate(spec, 3);
+  for (std::uint64_t m = 0; m < 500; ++m) {
+    const std::size_t split = plan.split_point(0, m, 40);
+    EXPECT_GE(split, 1u);
+    EXPECT_LE(split, 39u);
+    EXPECT_LT(plan.corrupt_byte(0, m, 40), 40u);
+  }
+}
+
+// -------------------------------------------------- WAL I/O hooks hardening
+
+/// Hooks that stress the append retry path: every write is short (at most
+/// 3 bytes) and every other call is interrupted first.
+class FlakyWalHooks : public WalIoHooks {
+ public:
+  long write_some(int fd, const std::uint8_t* data,
+                  std::size_t size) override {
+    if (++calls_ % 2 == 0) {
+      errno = EINTR;
+      return -1;
+    }
+    return WalIoHooks::write_some(fd, data, std::min<std::size_t>(size, 3));
+  }
+
+ private:
+  std::uint64_t calls_ = 0;
+};
+
+/// Hooks that hard-fail every write after the first `allowed` calls.
+class FailingWalHooks : public WalIoHooks {
+ public:
+  explicit FailingWalHooks(std::uint64_t allowed) : allowed_(allowed) {}
+  long write_some(int fd, const std::uint8_t* data,
+                  std::size_t size) override {
+    if (calls_++ >= allowed_) {
+      errno = EIO;
+      return -1;
+    }
+    return WalIoHooks::write_some(fd, data, size);
+  }
+
+ private:
+  std::uint64_t allowed_ = 0;
+  std::uint64_t calls_ = 0;
+};
+
+TEST(WalIoHooks, ShortWritesAndEintrStillProduceAnIntactLog) {
+  const std::string dir = temp_dir("vmcw_ingest_flaky");
+  const std::string path = dir + "/flaky.wal";
+  const auto frames = sample_frames();
+
+  FlakyWalHooks hooks;
+  FrameLog log;
+  log.set_io_hooks(&hooks);
+  log.open(path, fleet_config_hash(ControllerConfig{}), /*resume=*/false);
+  for (const Frame& frame : frames) log.append(frame, /*sync=*/false);
+  log.sync();
+  log.close();
+
+  const WalContents contents = read_frame_log(path);
+  EXPECT_FALSE(contents.torn_tail);
+  EXPECT_EQ(contents.frames, frames);
+}
+
+TEST(WalIoHooks, HardWriteErrorClosesTheLogInsteadOfTearingIt) {
+  const std::string dir = temp_dir("vmcw_ingest_eio");
+  const std::string path = dir + "/eio.wal";
+
+  // Enough budget for one frame (the header write predates the hooks'
+  // surface — open() is not an append), then the disk "dies".
+  FailingWalHooks hooks(/*allowed=*/1);
+  FrameLog log;
+  log.set_io_hooks(&hooks);
+  log.open(path, fleet_config_hash(ControllerConfig{}), /*resume=*/false);
+  log.append(HeartbeatFrame{1});
+  EXPECT_TRUE(log.is_open());
+  log.append(HeartbeatFrame{2});  // hits the injected EIO
+  EXPECT_FALSE(log.is_open());
+  log.append(HeartbeatFrame{3});  // no-op on a closed log, not a crash
+
+  // Whatever is on disk is intact: no partial interleave from the failed
+  // append.
+  const WalContents contents = read_frame_log(path);
+  EXPECT_FALSE(contents.torn_tail);
+  EXPECT_EQ(contents.frames, std::vector<Frame>{Frame{HeartbeatFrame{1}}});
+}
+
+TEST(WalIoHooks, InjectedStallIsMeasuredAndRecordedToMetrics) {
+  const std::string dir = temp_dir("vmcw_ingest_stallmeter");
+  const std::string path = dir + "/stall.wal";
+
+  IoFaultPlan plan;
+  plan.force_stall_window(/*first_append=*/0, /*appends=*/100, 0.123);
+  StallingWalHooks hooks(plan);
+
+  MetricsRegistry::global().clear();
+  FrameLog log;
+  log.set_io_hooks(&hooks);
+  log.open(path, fleet_config_hash(ControllerConfig{}), /*resume=*/false);
+  EXPECT_EQ(log.last_sync_seconds(), 0.0);
+  log.append(HeartbeatFrame{1}, /*sync=*/true);
+  EXPECT_NEAR(log.last_sync_seconds(), 0.123, 1e-9);
+  log.close();
+
+  const auto hist =
+      MetricsRegistry::global().histogram("service.wal_fsync_seconds");
+  ASSERT_GE(hist.count, 1u);
+  EXPECT_NEAR(hist.max, 0.123, 1e-9);
+  EXPECT_GE(hooks.syncs(), 1u);
+}
+
+// ----------------------------------------------------------- partitioning
+
+TEST(PartitionStream, RoutesDeterministicallyAndTerminatesEachPartition) {
+  const auto frames = small_churn();
+  const std::size_t collectors = 3, agents = 4;
+  const auto parts = partition_stream(frames, collectors, agents);
+  ASSERT_EQ(parts.size(), collectors);
+
+  std::size_t kept = 0, originals = 0;
+  for (const Frame& frame : frames)
+    if (!std::holds_alternative<HelloFrame>(frame) &&
+        !std::holds_alternative<ShutdownFrame>(frame))
+      ++originals;
+
+  for (std::size_t i = 0; i < collectors; ++i) {
+    const auto& part = parts[i];
+    ASSERT_FALSE(part.empty());
+    // Exactly one Shutdown, at the end; no Hellos (sessions bring their
+    // own handshake).
+    EXPECT_TRUE(std::holds_alternative<ShutdownFrame>(part.back()));
+    for (std::size_t k = 0; k + 1 < part.size(); ++k) {
+      EXPECT_FALSE(std::holds_alternative<ShutdownFrame>(part[k]));
+      EXPECT_FALSE(std::holds_alternative<HelloFrame>(part[k]));
+      ++kept;
+      // Routing is a pure function of the frame.
+      if (const auto* t = std::get_if<HostTelemetryDeltaFrame>(&part[k])) {
+        EXPECT_EQ(t->agent % collectors, i);
+      }
+      if (const auto* a = std::get_if<VmArrivalFrame>(&part[k])) {
+        EXPECT_EQ((a->vm % agents) % collectors, i);
+      }
+      if (const auto* d = std::get_if<VmDepartureFrame>(&part[k])) {
+        EXPECT_EQ((d->vm % agents) % collectors, i);
+      }
+    }
+  }
+  EXPECT_EQ(kept, originals);  // nothing lost, nothing duplicated
+}
+
+// ------------------------------------------------- end-to-end over sockets
+
+struct ServeResult {
+  IngestStats ingest;
+  DaemonStats daemon;
+  std::vector<CollectorStats> collectors;
+};
+
+/// Run one daemon + IngestServer on a Unix socket and N in-process
+/// collector clients (each on its partition of `frames`), to completion.
+ServeResult serve_churn(const std::string& dir,
+                        const std::vector<Frame>& frames,
+                        std::size_t collectors, std::size_t agents,
+                        const IoFaultPlan* plan,
+                        WalIoHooks* wal_hooks = nullptr,
+                        IngestOptions options = {}) {
+  Daemon::Options daemon_options;
+  daemon_options.wal_path = dir + "/live.wal";
+  daemon_options.decisions_path = dir + "/live.decisions";
+  daemon_options.durable = true;
+  Daemon daemon(ControllerConfig{}, daemon_options);
+  if (wal_hooks != nullptr) daemon.set_io_hooks(wal_hooks);
+  const auto opened = daemon.open();
+
+  options.unix_path = dir + "/ingest.sock";
+  options.expected_shutdowns = collectors;
+  IngestServer server(daemon, options);
+  server.start(opened.wal_frames);
+
+  const auto parts = partition_stream(frames, collectors, agents);
+  ServeResult result;
+  result.collectors.resize(collectors);
+  std::vector<std::thread> clients;
+  clients.reserve(collectors);
+  for (std::size_t i = 0; i < collectors; ++i) {
+    clients.emplace_back([&, i] {
+      CollectorOptions copts;
+      copts.unix_path = options.unix_path;
+      copts.peer = "collector-" + std::to_string(i);
+      copts.fleet_hash = fleet_config_hash(ControllerConfig{});
+      std::optional<PlannedTransportFaults> faults;
+      if (plan != nullptr && plan->any()) faults.emplace(*plan, i);
+      CollectorClient client(copts, faults ? &*faults : nullptr);
+      result.collectors[i] = client.run(parts[i]);
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.wait();
+  daemon.close();
+  result.ingest = server.stats();
+  result.daemon = daemon.stats();
+  return result;
+}
+
+/// The serve-mode determinism contract: the WAL the run produced replays
+/// to the live decision bytes, at 1, 2 and 8 worker threads.
+void expect_replay_identity(const std::string& dir) {
+  const std::string live = file_bytes(dir + "/live.decisions");
+  ASSERT_FALSE(live.empty());
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const std::string replayed =
+        dir + "/replay_t" + std::to_string(threads);
+    ThreadPool pool(threads);
+    ScopedPoolOverride scope(pool);
+    replay_wal(dir + "/live.wal", replayed, ControllerConfig{},
+               /*resume=*/false, /*durable=*/false);
+    EXPECT_EQ(file_bytes(replayed), live) << "at " << threads << " threads";
+  }
+}
+
+TEST(IngestServer, CleanMultiCollectorRunReplaysByteIdentical) {
+  const std::string dir = temp_dir("vmcw_ingest_clean");
+  const auto frames = small_churn();
+  const auto result =
+      serve_churn(dir, frames, /*collectors=*/3, /*agents=*/4,
+                  /*plan=*/nullptr);
+
+  std::size_t expected = 0;
+  for (const auto& part : partition_stream(frames, 3, 4))
+    expected += part.size();
+  EXPECT_EQ(result.ingest.messages_ingested, expected);
+  EXPECT_GE(result.ingest.connections_accepted, 3u);
+  EXPECT_EQ(result.ingest.corrupt_frames, 0u);
+  EXPECT_EQ(result.ingest.shutdowns_seen, 3u);
+  EXPECT_GT(result.daemon.batches, 0u);
+  expect_replay_identity(dir);
+}
+
+TEST(IngestServer, ChaosDisconnectsAndCorruptionStayExactlyOnce) {
+  const std::string dir = temp_dir("vmcw_ingest_chaos");
+  const auto frames = small_churn();
+
+  IoFaultSpec spec;
+  spec.disconnect_rate = 0.06;
+  spec.corrupt_rate = 0.04;
+  spec.partial_write_rate = 0.10;
+  const IoFaultPlan plan = IoFaultPlan::generate(spec, 9);
+  const auto result =
+      serve_churn(dir, frames, /*collectors=*/3, /*agents=*/4, &plan);
+
+  // Every partition frame landed in the WAL exactly once, despite every
+  // retransmission and quarantine along the way.
+  std::size_t expected = 0;
+  for (const auto& part : partition_stream(frames, 3, 4))
+    expected += part.size();
+  EXPECT_EQ(result.ingest.messages_ingested, expected);
+  EXPECT_EQ(result.ingest.shutdowns_seen, 3u);
+
+  std::size_t faults = 0, reconnects = 0;
+  for (const auto& stats : result.collectors) {
+    faults += stats.faults_injected;
+    reconnects += stats.reconnects;
+  }
+  EXPECT_GT(faults, 0u);
+  EXPECT_GT(reconnects, 0u);
+  EXPECT_GT(result.ingest.connections_accepted, 3u);
+
+  const WalContents wal = read_frame_log(dir + "/live.wal");
+  EXPECT_EQ(wal.frames.size(), expected);
+  expect_replay_identity(dir);
+}
+
+TEST(IngestServer, WalStallShedsToHeartbeatOnlyAndRecovers) {
+  const std::string dir = temp_dir("vmcw_ingest_shed");
+  const auto frames = small_churn();
+
+  // Healthy disk for a few appends, then a stall window far above the
+  // shed watermark. The shed-mode probes (fsyncs without appends) advance
+  // through the window, so recovery needs no cooperating traffic.
+  IoFaultPlan plan;
+  plan.force_stall_window(/*first_append=*/6, /*appends=*/20, 0.2);
+  StallingWalHooks hooks(plan);
+
+  IngestOptions options;
+  options.shed_fsync_seconds = 0.050;
+  options.recover_fsync_seconds = 0.010;
+  const auto result = serve_churn(dir, frames, /*collectors=*/1,
+                                  /*agents=*/4, /*plan=*/nullptr, &hooks,
+                                  options);
+
+  // Shedding engaged, data was refused while it lasted, and the collector
+  // saw typed kShedding rejects (not drops, not fabricated acks).
+  EXPECT_GE(result.ingest.shed_entries, 1u);
+  EXPECT_GE(result.ingest.shed_rejects, 1u);
+  EXPECT_GE(result.collectors[0].shed_backoffs, 1u);
+  // ...and it recovered: the whole stream is durable.
+  const auto parts = partition_stream(frames, 1, 4);
+  EXPECT_EQ(result.ingest.messages_ingested, parts[0].size());
+  // One collector delivers in order; acked == appended, so the WAL is the
+  // partition, exactly — shedding never dropped an acked frame.
+  const WalContents wal = read_frame_log(dir + "/live.wal");
+  EXPECT_EQ(wal.frames, parts[0]);
+  expect_replay_identity(dir);
+}
+
+TEST(IngestServer, BadHelloIsAFatalReject) {
+  const std::string dir = temp_dir("vmcw_ingest_badhello");
+
+  Daemon::Options daemon_options;
+  daemon_options.wal_path = dir + "/live.wal";
+  daemon_options.decisions_path = dir + "/live.decisions";
+  Daemon daemon(ControllerConfig{}, daemon_options);
+  const auto opened = daemon.open();
+
+  IngestOptions options;
+  options.unix_path = dir + "/ingest.sock";
+  options.expected_shutdowns = 0;  // serve until stop()
+  IngestServer server(daemon, options);
+  server.start(opened.wal_frames);
+
+  CollectorOptions copts;
+  copts.unix_path = options.unix_path;
+  copts.fleet_hash = 0xdeadbeef;  // not this fleet
+  CollectorClient client(copts);
+  EXPECT_THROW(client.run({Frame{HeartbeatFrame{1}}}), std::runtime_error);
+
+  server.stop();
+  server.wait();
+  daemon.close();
+  EXPECT_GE(server.stats().rejects_sent, 1u);
+  EXPECT_EQ(server.stats().messages_ingested, 0u);
+}
+
+TEST(IngestServer, CrashResumeDedupesAlreadyDurableFrames) {
+  const std::string dir = temp_dir("vmcw_ingest_resume");
+  const auto frames = small_churn();
+  const auto parts = partition_stream(frames, 1, 4);
+  const std::vector<Frame>& stream = parts[0];
+  const std::size_t half = stream.size() / 2;
+  const std::vector<Frame> prefix(stream.begin(),
+                                  stream.begin() + half);
+
+  const auto serve_once = [&](bool resume,
+                              const std::vector<Frame>& to_send,
+                              std::size_t expected_shutdowns,
+                              const std::string& wal) {
+    Daemon::Options daemon_options;
+    daemon_options.wal_path = wal;
+    daemon_options.decisions_path = wal + ".decisions";
+    daemon_options.resume = resume;
+    Daemon daemon(ControllerConfig{}, daemon_options);
+    const auto opened = daemon.open();
+
+    IngestOptions options;
+    options.unix_path = dir + "/ingest.sock";
+    options.expected_shutdowns = expected_shutdowns;
+    IngestServer server(daemon, options);
+    server.start(opened.wal_frames);
+
+    CollectorOptions copts;
+    copts.unix_path = options.unix_path;
+    copts.fleet_hash = fleet_config_hash(ControllerConfig{});
+    CollectorClient client(copts);
+    client.run(to_send);
+    if (expected_shutdowns == 0) server.stop();
+    server.wait();
+    daemon.close();
+    return server.stats();
+  };
+
+  // Phase 1: deliver the first half (no Shutdown yet), then the daemon
+  // "crashes" — the server goes away with the WAL durable.
+  const std::string wal = dir + "/resumed.wal";
+  serve_once(/*resume=*/false, prefix, /*expected_shutdowns=*/0, wal);
+  EXPECT_EQ(read_frame_log(wal).frames.size(), prefix.size());
+
+  // Phase 2: the daemon restarts with --resume; the collector (which
+  // never saw acks persist) resends the whole stream from scratch. The
+  // dedup filter turns the first half into acks without re-appending.
+  const IngestStats second =
+      serve_once(/*resume=*/true, stream, /*expected_shutdowns=*/1, wal);
+  EXPECT_EQ(second.duplicates_dropped, prefix.size());
+  EXPECT_EQ(second.messages_ingested, stream.size() - prefix.size());
+
+  // The resumed WAL is byte-identical to an uninterrupted delivery.
+  const std::string uwal = dir + "/uninterrupted.wal";
+  serve_once(/*resume=*/false, stream, /*expected_shutdowns=*/1, uwal);
+  EXPECT_EQ(file_bytes(wal), file_bytes(uwal));
+  EXPECT_EQ(file_bytes(wal + ".decisions"),
+            file_bytes(uwal + ".decisions"));
+}
+
+}  // namespace
+}  // namespace vmcw::service

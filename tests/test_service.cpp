@@ -67,6 +67,8 @@ std::vector<Frame> sample_frames() {
                     3, 9},
            Decision{12, DecisionAction::kHold, DecisionReason::kStaleTelemetry,
                     1, 1}}},
+      AckFrame{0x1234567890abcdefULL},
+      RejectFrame{42, RejectCode::kOutOfOrder, "gap after 41"},
   };
 }
 

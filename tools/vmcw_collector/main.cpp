@@ -1,0 +1,123 @@
+// vmcw_collector: one collection agent speaking the ingestion protocol.
+//
+//   vmcw_collector --connect SOCK | --tcp PORT
+//                  [--collectors N --index I] [--peer NAME]
+//                  [--hosts N] [--vms N] [--ticks N] [--seed S]
+//                  [--chaos-seed S] [--disconnect-rate R]
+//                  [--corrupt-rate R] [--split-rate R]
+//
+// Generates the deterministic churn stream (the same one `vmcw_daemon
+// --gen-wal` writes, same --hosts/--vms/--ticks/--seed), takes partition
+// --index of --collectors, and delivers it to a listening vmcw_daemon —
+// reconnecting with capped exponential backoff, resending from the last
+// cumulative Ack, and (with --chaos-seed and nonzero rates) corrupting,
+// splitting, and dropping its own writes on the IoFaultPlan's schedule.
+// Exit 0 means every frame of the partition is durable in the daemon's
+// WAL, no matter how badly the pipe behaved on the way.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "chaos/io_fault_hooks.h"
+#include "chaos/io_faults.h"
+#include "service/churn.h"
+#include "service/collector.h"
+
+using namespace vmcw;
+using namespace vmcw::service;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  vmcw_collector (--connect SOCK | --tcp PORT)\n"
+      "                 [--collectors N --index I] [--peer NAME]\n"
+      "                 [--hosts N] [--vms N] [--ticks N] [--seed S]\n"
+      "                 [--chaos-seed S] [--disconnect-rate R]\n"
+      "                 [--corrupt-rate R] [--split-rate R]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CollectorOptions options;
+  ChurnOptions churn;
+  churn.blackout_prob = 0.0;
+  IoFaultSpec faults;
+  std::uint64_t chaos_seed = 0;
+  bool chaos = false;
+  std::size_t collectors = 1, index = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--connect" && (v = value())) {
+      options.unix_path = v;
+    } else if (arg == "--tcp" && (v = value())) {
+      options.tcp_port = std::atoi(v);
+    } else if (arg == "--peer" && (v = value())) {
+      options.peer = v;
+    } else if (arg == "--collectors" && (v = value())) {
+      collectors = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--index" && (v = value())) {
+      index = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--hosts" && (v = value())) {
+      churn.agents = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--vms" && (v = value())) {
+      churn.initial_vms = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--ticks" && (v = value())) {
+      churn.ticks = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--seed" && (v = value())) {
+      churn.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--chaos-seed" && (v = value())) {
+      chaos_seed = static_cast<std::uint64_t>(std::atoll(v));
+      chaos = true;
+    } else if (arg == "--disconnect-rate" && (v = value())) {
+      faults.disconnect_rate = std::atof(v);
+    } else if (arg == "--corrupt-rate" && (v = value())) {
+      faults.corrupt_rate = std::atof(v);
+    } else if (arg == "--split-rate" && (v = value())) {
+      faults.partial_write_rate = std::atof(v);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return usage();
+    }
+  }
+  if (options.unix_path.empty() && options.tcp_port < 0) return usage();
+  if (collectors == 0 || index >= collectors) return usage();
+  if (options.peer == "collector")
+    options.peer = "collector-" + std::to_string(index);
+
+  try {
+    const ControllerConfig config;
+    options.fleet_hash = fleet_config_hash(config);
+    const std::vector<Frame> stream = generate_churn(churn, config);
+    const std::vector<std::vector<Frame>> parts =
+        partition_stream(stream, collectors, churn.agents);
+
+    const IoFaultPlan plan =
+        chaos ? IoFaultPlan::generate(faults, chaos_seed) : IoFaultPlan();
+    PlannedTransportFaults transport(plan, index);
+
+    CollectorClient client(options, plan.any() ? &transport : nullptr);
+    const CollectorStats stats = client.run(parts[index]);
+    std::printf("collector %zu: delivered %zu frames\n", index,
+                parts[index].size());
+    std::fprintf(stderr,
+                 "collector %zu: %zu sends, %zu retransmits, %zu reconnects, "
+                 "%zu shed backoffs, %zu faults injected\n",
+                 index, stats.messages_sent, stats.retransmits,
+                 stats.reconnects, stats.shed_backoffs,
+                 stats.faults_injected);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vmcw_collector: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -14,14 +14,26 @@
 //       are skipped instead of re-appended, so a resumed log is
 //       byte-identical to an uninterrupted run.
 //
-// All output on stdout is deterministic: the same WAL always prints the
-// same stats and writes the same decision log bytes, at any VMCW_THREADS.
+//   vmcw_daemon --listen SOCK --wal PATH [--decisions PATH] [--resume]
+//               [--tcp PORT] [--collectors K] [--queue N]
+//               [--shed-ms MS] [--recover-ms MS]
+//       Serve the ingestion protocol on a Unix socket (and optionally
+//       loopback TCP): accept framed telemetry from K vmcw_collector
+//       processes, serialize it WAL-first, and exit once K Shutdown
+//       frames are durable. The WAL the serve run leaves behind replays
+//       to the exact decision log the live run wrote.
+//
+// All gen/replay output on stdout is deterministic: the same WAL always
+// prints the same stats and writes the same decision log bytes, at any
+// VMCW_THREADS. A serve run's WAL depends on socket arrival order — its
+// replay identity is the determinism contract there.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "service/churn.h"
 #include "service/daemon.h"
+#include "service/ingest.h"
 #include "service/telemetry_log.h"
 
 using namespace vmcw;
@@ -35,8 +47,40 @@ int usage() {
       "usage:\n"
       "  vmcw_daemon --gen-wal PATH [--hosts N] [--vms N] [--ticks N]\n"
       "              [--blackouts P] [--seed S]\n"
-      "  vmcw_daemon --wal PATH --replay [--decisions PATH] [--resume]\n");
+      "  vmcw_daemon --wal PATH --replay [--decisions PATH] [--resume]\n"
+      "  vmcw_daemon --listen SOCK --wal PATH [--decisions PATH] [--resume]\n"
+      "              [--tcp PORT] [--collectors K] [--queue N]\n"
+      "              [--shed-ms MS] [--recover-ms MS]\n");
   return 2;
+}
+
+int serve(const std::string& wal_path, const std::string& decisions_path,
+          bool resume, const IngestOptions& ingest_options) {
+  const ControllerConfig config;
+  Daemon daemon(config, {wal_path, decisions_path, resume, /*durable=*/true});
+  const Daemon::OpenResult opened = daemon.open();
+  if (opened.frames_recovered > 0)
+    std::fprintf(stderr, "resumed %zu frames, %zu batches\n",
+                 opened.frames_recovered, opened.batches_recovered);
+
+  IngestServer server(daemon, ingest_options);
+  server.start(opened.wal_frames);
+  std::fprintf(stderr, "listening on %s\n",
+               ingest_options.unix_path.c_str());
+  server.wait();
+  daemon.close();
+
+  const IngestStats in = server.stats();
+  const DaemonStats& stats = daemon.stats();
+  std::printf("ingested %zu messages from %zu connections "
+              "(%zu duplicates dropped, %zu rejects, %zu shed entries)\n",
+              in.messages_ingested, in.connections_accepted,
+              in.duplicates_dropped, in.rejects_sent, in.shed_entries);
+  std::printf("decisions: %zu batches, %zu admits, %zu migrations, "
+              "%zu holds, %zu degraded ticks\n",
+              stats.batches, stats.admits, stats.migrations, stats.holds,
+              stats.degraded_ticks);
+  return 0;
 }
 
 int gen_wal(const std::string& path, const ChurnOptions& churn) {
@@ -73,6 +117,8 @@ int main(int argc, char** argv) {
   bool do_replay = false, resume = false;
   ChurnOptions churn;
   churn.blackout_prob = 0.0;
+  IngestOptions ingest;
+  bool do_listen = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -115,6 +161,31 @@ int main(int argc, char** argv) {
       do_replay = true;
     } else if (arg == "--resume") {
       resume = true;
+    } else if (arg == "--listen") {
+      const char* v = value();
+      if (!v) return usage();
+      ingest.unix_path = v;
+      do_listen = true;
+    } else if (arg == "--tcp") {
+      const char* v = value();
+      if (!v) return usage();
+      ingest.tcp_port = std::atoi(v);
+    } else if (arg == "--collectors") {
+      const char* v = value();
+      if (!v) return usage();
+      ingest.expected_shutdowns = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--queue") {
+      const char* v = value();
+      if (!v) return usage();
+      ingest.queue_capacity = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--shed-ms") {
+      const char* v = value();
+      if (!v) return usage();
+      ingest.shed_fsync_seconds = std::atof(v) / 1000.0;
+    } else if (arg == "--recover-ms") {
+      const char* v = value();
+      if (!v) return usage();
+      ingest.recover_fsync_seconds = std::atof(v) / 1000.0;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return usage();
@@ -123,6 +194,10 @@ int main(int argc, char** argv) {
 
   try {
     if (!gen_path.empty()) return gen_wal(gen_path, churn);
+    if (do_listen && !wal_path.empty()) {
+      if (decisions_path.empty()) decisions_path = wal_path + ".decisions";
+      return serve(wal_path, decisions_path, resume, ingest);
+    }
     if (do_replay && !wal_path.empty()) {
       if (decisions_path.empty()) decisions_path = wal_path + ".decisions";
       return replay(wal_path, decisions_path, resume);
