@@ -1,0 +1,177 @@
+// Recovery-time bench: cold full-WAL replay vs snapshot + suffix resume.
+//
+// Builds one deterministic churn WAL through a live daemon with segment
+// rotation and controller snapshots on (full chain retained so the cold
+// path still exists), then times the two recovery strategies the daemon
+// supports:
+//
+//   * cold:     replay every frame from ordinal zero
+//   * bounded:  load the newest snapshot, replay only the WAL suffix
+//
+// The .dat artifact carries the structural counts (all deterministic at
+// any VMCW_THREADS: the feed is direct, no sockets). Wall-clock numbers go
+// to BENCH_recovery_time.json for the perf gate: recovery must stay a
+// bounded-suffix cost, not creep back toward full-replay time.
+//
+//   bench_recovery_time [vms] [ticks]
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common.h"
+#include "core/study.h"
+#include "service/churn.h"
+#include "service/daemon.h"
+#include "service/telemetry_log.h"
+
+using namespace vmcw;
+using namespace vmcw::service;
+
+namespace {
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::WallTimer total_timer;
+  bench::print_header("Recovery time",
+                      "Snapshot + WAL-suffix resume vs cold full replay");
+
+  ChurnOptions churn;
+  churn.initial_vms = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1]))
+                               : 2000;
+  churn.ticks = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 12;
+  churn.agents = 16;
+  churn.apps = 12;
+  churn.arrivals_per_tick = static_cast<double>(churn.initial_vms) * 0.002;
+  churn.departure_prob = 0.001;
+  churn.mean_host_fraction = 0.45;
+  churn.blackout_prob = 0.0;
+  churn.seed = kStudySeed;
+
+  const ControllerConfig config;
+  const auto frames = generate_churn(churn, config);
+  std::printf("churn: %zu frames over %zu ticks\n\n", frames.size(),
+              churn.ticks);
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "bench_recovery_time")
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  Daemon::Options options;
+  options.wal_path = dir + "/live.wal";
+  options.decisions_path = dir + "/live.decisions";
+  options.durable = false;  // measure recovery compute, not fdatasync
+  options.segment_frames = 512;
+  options.snapshot_path = dir + "/ctrl.snap";
+  options.snapshot_every_frames = 2048;
+  options.retain_segments = true;  // keep the chain: the cold path needs it
+
+  // Build phase: one uninterrupted live run with checkpointing on.
+  std::size_t snapshot_frames = 0;
+  {
+    Daemon daemon(config, options);
+    daemon.open();
+    for (const Frame& frame : frames) {
+      daemon.ingest(frame);
+      daemon.maybe_snapshot();
+    }
+    daemon.close();
+    if (daemon.stats().snapshots_written == 0) {
+      std::printf("FAIL: no snapshot written (stream too short?)\n");
+      return 1;
+    }
+  }
+
+  // Cold recovery: full replay from ordinal zero.
+  const bench::WallTimer cold_timer;
+  const DaemonStats cold =
+      replay_wal(options.wal_path, dir + "/cold.decisions", config,
+                 /*resume=*/false, /*durable=*/false);
+  const double cold_seconds = cold_timer.seconds();
+
+  // Bounded recovery: snapshot + suffix, averaged over a few resumes
+  // (each open is read-only on the WAL, so they are independent).
+  const int kResumes = 3;
+  double recovery_seconds = 0;
+  std::size_t suffix_frames = 0;
+  for (int i = 0; i < kResumes; ++i) {
+    Daemon::Options resume_options = options;
+    resume_options.resume = true;
+    Daemon daemon(config, resume_options);
+    const bench::WallTimer timer;
+    const auto opened = daemon.open();
+    recovery_seconds += timer.seconds();
+    daemon.close();
+    if (!opened.snapshot_loaded) {
+      std::printf("FAIL: resume %d did not load the snapshot\n", i);
+      return 1;
+    }
+    snapshot_frames = opened.snapshot_frames;
+    suffix_frames = opened.frames_recovered;
+  }
+  recovery_seconds /= kResumes;
+
+  std::size_t segments = 0;
+  while (std::filesystem::exists(segment_path(options.wal_path, segments + 1)))
+    ++segments;
+  const double cold_rate =
+      cold_seconds > 0 ? static_cast<double>(cold.frames) / cold_seconds : 0;
+  const double recovery_rate =
+      recovery_seconds > 0
+          ? static_cast<double>(frames.size()) / recovery_seconds
+          : 0;
+
+  // Deterministic section: structural counts only.
+  std::string dat;
+  char line[160];
+  std::snprintf(line, sizeof(line), "frames            %zu\n", frames.size());
+  dat += line;
+  std::snprintf(line, sizeof(line), "ticks             %zu\n", churn.ticks);
+  dat += line;
+  std::snprintf(line, sizeof(line), "segments          %zu\n", segments);
+  dat += line;
+  std::snprintf(line, sizeof(line), "snapshot_frame    %zu\n",
+                snapshot_frames);
+  dat += line;
+  std::snprintf(line, sizeof(line), "suffix_frames     %zu\n", suffix_frames);
+  dat += line;
+  std::printf("%s", dat.c_str());
+  bench::write_dat(dat);
+
+  std::printf("\ncold replay:       %.1f ms (%.0f frames/sec, %zu frames)\n",
+              cold_seconds * 1e3, cold_rate, cold.frames);
+  std::printf("snapshot recovery: %.1f ms (%zu suffix frames, %.1fx faster)\n",
+              recovery_seconds * 1e3, suffix_frames,
+              recovery_seconds > 0 ? cold_seconds / recovery_seconds : 0);
+
+  bench::write_bench_json(
+      "recovery_time", total_timer.seconds(), "recovery_frames_per_sec",
+      recovery_rate,
+      {{"frames", static_cast<double>(frames.size())},
+       {"ticks", static_cast<double>(churn.ticks)},
+       {"cold_frames_per_sec", cold_rate},
+       {"cold_replay_ms", cold_seconds * 1e3},
+       {"snapshot_recovery_ms", recovery_seconds * 1e3}});
+
+  if (file_bytes(dir + "/cold.decisions") !=
+      file_bytes(options.decisions_path)) {
+    std::printf("FAIL: cold replay decisions differ from the live run\n");
+    return 1;
+  }
+  std::printf("cold replay matches the live decision log\n");
+  std::printf("telemetry sidecar: telemetry_recovery_time.json\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Deterministic process-level fault injection: timed SIGKILLs.
+//
+// IoFaultPlan perturbs the pipes; ProcessFaultPlan perturbs the *process*:
+// it schedules when the supervisor's chaos mode kills the daemon outright,
+// mid-ingest, with collectors still connected. Like every chaos plan it is
+// a pure schedule — the same (spec, seed) yields the same kill times on
+// any machine — so a soak run is reproducible: K kills at known uptimes,
+// after which the final decision log must still be byte-identical to an
+// uninterrupted run (tests/test_recovery.cpp, the CI soak job).
+//
+// Coordinates: `run` is the 0-based count of daemon launches. Each of the
+// first `kills` runs gets a kill delay drawn uniformly from
+// [min_uptime_seconds, max_uptime_seconds]; later runs are left alone so
+// the soak can converge and drain.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vmcw {
+
+/// Kill-schedule knobs. validated() clamps hostile values.
+struct ProcessFaultSpec {
+  std::size_t kills = 5;  ///< how many daemon runs get SIGKILLed
+  double min_uptime_seconds = 0.2;  ///< earliest kill after launch
+  double max_uptime_seconds = 1.0;  ///< latest kill after launch
+
+  ProcessFaultSpec validated() const noexcept;
+};
+
+class ProcessFaultPlan {
+ public:
+  /// An empty plan (no kills); script onto it with force_kill.
+  ProcessFaultPlan() = default;
+
+  /// Derive the kill schedule from `seed`; deterministic in its arguments.
+  static ProcessFaultPlan generate(const ProcessFaultSpec& spec,
+                                   std::uint64_t seed);
+
+  const ProcessFaultSpec& spec() const noexcept { return spec_; }
+
+  /// Seconds after launch at which daemon run `run` gets SIGKILLed, or a
+  /// negative value when that run is allowed to live. Scripted kills
+  /// (force_kill) take precedence over hashed ones.
+  double kill_after_seconds(std::size_t run) const noexcept;
+
+  /// Total runs with a scheduled kill.
+  std::size_t kills() const noexcept;
+
+  /// Script a kill for `run` at `seconds` after launch (drills/tests).
+  void force_kill(std::size_t run, double seconds);
+
+ private:
+  ProcessFaultSpec spec_;
+  std::uint64_t seed_ = 0;
+  bool hashed_ = false;
+  std::vector<std::pair<std::size_t, double>> forced_kills_;
+};
+
+}  // namespace vmcw

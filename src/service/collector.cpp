@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <set>
 #include <stdexcept>
 #include <utility>
 
@@ -106,13 +107,18 @@ CollectorStats CollectorClient::run(const std::vector<Frame>& frames) {
   CollectorStats stats;
   const std::uint64_t total = frames.size();
 
+  // Coalescing mutates queued (never-sent) frames, so it works on a copy.
+  const bool coalesce = options_.coalesce_telemetry;
+  std::vector<Frame> stream;
+  if (coalesce) stream.assign(frames.begin(), frames.end());
+
   // Messages are sequenced up front: frame i travels as seq i+1, always,
   // so a retransmission is byte-identical to the original send and the
   // server's cumulative ack is a plain index into this stream.
   std::vector<std::vector<std::uint8_t>> messages;
   messages.reserve(frames.size());
   for (std::uint64_t i = 0; i < total; ++i)
-    messages.push_back(envelope(i + 1, frames[i]));
+    messages.push_back(envelope(i + 1, coalesce ? stream[i] : frames[i]));
 
   HelloFrame hello;
   hello.fleet_hash = options_.fleet_hash;
@@ -156,12 +162,36 @@ CollectorStats CollectorClient::run(const std::vector<Frame>& frames) {
     return ok;
   };
 
+  // Merge superseded telemetry in the unsent backlog [max_sent, total):
+  // scanning newest-first, a VM's first sighting wins and every older
+  // queued sample for it is dropped, then the touched messages re-encode.
+  // Frames at or below max_sent are never rewritten — a resend must stay
+  // byte-identical for the server's crash-recovery dedup filter.
+  const auto coalesce_backlog = [&] {
+    if (!coalesce) return;
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = total; i-- > max_sent;) {
+      auto* delta = std::get_if<HostTelemetryDeltaFrame>(&stream[i]);
+      if (delta == nullptr) continue;
+      const std::size_t before = delta->samples.size();
+      const auto kept = std::remove_if(
+          delta->samples.begin(), delta->samples.end(),
+          [&](const VmSample& s) { return !seen.insert(s.vm).second; });
+      delta->samples.erase(kept, delta->samples.end());
+      if (delta->samples.size() != before) {
+        stats.samples_coalesced += before - delta->samples.size();
+        messages[i] = envelope(i + 1, stream[i]);
+      }
+    }
+  };
+
   const auto drop_conn = [&] {
     if (fd_ >= 0) ::close(fd_);
     fd_ = -1;
     cursor = acked;  // in-flight messages died with the connection
     hello_acked = false;
     respbuf.clear();
+    coalesce_backlog();  // disconnected: the backlog will sit a while
   };
 
   const auto fail = [&](const char* why) {
@@ -246,7 +276,26 @@ CollectorStats CollectorClient::run(const std::vector<Frame>& frames) {
       at += decoded.consumed;
 
       if (const auto* ack = std::get_if<AckFrame>(&decoded.frame)) {
-        hello_acked = true;
+        if (!hello_acked) {
+          // The first Ack on a (re)connection is the handshake reply: the
+          // server's authoritative durable mark. It can sit *below* what
+          // we saw acked before — a daemon restarted from a snapshot whose
+          // marks trail our history — and then we must rewind and resend;
+          // holding our old mark would loop on out-of-order rejects
+          // forever. Resends below the server's true durable point are
+          // safe: it re-acks or dedups, never double-appends.
+          hello_acked = true;
+          const std::uint64_t mark = std::min(ack->seq, total);
+          if (mark < acked) {
+            ++stats.server_rewinds;
+            acked = mark;
+          } else if (mark > acked) {
+            acked = mark;
+            attempt = 0;  // progress: reset the failure budget
+          }
+          cursor = acked;
+          continue;
+        }
         if (ack->seq > acked) {
           acked = std::min(ack->seq, total);
           attempt = 0;  // progress: reset the failure budget
@@ -287,7 +336,10 @@ CollectorStats CollectorClient::run(const std::vector<Frame>& frames) {
     respbuf.erase(respbuf.begin(),
                   respbuf.begin() + static_cast<std::ptrdiff_t>(
                                         std::min(at, respbuf.size())));
-    if (backoff_needed) fail(backoff_why);
+    if (backoff_needed) {
+      coalesce_backlog();  // backing off: merge what will wait anyway
+      fail(backoff_why);
+    }
   }
 
   if (fd_ >= 0) ::close(fd_);

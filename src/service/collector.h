@@ -91,6 +91,14 @@ struct CollectorOptions {
   /// Consecutive failures (connect errors, dead connections, transient
   /// rejects) before run() gives up. Any progress resets the count.
   std::size_t max_attempts = 200;
+
+  /// While disconnected or backing off, merge superseded telemetry deltas
+  /// in the not-yet-sent backlog: a VM keeps only its newest queued sample
+  /// (newer deltas supersede older ones), so a reconnect flood does not
+  /// replay stale state. Only frames past the send high-water mark are
+  /// touched — anything ever written to a socket resends byte-identically,
+  /// which is what the server's crash-recovery duplicate filter keys on.
+  bool coalesce_telemetry = false;
 };
 
 struct CollectorStats {
@@ -100,6 +108,12 @@ struct CollectorStats {
   std::size_t transient_rejects = 0;  ///< out-of-order rejections seen
   std::size_t shed_backoffs = 0;      ///< shedding rejections seen
   std::size_t faults_injected = 0;    ///< corrupt + split + disconnect
+  /// Times a (re)connect Ack named a durable mark *below* what we had
+  /// already seen acked — a daemon restarted from a snapshot whose marks
+  /// trail our history. The client rewinds and resends; the server
+  /// re-acks/dedups, so the stream still lands exactly once.
+  std::size_t server_rewinds = 0;
+  std::size_t samples_coalesced = 0;  ///< telemetry samples merged away
 };
 
 class CollectorClient {

@@ -273,6 +273,85 @@ DecisionBatchFrame IncrementalController::tick(std::uint64_t now) {
   return batch;
 }
 
+void IncrementalController::save_state(wire::ByteWriter& w) const {
+  w.u64(vms_.size());
+  for (const VmState& vm : vms_) {
+    w.u64(vm.id);
+    w.str(vm.app);
+    w.u8(vm.resident ? 1 : 0);
+    w.u8(vm.admitted ? 1 : 0);
+    w.u64(vm.last_seen);
+    w.u64(vm.window_next);
+    w.u64(vm.window.size());
+    for (const ResourceVector& sample : vm.window) {
+      w.f64(sample.cpu_rpe2);
+      w.f64(sample.memory_mb);
+    }
+  }
+  w.u64(host_of_.size());
+  for (const std::int32_t host : host_of_) w.i32(host);
+  w.vec_u64(pending_);
+  w.u8(degraded_ ? 1 : 0);
+}
+
+void IncrementalController::restore_state(wire::ByteReader& r) {
+  vms_.clear();
+  index_of_.clear();
+  host_of_.clear();
+  pending_.clear();
+  degraded_ = false;
+  constraints_dirty_ = true;
+  try {
+    const std::uint64_t n = r.u64();
+    vms_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      VmState vm;
+      vm.id = r.u64();
+      vm.app = r.str();
+      vm.resident = r.u8() != 0;
+      vm.admitted = r.u8() != 0;
+      vm.last_seen = r.u64();
+      vm.window_next = r.u64();
+      const std::uint64_t samples = r.u64();
+      if (samples > std::max<std::size_t>(1, config_.envelope_window))
+        throw std::runtime_error("controller: snapshot window overruns");
+      vm.window.reserve(samples);
+      for (std::uint64_t s = 0; s < samples; ++s) {
+        ResourceVector sample;
+        sample.cpu_rpe2 = r.f64();
+        sample.memory_mb = r.f64();
+        vm.window.push_back(sample);
+      }
+      if (vm.window_next > vm.window.size())
+        throw std::runtime_error("controller: snapshot ring cursor overruns");
+      vms_.push_back(std::move(vm));
+    }
+    if (r.u64() != n)
+      throw std::runtime_error("controller: snapshot host map size mismatch");
+    host_of_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) host_of_.push_back(r.i32());
+    pending_ = r.vec_u64();
+    for (const std::size_t dense : pending_)
+      if (dense >= vms_.size())
+        throw std::runtime_error("controller: snapshot FIFO index overruns");
+    degraded_ = r.u8() != 0;
+    if (!r.exhausted())
+      throw std::runtime_error("controller: snapshot has trailing bytes");
+  } catch (...) {
+    vms_.clear();
+    index_of_.clear();
+    host_of_.clear();
+    pending_.clear();
+    degraded_ = false;
+    throw;
+  }
+  // Dense indices are append-only and a re-arrival points the map at its
+  // newest slot (on_arrival), so rebuilding in dense order — later entries
+  // overwriting earlier ones — reproduces the live map exactly.
+  for (std::size_t dense = 0; dense < vms_.size(); ++dense)
+    index_of_[vms_[dense].id] = dense;
+}
+
 std::size_t IncrementalController::resident_vms() const noexcept {
   std::size_t count = 0;
   for (const VmState& state : vms_)

@@ -41,6 +41,7 @@
 #include "core/placement.h"
 #include "core/settings.h"
 #include "hardware/catalog.h"
+#include "runtime/wire.h"
 #include "service/protocol.h"
 
 namespace vmcw::service {
@@ -83,6 +84,21 @@ class IncrementalController {
   /// applied to resident state (migration decisions are taken as executed
   /// instantly — execution feasibility stays the planners' concern).
   DecisionBatchFrame tick(std::uint64_t now);
+
+  // ---- checkpointing (service/snapshot) ----
+
+  /// Serialize the full resident state — every field tick() reads — into
+  /// `w`. A controller restored from these bytes emits byte-identical
+  /// decision batches for the same subsequent frame stream; that property
+  /// is what makes snapshot+suffix recovery equal to a cold full replay
+  /// (tests/test_recovery.cpp pins it at 1/2/8 threads).
+  void save_state(wire::ByteWriter& w) const;
+
+  /// Restore state previously written by save_state() against the same
+  /// fleet configuration. Throws std::runtime_error on malformed bytes;
+  /// the controller is left empty in that case (the caller falls back to
+  /// a full WAL replay).
+  void restore_state(wire::ByteReader& r);
 
   // ---- observers (tests and the CLI) ----
   std::size_t resident_vms() const noexcept;

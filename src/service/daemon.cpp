@@ -1,6 +1,9 @@
 #include "service/daemon.h"
 
+#include <cstdio>
 #include <stdexcept>
+
+#include "service/snapshot.h"
 
 namespace vmcw::service {
 
@@ -41,21 +44,76 @@ Daemon::Daemon(ControllerConfig config, Options options)
 
 Daemon::OpenResult Daemon::open() {
   OpenResult result;
-  FrameLog::Recovery wal =
-      wal_.open(options_.wal_path, fleet_hash_, options_.resume);
+  // A fresh (non-resume) open truncates the WAL; a snapshot left over from
+  // the previous stream would otherwise look usable against the new chain
+  // once it grows past the old coverage, and restore state from the wrong
+  // stream. Remove it with the stream it described.
+  if (!options_.resume && !options_.snapshot_path.empty())
+    std::remove(options_.snapshot_path.c_str());
+  SegmentedFrameLog::Recovery wal = wal_.open(
+      options_.wal_path, fleet_hash_, options_.resume, options_.segment_frames);
   const FrameLog::Recovery decisions =
       decisions_.open(options_.decisions_path, fleet_hash_, options_.resume);
   result.wal_stale = wal.stale;
   result.decisions_stale = decisions.stale;
-  result.frames_recovered = wal.frames.size();
   result.batches_recovered = count_batches(decisions.frames);
 
-  // Re-apply the recovered input, recomputing every decision batch but
+  // Try the snapshot. A snapshot is usable only if its coverage sits
+  // inside what the WAL chain still holds (a snapshot past the chain's end
+  // references reclaimed-or-missing segments; one below the chain's base
+  // cannot bridge the reclaimed prefix either way) and its controller
+  // bytes restore cleanly. Anything else falls back to a full replay —
+  // which requires the chain to still start at frame zero.
+  std::uint64_t suffix_start = wal.base_ordinal;  // ordinal of wal.frames[0]
+  batches_skipped_ = result.batches_recovered;
+  frames_applied_ = wal.base_ordinal;
+  batches_total_ = 0;
+  if (options_.resume && !options_.snapshot_path.empty()) {
+    SnapshotData snap;
+    const SnapshotStatus status =
+        read_snapshot(options_.snapshot_path, fleet_hash_, snap);
+    const bool coverage_ok =
+        status == SnapshotStatus::kOk &&
+        snap.frames_covered >= wal.base_ordinal &&
+        snap.frames_covered <= wal.base_ordinal + wal.frames.size() &&
+        snap.batches_emitted <= result.batches_recovered;
+    if (coverage_ok) {
+      wire::ByteReader r(snap.controller_state.data(),
+                         snap.controller_state.size());
+      try {
+        controller_.restore_state(r);
+        result.snapshot_loaded = true;
+        result.snapshot_frames = snap.frames_covered;
+        result.ack_marks = std::move(snap.ack_marks);
+        suffix_start = snap.frames_covered;
+        frames_applied_ = snap.frames_covered;
+        batches_total_ = snap.batches_emitted;
+        shutdowns_applied_ = snap.shutdowns_covered;
+        batches_skipped_ = result.batches_recovered -
+                           static_cast<std::size_t>(snap.batches_emitted);
+      } catch (const std::exception&) {
+        // restore_state left the controller empty; full replay below.
+      }
+    }
+  }
+  if (!result.snapshot_loaded && wal.base_ordinal > 0)
+    throw std::runtime_error(
+        "Daemon: WAL head was reclaimed and no usable snapshot covers it");
+
+  // Re-apply the recovered suffix, recomputing every decision batch but
   // appending only the ones the crash lost: the resumed decision log is
   // byte-identical to an uninterrupted run.
-  batches_skipped_ = result.batches_recovered;
-  for (const Frame& frame : wal.frames) apply(frame, /*emit=*/true);
+  const std::size_t skip =
+      static_cast<std::size_t>(suffix_start - wal.base_ordinal);
+  for (std::size_t i = skip; i < wal.frames.size(); ++i)
+    apply(wal.frames[i], /*emit=*/true);
+  result.frames_recovered = wal.frames.size() - skip;
+  wal.frames.erase(wal.frames.begin(),
+                   wal.frames.begin() + static_cast<std::ptrdiff_t>(skip));
   result.wal_frames = std::move(wal.frames);
+  result.shutdowns_recovered = shutdowns_applied_;
+  last_snapshot_frames_ = frames_applied_;
+  last_snapshot_time_ = hooks_->now();
   return result;
 }
 
@@ -64,10 +122,23 @@ DecisionBatchFrame Daemon::ingest(const Frame& frame) {
   return apply(frame, /*emit=*/true);
 }
 
+void Daemon::append_many(const std::vector<Frame>& frames) {
+  if (frames.empty()) return;
+  for (const Frame& frame : frames) wal_.append(frame, /*sync=*/false);
+  if (options_.durable) wal_.sync();
+}
+
+DecisionBatchFrame Daemon::apply_frame(const Frame& frame) {
+  return apply(frame, /*emit=*/true);
+}
+
 DecisionBatchFrame Daemon::apply(const Frame& frame, bool emit) {
   ++stats_.frames;
+  ++frames_applied_;
+  if (std::holds_alternative<ShutdownFrame>(frame)) ++shutdowns_applied_;
   if (const auto* flush = std::get_if<FlushFrame>(&frame)) {
     DecisionBatchFrame batch = controller_.tick(flush->tick);
+    ++batches_total_;
     if (batches_skipped_ > 0)
       --batches_skipped_;  // already durable from before the crash
     else if (emit)
@@ -77,6 +148,36 @@ DecisionBatchFrame Daemon::apply(const Frame& frame, bool emit) {
   }
   controller_.apply(frame);
   return DecisionBatchFrame{};
+}
+
+void Daemon::maybe_snapshot() {
+  if (options_.snapshot_path.empty()) return;
+  const bool frames_due =
+      options_.snapshot_every_frames > 0 &&
+      frames_applied_ - last_snapshot_frames_ >= options_.snapshot_every_frames;
+  const bool time_due =
+      options_.snapshot_every_seconds > 0.0 &&
+      hooks_->now() - last_snapshot_time_ >= options_.snapshot_every_seconds;
+  if (frames_due || time_due) write_snapshot_now();
+}
+
+bool Daemon::write_snapshot_now() {
+  if (options_.snapshot_path.empty()) return false;
+  SnapshotData snap;
+  snap.frames_covered = frames_applied_;
+  snap.batches_emitted = batches_total_;
+  snap.shutdowns_covered = shutdowns_applied_;
+  wire::ByteWriter w;
+  controller_.save_state(w);
+  snap.controller_state = w.bytes();
+  if (marks_provider_) snap.ack_marks = marks_provider_();
+  if (!write_snapshot(options_.snapshot_path, fleet_hash_, snap)) return false;
+  ++stats_.snapshots_written;
+  last_snapshot_frames_ = frames_applied_;
+  last_snapshot_time_ = hooks_->now();
+  if (!options_.retain_segments)
+    stats_.segments_reclaimed += wal_.reclaim_before(frames_applied_);
+  return true;
 }
 
 void Daemon::close() {
@@ -90,11 +191,15 @@ DaemonStats replay_wal(const std::string& wal_path,
                        const std::string& decisions_path,
                        const ControllerConfig& config, bool resume,
                        bool durable) {
-  const WalContents wal = read_frame_log(wal_path);
+  const WalContents wal = read_segmented_wal(wal_path);
   const std::uint64_t fleet_hash = fleet_config_hash(config);
   if (wal.fleet_hash != fleet_hash)
     throw std::runtime_error(
         "replay_wal: WAL was recorded for a different fleet configuration");
+  if (wal.base_ordinal != 0)
+    throw std::runtime_error(
+        "replay_wal: WAL head segments were reclaimed; a cold replay needs "
+        "the full chain (record with segment retention on)");
 
   IncrementalController controller(config);
   FrameLog decisions;

@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "runtime/telemetry.h"
 #include "runtime/wire.h"
 
 namespace vmcw::service {
@@ -92,7 +93,10 @@ IngestServer::~IngestServer() {
   if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
 }
 
-void IngestServer::start(const std::vector<Frame>& recovered_frames) {
+void IngestServer::start(
+    const std::vector<Frame>& recovered_frames,
+    const std::map<std::string, std::uint64_t>& recovered_marks,
+    std::uint64_t recovered_shutdowns) {
   if (started_) throw std::logic_error("ingest: start() called twice");
   if (options_.unix_path.empty() && options_.tcp_port < 0)
     throw std::runtime_error("ingest: no listener configured");
@@ -116,6 +120,31 @@ void IngestServer::start(const std::vector<Frame>& recovered_frames) {
     const std::vector<std::uint8_t> bytes = encode_frame(frame);
     ++dedup_[wire::fnv1a64(bytes.data(), bytes.size())];
   }
+  // Snapshot-recovered ack marks: frames at or below a peer's mark were
+  // durable before the newest checkpoint (their WAL segments may already
+  // be reclaimed), so a resend of them is answered off the mark by the
+  // seq <= last_acked path — the dedup filter only needs the replayed
+  // suffix seeded above.
+  last_acked_ = recovered_marks;
+  // Every snapshot captures the marks as of the batch boundary it is
+  // written at (writer thread, after the marks advanced), which is what
+  // keeps mark-based re-acks and dedup-based drops exactly partitioned.
+  daemon_.set_ack_marks_provider([this] { return last_acked_; });
+
+  // Shutdown frames already durable before the restart count toward the
+  // exit condition: their collectors got the Ack and exited. If the whole
+  // quota was met before the crash, close the queue up front — the writer
+  // drains nothing and the serve run ends immediately (a supervised daemon
+  // killed after ingest completed restarts, recovers, and exits 0 instead
+  // of waiting forever on resends that cannot come).
+  shutdowns_seen_ = static_cast<std::size_t>(recovered_shutdowns);
+  {
+    MutexLock lk(stats_mutex_);
+    stats_.shutdowns_seen = shutdowns_seen_;
+  }
+  if (options_.expected_shutdowns > 0 &&
+      shutdowns_seen_ >= options_.expected_shutdowns)
+    queue_.close();
 
   started_ = true;
   writer_thread_ = std::thread([this] { writer_loop(); });
@@ -177,151 +206,238 @@ void IngestServer::update_shed_state() {
   }
 }
 
-void IngestServer::process_item(IngressItem item) {
-  if (item.kind == IngressItem::Kind::kGone) {
-    sessions_.erase(item.conn);  // last_acked_ survives for the reconnect
-    return;
-  }
+// One writer drain, three phases (the frame-batching satellite of the
+// bounded-recovery PR):
+//
+//  1. classify every item in queue order against *tentative* per-peer ack
+//     marks — handshakes, duplicates, out-of-order and shed rejections are
+//     answered immediately (none of those responses asserts new
+//     durability); frames that will land in the WAL are collected;
+//  2. append the whole accepted run with ONE fdatasync (Daemon::append_many)
+//     — the cumulative Ack means per-frame syncs bought nothing;
+//  3. only now advance the real marks, apply each frame to the controller
+//     in the same order, and emit the deferred Acks. An Ack{s} still
+//     implies everything <= s from that peer is durable.
+//
+// Then the snapshot cadence check and the liveness heartbeat, both at the
+// batch boundary: every durable frame has been applied and is covered by
+// the marks, which is exactly the invariant a snapshot needs.
+void IngestServer::process_batch(std::vector<IngressItem>& items) {
+  struct Accepted {
+    std::uint64_t conn = 0;
+    std::uint64_t seq = 0;
+    std::string peer;
+    FrameKind kind = FrameKind::kHeartbeat;
+    bool append = false;  ///< false: dedup hit, already durable
+    Frame frame;
+  };
+  std::vector<Accepted> accepted;
+  accepted.reserve(items.size());
+  // Durable marks stay put until phase 3; classification tracks where each
+  // peer's cursor *will* be so a Hello or seq check mid-batch sees the
+  // items ahead of it in the same drain.
+  std::map<std::string, std::uint64_t> tentative;
+  const auto tentative_mark = [&](const std::string& peer) -> std::uint64_t& {
+    const auto it = tentative.find(peer);
+    if (it != tentative.end()) return it->second;
+    return tentative.emplace(peer, last_acked_[peer]).first->second;
+  };
 
-  // Hello: handshake only, any time, never WAL'd. Re-syncs the session on
-  // a reconnect; the Ack tells the collector where to resend from.
-  if (const auto* hello = std::get_if<HelloFrame>(&item.frame)) {
-    if (hello->version != kProtocolVersion) {
-      respond(item.conn,
-              RejectFrame{item.seq, RejectCode::kBadHello,
-                          "protocol version mismatch"},
-              /*close=*/true);
-      return;
+  for (IngressItem& item : items) {
+    if (item.kind == IngressItem::Kind::kGone) {
+      sessions_.erase(item.conn);  // last_acked_ survives for the reconnect
+      continue;
     }
-    if (hello->fleet_hash != 0 &&
-        hello->fleet_hash != fleet_config_hash(daemon_.controller().config())) {
-      respond(item.conn,
-              RejectFrame{item.seq, RejectCode::kBadHello,
-                          "fleet config hash mismatch"},
-              /*close=*/true);
-      return;
+
+    // Hello: handshake only, any time, never WAL'd. Re-syncs the session
+    // on a reconnect. The immediate Ack names the *durable* mark (never a
+    // seq still waiting on this batch's sync); the session cursor pins to
+    // the tentative one so in-flight items ahead of the Hello are not
+    // re-expected.
+    if (const auto* hello = std::get_if<HelloFrame>(&item.frame)) {
+      if (hello->version != kProtocolVersion) {
+        respond(item.conn,
+                RejectFrame{item.seq, RejectCode::kBadHello,
+                            "protocol version mismatch"},
+                /*close=*/true);
+        continue;
+      }
+      if (hello->fleet_hash != 0 &&
+          hello->fleet_hash !=
+              fleet_config_hash(daemon_.controller().config())) {
+        respond(item.conn,
+                RejectFrame{item.seq, RejectCode::kBadHello,
+                            "fleet config hash mismatch"},
+                /*close=*/true);
+        continue;
+      }
+      Session& s = sessions_[item.conn];
+      s.peer = hello->peer;
+      s.synced = true;
+      s.expected = tentative_mark(s.peer) + 1;
+      respond(item.conn, AckFrame{last_acked_[s.peer]}, /*close=*/false);
+      continue;
     }
-    Session& s = sessions_[item.conn];
-    s.peer = hello->peer;
-    s.synced = true;
-    // The collector resends from its first unacked message, so the
-    // session cursor is fully determined by the peer's durable history.
-    s.expected = last_acked_[s.peer] + 1;
-    respond(item.conn, AckFrame{last_acked_[s.peer]}, /*close=*/false);
-    return;
+
+    const auto it = sessions_.find(item.conn);
+    if (it == sessions_.end() || !it->second.synced) {
+      respond(item.conn,
+              RejectFrame{item.seq, RejectCode::kNoHello, "data before hello"},
+              /*close=*/true);
+      continue;
+    }
+    Session& session = it->second;
+
+    const FrameKind kind = frame_kind(item.frame);
+    if (!is_data_kind(kind) && !is_control_kind(kind)) {
+      // Decisions flow out of the daemon, Ack/Reject out of the server; a
+      // collector sending one is broken, not unlucky.
+      respond(item.conn,
+              RejectFrame{item.seq, RejectCode::kUnexpectedFrame,
+                          std::string("collectors never send ") +
+                              to_string(kind)},
+              /*close=*/true);
+      continue;
+    }
+
+    if (item.seq <= tentative_mark(session.peer)) {
+      // Retransmission of something already durable (or accepted earlier
+      // in this very batch): cumulative re-Ack of the durable mark.
+      {
+        MutexLock lk(stats_mutex_);
+        ++stats_.duplicates_dropped;
+      }
+      respond(item.conn, AckFrame{last_acked_[session.peer]}, /*close=*/false);
+      continue;
+    }
+
+    if (item.seq != session.expected) {
+      {
+        MutexLock lk(stats_mutex_);
+        ++stats_.out_of_order_rejects;
+      }
+      respond(item.conn,
+              RejectFrame{item.seq, RejectCode::kOutOfOrder,
+                          "resend from the last ack"},
+              /*close=*/false);
+      continue;
+    }
+
+    if (is_data_kind(kind)) {
+      bool shed = false;
+      {
+        MutexLock lk(stats_mutex_);
+        shed = shedding_;
+      }
+      if (shed) {
+        // Nothing is appending while we shed, so nothing would re-measure
+        // the disk: probe it (an fsync with no append) and accept this
+        // frame after all if the stall has cleared.
+        daemon_.probe_wal();
+        update_shed_state();
+        MutexLock lk(stats_mutex_);
+        shed = shedding_;
+        if (shed) ++stats_.shed_rejects;
+      }
+      if (shed) {
+        // Heartbeat-only mode: the frame is neither appended nor acked, so
+        // the collector holds it and retries after backoff — nothing acked
+        // is ever shed, nothing shed is ever acked.
+        respond(item.conn,
+                RejectFrame{item.seq, RejectCode::kShedding,
+                            "wal stalled: heartbeat-only"},
+                /*close=*/false);
+        continue;
+      }
+    }
+
+    // Accepted. Whether it needs an append (vs. a dedup drop of a frame
+    // durable before the crash) is decided now; the ack waits for the
+    // batch sync either way — an earlier frame of the same peer may be in
+    // the pending run, and Acks are cumulative.
+    Accepted acc;
+    acc.conn = item.conn;
+    acc.seq = item.seq;
+    acc.peer = session.peer;
+    acc.kind = kind;
+    const std::vector<std::uint8_t> encoding = encode_frame(item.frame);
+    const std::uint64_t hash = wire::fnv1a64(encoding.data(), encoding.size());
+    const auto dup = dedup_.find(hash);
+    if (dup != dedup_.end() && dup->second > 0) {
+      if (--dup->second == 0) dedup_.erase(dup);
+      acc.append = false;
+    } else {
+      acc.append = true;
+    }
+    acc.frame = std::move(item.frame);
+    tentative_mark(acc.peer) = acc.seq;
+    session.expected = acc.seq + 1;
+    accepted.push_back(std::move(acc));
   }
 
-  const auto it = sessions_.find(item.conn);
-  if (it == sessions_.end() || !it->second.synced) {
-    respond(item.conn,
-            RejectFrame{item.seq, RejectCode::kNoHello, "data before hello"},
-            /*close=*/true);
-    return;
-  }
-  Session& session = it->second;
-  std::uint64_t& last_acked = last_acked_[session.peer];
-
-  const FrameKind kind = frame_kind(item.frame);
-  if (!is_data_kind(kind) && !is_control_kind(kind)) {
-    // Decisions flow out of the daemon, Ack/Reject out of the server; a
-    // collector sending one is broken, not unlucky.
-    respond(item.conn,
-            RejectFrame{item.seq, RejectCode::kUnexpectedFrame,
-                        std::string("collectors never send ") +
-                            to_string(kind)},
-            /*close=*/true);
-    return;
+  // Phase 2: one append run, one fdatasync.
+  std::vector<Frame> to_append;
+  to_append.reserve(accepted.size());
+  for (const Accepted& acc : accepted)
+    if (acc.append) to_append.push_back(acc.frame);
+  if (!to_append.empty()) {
+    daemon_.append_many(to_append);
+    update_shed_state();
+    MutexLock lk(stats_mutex_);
+    ++stats_.wal_batches;
   }
 
-  if (item.seq <= last_acked) {
-    // Retransmission of something already durable: cumulative re-Ack.
-    {
+  // Phase 3: everything in the run is durable — advance the real marks,
+  // apply in order, ack.
+  for (Accepted& acc : accepted) {
+    last_acked_[acc.peer] = acc.seq;
+    if (acc.append) {
+      daemon_.apply_frame(acc.frame);
+      MutexLock lk(stats_mutex_);
+      ++stats_.messages_ingested;
+    } else {
       MutexLock lk(stats_mutex_);
       ++stats_.duplicates_dropped;
     }
-    respond(item.conn, AckFrame{last_acked}, /*close=*/false);
-    return;
-  }
+    respond(acc.conn, AckFrame{acc.seq}, /*close=*/false);
 
-  if (item.seq != session.expected) {
-    {
-      MutexLock lk(stats_mutex_);
-      ++stats_.out_of_order_rejects;
-    }
-    respond(item.conn,
-            RejectFrame{item.seq, RejectCode::kOutOfOrder,
-                        "resend from the last ack"},
-            /*close=*/false);
-    return;
-  }
-
-  if (is_data_kind(kind)) {
-    bool shed = false;
-    {
-      MutexLock lk(stats_mutex_);
-      shed = shedding_;
-    }
-    if (shed) {
-      // Nothing is appending while we shed, so nothing would re-measure
-      // the disk: probe it (an fsync with no append) and accept this
-      // frame after all if the stall has cleared.
-      daemon_.probe_wal();
-      update_shed_state();
-      MutexLock lk(stats_mutex_);
-      shed = shedding_;
-      if (shed) ++stats_.shed_rejects;
-    }
-    if (shed) {
-      // Heartbeat-only mode: the frame is neither appended nor acked, so
-      // the collector holds it and retries after backoff — nothing acked
-      // is ever shed, nothing shed is ever acked.
-      respond(item.conn,
-              RejectFrame{item.seq, RejectCode::kShedding,
-                          "wal stalled: heartbeat-only"},
-              /*close=*/false);
-      return;
+    // Only newly-appended Shutdowns count: a dedup drop means the frame
+    // was in the recovered suffix, and those are already folded into the
+    // recovered_shutdowns seed (the dedup multiset holds nothing else).
+    if (acc.append && acc.kind == FrameKind::kShutdown) {
+      ++shutdowns_seen_;
+      {
+        MutexLock lk(stats_mutex_);
+        stats_.shutdowns_seen = shutdowns_seen_;
+      }
+      if (options_.expected_shutdowns > 0 &&
+          shutdowns_seen_ >= options_.expected_shutdowns)
+        queue_.close();  // drain what is queued, then the loop ends
     }
   }
 
-  // From here the message is accepted: durable (or known-durable), acked,
-  // and the session cursor advances.
-  const std::vector<std::uint8_t> encoding = encode_frame(item.frame);
-  const std::uint64_t hash = wire::fnv1a64(encoding.data(), encoding.size());
-  const auto dup = dedup_.find(hash);
-  if (dup != dedup_.end() && dup->second > 0) {
-    // Durable before the crash; ack without re-appending (exactly-once
-    // in the WAL across daemon restarts).
-    if (--dup->second == 0) dedup_.erase(dup);
-    MutexLock lk(stats_mutex_);
-    ++stats_.duplicates_dropped;
-  } else {
-    daemon_.ingest(item.frame);  // WAL-first: durable before applied
-    update_shed_state();
-    MutexLock lk(stats_mutex_);
-    ++stats_.messages_ingested;
-  }
-
-  last_acked = item.seq;
-  session.expected = item.seq + 1;
-  respond(item.conn, AckFrame{item.seq}, /*close=*/false);
-
-  if (kind == FrameKind::kShutdown) {
-    ++shutdowns_seen_;
-    {
-      MutexLock lk(stats_mutex_);
-      stats_.shutdowns_seen = shutdowns_seen_;
-    }
-    if (options_.expected_shutdowns > 0 &&
-        shutdowns_seen_ >= options_.expected_shutdowns)
-      queue_.close();  // drain what is queued, then the loop ends
-  }
+  // Batch boundary: the one point where "durable", "applied" and "covered
+  // by the marks" all coincide — the snapshot invariant (DESIGN.md §9).
+  daemon_.maybe_snapshot();
+  ++batches_processed_;
+  if (!options_.health_path.empty())
+    write_file_atomic(options_.health_path,
+                      std::to_string(batches_processed_));
 }
 
 void IngestServer::writer_loop() {
+  const std::size_t cap =
+      options_.max_batch_frames > 0
+          ? options_.max_batch_frames
+          : (options_.queue_capacity > 0 ? options_.queue_capacity : 1);
+  std::vector<IngressItem> batch;
   while (true) {
     std::optional<IngressItem> item = queue_.pop();
     if (!item.has_value()) break;  // closed and drained
-    process_item(std::move(*item));
+    batch.clear();
+    batch.push_back(std::move(*item));
+    if (cap > 1) queue_.drain(batch, cap - 1);
+    process_batch(batch);
     wake_poll();
   }
   stop_.store(true);

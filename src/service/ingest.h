@@ -83,6 +83,18 @@ struct IngestOptions {
   /// Stop serving after this many Shutdown frames were ingested (one per
   /// collector by convention; 0 = serve until stop()).
   std::size_t expected_shutdowns = 1;
+
+  /// Writer batch cap: how many queued messages one WAL append + single
+  /// fdatasync may cover (0 = up to the queue capacity). The Ack is
+  /// cumulative and deferred past the batch sync, so durability semantics
+  /// are unchanged — only the fsync count drops.
+  std::size_t max_batch_frames = 0;
+
+  /// Liveness heartbeat file ("" = off): after each writer batch the
+  /// server atomically rewrites this file with a monotonic progress
+  /// counter. The supervisor's watchdog (tools/vmcw_supervisor) reads it
+  /// to distinguish a hung daemon from an idle one.
+  std::string health_path;
 };
 
 /// Counters over one serve run. Snapshot via IngestServer::stats().
@@ -99,6 +111,7 @@ struct IngestStats {
   std::size_t shed_entries = 0;         ///< times shedding engaged
   std::size_t backpressure_stalls = 0;  ///< times a socket's reads paused
   std::size_t shutdowns_seen = 0;
+  std::size_t wal_batches = 0;  ///< writer drains: one fdatasync each
 };
 
 /// Multi-producer socket front-end over one Daemon. Not copyable; start()
@@ -112,10 +125,21 @@ class IngestServer {
   IngestServer& operator=(const IngestServer&) = delete;
 
   /// Bind the listeners, seed the duplicate filter with the frames
-  /// recovered by Daemon::open() (empty on a fresh start), and spawn the
-  /// poll + writer threads. Throws std::runtime_error when no listener
-  /// could be bound.
-  void start(const std::vector<Frame>& recovered_frames);
+  /// recovered by Daemon::open() (empty on a fresh start), seed the
+  /// per-peer cumulative-Ack marks from a recovered snapshot's
+  /// OpenResult::ack_marks (frames below a mark are re-acked off the mark
+  /// — they are no longer in the replayed suffix), and spawn the poll +
+  /// writer threads. Also wires this server's marks into the daemon's
+  /// snapshot writer. `recovered_shutdowns` (OpenResult::shutdowns_recovered)
+  /// counts Shutdown frames durable across the whole recovered stream —
+  /// snapshot coverage plus suffix — toward expected_shutdowns: their
+  /// collectors were acked and exited, so they will never resend, and a
+  /// daemon restarted after ingest completed stops serving immediately
+  /// instead of hanging for traffic that cannot arrive. Throws
+  /// std::runtime_error when no listener could be bound.
+  void start(const std::vector<Frame>& recovered_frames,
+             const std::map<std::string, std::uint64_t>& recovered_marks = {},
+             std::uint64_t recovered_shutdowns = 0);
 
   /// Block until the serve run ends: expected_shutdowns Shutdown frames
   /// ingested, or stop() called.
@@ -173,7 +197,7 @@ class IngestServer {
 
   void poll_loop();
   void writer_loop();
-  void process_item(IngressItem item);
+  void process_batch(std::vector<IngressItem>& items);
   void respond(std::uint64_t conn, const Frame& frame, bool close);
   void update_shed_state();
   void wake_poll() const noexcept;
@@ -202,6 +226,7 @@ class IngestServer {
   std::map<std::string, std::uint64_t> last_acked_;
   std::map<std::uint64_t, std::size_t> dedup_;  ///< frame hash -> count
   std::size_t shutdowns_seen_ = 0;
+  std::uint64_t batches_processed_ = 0;  ///< health-file progress counter
 
   std::thread poll_thread_;
   std::thread writer_thread_;

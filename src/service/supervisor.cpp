@@ -1,0 +1,51 @@
+#include "service/supervisor.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace vmcw::service {
+
+SupervisorPolicy::SupervisorPolicy(SupervisorOptions options)
+    : options_(std::move(options)) {}
+
+std::optional<double> SupervisorPolicy::on_exit(double now) {
+  ++exits_;
+  if (circuit_open_) return std::nullopt;
+
+  // The storm window slides: only exits newer than (now - window) count
+  // toward the breaker, so a long-lived daemon's ancient crashes never
+  // accumulate into a trip.
+  const double horizon = now - options_.storm_window_seconds;
+  recent_exits_.erase(
+      std::remove_if(recent_exits_.begin(), recent_exits_.end(),
+                     [&](double t) { return t < horizon; }),
+      recent_exits_.end());
+  recent_exits_.push_back(now);
+  if (options_.storm_restarts > 0 &&
+      recent_exits_.size() >= options_.storm_restarts) {
+    circuit_open_ = true;
+    return std::nullopt;
+  }
+
+  // Capped exponential backoff over *consecutive* failures; on_progress
+  // resets the exponent, so the schedule keys on crash cadence, not
+  // lifetime crash count.
+  double delay = options_.backoff_base_seconds;
+  for (std::size_t i = 0;
+       i < consecutive_failures_ && delay < options_.backoff_cap_seconds; ++i)
+    delay *= 2.0;
+  ++consecutive_failures_;
+  return std::min(delay, options_.backoff_cap_seconds);
+}
+
+void SupervisorPolicy::on_progress(double now) {
+  (void)now;
+  consecutive_failures_ = 0;
+}
+
+bool SupervisorPolicy::hung(double now, double last_progress) const noexcept {
+  return options_.hang_after_seconds > 0.0 &&
+         now - last_progress >= options_.hang_after_seconds;
+}
+
+}  // namespace vmcw::service

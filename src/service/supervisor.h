@@ -1,0 +1,77 @@
+// Supervision policy: the decision core of tools/vmcw_supervisor.
+//
+// The supervisor binary forks the daemon, watches its exit status and its
+// liveness heartbeat (the ingest server's health file), and restarts it on
+// failure. Everything that *decides* — how long to back off, when the
+// restart storm trips the circuit breaker, when a silent daemon counts as
+// hung — lives here, clock-injected and pure, so the whole state machine
+// is unit-testable without processes or sleeps and stays inside the
+// determinism contract's static layer (no wall-clock tokens; the binary
+// supplies real time, tests supply a virtual one).
+//
+// State machine (DESIGN.md §9):
+//
+//   running --exit--> backoff --(delay)--> running
+//      |                 ^
+//      | hang (no        | on_exit: delay = min(cap, base * 2^failures)
+//      | heartbeat       |
+//      | progress)       +--> open (circuit breaker): too many exits
+//      v                      inside the storm window; the supervisor
+//   killed (counts            stops restarting and reports instead of
+//   as an exit)               melting the machine with a crash loop.
+//
+// on_progress() marks forward progress (heartbeat counter advanced) and
+// resets the consecutive-failure count, so a daemon that crashes daily
+// does not inherit the backoff of one that crashes per second.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace vmcw::service {
+
+struct SupervisorOptions {
+  double backoff_base_seconds = 0.05;  ///< first restart delay
+  double backoff_cap_seconds = 2.0;    ///< delay ceiling
+  /// This many exits inside the storm window opens the circuit breaker.
+  std::size_t storm_restarts = 10;
+  double storm_window_seconds = 30.0;
+  /// Heartbeat silence (no on_progress) after which a live process counts
+  /// as hung and should be killed; 0 disables the watchdog.
+  double hang_after_seconds = 30.0;
+};
+
+class SupervisorPolicy {
+ public:
+  explicit SupervisorPolicy(SupervisorOptions options);
+
+  /// The supervised process exited (crash, kill, or hang-kill) at time
+  /// `now`. Returns the backoff to sleep before restarting, or nullopt
+  /// when the restart storm opened the circuit breaker — the caller must
+  /// stop restarting.
+  std::optional<double> on_exit(double now);
+
+  /// The heartbeat advanced at time `now`: the daemon is alive and doing
+  /// work. Resets the consecutive-failure backoff.
+  void on_progress(double now);
+
+  /// Is a process whose last heartbeat progress was at `last_progress`
+  /// hung as of `now`?
+  bool hung(double now, double last_progress) const noexcept;
+
+  bool circuit_open() const noexcept { return circuit_open_; }
+  std::size_t exits() const noexcept { return exits_; }
+  std::size_t consecutive_failures() const noexcept {
+    return consecutive_failures_;
+  }
+
+ private:
+  SupervisorOptions options_;
+  std::vector<double> recent_exits_;  ///< exit times inside the storm window
+  std::size_t exits_ = 0;
+  std::size_t consecutive_failures_ = 0;
+  bool circuit_open_ = false;
+};
+
+}  // namespace vmcw::service

@@ -1,12 +1,16 @@
 #include "service/telemetry_log.h"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
+#include <utility>
 
 #include "runtime/telemetry.h"
 #include "runtime/wire.h"
@@ -23,16 +27,19 @@ using wire::read_all;
 using wire::write_all;
 
 constexpr char kMagic[8] = {'V', 'M', 'C', 'W', 'T', 'W', 'L', '1'};
-constexpr std::uint32_t kVersion = 1;
-// magic + version + fleet-config hash.
-constexpr std::size_t kHeaderSize = 8 + 4 + 8;
+// magic + version + fleet-config hash; version 2 appends the base ordinal.
+constexpr std::size_t kHeaderSizeV1 = 8 + 4 + 8;
+constexpr std::size_t kHeaderSizeV2 = kHeaderSizeV1 + 8;
 
-/// Scan the intact frame prefix of a WAL byte image. Returns the offset of
-/// the first byte past the last intact frame; frames decoded on the way
-/// are appended to `frames`.
+std::size_t header_size(std::uint32_t version) {
+  return version == 2 ? kHeaderSizeV2 : kHeaderSizeV1;
+}
+
+/// Scan the intact frame prefix of a WAL byte image starting at `off`.
+/// Returns the offset of the first byte past the last intact frame; frames
+/// decoded on the way are appended to `frames`.
 std::size_t scan_frames(const std::vector<std::uint8_t>& bytes,
-                        std::vector<Frame>& frames) {
-  std::size_t off = kHeaderSize;
+                        std::vector<Frame>& frames, std::size_t off) {
   while (off < bytes.size()) {
     try {
       DecodedFrame d = decode_frame(bytes.data() + off, bytes.size() - off);
@@ -46,18 +53,24 @@ std::size_t scan_frames(const std::vector<std::uint8_t>& bytes,
 }
 
 bool header_matches(const std::vector<std::uint8_t>& bytes,
-                    std::uint64_t fleet_hash) {
-  return bytes.size() >= kHeaderSize &&
-         std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0 &&
-         load_u32(bytes.data() + 8) == kVersion &&
-         load_u64(bytes.data() + 12) == fleet_hash;
+                    std::uint64_t fleet_hash, std::uint32_t version,
+                    std::uint64_t base_ordinal) {
+  if (bytes.size() < header_size(version) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0 ||
+      load_u32(bytes.data() + 8) != version ||
+      load_u64(bytes.data() + 12) != fleet_hash)
+    return false;
+  return version != 2 || load_u64(bytes.data() + 20) == base_ordinal;
 }
 
-std::vector<std::uint8_t> encode_header(std::uint64_t fleet_hash) {
+std::vector<std::uint8_t> encode_header(std::uint64_t fleet_hash,
+                                        std::uint32_t version,
+                                        std::uint64_t base_ordinal) {
   ByteWriter header;
   for (const char c : kMagic) header.u8(static_cast<std::uint8_t>(c));
-  header.u32(kVersion);
+  header.u32(version);
   header.u64(fleet_hash);
+  if (version == 2) header.u64(base_ordinal);
   return header.bytes();
 }
 
@@ -122,7 +135,9 @@ void FrameLog::close_locked() {
 }
 
 FrameLog::Recovery FrameLog::open(const std::string& path,
-                                  std::uint64_t fleet_hash, bool resume) {
+                                  std::uint64_t fleet_hash, bool resume,
+                                  std::uint32_t version,
+                                  std::uint64_t base_ordinal) {
   // open() runs before the log is shared with other threads, but holding
   // the lock throughout keeps fd_'s guard unconditional.
   MutexLock lk(mutex_);
@@ -134,8 +149,9 @@ FrameLog::Recovery FrameLog::open(const std::string& path,
   std::vector<std::uint8_t> bytes;
   const bool readable = read_all(fd_, bytes);
 
-  if (resume && readable && header_matches(bytes, fleet_hash)) {
-    const std::size_t off = scan_frames(bytes, rec.frames);
+  if (resume && readable &&
+      header_matches(bytes, fleet_hash, version, base_ordinal)) {
+    const std::size_t off = scan_frames(bytes, rec.frames, header_size(version));
     if (off < bytes.size()) {
       rec.torn_tail = true;
       rec.bytes_discarded = bytes.size() - off;
@@ -162,7 +178,8 @@ fresh:
     close_locked();
     throw std::runtime_error("FrameLog: cannot rewrite " + path);
   }
-  const std::vector<std::uint8_t> header = encode_header(fleet_hash);
+  const std::vector<std::uint8_t> header =
+      encode_header(fleet_hash, version, base_ordinal);
   if (!write_all(fd_, header.data(), header.size())) {
     close_locked();
     throw std::runtime_error("FrameLog: cannot write header of " + path);
@@ -210,17 +227,261 @@ WalContents read_frame_log(const std::string& path) {
   ::close(fd);
   if (!readable)
     throw std::runtime_error("read_frame_log: cannot read " + path);
-  if (bytes.size() < kHeaderSize ||
-      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0 ||
-      load_u32(bytes.data() + 8) != kVersion)
+  if (bytes.size() < kHeaderSizeV1 ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("read_frame_log: not a frame WAL: " + path);
+  const std::uint32_t version = load_u32(bytes.data() + 8);
+  if ((version != 1 && version != 2) || bytes.size() < header_size(version))
     throw std::runtime_error("read_frame_log: not a frame WAL: " + path);
 
   WalContents wal;
+  wal.version = version;
   wal.fleet_hash = load_u64(bytes.data() + 12);
-  const std::size_t off = scan_frames(bytes, wal.frames);
+  if (version == 2) wal.base_ordinal = load_u64(bytes.data() + 20);
+  const std::size_t off = scan_frames(bytes, wal.frames, header_size(version));
   wal.torn_tail = off < bytes.size();
   wal.content_hash = fnv1a64(bytes.data(), off);
   return wal;
+}
+
+std::string segment_path(const std::string& path, std::size_t index) {
+  char suffix[24];
+  std::snprintf(suffix, sizeof(suffix), ".seg%06zu", index);
+  return path + suffix;
+}
+
+namespace {
+
+/// Segment files of the chain rooted at `path`, sorted by index. Paths are
+/// rebuilt through segment_path so they compare equal to what the log
+/// itself would create or unlink.
+std::vector<std::pair<std::size_t, std::string>> list_segments(
+    const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash);
+  const std::string stem =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::string prefix = stem + ".seg";
+
+  std::vector<std::pair<std::size_t, std::string>> out;
+  DIR* d = ::opendir(dir.empty() ? "/" : dir.c_str());
+  if (d == nullptr) return out;
+  while (const dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.size() != prefix.size() + 6 ||
+        name.compare(0, prefix.size(), prefix) != 0)
+      continue;
+    std::size_t index = 0;
+    bool digits = true;
+    for (std::size_t i = prefix.size(); i < name.size(); ++i) {
+      if (name[i] < '0' || name[i] > '9') {
+        digits = false;
+        break;
+      }
+      index = index * 10 + static_cast<std::size_t>(name[i] - '0');
+    }
+    if (digits && index > 0) out.emplace_back(index, segment_path(path, index));
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Combine per-segment content hashes into one chain hash (order-sensitive).
+std::uint64_t chain_hash(std::uint64_t running, std::uint64_t segment) {
+  std::uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = (segment >> (8 * i)) & 0xff;
+  return fnv1a64(bytes, sizeof(bytes), running);
+}
+
+}  // namespace
+
+WalContents read_segmented_wal(const std::string& path) {
+  const auto files = list_segments(path);
+  if (files.empty()) return read_frame_log(path);
+
+  WalContents out;
+  bool any = false;
+  std::size_t expected_index = 0;
+  std::uint64_t expected_base = 0;
+  for (const auto& [index, file] : files) {
+    WalContents seg;
+    try {
+      seg = read_frame_log(file);
+    } catch (const std::exception&) {
+      break;
+    }
+    if (seg.version != 2) break;
+    if (!any) {
+      out.fleet_hash = seg.fleet_hash;
+      out.version = 2;
+      out.base_ordinal = seg.base_ordinal;
+      out.content_hash = 1469598103934665603ull;
+    } else if (seg.fleet_hash != out.fleet_hash || index != expected_index ||
+               seg.base_ordinal != expected_base) {
+      break;  // gap, foreign file or base discontinuity: the chain ends here
+    }
+    any = true;
+    expected_index = index + 1;
+    expected_base = seg.base_ordinal + seg.frames.size();
+    out.frames.insert(out.frames.end(),
+                      std::make_move_iterator(seg.frames.begin()),
+                      std::make_move_iterator(seg.frames.end()));
+    out.content_hash = chain_hash(out.content_hash, seg.content_hash);
+    out.torn_tail = seg.torn_tail;
+    if (seg.torn_tail) break;  // a torn segment is the tail by definition
+  }
+  if (!any)
+    throw std::runtime_error("read_segmented_wal: no readable segments: " +
+                             path);
+  return out;
+}
+
+SegmentedFrameLog::Recovery SegmentedFrameLog::open(
+    const std::string& path, std::uint64_t fleet_hash, bool resume,
+    std::uint64_t segment_frames) {
+  log_.close();
+  path_ = path;
+  fleet_hash_ = fleet_hash;
+  segment_frames_ = segment_frames;
+  sealed_.clear();
+  active_index_ = 1;
+  active_base_ = 0;
+  active_count_ = 0;
+
+  Recovery rec;
+  if (segment_frames_ == 0) {
+    // Legacy single-file mode: byte-compatible with every pre-segmentation
+    // WAL on disk and every test that reads one.
+    FrameLog::Recovery r = log_.open(path, fleet_hash, resume);
+    rec.frames = std::move(r.frames);
+    rec.stale = r.stale;
+    rec.torn_tail = r.torn_tail;
+    active_count_ = rec.frames.size();
+    return rec;
+  }
+
+  const auto files = list_segments(path);
+  if (!resume) {
+    for (const auto& [index, file] : files) ::unlink(file.c_str());
+    log_.open(segment_path(path, 1), fleet_hash, false, 2, 0);
+    rec.segments = 1;
+    return rec;
+  }
+
+  // Validate the chain file by file; the first violation ends the kept
+  // prefix and everything from it onward is unlinked (a sealed segment is
+  // immutable, so a bad one means corruption — nothing after it is
+  // trustworthy either).
+  struct Kept {
+    std::size_t index;
+    WalContents contents;
+  };
+  std::vector<Kept> kept;
+  std::size_t first_bad = files.size();
+  std::size_t expected_index = 0;
+  std::uint64_t expected_base = 0;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const auto& [index, file] = files[i];
+    WalContents seg;
+    bool ok = true;
+    try {
+      seg = read_frame_log(file);
+    } catch (const std::exception&) {
+      ok = false;
+    }
+    if (ok && seg.version != 2) ok = false;
+    if (ok && seg.fleet_hash != fleet_hash) {
+      // A foreign fleet hash on the chain head means the whole chain is
+      // stale (the fleet shape changed); later on it is plain corruption.
+      if (kept.empty()) rec.stale = true;
+      ok = false;
+    }
+    if (ok && !kept.empty() &&
+        (index != expected_index || seg.base_ordinal != expected_base))
+      ok = false;
+    if (!ok) {
+      first_bad = i;
+      break;
+    }
+    expected_index = index + 1;
+    expected_base = seg.base_ordinal + seg.frames.size();
+    const bool torn = seg.torn_tail;
+    kept.push_back({index, std::move(seg)});
+    if (torn) {
+      // A torn tail belongs to the last write; anything after a torn
+      // segment was never validly sealed.
+      first_bad = i + 1;
+      break;
+    }
+  }
+  for (std::size_t i = first_bad; i < files.size(); ++i)
+    ::unlink(files[i].second.c_str());
+
+  if (kept.empty()) {
+    log_.open(segment_path(path, 1), fleet_hash, false, 2, 0);
+    rec.segments = 1;
+    return rec;
+  }
+
+  // Sealed prefix stays closed; the last kept segment reopens for append
+  // (FrameLog::open truncates its torn tail if any).
+  for (std::size_t i = 0; i + 1 < kept.size(); ++i) {
+    WalContents& seg = kept[i].contents;
+    sealed_.push_back({segment_path(path, kept[i].index), seg.base_ordinal,
+                       static_cast<std::uint64_t>(seg.frames.size())});
+    rec.frames.insert(rec.frames.end(),
+                      std::make_move_iterator(seg.frames.begin()),
+                      std::make_move_iterator(seg.frames.end()));
+  }
+  const Kept& last = kept.back();
+  active_index_ = last.index;
+  active_base_ = last.contents.base_ordinal;
+  FrameLog::Recovery r = log_.open(segment_path(path, last.index), fleet_hash,
+                                   true, 2, active_base_);
+  active_count_ = r.frames.size();
+  rec.torn_tail = r.torn_tail;
+  rec.frames.insert(rec.frames.end(), std::make_move_iterator(r.frames.begin()),
+                    std::make_move_iterator(r.frames.end()));
+  rec.base_ordinal = sealed_.empty() ? active_base_ : sealed_.front().base;
+  rec.segments = sealed_.size() + 1;
+  return rec;
+}
+
+void SegmentedFrameLog::rotate() {
+  log_.sync();
+  log_.close();
+  sealed_.push_back(
+      {segment_path(path_, active_index_), active_base_, active_count_});
+  ++active_index_;
+  active_base_ += active_count_;
+  active_count_ = 0;
+  log_.open(segment_path(path_, active_index_), fleet_hash_, false, 2,
+            active_base_);
+}
+
+void SegmentedFrameLog::append(const Frame& frame, bool sync) {
+  if (segment_frames_ > 0 && active_count_ >= segment_frames_) rotate();
+  log_.append(frame, sync);
+  // A hard write error closes the inner log; the frame did not land.
+  if (log_.is_open()) ++active_count_;
+}
+
+std::size_t SegmentedFrameLog::reclaim_before(std::uint64_t ordinal) {
+  std::size_t reclaimed = 0;
+  std::vector<Segment> survivors;
+  survivors.reserve(sealed_.size());
+  for (Segment& seg : sealed_) {
+    if (seg.base + seg.frames <= ordinal) {
+      ::unlink(seg.path.c_str());
+      ++reclaimed;
+    } else {
+      survivors.push_back(std::move(seg));
+    }
+  }
+  sealed_ = std::move(survivors);
+  return reclaimed;
 }
 
 }  // namespace vmcw::service

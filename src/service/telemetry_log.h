@@ -18,6 +18,13 @@
 //    never mixes streams across fleet configurations.
 //  - a torn tail (partial frame from a crash, or a checksum mismatch): the
 //    tail is truncated away and every intact frame before it is returned.
+//
+// Version 2 headers add a base ordinal — the global frame index of the
+// file's first record — which is what lets SegmentedFrameLog split one
+// logical WAL into sealed segment files (`<base>.segNNNNNN`): the chain is
+// validated by base continuity at open, segments older than the newest
+// durable snapshot are reclaimable (service/snapshot, DESIGN.md §9), and a
+// torn tail is still confined to the newest segment.
 #pragma once
 
 #include <cstdint>
@@ -80,9 +87,13 @@ class FrameLog {
   /// With `resume`, an existing matching log's intact frames are
   /// recovered; without it — or when the log is stale or unreadable — the
   /// file is rewritten with a fresh header. Throws std::runtime_error only
-  /// when the path cannot be created at all.
-  Recovery open(const std::string& path, std::uint64_t fleet_hash,
-                bool resume) VMCW_EXCLUDES(mutex_);
+  /// when the path cannot be created at all. `version` selects the header
+  /// layout: 1 is the standalone single-file WAL; 2 stamps `base_ordinal`
+  /// (the global index of the file's first frame) for segment-chain files
+  /// — SegmentedFrameLog is the only caller that passes 2.
+  Recovery open(const std::string& path, std::uint64_t fleet_hash, bool resume,
+                std::uint32_t version = 1, std::uint64_t base_ordinal = 0)
+      VMCW_EXCLUDES(mutex_);
 
   bool is_open() const VMCW_EXCLUDES(mutex_) {
     MutexLock lk(mutex_);
@@ -130,8 +141,13 @@ class FrameLog {
 /// A recorded WAL, read without modifying the file (replay mode).
 struct WalContents {
   std::uint64_t fleet_hash = 0;  ///< binding hash from the header
-  std::vector<Frame> frames;     ///< intact frames, in append order
-  bool torn_tail = false;        ///< file ends in a partial/corrupt frame
+  std::uint32_t version = 1;     ///< header version (2 = segment file)
+  /// Global frame index of frames[0]; always 0 for version-1 files. After
+  /// segment reclamation a chain's head base records how many frames of
+  /// history were compacted away into the snapshot.
+  std::uint64_t base_ordinal = 0;
+  std::vector<Frame> frames;  ///< intact frames, in append order
+  bool torn_tail = false;     ///< file ends in a partial/corrupt frame
   /// FNV-1a 64 over the valid byte range (header + intact frames).
   std::uint64_t content_hash = 0;
 };
@@ -140,5 +156,88 @@ struct WalContents {
 /// cannot be read or its header is not a frame WAL; a torn tail is not an
 /// error (the intact prefix is returned with torn_tail set).
 WalContents read_frame_log(const std::string& path);
+
+/// Read a logical WAL that may be either a single version-1 file at `path`
+/// or a segment chain (`path + ".segNNNNNN"` files). Segments are stitched
+/// in base-ordinal order; chain breaks (gap, fleet mismatch, torn tail in
+/// a sealed segment) end the stitch there, mirroring what
+/// SegmentedFrameLog::open would keep. Throws when nothing readable exists.
+WalContents read_segmented_wal(const std::string& path);
+
+/// Path of segment file `index` of the chain rooted at `path`
+/// (e.g. "live.wal.seg000003").
+std::string segment_path(const std::string& path, std::size_t index);
+
+/// One logical WAL split across sealed, checksummed segment files, plus an
+/// active tail segment. With `segment_frames == 0` this is byte-compatible
+/// legacy mode: a single version-1 file at `path`, exactly FrameLog.
+///
+/// Rotation: once the active segment holds `segment_frames` frames, the
+/// next append seals it (fdatasync + close) and opens the next segment
+/// with a version-2 header carrying the chain's running base ordinal.
+/// Retention: reclaim_before(n) unlinks only sealed segments whose entire
+/// range is below n — the caller passes the newest durable snapshot's
+/// frames_covered, so the active segment and every post-snapshot segment
+/// are never deleted (DESIGN.md §9 retention invariant).
+///
+/// Rotation state is writer-thread-owned like the rest of the append path;
+/// the inner FrameLog keeps its own lock for the observational readers
+/// (last_sync_seconds).
+class SegmentedFrameLog {
+ public:
+  struct Recovery {
+    std::vector<Frame> frames;  ///< intact frames across the kept chain
+    bool stale = false;         ///< existing chain was for a different fleet
+    bool torn_tail = false;     ///< trailing partial/corrupt frame dropped
+    /// Global ordinal of frames[0]; > 0 when pre-snapshot segments were
+    /// reclaimed before the crash (the caller needs a snapshot covering at
+    /// least this many frames, or recovery must refuse).
+    std::uint64_t base_ordinal = 0;
+    std::size_t segments = 0;  ///< segment files kept (0 in legacy mode)
+  };
+
+  Recovery open(const std::string& path, std::uint64_t fleet_hash, bool resume,
+                std::uint64_t segment_frames);
+
+  /// Append one frame, rotating first when the active segment is full.
+  void append(const Frame& frame, bool sync = true);
+  void sync() { log_.sync(); }
+  void close() { log_.close(); }
+  bool is_open() const { return log_.is_open(); }
+  double last_sync_seconds() const { return log_.last_sync_seconds(); }
+  void set_io_hooks(WalIoHooks* hooks) noexcept { log_.set_io_hooks(hooks); }
+
+  /// Global ordinal the next append would get (== total durable frames).
+  std::uint64_t next_ordinal() const noexcept {
+    return active_base_ + active_count_;
+  }
+
+  /// Unlink sealed segments wholly below `ordinal` (never the active one).
+  /// Returns how many files were reclaimed.
+  std::size_t reclaim_before(std::uint64_t ordinal);
+
+  /// Sealed + active segment files on disk (0 in legacy mode).
+  std::size_t segment_count() const noexcept {
+    return segment_frames_ == 0 ? 0 : sealed_.size() + 1;
+  }
+
+ private:
+  struct Segment {
+    std::string path;
+    std::uint64_t base = 0;
+    std::uint64_t frames = 0;
+  };
+
+  void rotate();
+
+  FrameLog log_;
+  std::string path_;
+  std::uint64_t fleet_hash_ = 0;
+  std::uint64_t segment_frames_ = 0;  ///< 0 = legacy single-file mode
+  std::vector<Segment> sealed_;
+  std::size_t active_index_ = 1;
+  std::uint64_t active_base_ = 0;
+  std::uint64_t active_count_ = 0;
+};
 
 }  // namespace vmcw::service

@@ -573,6 +573,10 @@ TEST(IngestServer, WalStallShedsToHeartbeatOnlyAndRecovers) {
   IngestOptions options;
   options.shed_fsync_seconds = 0.050;
   options.recover_fsync_seconds = 0.010;
+  // One frame per WAL batch: the stall plan indexes fsyncs, and this test
+  // pins the per-append shed/recover cycle (batch-boundary shedding is the
+  // recovery suite's concern).
+  options.max_batch_frames = 1;
   const auto result = serve_churn(dir, frames, /*collectors=*/1,
                                   /*agents=*/4, /*plan=*/nullptr, &hooks,
                                   options);

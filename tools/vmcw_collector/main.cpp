@@ -36,7 +36,7 @@ int usage() {
       "                 [--collectors N --index I] [--peer NAME]\n"
       "                 [--hosts N] [--vms N] [--ticks N] [--seed S]\n"
       "                 [--chaos-seed S] [--disconnect-rate R]\n"
-      "                 [--corrupt-rate R] [--split-rate R]\n");
+      "                 [--corrupt-rate R] [--split-rate R] [--coalesce]\n");
   return 2;
 }
 
@@ -84,6 +84,11 @@ int main(int argc, char** argv) {
       faults.corrupt_rate = std::atof(v);
     } else if (arg == "--split-rate" && (v = value())) {
       faults.partial_write_rate = std::atof(v);
+    } else if (arg == "--coalesce") {
+      // Merge superseded telemetry deltas in the unsent backlog while
+      // disconnected. Changes the bytes the daemon WALs, so identity
+      // harnesses comparing against an uninterrupted run leave it off.
+      options.coalesce_telemetry = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return usage();
@@ -111,10 +116,12 @@ int main(int argc, char** argv) {
                 parts[index].size());
     std::fprintf(stderr,
                  "collector %zu: %zu sends, %zu retransmits, %zu reconnects, "
-                 "%zu shed backoffs, %zu faults injected\n",
+                 "%zu shed backoffs, %zu faults injected, "
+                 "%zu samples coalesced, %zu server rewinds\n",
                  index, stats.messages_sent, stats.retransmits,
                  stats.reconnects, stats.shed_backoffs,
-                 stats.faults_injected);
+                 stats.faults_injected, stats.samples_coalesced,
+                 stats.server_rewinds);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "vmcw_collector: %s\n", e.what());
     return 1;

@@ -16,12 +16,19 @@
 //
 //   vmcw_daemon --listen SOCK --wal PATH [--decisions PATH] [--resume]
 //               [--tcp PORT] [--collectors K] [--queue N]
-//               [--shed-ms MS] [--recover-ms MS]
+//               [--shed-ms MS] [--recover-ms MS] [--batch N]
+//               [--snapshot PATH] [--snapshot-frames N]
+//               [--snapshot-seconds S] [--segment-frames N]
+//               [--keep-segments] [--health PATH]
 //       Serve the ingestion protocol on a Unix socket (and optionally
 //       loopback TCP): accept framed telemetry from K vmcw_collector
 //       processes, serialize it WAL-first, and exit once K Shutdown
 //       frames are durable. The WAL the serve run leaves behind replays
-//       to the exact decision log the live run wrote.
+//       to the exact decision log the live run wrote. The bounded-recovery
+//       flags (DESIGN.md §9) turn on controller snapshots, WAL segment
+//       rotation with reclamation (--keep-segments retains the full chain
+//       for cold replays), the heartbeat file vmcw_supervisor watches,
+//       and the writer's frame batching cap.
 //
 // All gen/replay output on stdout is deterministic: the same WAL always
 // prints the same stats and writes the same decision log bytes, at any
@@ -30,6 +37,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 #include "service/churn.h"
 #include "service/daemon.h"
@@ -50,21 +58,28 @@ int usage() {
       "  vmcw_daemon --wal PATH --replay [--decisions PATH] [--resume]\n"
       "  vmcw_daemon --listen SOCK --wal PATH [--decisions PATH] [--resume]\n"
       "              [--tcp PORT] [--collectors K] [--queue N]\n"
-      "              [--shed-ms MS] [--recover-ms MS]\n");
+      "              [--shed-ms MS] [--recover-ms MS] [--batch N]\n"
+      "              [--snapshot PATH] [--snapshot-frames N]\n"
+      "              [--snapshot-seconds S] [--segment-frames N]\n"
+      "              [--keep-segments] [--health PATH]\n");
   return 2;
 }
 
-int serve(const std::string& wal_path, const std::string& decisions_path,
-          bool resume, const IngestOptions& ingest_options) {
+int serve(Daemon::Options daemon_options, const IngestOptions& ingest_options) {
   const ControllerConfig config;
-  Daemon daemon(config, {wal_path, decisions_path, resume, /*durable=*/true});
+  Daemon daemon(config, std::move(daemon_options));
   const Daemon::OpenResult opened = daemon.open();
-  if (opened.frames_recovered > 0)
+  if (opened.snapshot_loaded)
+    std::fprintf(stderr, "recovered from snapshot at frame %llu "
+                         "(+%zu WAL suffix frames)\n",
+                 static_cast<unsigned long long>(opened.snapshot_frames),
+                 opened.frames_recovered);
+  else if (opened.frames_recovered > 0)
     std::fprintf(stderr, "resumed %zu frames, %zu batches\n",
                  opened.frames_recovered, opened.batches_recovered);
 
   IngestServer server(daemon, ingest_options);
-  server.start(opened.wal_frames);
+  server.start(opened.wal_frames, opened.ack_marks, opened.shutdowns_recovered);
   std::fprintf(stderr, "listening on %s\n",
                ingest_options.unix_path.c_str());
   server.wait();
@@ -76,6 +91,11 @@ int serve(const std::string& wal_path, const std::string& decisions_path,
               "(%zu duplicates dropped, %zu rejects, %zu shed entries)\n",
               in.messages_ingested, in.connections_accepted,
               in.duplicates_dropped, in.rejects_sent, in.shed_entries);
+  if (stats.snapshots_written > 0 || stats.segments_reclaimed > 0)
+    std::fprintf(stderr, "bounded recovery: %zu snapshots, "
+                         "%zu segments reclaimed, %zu WAL batches\n",
+                 stats.snapshots_written, stats.segments_reclaimed,
+                 in.wal_batches);
   std::printf("decisions: %zu batches, %zu admits, %zu migrations, "
               "%zu holds, %zu degraded ticks\n",
               stats.batches, stats.admits, stats.migrations, stats.holds,
@@ -118,6 +138,8 @@ int main(int argc, char** argv) {
   ChurnOptions churn;
   churn.blackout_prob = 0.0;
   IngestOptions ingest;
+  Daemon::Options daemon_options;
+  daemon_options.durable = true;
   bool do_listen = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -186,6 +208,33 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (!v) return usage();
       ingest.recover_fsync_seconds = std::atof(v) / 1000.0;
+    } else if (arg == "--batch") {
+      const char* v = value();
+      if (!v) return usage();
+      ingest.max_batch_frames = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--snapshot") {
+      const char* v = value();
+      if (!v) return usage();
+      daemon_options.snapshot_path = v;
+    } else if (arg == "--snapshot-frames") {
+      const char* v = value();
+      if (!v) return usage();
+      daemon_options.snapshot_every_frames =
+          static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--snapshot-seconds") {
+      const char* v = value();
+      if (!v) return usage();
+      daemon_options.snapshot_every_seconds = std::atof(v);
+    } else if (arg == "--segment-frames") {
+      const char* v = value();
+      if (!v) return usage();
+      daemon_options.segment_frames = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--keep-segments") {
+      daemon_options.retain_segments = true;
+    } else if (arg == "--health") {
+      const char* v = value();
+      if (!v) return usage();
+      ingest.health_path = v;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return usage();
@@ -196,7 +245,10 @@ int main(int argc, char** argv) {
     if (!gen_path.empty()) return gen_wal(gen_path, churn);
     if (do_listen && !wal_path.empty()) {
       if (decisions_path.empty()) decisions_path = wal_path + ".decisions";
-      return serve(wal_path, decisions_path, resume, ingest);
+      daemon_options.wal_path = wal_path;
+      daemon_options.decisions_path = decisions_path;
+      daemon_options.resume = resume;
+      return serve(std::move(daemon_options), ingest);
     }
     if (do_replay && !wal_path.empty()) {
       if (decisions_path.empty()) decisions_path = wal_path + ".decisions";

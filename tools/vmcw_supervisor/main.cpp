@@ -1,0 +1,254 @@
+// vmcw_supervisor: keep a vmcw_daemon alive, or kill it on schedule.
+//
+//   vmcw_supervisor [--health PATH] [--hang-after S]
+//                   [--backoff-base S] [--backoff-cap S]
+//                   [--storm-restarts N] [--storm-window S]
+//                   [--kills K --chaos-seed S [--kill-min S] [--kill-max S]]
+//                   -- DAEMON ARGV...
+//
+// Forks and execs the daemon argv after `--`, then supervises it:
+//
+//   * liveness: the daemon's ingest loop bumps a counter in --health PATH
+//     after every durable batch; if the counter stops advancing for
+//     --hang-after seconds the supervisor SIGKILLs the (hung) daemon and
+//     treats it as a crash.
+//   * restarts: a nonzero exit (or any signal death) restarts the daemon
+//     after a capped exponential backoff (SupervisorPolicy); too many
+//     exits inside the storm window open the circuit breaker and the
+//     supervisor gives up with exit 1.
+//   * chaos: with --kills, the first K daemon runs are SIGKILLed at the
+//     deterministic uptimes ProcessFaultPlan derives from --chaos-seed.
+//     This is the soak harness: the daemon must recover from every kill
+//     and the final decision log must match an uninterrupted run.
+//
+// Exit 0 when the daemon exits 0 (ingest drained and shut down cleanly);
+// exit 1 on circuit-breaker trip or unrecoverable fork/exec failure.
+//
+// This binary lives in tools/, outside the lint root: it owns the real
+// wall clock and real processes, while every decision lives in the pure,
+// clock-injected SupervisorPolicy (src/service/supervisor.h).
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "chaos/process_faults.h"
+#include "service/supervisor.h"
+
+using namespace vmcw;
+using namespace vmcw::service;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  vmcw_supervisor [--health PATH] [--hang-after S]\n"
+      "                  [--backoff-base S] [--backoff-cap S]\n"
+      "                  [--storm-restarts N] [--storm-window S]\n"
+      "                  [--kills K --chaos-seed S [--kill-min S]\n"
+      "                  [--kill-max S]] -- DAEMON ARGV...\n");
+  return 2;
+}
+
+double monotonic_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+/// Read the heartbeat counter the ingest writer maintains; -1 when the
+/// file is missing or unparsable (daemon not up yet).
+long long read_heartbeat(const std::string& path) {
+  std::ifstream in(path);
+  long long value = -1;
+  if (!(in >> value)) return -1;
+  return value;
+}
+
+struct RunResult {
+  int status = 0;        ///< raw waitpid status
+  bool hang_kill = false;
+  bool chaos_kill = false;
+};
+
+/// One daemon lifetime: fork/exec, poll for exit, fire the scheduled
+/// chaos kill and the hang watchdog. Returns nullopt if exec failed in a
+/// way that retrying cannot fix (e.g. binary missing).
+RunResult run_once(char** daemon_argv, const std::string& health_path,
+                   SupervisorPolicy& policy, double kill_after,
+                   double hang_after) {
+  // The heartbeat counter restarts from zero with each daemon launch; a
+  // leftover file from the previous run would mask the new run's progress.
+  if (!health_path.empty()) std::remove(health_path.c_str());
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::fprintf(stderr, "vmcw_supervisor: fork: %s\n", std::strerror(errno));
+    RunResult r;
+    r.status = 127 << 8;
+    return r;
+  }
+  if (pid == 0) {
+    execvp(daemon_argv[0], daemon_argv);
+    std::fprintf(stderr, "vmcw_supervisor: exec %s: %s\n", daemon_argv[0],
+                 std::strerror(errno));
+    _exit(127);
+  }
+
+  const double launched = monotonic_seconds();
+  long long heartbeat = read_heartbeat(health_path);
+  double last_progress = launched;
+  RunResult result;
+  bool kill_fired = false;
+
+  for (;;) {
+    int status = 0;
+    const pid_t got = waitpid(pid, &status, WNOHANG);
+    if (got == pid) {
+      result.status = status;
+      return result;
+    }
+    if (got < 0 && errno != EINTR) {
+      std::fprintf(stderr, "vmcw_supervisor: waitpid: %s\n",
+                   std::strerror(errno));
+      result.status = 127 << 8;
+      return result;
+    }
+
+    const double now = monotonic_seconds();
+    if (kill_after >= 0.0 && !kill_fired && now - launched >= kill_after) {
+      std::fprintf(stderr, "supervisor: chaos kill after %.3fs\n",
+                   now - launched);
+      kill(pid, SIGKILL);
+      kill_fired = true;
+      result.chaos_kill = true;
+    }
+
+    if (!health_path.empty()) {
+      const long long beat = read_heartbeat(health_path);
+      if (beat != heartbeat) {
+        heartbeat = beat;
+        last_progress = now;
+        policy.on_progress(now);
+      } else if (hang_after > 0.0 && !kill_fired &&
+                 policy.hung(now, last_progress)) {
+        std::fprintf(stderr, "supervisor: hang kill after %.3fs silence\n",
+                     now - last_progress);
+        kill(pid, SIGKILL);
+        kill_fired = true;
+        result.hang_kill = true;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SupervisorOptions options;
+  ProcessFaultSpec spec;
+  spec.kills = 0;
+  std::uint64_t chaos_seed = 0;
+  std::string health_path;
+  int tail = argc;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--") {
+      tail = i + 1;
+      break;
+    }
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--health" && (v = value())) {
+      health_path = v;
+    } else if (arg == "--hang-after" && (v = value())) {
+      options.hang_after_seconds = std::atof(v);
+    } else if (arg == "--backoff-base" && (v = value())) {
+      options.backoff_base_seconds = std::atof(v);
+    } else if (arg == "--backoff-cap" && (v = value())) {
+      options.backoff_cap_seconds = std::atof(v);
+    } else if (arg == "--storm-restarts" && (v = value())) {
+      options.storm_restarts = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--storm-window" && (v = value())) {
+      options.storm_window_seconds = std::atof(v);
+    } else if (arg == "--kills" && (v = value())) {
+      spec.kills = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--chaos-seed" && (v = value())) {
+      chaos_seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--kill-min" && (v = value())) {
+      spec.min_uptime_seconds = std::atof(v);
+    } else if (arg == "--kill-max" && (v = value())) {
+      spec.max_uptime_seconds = std::atof(v);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return usage();
+    }
+  }
+  if (tail >= argc) return usage();
+
+  const ProcessFaultPlan plan = spec.kills > 0
+                                    ? ProcessFaultPlan::generate(spec, chaos_seed)
+                                    : ProcessFaultPlan();
+
+  // The daemon argv is passed through verbatim on every launch, so it must
+  // be restart-safe: --resume on an empty directory is a fresh start.
+  std::vector<char*> daemon_argv(argv + tail, argv + argc);
+  daemon_argv.push_back(nullptr);
+
+  SupervisorPolicy policy(options);
+  std::size_t chaos_kills = 0, hang_kills = 0, restarts = 0;
+
+  for (std::size_t run = 0;; ++run) {
+    const double kill_after = plan.kill_after_seconds(run);
+    const RunResult r = run_once(daemon_argv.data(), health_path, policy,
+                                 kill_after, options.hang_after_seconds);
+    if (r.chaos_kill) ++chaos_kills;
+    if (r.hang_kill) ++hang_kills;
+
+    if (WIFEXITED(r.status) && WEXITSTATUS(r.status) == 0) {
+      std::printf("supervisor: daemon exited clean after %zu runs "
+                  "(%zu restarts, %zu chaos kills, %zu hang kills)\n",
+                  run + 1, restarts, chaos_kills, hang_kills);
+      return 0;
+    }
+    if (WIFEXITED(r.status) && WEXITSTATUS(r.status) == 127) {
+      std::fprintf(stderr, "supervisor: daemon cannot start; giving up\n");
+      return 1;
+    }
+
+    const double now = monotonic_seconds();
+    const std::optional<double> backoff = policy.on_exit(now);
+    if (!backoff) {
+      std::fprintf(stderr,
+                   "supervisor: circuit breaker open after %zu exits; "
+                   "not restarting\n",
+                   policy.exits());
+      return 1;
+    }
+    if (WIFSIGNALED(r.status))
+      std::fprintf(stderr, "supervisor: daemon killed by signal %d; "
+                           "restarting in %.3fs\n",
+                   WTERMSIG(r.status), *backoff);
+    else
+      std::fprintf(stderr, "supervisor: daemon exited %d; restarting in %.3fs\n",
+                   WEXITSTATUS(r.status), *backoff);
+    ++restarts;
+    std::this_thread::sleep_for(std::chrono::duration<double>(*backoff));
+  }
+}
