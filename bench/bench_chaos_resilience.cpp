@@ -21,7 +21,7 @@
 
 #include "common.h"
 #include "report/report.h"
-#include "runtime/sweep.h"
+#include "sweep/sweep.h"
 
 using namespace vmcw;
 

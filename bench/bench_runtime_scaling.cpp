@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "common.h"
-#include "runtime/sweep.h"
+#include "sweep/sweep.h"
 #include "runtime/thread_pool.h"
 
 using namespace vmcw;

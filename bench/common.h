@@ -17,7 +17,7 @@
 
 #include "analysis/burstiness.h"
 #include "core/study.h"
-#include "runtime/sweep.h"
+#include "sweep/sweep.h"
 #include "runtime/telemetry.h"
 #include "runtime/thread_pool.h"
 #include "trace/generator.h"

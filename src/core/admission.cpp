@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "runtime/thread_pool.h"
-#include "scale/capacity_index.h"
+#include "core/capacity_index.h"
 
 namespace vmcw {
 

@@ -24,7 +24,7 @@
 
 namespace vmcw {
 
-class CapacityIndex;  // scale/capacity_index.h
+class CapacityIndex;  // core/capacity_index.h
 
 /// Knobs for admit_one / admit_group beyond capacity and constraints.
 struct AdmissionOptions {

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "core/admission.h"
-#include "scale/capacity_index.h"
+#include "core/capacity_index.h"
 
 namespace vmcw {
 

@@ -5,7 +5,7 @@
 
 #include "analysis/correlation.h"
 #include "core/admission.h"
-#include "scale/capacity_index.h"
+#include "core/capacity_index.h"
 
 namespace vmcw {
 

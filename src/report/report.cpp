@@ -1,7 +1,6 @@
 #include "report/report.h"
 
 #include <filesystem>
-#include <fstream>
 #include <stdexcept>
 #include <vector>
 
@@ -10,6 +9,7 @@
 #include "analysis/workload_report.h"
 #include "core/study.h"
 #include "migration/reservation_study.h"
+#include "runtime/telemetry.h"
 #include "trace/generator.h"
 #include "trace/presets.h"
 #include "util/table.h"
@@ -199,10 +199,8 @@ std::vector<Datacenter> report_fleets(const ReportOptions& options) {
 
 void write_file(const std::string& path, const std::string& content,
                 std::vector<std::string>& written) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open " + path);
-  out << content;
-  if (!out.flush()) throw std::runtime_error("write failed: " + path);
+  if (!write_file_atomic(path, content))
+    throw std::runtime_error("cannot write " + path);
   written.push_back(path);
 }
 
@@ -365,10 +363,8 @@ std::string render_robustness_report(std::span<const RobustnessRow> rows) {
 
 void write_paper_report(const std::string& path,
                         const ReportOptions& options) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open " + path);
-  out << build_paper_report(options);
-  if (!out.flush()) throw std::runtime_error("write failed: " + path);
+  if (!write_file_atomic(path, build_paper_report(options)))
+    throw std::runtime_error("cannot write " + path);
 }
 
 }  // namespace vmcw

@@ -1,5 +1,5 @@
 // Byte-exact wire (de)serialization shared by every durable byte stream in
-// the repository: the sweep journal (runtime/journal), the telemetry WAL
+// the repository: the sweep journal (sweep/journal), the telemetry WAL
 // and typed frame protocol (src/service), and any future on-disk format.
 //
 // The contract all of them rely on:

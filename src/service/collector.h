@@ -11,7 +11,7 @@
 // anything at or below its cumulative ack without re-appending.
 //
 // Fault injection plugs in through TransportFaults, a per-message hook
-// surface the chaos layer adapts IoFaultPlan onto (chaos/io_fault_hooks):
+// surface the chaos layer adapts IoFaultPlan onto (service/io_fault_hooks):
 // the client itself corrupts, splits, or drops its own writes on the
 // plan's schedule, which is how CI drives a real socket through disconnect
 // and corruption churn deterministically.

@@ -6,7 +6,7 @@
 
 #include "core/admission.h"
 #include "runtime/wire.h"
-#include "scale/capacity_index.h"
+#include "core/capacity_index.h"
 
 namespace vmcw::service {
 

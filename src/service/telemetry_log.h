@@ -8,7 +8,7 @@
 // DecisionBatch the controller emits is appended before it is reported, so
 // a SIGKILL between any two batches leaves a resumable prefix.
 //
-// The format extends the sweep-journal idiom (runtime/journal) to an
+// The format extends the sweep-journal idiom (sweep/journal) to an
 // open-ended stream: a header binds the file to one fleet configuration
 // (magic + version + fleet-config hash), and each record is one protocol
 // frame — already kind/length/checksum framed by service/protocol — written

@@ -1,4 +1,4 @@
-#include "runtime/journal.h"
+#include "sweep/journal.h"
 
 #include <fcntl.h>
 #include <sys/stat.h>

@@ -35,7 +35,7 @@
 #include <utility>
 #include <vector>
 
-#include "runtime/sweep.h"
+#include "sweep/sweep.h"
 #include "util/thread_annotations.h"
 
 namespace vmcw {

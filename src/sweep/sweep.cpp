@@ -1,11 +1,11 @@
-#include "runtime/sweep.h"
+#include "sweep/sweep.h"
 
 #include <algorithm>
 #include <exception>
 #include <utility>
 
 #include "runtime/cancellation.h"
-#include "runtime/journal.h"
+#include "sweep/journal.h"
 #include "runtime/telemetry.h"
 #include "util/rng.h"
 

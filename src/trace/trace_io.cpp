@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "runtime/telemetry.h"
+
 namespace vmcw {
 
 namespace {
@@ -139,14 +141,16 @@ Datacenter read_datacenter_csv(std::istream& servers, std::istream& traces,
 
 void save_datacenter(const Datacenter& dc, const std::string& servers_path,
                      const std::string& traces_path) {
-  std::ofstream servers(servers_path);
-  if (!servers) throw std::runtime_error("cannot open " + servers_path);
+  // Render in memory, land with temp+rename: a crashed export never leaves
+  // a torn CSV pair behind for a later load_datacenter to misparse.
+  std::ostringstream servers;
   write_servers_csv(dc, servers);
-  std::ofstream traces(traces_path);
-  if (!traces) throw std::runtime_error("cannot open " + traces_path);
+  std::ostringstream traces;
   write_traces_csv(dc, traces);
-  if (!servers.flush() || !traces.flush())
-    throw std::runtime_error("trace export failed");
+  if (!write_file_atomic(servers_path, servers.str()))
+    throw std::runtime_error("cannot write " + servers_path);
+  if (!write_file_atomic(traces_path, traces.str()))
+    throw std::runtime_error("cannot write " + traces_path);
 }
 
 Datacenter load_datacenter(const std::string& servers_path,

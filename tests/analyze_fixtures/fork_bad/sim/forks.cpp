@@ -1,0 +1,20 @@
+// Trigger fixture: sibling fork-key collisions and an untracked root.
+namespace vmcw {
+
+void collide(Rng& root) {
+  Rng a = root.fork("alpha");
+  Rng b = root.fork("alpha");
+  Rng c = root.fork("host-" + std::to_string(3));
+  Rng d = root.fork("host-7");
+}
+
+void overlap(Rng& parent) {
+  Rng a = parent.fork("rack/" + std::to_string(1));
+  Rng b = parent.fork("rack/" + std::to_string(2));
+}
+
+void untracked() {
+  Rng x = mystery.fork("beta");
+}
+
+}  // namespace vmcw

@@ -1,0 +1,20 @@
+// Pass fixture: distinct sibling keys, disjoint dynamic-suffix prefixes,
+// and every receiver is a tracked Rng (local, parameter, or a member
+// declared in the paired header).
+#include "sim/streams.h"
+
+namespace vmcw {
+
+void spawn(Rng& root) {
+  Rng estate = root.fork("estate");
+  Rng chaos = root.fork("chaos");
+  Rng hosts = root.fork("host-" + std::to_string(1));
+  Rng racks = root.fork("rack-" + std::to_string(2));
+}
+
+void members(StreamFarm& farm) {
+  Rng a = farm.master_.fork("alpha");
+  Rng b = farm.master_.fork("beta");
+}
+
+}  // namespace vmcw

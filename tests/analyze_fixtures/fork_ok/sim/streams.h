@@ -1,0 +1,9 @@
+#pragma once
+
+namespace vmcw {
+
+struct StreamFarm {
+  Rng master_;
+};
+
+}  // namespace vmcw

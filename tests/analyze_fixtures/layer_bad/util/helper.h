@@ -1,0 +1,5 @@
+#pragma once
+
+#include "engine/core.h"
+
+namespace vmcw {}

@@ -1,0 +1,5 @@
+#pragma once
+
+#include "trace/other.h"
+
+namespace vmcw {}

@@ -1,0 +1,5 @@
+#pragma once
+
+#include "util/bits.h"
+
+namespace vmcw {}

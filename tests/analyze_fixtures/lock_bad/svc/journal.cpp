@@ -1,0 +1,18 @@
+// Half of the cross-TU deadlock: append() holds io_mu_ and reaches
+// Registry::map_mu_ through touch_registry's acquisition closure.
+#include "svc/state.h"
+
+namespace vmcw {
+
+void touch_registry();
+
+void Journal::append() {
+  MutexLock lk(io_mu_);
+  touch_registry();
+}
+
+void Journal::rotate() {
+  MutexLock lk(io_mu_);
+}
+
+}  // namespace vmcw

@@ -1,0 +1,18 @@
+// The other half: publish() holds map_mu_ and reaches Journal::io_mu_
+// through rotate() — the opposite order from journal.cpp, hence a cycle.
+#include "svc/state.h"
+
+namespace vmcw {
+
+void Registry::publish() {
+  MutexLock lk(map_mu_);
+  Journal j;
+  j.rotate();
+}
+
+void touch_registry() {
+  Registry r;
+  r.publish();
+}
+
+}  // namespace vmcw

@@ -1,0 +1,22 @@
+#pragma once
+
+namespace vmcw {
+
+class Journal {
+ public:
+  void append();
+  void rotate();
+
+ private:
+  Mutex io_mu_;
+};
+
+class Registry {
+ public:
+  void publish();
+
+ private:
+  Mutex map_mu_;
+};
+
+}  // namespace vmcw

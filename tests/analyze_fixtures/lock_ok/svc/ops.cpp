@@ -1,0 +1,26 @@
+// Pass fixture: every path agrees on the order map_mu_ -> io_mu_ ->
+// scan_mu_, including the VMCW_REQUIRES-annotated leg.
+#include "svc/state.h"
+
+namespace vmcw {
+
+void Journal::append() {
+  MutexLock lk(io_mu_);
+}
+
+void Journal::rotate() VMCW_REQUIRES(io_mu_) {
+  MutexLock s(scan_mu_);
+}
+
+void Registry::publish() {
+  MutexLock a(map_mu_);
+  Journal j;
+  j.append();
+}
+
+void touch_registry() {
+  Registry r;
+  r.publish();
+}
+
+}  // namespace vmcw

@@ -1,0 +1,8 @@
+// A suppression that no longer suppresses anything must be deleted.
+namespace vmcw {
+
+int answer() {
+  return 42;  // vmcw-lint: allow(durable-write) nothing here any more
+}
+
+}  // namespace vmcw

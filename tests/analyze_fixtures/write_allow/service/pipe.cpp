@@ -1,0 +1,9 @@
+// The self-pipe wake byte is not durable I/O; the inline suppression is
+// declared in the fixture config's allow-inline budget.
+namespace vmcw {
+
+void wake(int fd) {
+  ::write(fd, "w", 1);  // vmcw-lint: allow(durable-write) self-pipe wake byte
+}
+
+}  // namespace vmcw

@@ -1,0 +1,11 @@
+// Whole-file allow: stands in for a sanctioned durable-write implementation.
+#include <cstdio>
+
+namespace vmcw {
+
+void persist(const char* path) {
+  std::FILE* f = std::fopen(path, "wb");
+  std::fclose(f);
+}
+
+}  // namespace vmcw

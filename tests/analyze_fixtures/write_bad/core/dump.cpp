@@ -1,0 +1,14 @@
+// Trigger fixture: raw durable writes outside the sanctioned idioms.
+#include <cstdio>
+#include <fstream>
+
+namespace vmcw {
+
+void dump_everything(std::FILE* sink) {
+  std::ofstream out("cells.csv");
+  ::write(1, "x", 1);
+  std::FILE* f = std::fopen("report.bin", "wb");
+  std::fwrite("x", 1, 1, f);
+}
+
+}  // namespace vmcw

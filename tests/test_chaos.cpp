@@ -13,7 +13,7 @@
 #include "chaos/replay.h"
 #include "core/emulator.h"
 #include "core/migration_scheduler.h"
-#include "runtime/sweep.h"
+#include "sweep/sweep.h"
 #include "runtime/thread_pool.h"
 #include "test_helpers.h"
 #include "topology/failure_domains.h"

@@ -1,7 +1,7 @@
 // Durable sweep execution: crash-safe journal, resume byte-identity,
 // per-cell failure isolation, watchdog timeouts, and retry accounting.
 
-#include "runtime/journal.h"
+#include "sweep/journal.h"
 
 #include <gtest/gtest.h>
 
@@ -11,7 +11,7 @@
 #include <string>
 #include <vector>
 
-#include "runtime/sweep.h"
+#include "sweep/sweep.h"
 #include "runtime/telemetry.h"
 #include "runtime/thread_pool.h"
 #include "test_helpers.h"

@@ -19,7 +19,7 @@
 #include <variant>
 #include <vector>
 
-#include "chaos/io_fault_hooks.h"
+#include "service/io_fault_hooks.h"
 #include "chaos/io_faults.h"
 #include "chaos/process_faults.h"
 #include "runtime/bounded_queue.h"

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <fstream>
 
 #include "util/table.h"
@@ -88,6 +89,46 @@ TEST(ReportData, CdfFilesHaveHundredQuantileRows) {
   while (std::getline(in, line))
     if (!line.empty()) ++rows;
   EXPECT_EQ(rows, 100);
+}
+
+// Byte-identity pins for the atomic-export rewrite (PR 10 rerouted the
+// report writers from raw ofstream onto write_file_atomic): the bytes on
+// disk must be exactly what the ofstream path produced. FNV-1a; recompute
+// only for a deliberate report-format change. servers_per_dc=8 keeps the
+// pinned run fast while exercising every section.
+std::uint64_t fnv1a_accumulate(std::uint64_t h, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  char c;
+  while (in.get(c)) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+ReportOptions pinned_options() {
+  ReportOptions options;
+  options.servers_per_dc = 8;
+  return options;
+}
+
+TEST(Report, PaperReportBytesArePinned) {
+  const std::string path = "/tmp/vmcw_pin_report.md";
+  write_paper_report(path, pinned_options());
+  EXPECT_EQ(fnv1a_accumulate(1469598103934665603ULL, path),
+            5673525289919084153ULL);
+}
+
+TEST(Report, ReportDataBytesArePinned) {
+  const auto written =
+      write_report_data("/tmp/vmcw_pin_report_data", pinned_options());
+  ASSERT_EQ(written.size(), 8u);
+  // One rolling hash over every emitted file, in the order write_report_data
+  // returns them — pins both the file set and each file's bytes.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& p : written) h = fnv1a_accumulate(h, p);
+  EXPECT_EQ(h, 6103593357762489322ULL);
 }
 
 TEST(TextTableMarkdown, RendersAndEscapes) {

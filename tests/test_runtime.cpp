@@ -16,7 +16,7 @@
 #include "core/study.h"
 #include "engine/engine.h"
 #include "monitoring/pipeline.h"
-#include "runtime/sweep.h"
+#include "sweep/sweep.h"
 #include "runtime/telemetry.h"
 #include "test_helpers.h"
 #include "trace/presets.h"

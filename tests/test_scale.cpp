@@ -4,7 +4,7 @@
 // generator, and sharded emulation's merge identity — including at
 // VMCW_THREADS 1/2/8.
 
-#include "scale/capacity_index.h"
+#include "core/capacity_index.h"
 
 #include <gtest/gtest.h>
 

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <fstream>
 #include <sstream>
 
 #include "trace/generator.h"
@@ -123,6 +125,32 @@ TEST(TraceIo, FileRoundtrip) {
   EXPECT_EQ(loaded.servers.size(), original.servers.size());
   EXPECT_DOUBLE_EQ(loaded.average_cpu_utilization(),
                    original.average_cpu_utilization());
+}
+
+// Byte-identity pin for the atomic-export rewrite (PR 10 rerouted
+// save_datacenter from raw ofstream onto write_file_atomic): the bytes on
+// disk must be exactly what the ofstream path produced. FNV-1a over the
+// whole file; recompute only for a deliberate format change.
+std::uint64_t fnv1a_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::uint64_t h = 1469598103934665603ULL;
+  char c;
+  while (in.get(c)) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+TEST(TraceIo, SaveDatacenterBytesArePinned) {
+  const WorkloadSpec spec = scaled_down(all_workload_specs()[0], 12, 48);
+  const Datacenter dc = generate_datacenter(spec, 42);
+  const std::string servers_path = "/tmp/vmcw_pin_servers.csv";
+  const std::string traces_path = "/tmp/vmcw_pin_traces.csv";
+  save_datacenter(dc, servers_path, traces_path);
+  EXPECT_EQ(fnv1a_file(servers_path), 11602284319750814998ULL);
+  EXPECT_EQ(fnv1a_file(traces_path), 1964295855707492839ULL);
 }
 
 TEST(TraceIo, MissingFileThrows) {

@@ -18,7 +18,7 @@
 #include <cstdlib>
 #include <string>
 
-#include "chaos/io_fault_hooks.h"
+#include "service/io_fault_hooks.h"
 #include "chaos/io_faults.h"
 #include "service/churn.h"
 #include "service/collector.h"

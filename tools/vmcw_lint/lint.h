@@ -5,7 +5,11 @@
 // contract's *sources* of nondeterminism grep-proofly illegal across src/.
 // It deliberately works on tokens, not an AST: no libclang dependency, runs
 // in milliseconds as a ctest, and the rules it enforces are lexical by
-// nature (a banned identifier is banned wherever it appears).
+// nature (a banned identifier is banned wherever it appears). Whole-program
+// rules that need to see across translation units (fork-key collisions,
+// lock-order cycles, layering, durable-write discipline) live in the
+// sibling tool vmcw_analyze; both share the lexer, config format and
+// suppression syntax through tools/check_common.
 //
 // Rules (each violation names its rule; see DESIGN.md §5d for rationale):
 //   nondeterministic-rng  std::random_device, rand/srand/*rand48, and the
@@ -39,41 +43,23 @@
 #include <string_view>
 #include <vector>
 
+#include "check.h"
+
 namespace vmcw::lint {
 
-struct Violation {
-  std::string file;  ///< repo-relative path, as passed to lint_file
-  std::size_t line = 0;
-  std::string rule;
-  std::string message;
-};
+using check::Config;
+using check::Violation;
+using check::glob_match;
 
-/// Names of the contract rules, in reporting order.
+/// Names of the lint contract rules, in reporting order (the analyzer's
+/// whole-program rules are not included; see check::known_rule_names()).
 const std::vector<std::string>& rule_names();
 
-/// Parsed allowlist config. Line format (one entry per line):
-///   allow <path-glob> <rule> -- <justification>
-///   allow-inline <path-glob> <rule> -- <justification>
-/// `#` starts a comment; the justification is mandatory. Globs use `*`
-/// (matches any run of characters, including '/').
-struct Config {
-  struct Entry {
-    std::string pattern;
-    std::string rule;
-    std::string reason;
-  };
-  std::vector<Entry> allow;         ///< whole-file exemptions for a rule
-  std::vector<Entry> allow_inline;  ///< files allowed inline suppressions
-
-  /// Parse config text; on syntax error returns false and sets *error.
-  static bool parse(std::string_view text, Config& out, std::string* error);
-
-  bool allows(std::string_view file, std::string_view rule) const;
-  bool allows_inline(std::string_view file, std::string_view rule) const;
-};
-
-/// `*`-glob match (case-sensitive, `*` crosses '/').
-bool glob_match(std::string_view pattern, std::string_view text);
+/// Run the lint rules on one file's content, raw: no allowlist filtering,
+/// no suppression handling. vmcw_analyze uses this to audit whether each
+/// config entry still matches a live violation.
+std::vector<Violation> lint_file_raw(std::string_view path,
+                                     std::string_view content);
 
 /// Lint one file's content. `path` is the repo-relative path used for
 /// allowlist matching and reporting.
